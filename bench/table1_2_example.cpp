@@ -1,0 +1,149 @@
+// Regenerates paper Tables 1 and 2 on the Figure-1 analog circuit.
+//
+// Table 1: per-stem forward-simulation results (which values are implied at
+// which frame by injecting 0 and 1 on every fanout stem).
+// Table 2: learned invalid-state relations, split by learning stage:
+// single-node only, + multiple-node, + gate equivalence.
+
+#include "core/seq_learn.hpp"
+#include "netlist/clock_class.hpp"
+#include "sim/frame_sim.hpp"
+#include "workload/paper_circuits.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+namespace {
+
+using namespace seqlearn;
+using logic::Val3;
+using netlist::GateId;
+using netlist::Netlist;
+
+void print_table1(const Netlist& nl, std::uint32_t max_frames) {
+    std::printf("\n== Table 1: stem simulation results (%s, %u frames shown) ==\n",
+                nl.name().c_str(), max_frames);
+    std::printf("%-8s", "Stem");
+    for (std::uint32_t t = 0; t < max_frames; ++t) std::printf(" | T=%-22u", t);
+    std::printf("\n");
+    sim::FrameSimulator fsim(nl, sim::SeqGating::all_open(nl));
+    for (const GateId stem : nl.stems()) {
+        for (const Val3 v : {Val3::Zero, Val3::One}) {
+            const std::vector<sim::Injection> inj{{0, stem, v}};
+            sim::FrameSimOptions opt;
+            opt.max_frames = max_frames;
+            const auto res = fsim.run(inj, opt);
+            std::printf("%-6s=%c", nl.name_of(stem).c_str(), logic::to_char(v));
+            for (std::uint32_t t = 0; t < max_frames; ++t) {
+                std::string cell;
+                for (const auto& iv : res.implied) {
+                    if (iv.frame != t || iv.gate == stem) continue;
+                    if (!cell.empty()) cell += ",";
+                    cell += nl.name_of(iv.gate) + "=" + logic::to_char(iv.value);
+                }
+                if (cell.empty()) cell = "{}";
+                if (cell.size() > 22) cell = cell.substr(0, 19) + "...";
+                std::printf(" | %-22s", cell.c_str());
+            }
+            std::printf("\n");
+        }
+    }
+}
+
+std::set<std::string> seq_relations(const Netlist& nl, const core::LearnConfig& cfg,
+                                    bool ff_ff_only) {
+    std::set<std::string> out;
+    const core::LearnResult r = core::learn(nl, cfg);
+    for (const core::Relation& rel : r.db.relations()) {
+        if (rel.frame < 1) continue;
+        const bool lhs_ff = netlist::is_sequential(nl.type(rel.lhs.gate));
+        const bool rhs_ff = netlist::is_sequential(nl.type(rel.rhs.gate));
+        if (ff_ff_only ? !(lhs_ff && rhs_ff) : (lhs_ff == rhs_ff)) continue;
+        out.insert(to_string(nl, rel));
+    }
+    return out;
+}
+
+void print_table2(const Netlist& nl) {
+    core::LearnConfig single;
+    single.multiple_node = false;
+    single.use_equivalences = false;
+    core::LearnConfig multi = single;
+    multi.multiple_node = true;
+    core::LearnConfig full;  // everything on
+
+    auto diff = [](const std::set<std::string>& a, const std::set<std::string>& b) {
+        std::set<std::string> d;
+        std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                            std::inserter(d, d.begin()));
+        return d;
+    };
+    auto print_staged = [&](const char* title, bool ff_ff_only) {
+        const auto s1 = seq_relations(nl, single, ff_ff_only);
+        const auto s2 = seq_relations(nl, multi, ff_ff_only);
+        const auto s3 = seq_relations(nl, full, ff_ff_only);
+        const auto extra_multi = diff(s1, s2);
+        const auto extra_equiv = diff(s2, s3);
+        std::printf("\n== Table 2: %s (%s) ==\n", title, nl.name().c_str());
+        std::printf("%-28s %-28s %-28s\n", "Single-Node", "Additional Multiple-Node",
+                    "Additional Gate-Equivalence");
+        auto it1 = s1.begin();
+        auto it2 = extra_multi.begin();
+        auto it3 = extra_equiv.begin();
+        while (it1 != s1.end() || it2 != extra_multi.end() || it3 != extra_equiv.end()) {
+            std::printf("%-28s %-28s %-28s\n", it1 != s1.end() ? (it1++)->c_str() : "",
+                        it2 != extra_multi.end() ? (it2++)->c_str() : "",
+                        it3 != extra_equiv.end() ? (it3++)->c_str() : "");
+        }
+        std::printf("counts: single=%zu, +multiple=%zu, +equivalence=%zu\n", s1.size(),
+                    extra_multi.size(), extra_equiv.size());
+    };
+    print_staged("learned invalid-state relations (FF-FF)", true);
+    print_staged("learned Gate-FF relations", false);
+
+    // Tie summary (Section 3.2 on this circuit).
+    const core::LearnResult r = core::learn(nl);
+    std::printf("tie gates:");
+    for (const GateId g : r.ties.tied_gates()) {
+        std::printf(" %s=%c@%u", nl.name_of(g).c_str(), logic::to_char(r.ties.value(g)),
+                    r.ties.cycle(g));
+    }
+    std::printf("\n");
+}
+
+void BM_LearnFig1(benchmark::State& state) {
+    const Netlist nl = workload::fig1_analog();
+    for (auto _ : state) {
+        const core::LearnResult r = core::learn(nl);
+        benchmark::DoNotOptimize(r.stats.ff_ff_relations);
+    }
+}
+BENCHMARK(BM_LearnFig1);
+
+void BM_LearnFig2(benchmark::State& state) {
+    const Netlist nl = workload::fig2_analog();
+    for (auto _ : state) {
+        const core::LearnResult r = core::learn(nl);
+        benchmark::DoNotOptimize(r.stats.ff_ff_relations);
+    }
+}
+BENCHMARK(BM_LearnFig2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Netlist fig1 = workload::fig1_analog();
+    print_table1(fig1, 4);
+    print_table2(fig1);
+    const Netlist fig2 = workload::fig2_analog();
+    print_table1(fig2, 3);
+    print_table2(fig2);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates paper Table 3: sequential learning statistics per circuit —
+// flip-flops, gates, FF-FF and Gate-FF relation counts (sequential-only,
+// i.e. frame >= 1, as the paper isolates), and learning CPU seconds with a
+// 50-frame simulation cap.
+//
+// The default run covers the small and mid suite (up to ind20k, ~9k gates,
+// three clock domains, partial set/reset). Set SEQLEARN_BENCH_FULL=1 to add
+// the largest stand-ins (gen38417/gen38584/ind60k/ind250k) — they complete
+// unattended but take tens of minutes; learning cost scales linearly, and
+// the default run already prints the aggregate gates/second.
+
+#include "core/seq_learn.hpp"
+#include "workload/suite.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+using namespace seqlearn;
+using netlist::Netlist;
+
+bool full_mode() {
+    const char* v = std::getenv("SEQLEARN_BENCH_FULL");
+    return v != nullptr && v[0] == '1';
+}
+
+void run_table3() {
+    std::printf("\n== Table 3: sequential learning experiments (max 50 frames) ==\n");
+    std::printf("%-10s %8s %8s | %10s %10s | %8s\n", "Circuit", "FFs", "Gates", "FF-FF",
+                "Gate-FF", "CPU (s)");
+    double total_gates = 0.0, total_cpu = 0.0;
+    for (const std::string& name : workload::table3_names()) {
+        if (!full_mode() && (name == "ind20k" || name == "ind60k" || name == "ind250k" ||
+                             name == "gen38417" || name == "gen38584")) {
+            continue;
+        }
+        const Netlist nl = workload::suite_circuit(name);
+        const auto c = nl.counts();
+        core::LearnConfig cfg;
+        cfg.max_frames = 50;
+        const core::LearnResult r = core::learn(nl, cfg);
+        std::printf("%-10s %8zu %8zu | %10zu %10zu | %8.2f\n", name.c_str(),
+                    c.flip_flops + c.latches, c.combinational, r.stats.ff_ff_relations,
+                    r.stats.gate_ff_relations, r.stats.cpu_seconds);
+        std::fflush(stdout);
+        total_gates += static_cast<double>(c.combinational);
+        total_cpu += r.stats.cpu_seconds;
+    }
+    std::printf("throughput: %.0f gates/second across the suite\n",
+                total_cpu > 0 ? total_gates / total_cpu : 0.0);
+}
+
+void BM_Learn(benchmark::State& state, const std::string& name) {
+    const Netlist nl = workload::suite_circuit(name);
+    core::LearnConfig cfg;
+    cfg.max_frames = 50;
+    for (auto _ : state) {
+        const core::LearnResult r = core::learn(nl, cfg);
+        benchmark::DoNotOptimize(r.stats.ff_ff_relations);
+        state.counters["ff_ff"] = static_cast<double>(r.stats.ff_ff_relations);
+        state.counters["gate_ff"] = static_cast<double>(r.stats.gate_ff_relations);
+        state.counters["ties"] = static_cast<double>(r.ties.count());
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_table3();
+    benchmark::RegisterBenchmark("BM_Learn/gen1423",
+                                 [](benchmark::State& s) { BM_Learn(s, "gen1423"); });
+    benchmark::RegisterBenchmark("BM_Learn/gen5378",
+                                 [](benchmark::State& s) { BM_Learn(s, "gen5378"); });
+    benchmark::RegisterBenchmark("BM_Learn/rt510a",
+                                 [](benchmark::State& s) { BM_Learn(s, "rt510a"); });
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

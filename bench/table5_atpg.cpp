@@ -1,0 +1,108 @@
+// Regenerates paper Table 5: sequential ATPG with and without learned data,
+// at two backtrack limits. For every circuit, three campaigns run on
+// identical fault lists:
+//   - "No learning":     the engine ignores learned data entirely;
+//   - "Forbidden values": relations applied as forbidden-value implications
+//                         (the paper's proposal) + tie facts;
+//   - "Implications":     relations applied as known-value implications +
+//                         tie facts.
+// Reported per campaign: detected faults, untestable faults, and CPU
+// seconds. As in the paper, untestable counts include c-cycle-redundant
+// tie faults for the learning campaigns (count_c_cycle_redundant).
+//
+// Set SEQLEARN_BENCH_SMALL=1 to run only the retimed family.
+
+#include "atpg/atpg_loop.hpp"
+#include "core/seq_learn.hpp"
+#include "fault/collapse.hpp"
+#include "workload/suite.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+using namespace seqlearn;
+using atpg::AtpgConfig;
+using atpg::LearnMode;
+using netlist::Netlist;
+
+bool small_mode() {
+    const char* v = std::getenv("SEQLEARN_BENCH_SMALL");
+    return v != nullptr && v[0] == '1';
+}
+// (The table-5 suite is already budgeted; SEQLEARN_BENCH_SMALL=1 trims it
+// to the retimed family for smoke runs.)
+
+struct Row {
+    std::size_t detected = 0;
+    std::size_t untestable = 0;
+    double cpu = 0.0;
+};
+
+Row campaign(const Netlist& nl, LearnMode mode, const core::LearnResult* learned,
+             std::uint32_t backtrack_limit) {
+    fault::FaultList list(fault::collapse(nl).representatives());
+    AtpgConfig cfg;
+    cfg.mode = mode;
+    cfg.learned = learned;
+    cfg.backtrack_limit = backtrack_limit;
+    cfg.count_c_cycle_redundant = learned != nullptr;
+    cfg.redundancy_effort = 500;
+    cfg.windows = {1, 2, 3, 4, 6, 8};
+    const atpg::AtpgOutcome out = run_atpg(nl, list, cfg);
+    const auto c = list.counts();
+    return {c.detected, c.untestable, out.cpu_seconds};
+}
+
+void run_table5() {
+    std::printf("\n== Table 5: ATPG with and without sequential learning ==\n");
+    std::printf("%-9s %6s %5s | %5s %6s %8s | %5s %6s %8s | %5s %6s %8s\n", "Circuit",
+                "Faults", "BT", "Det", "Untst", "CPU(s)", "Det", "Untst", "CPU(s)", "Det",
+                "Untst", "CPU(s)");
+    std::printf("%-9s %6s %5s | %21s | %21s | %21s\n", "", "", "", "No learning",
+                "Forbidden values", "Implications");
+    for (const std::string& name : workload::table5_names()) {
+        if (small_mode() && name.substr(0, 2) != "rt") continue;
+        const Netlist nl = workload::suite_circuit(name);
+        core::LearnConfig lcfg;
+        lcfg.max_frames = 50;
+        const core::LearnResult learned = core::learn(nl, lcfg);
+        const std::size_t total = fault::collapse(nl).size();
+        for (const std::uint32_t bt : {30u, 1000u}) {
+            const Row none = campaign(nl, LearnMode::None, nullptr, bt);
+            const Row forb = campaign(nl, LearnMode::ForbiddenValue, &learned, bt);
+            const Row known = campaign(nl, LearnMode::KnownValue, &learned, bt);
+            std::printf(
+                "%-9s %6zu %5u | %5zu %6zu %8.2f | %5zu %6zu %8.2f | %5zu %6zu %8.2f\n",
+                name.c_str(), total, bt, none.detected, none.untestable, none.cpu,
+                forb.detected, forb.untestable, forb.cpu, known.detected, known.untestable,
+                known.cpu);
+            std::fflush(stdout);
+        }
+    }
+}
+
+void BM_AtpgRetimed(benchmark::State& state) {
+    const Netlist nl = workload::suite_circuit("rt510a");
+    const core::LearnResult learned = core::learn(nl);
+    const LearnMode mode = static_cast<LearnMode>(state.range(0));
+    for (auto _ : state) {
+        const Row r = campaign(nl, mode, mode == LearnMode::None ? nullptr : &learned, 30);
+        benchmark::DoNotOptimize(r.detected);
+        state.counters["detected"] = static_cast<double>(r.detected);
+        state.counters["untestable"] = static_cast<double>(r.untestable);
+    }
+}
+BENCHMARK(BM_AtpgRetimed)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_table5();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

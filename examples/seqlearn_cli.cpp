@@ -1,0 +1,156 @@
+// seqlearn_cli — drive the library from the command line on .bench files.
+//
+//   seqlearn_cli stats  <circuit.bench | suite:NAME>
+//   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--out FILE]
+//   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
+//                       [--backtracks N] [--learned FILE] [--random N]
+//
+// "suite:NAME" loads one of the built-in experiment circuits (e.g.
+// suite:rt510a); anything else is parsed as an ISCAS-89 .bench file.
+
+#include "atpg/atpg_loop.hpp"
+#include "core/db_io.hpp"
+#include "core/seq_learn.hpp"
+#include "fault/collapse.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/structure.hpp"
+#include "workload/suite.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+namespace {
+
+using namespace seqlearn;
+
+netlist::Netlist load_circuit(const std::string& spec) {
+    if (spec.rfind("suite:", 0) == 0) return workload::suite_circuit(spec.substr(6));
+    std::ifstream in(spec);
+    if (!in) throw std::runtime_error("cannot open " + spec);
+    return netlist::read_bench(in, spec);
+}
+
+const char* flag_value(int argc, char** argv, const char* name) {
+    for (int i = 0; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+    }
+    return nullptr;
+}
+
+int cmd_stats(const netlist::Netlist& nl) {
+    const auto c = nl.counts();
+    std::printf("circuit:      %s\n", nl.name().c_str());
+    std::printf("inputs:       %zu\n", c.inputs);
+    std::printf("outputs:      %zu\n", c.outputs);
+    std::printf("flip-flops:   %zu\n", c.flip_flops);
+    std::printf("latches:      %zu\n", c.latches);
+    std::printf("gates:        %zu\n", c.combinational);
+    std::printf("fanout stems: %zu\n", nl.stems().size());
+    std::printf("seq depth:    %zu (capped at 16)\n", netlist::sequential_depth(nl, 16));
+    const auto collapsed = fault::collapse(nl);
+    std::printf("faults:       %zu collapsed / %zu total\n", collapsed.size(),
+                collapsed.universe_size());
+    return 0;
+}
+
+int cmd_learn(const netlist::Netlist& nl, int argc, char** argv) {
+    core::LearnConfig cfg;
+    if (const char* f = flag_value(argc, argv, "--frames"))
+        cfg.max_frames = static_cast<std::uint32_t>(std::atoi(f));
+    const core::LearnResult r = core::learn(nl, cfg);
+    std::printf("learned in %.3f s over %zu stems:\n", r.stats.cpu_seconds,
+                r.stats.stems_processed);
+    std::printf("  FF-FF relations:   %zu\n", r.stats.ff_ff_relations);
+    std::printf("  Gate-FF relations: %zu\n", r.stats.gate_ff_relations);
+    std::printf("  combinational:     %zu\n", r.stats.comb_relations);
+    std::printf("  tie gates:         %zu (%zu comb, %zu seq)\n", r.ties.count(),
+                r.stats.ties_combinational, r.stats.ties_sequential);
+    std::printf("  equivalence classes: %zu\n", r.stats.equiv_classes);
+    if (const char* path = flag_value(argc, argv, "--out")) {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path);
+            return 1;
+        }
+        core::save_learned(out, nl, r.db, r.ties);
+        std::printf("saved learned data to %s\n", path);
+    }
+    return 0;
+}
+
+int cmd_atpg(const netlist::Netlist& nl, int argc, char** argv) {
+    atpg::AtpgConfig cfg;
+    cfg.backtrack_limit = 30;
+    if (const char* bt = flag_value(argc, argv, "--backtracks"))
+        cfg.backtrack_limit = static_cast<std::uint32_t>(std::atoi(bt));
+    if (const char* r = flag_value(argc, argv, "--random"))
+        cfg.random_sequences = static_cast<std::size_t>(std::atoi(r));
+
+    std::optional<core::LearnResult> learned;
+    const char* mode = flag_value(argc, argv, "--mode");
+    const std::string mode_s = mode ? mode : "forbidden";
+    if (mode_s != "none") {
+        cfg.mode = mode_s == "known" ? atpg::LearnMode::KnownValue
+                                     : atpg::LearnMode::ForbiddenValue;
+        if (const char* path = flag_value(argc, argv, "--learned")) {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "cannot read %s\n", path);
+                return 1;
+            }
+            const core::LoadedLearned loaded = core::load_learned(in, nl);
+            std::printf("loaded learned data (%zu relations, %zu ties, %zu skipped)\n",
+                        loaded.db.size(), loaded.ties.count(), loaded.skipped_lines);
+            learned.emplace(nl.size());
+            // Rebuild a LearnResult around the loaded data.
+            learned->db = loaded.db;
+            learned->ties = loaded.ties;
+        } else {
+            learned.emplace(core::learn(nl));
+            std::printf("learned on the fly: %zu relations, %zu ties\n",
+                        learned->db.size(), learned->ties.count());
+        }
+        cfg.learned = &*learned;
+        cfg.count_c_cycle_redundant = true;
+    }
+
+    fault::FaultList list(fault::collapse(nl).representatives());
+    const atpg::AtpgOutcome out = run_atpg(nl, list, cfg);
+    const auto c = list.counts();
+    std::printf("mode=%s backtracks=%u\n", mode_s.c_str(), cfg.backtrack_limit);
+    std::printf("  detected:   %zu (of %zu)\n", c.detected, c.total);
+    std::printf("  untestable: %zu\n", c.untestable);
+    std::printf("  aborted:    %zu\n", c.aborted);
+    std::printf("  coverage:   %.2f%% fault, %.2f%% test\n", 100.0 * list.fault_coverage(),
+                100.0 * list.test_coverage());
+    std::printf("  sequences:  %zu (bootstrap detected %zu)\n", out.tests.size(),
+                out.detected_by_bootstrap);
+    std::printf("  cpu:        %.2f s\n", out.cpu_seconds);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: %s stats|learn|atpg <circuit.bench|suite:NAME> [options]\n",
+                     argv[0]);
+        return 2;
+    }
+    try {
+        const netlist::Netlist nl = load_circuit(argv[2]);
+        const std::string cmd = argv[1];
+        if (cmd == "stats") return cmd_stats(nl);
+        if (cmd == "learn") return cmd_learn(nl, argc, argv);
+        if (cmd == "atpg") return cmd_atpg(nl, argc, argv);
+        std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

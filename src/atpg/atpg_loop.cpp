@@ -1,0 +1,126 @@
+#include "atpg/atpg_loop.hpp"
+
+#include "atpg/redundancy.hpp"
+#include "netlist/structure.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace seqlearn::atpg {
+
+using fault::FaultStatus;
+
+namespace {
+
+std::vector<std::uint32_t> default_windows(const Netlist& nl) {
+    const std::size_t depth = netlist::sequential_depth(nl, 16);
+    const std::uint32_t max_w =
+        std::clamp<std::uint32_t>(static_cast<std::uint32_t>(2 * depth + 2), 4, 20);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t w = 1; w < max_w; w = w < 4 ? w + 1 : w + (w / 2)) out.push_back(w);
+    out.push_back(max_w);
+    return out;
+}
+
+}  // namespace
+
+AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig& cfg) {
+    const util::Timer timer;
+    AtpgOutcome out;
+
+    Engine engine(nl);
+    fault::FaultSimulator fsim(nl);
+    if (cfg.learned != nullptr) {
+        // Tie-augmented good simulation: keeps validation in step with the
+        // tie facts the engine asserts (Section 4 / reference [15] gap).
+        fsim.set_good_ties(&cfg.learned->ties.dense(), &cfg.learned->ties.dense_cycles());
+    }
+
+    EngineConfig ecfg;
+    ecfg.mode = cfg.mode;
+    ecfg.backtrack_limit = cfg.backtrack_limit;
+    ecfg.max_decisions = cfg.max_decisions;
+    if (cfg.learned != nullptr) {
+        ecfg.db = &cfg.learned->db;
+        ecfg.ties = &cfg.learned->ties;
+    }
+
+    // Tie-derived untestable faults: a fault stuck at the tied value of its
+    // line can never be excited. Fault equivalence makes this valid for the
+    // whole class of each marked representative.
+    if (cfg.identify_untestable && cfg.learned != nullptr) {
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list.status(i) != FaultStatus::Undetected) continue;
+            const fault::Fault& f = list.fault(i);
+            const GateId line = f.pin == fault::kOutputPin ? f.gate : nl.fanins(f.gate)[f.pin];
+            if (cfg.learned->ties.value(line) != f.stuck) continue;
+            if (cfg.learned->ties.cycle(line) > 0 && !cfg.count_c_cycle_redundant) continue;
+            list.set_status(i, FaultStatus::Untestable);
+            ++out.untestable_by_tie;
+        }
+    }
+
+    // Optional random-simulation bootstrap: cheap coverage of the easy
+    // faults so the deterministic engine only sees the hard remainder.
+    if (cfg.random_sequences > 0) {
+        util::Rng rng(cfg.random_seed);
+        for (std::size_t s = 0; s < cfg.random_sequences; ++s) {
+            sim::InputSequence seq(cfg.random_sequence_length,
+                                   sim::InputFrame(nl.inputs().size(), logic::Val3::X));
+            for (auto& frame : seq) {
+                for (auto& v : frame)
+                    v = rng.chance(0.5) ? logic::Val3::One : logic::Val3::Zero;
+            }
+            const std::size_t dropped = fsim.drop_detected(seq, list);
+            out.detected_by_bootstrap += dropped;
+            if (dropped > 0) out.tests.push_back(std::move(seq));
+        }
+    }
+
+    const std::vector<std::uint32_t> windows =
+        cfg.windows.empty() ? default_windows(nl) : cfg.windows;
+
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list.status(i) != FaultStatus::Undetected) continue;
+        const fault::Fault& f = list.fault(i);
+        ++out.targeted_faults;
+
+        if (cfg.identify_untestable) {
+            const RedundancyVerdict verdict =
+                prove_redundancy(engine, f, ecfg, cfg.redundancy_effort);
+            if (verdict == RedundancyVerdict::Untestable) {
+                list.set_status(i, FaultStatus::Untestable);
+                ++out.untestable_by_proof;
+                continue;
+            }
+        }
+
+        bool aborted = false;
+        for (const std::uint32_t w : windows) {
+            ++out.gen_calls;
+            const EngineResult r = engine.solve(f, w, ecfg);
+            out.total_backtracks += r.backtracks;
+            if (r.status == EngineResult::Status::Aborted) {
+                aborted = true;
+                break;  // larger windows only search more
+            }
+            if (r.status != EngineResult::Status::TestFound) continue;
+            if (!fsim.detects(r.test, f)) {
+                ++out.invalid_tests;
+                continue;
+            }
+            fsim.drop_detected(r.test, list);
+            out.tests.push_back(r.test);
+            break;
+        }
+        if (list.status(i) == FaultStatus::Undetected && aborted) {
+            list.set_status(i, FaultStatus::Aborted);
+        }
+    }
+
+    out.cpu_seconds = timer.seconds();
+    return out;
+}
+
+}  // namespace seqlearn::atpg

@@ -1,0 +1,72 @@
+#pragma once
+// The fault-oriented sequential ATPG campaign (paper Section 5.2 setup).
+//
+// For every undetected fault: optionally prove untestability (tie gates,
+// then the combinational-redundancy prover), then attempt generation over an
+// iteratively deepened frame window under the configured backtrack limit.
+// Every generated sequence is validated by the independent fault simulator
+// and then fault-simulated against the whole list so detected faults drop
+// (which is why ATPG can "detect" faults it never targeted, exactly as the
+// paper describes).
+
+#include "atpg/engine.hpp"
+#include "core/seq_learn.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+
+#include <vector>
+
+namespace seqlearn::atpg {
+
+struct AtpgConfig {
+    /// How learned data is used (paper Table 5's three columns).
+    LearnMode mode = LearnMode::None;
+    /// Learned data; must be non-null for modes other than None, and is
+    /// also consulted (ties) for untestability marking when present.
+    const core::LearnResult* learned = nullptr;
+    /// Backtrack limit per (fault, window) — the paper uses 30 and 1000.
+    std::uint32_t backtrack_limit = 30;
+    /// Frame windows tried in order; empty = automatic schedule derived
+    /// from the circuit's sequential depth.
+    std::vector<std::uint32_t> windows;
+    /// Prove untestability (ties + redundancy prover).
+    bool identify_untestable = true;
+    /// Count c-cycle-redundant faults (stuck at the value of a
+    /// *sequentially* tied gate, paper reference [13]) as untestable, as the
+    /// paper does. Off by default: such a fault is still detectable within
+    /// the first c frames after power-up, so the claim is not strictly
+    /// sound under the tester model; combinational (cycle-0) ties are
+    /// always counted.
+    bool count_c_cycle_redundant = false;
+    /// Backtrack budget of the redundancy prover.
+    std::uint32_t redundancy_effort = 2000;
+    /// Engine decision cap per solve (safety valve).
+    std::uint32_t max_decisions = 200000;
+    /// Random-simulation bootstrap: fault-simulate this many random input
+    /// sequences before deterministic generation and drop what they detect
+    /// (0 = off). Real ATPG flows run with this on; the paper-table benches
+    /// keep it off so the deterministic-engine deltas stay visible.
+    std::size_t random_sequences = 0;
+    /// Frames per bootstrap sequence.
+    std::size_t random_sequence_length = 24;
+    std::uint64_t random_seed = 1;
+};
+
+struct AtpgOutcome {
+    std::vector<sim::InputSequence> tests;
+    double cpu_seconds = 0.0;
+    std::uint64_t total_backtracks = 0;
+    std::size_t gen_calls = 0;
+    std::size_t targeted_faults = 0;
+    /// Engine results rejected by the validating fault simulator (expected
+    /// to stay 0; counted for honesty).
+    std::size_t invalid_tests = 0;
+    std::size_t untestable_by_tie = 0;
+    std::size_t untestable_by_proof = 0;
+    std::size_t detected_by_bootstrap = 0;
+};
+
+/// Run a campaign over `list` (statuses updated in place).
+AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig& cfg);
+
+}  // namespace seqlearn::atpg

@@ -1,0 +1,17 @@
+#include "atpg/ila.hpp"
+
+#include "netlist/structure.hpp"
+
+namespace seqlearn::atpg {
+
+std::vector<bool> fault_cone_mask(const Netlist& nl, const fault::Fault& f) {
+    std::vector<bool> mask(nl.size(), false);
+    // For an output fault the affected line starts at the gate itself; for a
+    // pin fault the divergence starts at the consuming gate.
+    const GateId root = f.gate;
+    mask[root] = true;
+    for (const GateId g : netlist::fanout_cone(nl, root, /*through_seq=*/true)) mask[g] = true;
+    return mask;
+}
+
+}  // namespace seqlearn::atpg

@@ -1,0 +1,21 @@
+#include "atpg/redundancy.hpp"
+
+namespace seqlearn::atpg {
+
+RedundancyVerdict prove_redundancy(Engine& engine, const fault::Fault& f, EngineConfig cfg,
+                                   std::uint32_t effort_backtracks) {
+    cfg.ppi_free = true;
+    cfg.observe_ppo = true;
+    cfg.complete_search = true;
+    cfg.backtrack_limit = effort_backtracks;
+    const EngineResult r = engine.solve(f, /*frames=*/1, cfg);
+    switch (r.status) {
+        case EngineResult::Status::TestFound:
+            return RedundancyVerdict::CombinationallyTestable;
+        case EngineResult::Status::Exhausted: return RedundancyVerdict::Untestable;
+        case EngineResult::Status::Aborted: return RedundancyVerdict::Unknown;
+    }
+    return RedundancyVerdict::Unknown;
+}
+
+}  // namespace seqlearn::atpg

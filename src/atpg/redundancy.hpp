@@ -1,0 +1,27 @@
+#pragma once
+// Sound untestability proofs.
+//
+// A fault that has no test even in a single frame with a *free* state (all
+// sequential outputs controllable) and pseudo-primary-output observation
+// (sequential data inputs observable) can never be activated-and-propagated
+// in any frame of any sequence — it is sequentially untestable. The proof
+// is an exhaustive search, so only an Exhausted engine verdict counts;
+// hitting the effort limit proves nothing.
+
+#include "atpg/engine.hpp"
+
+namespace seqlearn::atpg {
+
+enum class RedundancyVerdict : std::uint8_t {
+    Untestable,            ///< proven: no test exists
+    CombinationallyTestable,  ///< a single-frame free-state test exists
+    Unknown,               ///< effort exhausted before a proof
+};
+
+/// Run the combinational redundancy proof for `f`. `cfg` supplies the
+/// learning mode and data (ties make more proofs succeed); the window,
+/// observation, and free-state flags are overridden internally.
+RedundancyVerdict prove_redundancy(Engine& engine, const fault::Fault& f,
+                                   EngineConfig cfg, std::uint32_t effort_backtracks);
+
+}  // namespace seqlearn::atpg

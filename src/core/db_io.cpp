@@ -1,0 +1,73 @@
+#include "core/db_io.hpp"
+
+#include "util/strings.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace seqlearn::core {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+void save_learned(std::ostream& out, const Netlist& nl, const ImplicationDB& db,
+                  const TieSet& ties) {
+    out << "# seqlearn v1 " << nl.name() << "\n";
+    for (const Relation& r : db.relations()) {
+        out << "rel " << nl.name_of(r.lhs.gate) << ' '
+            << (r.lhs.value == Val3::One ? 1 : 0) << ' ' << nl.name_of(r.rhs.gate) << ' '
+            << (r.rhs.value == Val3::One ? 1 : 0) << ' ' << r.frame << "\n";
+    }
+    for (const GateId g : ties.tied_gates()) {
+        out << "tie " << nl.name_of(g) << ' ' << (ties.value(g) == Val3::One ? 1 : 0)
+            << ' ' << ties.cycle(g) << "\n";
+    }
+}
+
+LoadedLearned load_learned(std::istream& in, const Netlist& nl) {
+    LoadedLearned out(nl.size());
+    std::string raw;
+    std::size_t line_no = 0;
+    auto parse_value = [&](std::string_view tok) {
+        if (tok == "0") return Val3::Zero;
+        if (tok == "1") return Val3::One;
+        throw std::runtime_error("load_learned: bad value at line " + std::to_string(line_no));
+    };
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::string_view line = util::trim(raw);
+        if (line.empty() || line[0] == '#') continue;
+        const auto tok = util::split(line, " \t");
+        if (tok[0] == "rel") {
+            if (tok.size() != 6)
+                throw std::runtime_error("load_learned: malformed rel at line " +
+                                         std::to_string(line_no));
+            const GateId a = nl.find(tok[1]);
+            const GateId b = nl.find(tok[3]);
+            if (a == netlist::kNoGate || b == netlist::kNoGate) {
+                ++out.skipped_lines;
+                continue;
+            }
+            out.db.add({a, parse_value(tok[2])}, {b, parse_value(tok[4])},
+                       static_cast<std::uint32_t>(std::stoul(std::string(tok[5]))));
+        } else if (tok[0] == "tie") {
+            if (tok.size() != 4)
+                throw std::runtime_error("load_learned: malformed tie at line " +
+                                         std::to_string(line_no));
+            const GateId g = nl.find(tok[1]);
+            if (g == netlist::kNoGate) {
+                ++out.skipped_lines;
+                continue;
+            }
+            out.ties.set(g, parse_value(tok[2]),
+                         static_cast<std::uint32_t>(std::stoul(std::string(tok[3]))));
+        } else {
+            throw std::runtime_error("load_learned: unknown record at line " +
+                                     std::to_string(line_no));
+        }
+    }
+    return out;
+}
+
+}  // namespace seqlearn::core

@@ -1,0 +1,39 @@
+#pragma once
+// Persistence for learned data.
+//
+// Learning is a pre-processing step (paper Section 2); in a real flow its
+// output is computed once and consumed by many later ATPG / verification /
+// optimization runs. This module serializes an implication database and a
+// tie set to a line-oriented text format keyed by *gate names*, so a saved
+// file survives netlist re-parsing as long as names are stable:
+//
+//     # seqlearn v1 <circuit-name>
+//     rel <lhs-gate> <0|1> <rhs-gate> <0|1> <frame>
+//     tie <gate> <0|1> <cycle>
+
+#include "core/impl_db.hpp"
+#include "core/tie.hpp"
+
+#include <iosfwd>
+
+namespace seqlearn::core {
+
+/// Write relations and ties for `nl`.
+void save_learned(std::ostream& out, const netlist::Netlist& nl, const ImplicationDB& db,
+                  const TieSet& ties);
+
+struct LoadedLearned {
+    ImplicationDB db;
+    TieSet ties;
+    std::size_t skipped_lines = 0;  ///< entries naming unknown gates
+
+    explicit LoadedLearned(std::size_t num_gates) : db(num_gates), ties(num_gates) {}
+};
+
+/// Read a file produced by save_learned back against `nl`. Entries that
+/// reference gates absent from `nl` are counted in `skipped_lines` rather
+/// than failing, so a database can be reused across mild netlist edits.
+/// Throws std::runtime_error on malformed syntax.
+LoadedLearned load_learned(std::istream& in, const netlist::Netlist& nl);
+
+}  // namespace seqlearn::core

@@ -1,0 +1,149 @@
+#include "core/equivalence.hpp"
+
+#include "logic/pattern.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/structure.hpp"
+#include "sim/parallel_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace seqlearn::core {
+
+namespace {
+
+using logic::Pattern;
+using logic::Val3;
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+bool is_source(const Netlist& nl, GateId g) {
+    const GateType t = nl.type(g);
+    return t == GateType::Input || netlist::is_sequential(t);
+}
+
+// Exhaustively prove g1 == g2 (or g1 == !g2 when `inverted`) over all binary
+// assignments of the union combinational support. Returns false when the
+// support exceeds `cap` or a counterexample exists.
+bool prove_equivalence(const Netlist& nl, const netlist::Levelization& lv, GateId g1, GateId g2,
+                       bool inverted, std::size_t cap) {
+    // Union support and union cone.
+    std::vector<GateId> support;
+    std::unordered_set<GateId> cone_set;
+    for (const GateId g : {g1, g2}) {
+        cone_set.insert(g);
+        for (const GateId c : netlist::fanin_cone(nl, g, /*through_seq=*/false)) {
+            if (is_source(nl, c) || nl.type(c) == GateType::Const0 ||
+                nl.type(c) == GateType::Const1) {
+                support.push_back(c);
+            }
+            cone_set.insert(c);
+        }
+        if (is_source(nl, g)) support.push_back(g);
+    }
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()), support.end());
+    // Constants are not free variables.
+    std::erase_if(support, [&](GateId g) {
+        return nl.type(g) == GateType::Const0 || nl.type(g) == GateType::Const1;
+    });
+    if (support.size() > cap) return false;
+
+    // Cone gates in topological order.
+    std::vector<GateId> cone;
+    for (const GateId g : lv.topo_order) {
+        if (cone_set.contains(g)) cone.push_back(g);
+    }
+
+    const std::size_t k = support.size();
+    const std::uint64_t total = 1ULL << k;
+    std::vector<Pattern> pats(nl.size(), logic::kPatAllX);
+    std::vector<Pattern> ins;
+    for (std::uint64_t base = 0; base < total; base += 64) {
+        const int lanes = static_cast<int>(std::min<std::uint64_t>(64, total - base));
+        for (std::size_t b = 0; b < k; ++b) {
+            Pattern p = logic::kPatAllX;
+            for (int lane = 0; lane < lanes; ++lane) {
+                const std::uint64_t assignment = base + static_cast<std::uint64_t>(lane);
+                logic::pat_set(p, lane, (assignment >> b) & 1 ? Val3::One : Val3::Zero);
+            }
+            pats[support[b]] = p;
+        }
+        for (const GateId g : cone) {
+            const GateType t = nl.type(g);
+            if (t == GateType::Input || netlist::is_sequential(t)) continue;
+            ins.clear();
+            for (const GateId f : nl.fanins(g)) ins.push_back(pats[f]);
+            pats[g] = logic::eval_op(netlist::to_op(t), ins.data(), static_cast<int>(ins.size()));
+        }
+        const Pattern a = pats[g1];
+        const Pattern b = inverted ? logic::pat_not(pats[g2]) : pats[g2];
+        const std::uint64_t lane_mask = lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
+        if ((logic::pat_diff(a, b) & lane_mask) != 0) return false;
+        // All lanes must be binary (they are, with binary support values).
+        if (((logic::pat_known(a) & logic::pat_known(b)) & lane_mask) != lane_mask) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+EquivResult find_equivalences(const Netlist& nl, const EquivOptions& opt) {
+    EquivResult out;
+    out.map.assign(nl.size(), {});
+    out.rep.assign(nl.size(), netlist::kNoGate);
+    out.inverted.assign(nl.size(), false);
+
+    const sim::SignatureSet sigs = sim::collect_signatures(nl, opt.sig_rounds, opt.seed);
+    const netlist::Levelization lv = netlist::levelize(nl);
+
+    // Canonical polarity: flip the whole signature when its first bit is 1,
+    // so a gate and its complement land in the same bucket.
+    struct Entry {
+        GateId gate;
+        bool flipped;
+    };
+    std::map<std::vector<std::uint64_t>, std::vector<Entry>> buckets;
+    for (GateId g = 0; g < nl.size(); ++g) {
+        std::vector<std::uint64_t> key = sigs.sig[g];
+        const bool flip = !key.empty() && (key[0] & 1);
+        if (flip) {
+            for (auto& w : key) w = ~w;
+        }
+        buckets[std::move(key)].push_back({g, flip});
+    }
+
+    for (const auto& [key, entries] : buckets) {
+        if (entries.size() < 2) continue;
+        if (entries.size() > opt.max_bucket) {
+            out.dropped += entries.size() - 1;
+            continue;
+        }
+        const Entry rep = entries[0];
+        std::vector<Entry> proven{rep};
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            const Entry& m = entries[i];
+            const bool inverted = m.flipped != rep.flipped;
+            if (prove_equivalence(nl, lv, rep.gate, m.gate, inverted, opt.support_cap)) {
+                proven.push_back(m);
+            } else {
+                ++out.dropped;
+            }
+        }
+        if (proven.size() < 2) continue;
+        ++out.num_classes;
+        out.gates_in_classes += proven.size();
+        for (const Entry& m : proven) {
+            out.rep[m.gate] = rep.gate;
+            out.inverted[m.gate] = m.flipped != rep.flipped;
+            if (m.gate == rep.gate) continue;
+            out.map[m.gate].push_back({rep.gate, m.flipped != rep.flipped});
+            out.map[rep.gate].push_back({m.gate, m.flipped != rep.flipped});
+        }
+    }
+    return out;
+}
+
+}  // namespace seqlearn::core

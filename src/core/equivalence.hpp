@@ -1,0 +1,52 @@
+#pragma once
+// Combinational gate-equivalence identification (paper Section 3.1).
+//
+// Candidates come from 64-wide random-pattern signatures (equal signatures
+// -> possibly equivalent; complementary -> possibly inverse-equivalent).
+// Every candidate pair is then *proven* by exhaustive evaluation over the
+// union of the two combinational supports (primary inputs and sequential
+// outputs are free variables), batched 64 assignments per pass. Unproven
+// candidates are dropped, so the resulting links are always sound to force
+// during 3-valued simulation: if the gates agree on every binary assignment
+// they agree on every completion of a partial assignment.
+
+#include "netlist/netlist.hpp"
+#include "sim/frame_sim.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace seqlearn::core {
+
+struct EquivOptions {
+    /// Random 64-lane rounds for signatures (total patterns = 64 * rounds).
+    std::size_t sig_rounds = 8;
+    /// Maximum union-support size for the exhaustive proof; larger
+    /// candidates are dropped (soundness is never at risk, only yield).
+    std::size_t support_cap = 14;
+    /// Buckets larger than this are skipped entirely (pathological hashes).
+    std::size_t max_bucket = 64;
+    std::uint64_t seed = 0x5eed5eed;
+};
+
+struct EquivResult {
+    /// Forcing links in star topology (member <-> class representative),
+    /// consumable by sim::FrameSimulator::set_equivalences.
+    sim::EquivMap map;
+    /// Classes with at least two members.
+    std::size_t num_classes = 0;
+    /// Gates participating in some class.
+    std::size_t gates_in_classes = 0;
+    /// Candidate pairs dropped (support too large, bucket too large, or
+    /// refuted by the exhaustive check).
+    std::size_t dropped = 0;
+    /// Class representative per gate (kNoGate when unclassified) and
+    /// polarity relative to the representative.
+    std::vector<netlist::GateId> rep;
+    std::vector<bool> inverted;
+};
+
+/// Find proven combinational equivalences in `nl`.
+EquivResult find_equivalences(const netlist::Netlist& nl, const EquivOptions& opt = {});
+
+}  // namespace seqlearn::core

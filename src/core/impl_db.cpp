@@ -1,0 +1,96 @@
+#include "core/impl_db.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::core {
+
+ImplicationDB::ImplicationDB(std::size_t num_gates) : adj_(num_gates * 2) {}
+
+std::uint64_t ImplicationDB::pair_key(Literal lhs, Literal rhs) {
+    // Canonical orientation so a relation and its contrapositive share a key.
+    const Relation canon = Relation{lhs, rhs, 0}.canonical();
+    return (lit_key(canon.lhs) << 32) | lit_key(canon.rhs);
+}
+
+const ImplicationDB::Edge* ImplicationDB::find_edge(Literal lhs, Literal rhs) const {
+    const auto key = lit_key(lhs);
+    if (key >= adj_.size()) return nullptr;
+    for (const Edge& e : adj_[key]) {
+        if (e.to == rhs) return &e;
+    }
+    return nullptr;
+}
+
+bool ImplicationDB::add(Literal lhs, Literal rhs, std::uint32_t frame) {
+    if (lhs.gate == rhs.gate) {
+        if (lhs.value == rhs.value) return false;  // tautology
+        throw std::invalid_argument("ImplicationDB::add: tie statement (a => !a)");
+    }
+    if (members_.contains(pair_key(lhs, rhs))) {
+        // Keep the earliest frame at which the relation was learned.
+        if (const Edge* e = find_edge(lhs, rhs); e != nullptr && frame < e->frame)
+            const_cast<Edge*>(e)->frame = frame;
+        return false;
+    }
+    members_.insert(pair_key(lhs, rhs));
+    adj_[lit_key(lhs)].push_back({rhs, frame});
+    adj_[lit_key(negate(rhs))].push_back({negate(lhs), frame});
+    ++relation_count_;
+    return true;
+}
+
+bool ImplicationDB::implies(Literal lhs, Literal rhs) const {
+    if (lhs.gate == rhs.gate) return false;
+    return members_.contains(pair_key(lhs, rhs));
+}
+
+std::span<const ImplicationDB::Edge> ImplicationDB::edges_of(Literal lhs) const {
+    const auto key = lit_key(lhs);
+    if (key >= adj_.size()) return {};
+    return adj_[key];
+}
+
+std::span<const Literal> ImplicationDB::implied_by(Literal lhs) const {
+    scratch_.clear();
+    const auto key = lit_key(lhs);
+    if (key < adj_.size()) {
+        for (const Edge& e : adj_[key]) scratch_.push_back(e.to);
+    }
+    return scratch_;
+}
+
+std::vector<Relation> ImplicationDB::relations() const {
+    std::vector<Relation> out;
+    out.reserve(relation_count_);
+    for (std::size_t key = 0; key < adj_.size(); ++key) {
+        const Literal lhs = lit_from_key(key);
+        for (const Edge& e : adj_[key]) {
+            const Relation r{lhs, e.to, e.frame};
+            // Emit each relation once: only in its canonical orientation.
+            if (r.canonical() == r) out.push_back(r);
+        }
+    }
+    return out;
+}
+
+std::uint32_t ImplicationDB::frame_of(Literal lhs, Literal rhs) const {
+    const Edge* e = find_edge(lhs, rhs);
+    if (!e) throw std::invalid_argument("frame_of: relation not stored");
+    return e->frame;
+}
+
+ImplicationDB::Counts ImplicationDB::counts(const netlist::Netlist& nl,
+                                            std::uint32_t min_frame) const {
+    Counts c;
+    for (const Relation& r : relations()) {
+        if (r.frame < min_frame) continue;
+        const bool lhs_ff = netlist::is_sequential(nl.type(r.lhs.gate));
+        const bool rhs_ff = netlist::is_sequential(nl.type(r.rhs.gate));
+        if (lhs_ff && rhs_ff) ++c.ff_ff;
+        else if (lhs_ff || rhs_ff) ++c.gate_ff;
+        else ++c.gate_gate;
+    }
+    return c;
+}
+
+}  // namespace seqlearn::core

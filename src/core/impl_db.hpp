@@ -1,0 +1,80 @@
+#pragma once
+// The implication database.
+//
+// Stores same-frame relations closed under contraposition: inserting
+// a=va => b=vb also records !b=vb... i.e. (b,!vb) => (a,!va), so queries by
+// either literal see every consequence. Adjacency is dense per literal
+// (2 slots per gate), which makes the ATPG-side lookups O(degree).
+
+#include "core/implication.hpp"
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace seqlearn::core {
+
+class ImplicationDB {
+public:
+    /// Create a database for a netlist with `num_gates` gates.
+    explicit ImplicationDB(std::size_t num_gates);
+
+    /// Insert `lhs => rhs` (and its contrapositive). Returns true when the
+    /// relation was new. Self-implications (lhs == rhs) are ignored;
+    /// lhs == !rhs (a tie statement) is rejected with std::invalid_argument
+    /// — ties belong in TieSet, not here.
+    bool add(Literal lhs, Literal rhs, std::uint32_t frame);
+
+    /// True when `lhs => rhs` (directly stored or by contraposition).
+    bool implies(Literal lhs, Literal rhs) const;
+
+    /// One stored implication edge: `to` holds at the same frame whenever
+    /// the queried literal does; `frame` is the first-learned frame tag.
+    struct Edge {
+        Literal to;
+        std::uint32_t frame;
+    };
+
+    /// All consequences of `lhs` with their frame tags. The span stays
+    /// valid until the database is modified — safe under reentrant queries,
+    /// unlike implied_by().
+    std::span<const Edge> edges_of(Literal lhs) const;
+
+    /// All literals directly implied by `lhs` in the same frame. Uses a
+    /// shared scratch buffer: the span is invalidated by the next call.
+    std::span<const Literal> implied_by(Literal lhs) const;
+
+    /// Number of distinct relations (each counted once, not per direction).
+    std::size_t size() const noexcept { return relation_count_; }
+
+    /// Every relation in canonical orientation, with its first-learned frame.
+    std::vector<Relation> relations() const;
+
+    /// The first-learned frame of a stored relation; requires implies(lhs,rhs).
+    std::uint32_t frame_of(Literal lhs, Literal rhs) const;
+
+    /// Relation counts split the way Table 3 reports them, where "FF" means
+    /// the literal sits on a sequential element of `nl`. Only relations with
+    /// frame >= min_frame are counted (min_frame = 1 isolates what only
+    /// sequential learning can extract).
+    struct Counts {
+        std::size_t ff_ff = 0;
+        std::size_t gate_ff = 0;
+        std::size_t gate_gate = 0;
+    };
+    Counts counts(const netlist::Netlist& nl, std::uint32_t min_frame) const;
+
+private:
+    // Indexed by lit_key; each edge appears in the list of its lhs literal.
+    std::vector<std::vector<Edge>> adj_;
+    // O(1) membership: canonical (lhs_key << 32 | rhs_key) of every relation.
+    std::unordered_set<std::uint64_t> members_;
+    // Scratch return buffer for implied_by (rebuilt per call).
+    mutable std::vector<Literal> scratch_;
+    std::size_t relation_count_ = 0;
+
+    static std::uint64_t pair_key(Literal lhs, Literal rhs);
+    const Edge* find_edge(Literal lhs, Literal rhs) const;
+};
+
+}  // namespace seqlearn::core

@@ -1,0 +1,15 @@
+#include "core/implication.hpp"
+
+#include "util/strings.hpp"
+
+namespace seqlearn::core {
+
+std::string to_string(const netlist::Netlist& nl, const Literal& l) {
+    return util::format("%s=%c", nl.name_of(l.gate).c_str(), logic::to_char(l.value));
+}
+
+std::string to_string(const netlist::Netlist& nl, const Relation& r) {
+    return to_string(nl, r.lhs) + " -> " + to_string(nl, r.rhs);
+}
+
+}  // namespace seqlearn::core

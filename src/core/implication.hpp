@@ -1,0 +1,68 @@
+#pragma once
+// Literals and same-time-frame implication relations.
+//
+// A literal (gate, value) asserts that the gate's output has the binary
+// value in some time frame. A relation `lhs => rhs` learned by the
+// sequential learning pass holds with both literals in the *same* frame and
+// is logically identical to its contrapositive `!rhs => !lhs`; relations are
+// kept in a canonical orientation so that equality and deduplication are
+// well defined.
+
+#include "logic/val3.hpp"
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace seqlearn::core {
+
+using logic::Val3;
+using netlist::GateId;
+
+/// A (gate, binary value) pair.
+struct Literal {
+    GateId gate = netlist::kNoGate;
+    Val3 value = Val3::Zero;
+
+    friend bool operator==(const Literal&, const Literal&) = default;
+    friend auto operator<=>(const Literal&, const Literal&) = default;
+};
+
+/// The literal asserting the opposite value on the same gate.
+constexpr Literal negate(Literal l) noexcept { return {l.gate, logic::v3_not(l.value)}; }
+
+/// Dense key for a literal: gate*2 + value. Requires a binary value.
+constexpr std::uint64_t lit_key(Literal l) noexcept {
+    return (static_cast<std::uint64_t>(l.gate) << 1) | (l.value == Val3::One ? 1u : 0u);
+}
+
+/// Inverse of lit_key.
+constexpr Literal lit_from_key(std::uint64_t k) noexcept {
+    return {static_cast<GateId>(k >> 1), (k & 1) ? Val3::One : Val3::Zero};
+}
+
+/// A same-frame implication `lhs => rhs` with the frame at which it was
+/// first learned (0 = derivable within one frame, i.e. combinational;
+/// >= 1 = requires crossing that many frame boundaries, i.e. sequential).
+struct Relation {
+    Literal lhs;
+    Literal rhs;
+    std::uint32_t frame = 0;
+
+    /// Canonical orientation: the side with the smaller literal key on the
+    /// left, realized by flipping to the contrapositive when needed.
+    Relation canonical() const noexcept {
+        if (lit_key(lhs) <= lit_key(rhs)) return *this;
+        return {negate(rhs), negate(lhs), frame};
+    }
+
+    friend bool operator==(const Relation&, const Relation&) = default;
+};
+
+/// "G9=0 -> F2=0".
+std::string to_string(const netlist::Netlist& nl, const Relation& r);
+
+/// "F2=1" formatting for a literal.
+std::string to_string(const netlist::Netlist& nl, const Literal& l);
+
+}  // namespace seqlearn::core

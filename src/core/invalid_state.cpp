@@ -1,0 +1,97 @@
+#include "core/invalid_state.hpp"
+
+#include "sim/comb_engine.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::core {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+InvalidStateChecker::InvalidStateChecker(const Netlist& nl, const ImplicationDB& db) {
+    const auto seq = nl.seq_elements();
+    num_ffs_ = seq.size();
+    std::vector<std::int32_t> ff_index(nl.size(), -1);
+    for (std::size_t i = 0; i < seq.size(); ++i) ff_index[seq[i]] = static_cast<std::int32_t>(i);
+
+    for (const Relation& r : db.relations()) {
+        const std::int32_t ia = ff_index[r.lhs.gate];
+        const std::int32_t ib = ff_index[r.rhs.gate];
+        if (ia < 0 || ib < 0) continue;
+        rules_.push_back({static_cast<std::uint32_t>(ia), r.lhs.value,
+                          static_cast<std::uint32_t>(ib), logic::v3_not(r.rhs.value), r.frame});
+    }
+}
+
+bool InvalidStateChecker::violates(std::span<const Val3> state, std::uint32_t history) const {
+    for (const Rule& r : rules_) {
+        if (r.frame > history) continue;
+        if (state[r.ff_a] == r.va && state[r.ff_b] == r.vb_forbidden) return true;
+    }
+    return false;
+}
+
+std::uint64_t InvalidStateChecker::count_invalid_states(std::size_t max_ffs) const {
+    if (num_ffs_ > max_ffs)
+        throw std::invalid_argument("count_invalid_states: too many flip-flops");
+    const std::uint64_t total = 1ULL << num_ffs_;
+    std::vector<Val3> state(num_ffs_);
+    std::uint64_t invalid = 0;
+    for (std::uint64_t s = 0; s < total; ++s) {
+        for (std::size_t i = 0; i < num_ffs_; ++i)
+            state[i] = (s >> i) & 1 ? Val3::One : Val3::Zero;
+        if (violates(state)) ++invalid;
+    }
+    return invalid;
+}
+
+double density_of_encoding(const Netlist& nl, std::size_t max_ffs) {
+    const auto seq = nl.seq_elements();
+    const auto inputs = nl.inputs();
+    const std::size_t k = seq.size();
+    if (k == 0) return 1.0;
+    if (k > max_ffs) throw std::invalid_argument("density_of_encoding: too many flip-flops");
+    if (inputs.size() > 16) throw std::invalid_argument("density_of_encoding: too many inputs");
+
+    const sim::CombEngine engine(nl);
+    const std::uint64_t n_states = 1ULL << k;
+    const std::uint64_t n_inputs = 1ULL << inputs.size();
+
+    // One-frame transition: state x input -> next state.
+    auto step = [&](std::uint64_t s, std::uint64_t u) {
+        std::vector<Val3> vals(nl.size(), Val3::X);
+        for (std::size_t i = 0; i < k; ++i)
+            vals[seq[i]] = (s >> i) & 1 ? Val3::One : Val3::Zero;
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            vals[inputs[i]] = (u >> i) & 1 ? Val3::One : Val3::Zero;
+        engine.eval(vals);
+        std::uint64_t next = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            if (vals[nl.fanins(seq[i])[0]] == Val3::One) next |= 1ULL << i;
+        }
+        return next;
+    };
+
+    // Valid states = the greatest fixpoint of the image operator: states
+    // that keep appearing arbitrarily many steps after an arbitrary
+    // power-up. S_{t+1} = Image(S_t) is monotonically shrinking from
+    // S_0 = all states.
+    std::vector<bool> current(n_states, true);
+    for (;;) {
+        std::vector<bool> next(n_states, false);
+        for (std::uint64_t s = 0; s < n_states; ++s) {
+            if (!current[s]) continue;
+            for (std::uint64_t u = 0; u < n_inputs; ++u) next[step(s, u)] = true;
+        }
+        if (next == current) break;
+        // Image is monotone and S_1 is contained in S_0, so the sequence
+        // decreases strictly until the fixpoint: termination is guaranteed.
+        current = std::move(next);
+    }
+    std::uint64_t valid = 0;
+    for (std::uint64_t s = 0; s < n_states; ++s) valid += current[s];
+    return static_cast<double>(valid) / static_cast<double>(n_states);
+}
+
+}  // namespace seqlearn::core

@@ -1,0 +1,62 @@
+#pragma once
+// Invalid-state relations (paper Section 3.1).
+//
+// An FF-FF relation a=va => b=vb states that no reachable steady state has
+// a=va together with b=!vb; the pair denotes the invalid-state cube
+// (..., a=va, ..., b=!vb, ...). This module compiles the FF-FF subset of an
+// implication database into a fast partial-state checker for the ATPG, and
+// counts the invalid states implied (exactly, for small circuits).
+
+#include "core/impl_db.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace seqlearn::core {
+
+/// Compiled checker over a fixed FF ordering (Netlist::seq_elements order).
+class InvalidStateChecker {
+public:
+    /// Compile the FF-FF relations of `db` for `nl`.
+    InvalidStateChecker(const netlist::Netlist& nl, const ImplicationDB& db);
+
+    /// Number of compiled FF-FF relations.
+    std::size_t size() const noexcept { return rules_.size(); }
+
+    /// True when the partial state (indexed like Netlist::seq_elements, X =
+    /// unassigned) violates some relation, i.e. lies inside a known invalid
+    /// cube. Only relations with frame tag <= `history` are applied
+    /// (`history` = number of predecessor frames the state provably has;
+    /// pass UINT32_MAX to apply everything).
+    bool violates(std::span<const Val3> state, std::uint32_t history = UINT32_MAX) const;
+
+    /// Exact number of invalid states implied by the relations, by explicit
+    /// enumeration over 2^n_ff states. Throws std::invalid_argument when the
+    /// circuit has more than `max_ffs` flip-flops.
+    std::uint64_t count_invalid_states(std::size_t max_ffs = 24) const;
+
+    std::size_t num_ffs() const noexcept { return num_ffs_; }
+
+private:
+    struct Rule {
+        std::uint32_t ff_a;
+        Val3 va;
+        std::uint32_t ff_b;
+        Val3 vb_forbidden;  // a=va && b=vb_forbidden is invalid
+        std::uint32_t frame;
+    };
+    std::vector<Rule> rules_;
+    std::size_t num_ffs_ = 0;
+};
+
+/// Density of encoding (paper Section 2 reference [9]): reachable states /
+/// total states, computed by exhaustive BFS from the all-states start set
+/// (every state is a legal power-up state, so "reachable" means reachable
+/// from *some* state after stabilization — here: states with a predecessor,
+/// iterated to a fixpoint, i.e. states lying on some infinite-history
+/// trajectory). Only feasible for small circuits; used by tests, examples,
+/// and the retiming study.
+double density_of_encoding(const netlist::Netlist& nl, std::size_t max_ffs = 20);
+
+}  // namespace seqlearn::core

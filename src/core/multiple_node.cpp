@@ -1,0 +1,93 @@
+#include "core/multiple_node.hpp"
+
+#include <algorithm>
+
+namespace seqlearn::core {
+
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+bool is_constant(const Netlist& nl, GateId g) {
+    const GateType t = nl.type(g);
+    return t == GateType::Const0 || t == GateType::Const1;
+}
+
+}  // namespace
+
+MultipleNodeOutcome multiple_node_learning(const Netlist& nl, sim::FrameSimulator& sim,
+                                           const StemRecords& records,
+                                           const MultipleNodeConfig& cfg, TieSet& ties,
+                                           ImplicationDB& db) {
+    MultipleNodeOutcome out;
+    std::vector<sim::Injection> inj;
+
+    for (const Literal target : records.targets(cfg.min_records)) {
+        if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets) break;
+        if (ties.is_tied(target.gate) || is_constant(nl, target.gate)) continue;
+        const std::vector<StemRecord>& recs = records.records_for(target);
+
+        std::uint32_t max_offset = 0;
+        for (const StemRecord& r : recs)
+            if (r.offset < cfg.max_frames) max_offset = std::max(max_offset, r.offset);
+        const std::uint32_t T = max_offset;
+
+        // Contrapositive injections: target=!v at T, stems=!sv at T-offset.
+        inj.clear();
+        const Literal premise = negate(target);
+        inj.push_back({T, premise.gate, premise.value});
+        bool contradictory = false;
+        for (const StemRecord& r : recs) {
+            if (r.offset > T) continue;
+            // Tied stems are not skipped: if a record contraposes against
+            // the tied value, the simulator's tie seeding produces the
+            // conflict that proves the target tie.
+            const Literal s = negate(r.stem);
+            const std::uint32_t frame = T - r.offset;
+            bool duplicate = false;
+            for (const sim::Injection& x : inj) {
+                if (x.frame == frame && x.gate == s.gate) {
+                    if (x.value != s.value) contradictory = true;
+                    duplicate = true;
+                    break;
+                }
+            }
+            if (!duplicate) inj.push_back({frame, s.gate, s.value});
+        }
+        ++out.targets_processed;
+
+        if (contradictory) {
+            // Two records contrapose to opposite values on the same stem at
+            // the same frame: the premise n=!v is impossible outright.
+            ties.set(target.gate, target.value, T);
+            ++out.ties_found;
+            ++out.contradiction_ties;
+            continue;
+        }
+
+        sim::FrameSimOptions opt;
+        opt.max_frames = T + 1;
+        opt.stop_on_state_repeat = false;  // the window is already exact
+        const sim::FrameSimResult res = sim.run(inj, opt);
+
+        if (res.conflict) {
+            ties.set(target.gate, target.value, T);
+            ++out.ties_found;
+            continue;
+        }
+
+        const bool premise_seq = netlist::is_sequential(nl.type(premise.gate));
+        for (const sim::ImpliedValue& iv : res.implied) {
+            if (iv.frame != T) continue;
+            if (iv.gate == premise.gate) continue;
+            if (is_constant(nl, iv.gate) || ties.is_tied(iv.gate)) continue;
+            if (!premise_seq && !netlist::is_sequential(nl.type(iv.gate))) continue;
+            if (db.add(premise, {iv.gate, iv.value}, T)) ++out.relations_added;
+        }
+    }
+    return out;
+}
+
+}  // namespace seqlearn::core

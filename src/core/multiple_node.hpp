@@ -1,0 +1,45 @@
+#pragma once
+// Multiple-node learning (paper Section 3.1).
+//
+// For a target (node n, value v) with stem records {(s_i, sv_i, t_i)}, the
+// assumption n=!v at frame T (T = max t_i) implies s_i=!sv_i at frame T-t_i
+// for every record, plus n=!v itself at frame T. Injecting all of these and
+// forward-simulating extracts relations single-node learning misses; a
+// conflict during the run proves n is tied to v from frame T on.
+
+#include "core/impl_db.hpp"
+#include "core/stem_records.hpp"
+#include "core/tie.hpp"
+#include "sim/frame_sim.hpp"
+
+namespace seqlearn::core {
+
+struct MultipleNodeConfig {
+    /// Only process targets with at least this many records (2 = the
+    /// paper's "two or more stems / occurrences" criterion).
+    std::size_t min_records = 2;
+    /// Upper bound on the target frame T (records with larger offsets are
+    /// dropped from the injection set).
+    std::uint32_t max_frames = 50;
+    /// Stop after this many targets (0 = unlimited); a safety valve for
+    /// enormous circuits.
+    std::size_t max_targets = 0;
+};
+
+struct MultipleNodeOutcome {
+    std::size_t targets_processed = 0;
+    std::size_t relations_added = 0;
+    std::size_t ties_found = 0;
+    /// Ties proven by an outright contradiction among the injections.
+    std::size_t contradiction_ties = 0;
+};
+
+/// Run multiple-node learning over every record key. New relations land in
+/// `db`, ties in `ties` (visible to later targets through the simulator).
+MultipleNodeOutcome multiple_node_learning(const netlist::Netlist& nl,
+                                           sim::FrameSimulator& sim,
+                                           const StemRecords& records,
+                                           const MultipleNodeConfig& cfg, TieSet& ties,
+                                           ImplicationDB& db);
+
+}  // namespace seqlearn::core

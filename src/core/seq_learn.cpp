@@ -1,0 +1,69 @@
+#include "core/seq_learn.hpp"
+
+#include "netlist/clock_class.hpp"
+#include "util/timer.hpp"
+
+namespace seqlearn::core {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+LearnResult learn(const Netlist& nl, const LearnConfig& cfg) {
+    const util::Timer timer;
+    LearnResult result(nl.size());
+
+    if (cfg.use_equivalences) {
+        result.equivalences = find_equivalences(nl, cfg.equiv);
+        result.stats.equiv_classes = result.equivalences.num_classes;
+    }
+
+    const std::vector<GateId> stems = nl.stems();
+    result.stats.stems = stems.size();
+
+    // One learning pass per clock class; a single-domain circuit gets one
+    // pass with everything open.
+    std::vector<netlist::ClockClass> classes;
+    if (cfg.respect_clock_classes) {
+        classes = netlist::clock_classes(nl);
+    }
+    if (classes.empty()) {
+        netlist::ClockClass all;
+        all.members.assign(nl.seq_elements().begin(), nl.seq_elements().end());
+        classes.push_back(std::move(all));
+    }
+
+    for (const netlist::ClockClass& cls : classes) {
+        sim::FrameSimulator fsim(nl, sim::SeqGating::for_class(nl, cls.members));
+        if (cfg.use_equivalences) fsim.set_equivalences(&result.equivalences.map);
+        fsim.set_ties(&result.ties.dense(), &result.ties.dense_cycles());
+
+        StemRecords records(cfg.record_cap);
+        const SingleNodeOutcome single = single_node_learning(
+            nl, fsim, stems, cfg.max_frames, result.ties, result.db, records);
+        result.stats.stems_processed += single.stems_processed;
+
+        if (cfg.multiple_node) {
+            MultipleNodeConfig mcfg = cfg.multi;
+            mcfg.max_frames = cfg.max_frames;
+            const MultipleNodeOutcome multi = multiple_node_learning(
+                nl, fsim, records, mcfg, result.ties, result.db);
+            result.stats.multi_targets += multi.targets_processed;
+            result.stats.multi_relations += multi.relations_added;
+            result.stats.multi_ties += multi.ties_found;
+        }
+    }
+
+    const ImplicationDB::Counts seq_counts = result.db.counts(nl, /*min_frame=*/1);
+    const ImplicationDB::Counts all_counts = result.db.counts(nl, /*min_frame=*/0);
+    result.stats.ff_ff_relations = seq_counts.ff_ff;
+    result.stats.gate_ff_relations = seq_counts.gate_ff;
+    result.stats.comb_relations =
+        (all_counts.ff_ff + all_counts.gate_ff + all_counts.gate_gate) -
+        (seq_counts.ff_ff + seq_counts.gate_ff + seq_counts.gate_gate);
+    result.stats.ties_combinational = result.ties.count_combinational();
+    result.stats.ties_sequential = result.ties.count_sequential();
+    result.stats.cpu_seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace seqlearn::core

@@ -1,0 +1,75 @@
+#pragma once
+// The sequential learner — the paper's top-level contribution.
+//
+// Pipeline (per clock class, Section 3.3.2):
+//   1. identify combinational gate equivalences (parallel patterns + proof);
+//   2. single-node learning over every fanout stem (inject 0/1, simulate
+//      forward up to max_frames, extract same-frame relations by the
+//      contrapositive law, detect ties, collect stem records);
+//   3. multiple-node learning over the recorded (node, value) targets,
+//      exploiting ties and equivalences learned so far.
+// Results: an implication database (FF-FF relations double as invalid-state
+// relations), a tie-gate set with untestable-fault derivation, equivalence
+// links, and the statistics Table 3 reports.
+
+#include "core/equivalence.hpp"
+#include "core/impl_db.hpp"
+#include "core/multiple_node.hpp"
+#include "core/single_node.hpp"
+#include "core/tie.hpp"
+
+#include <memory>
+
+namespace seqlearn::core {
+
+struct LearnConfig {
+    /// Forward-simulation depth (the paper's experiments use 50).
+    std::uint32_t max_frames = 50;
+    /// Stop a stem simulation when the sequential state repeats.
+    bool stop_on_state_repeat = true;
+    /// Run the multiple-node pass.
+    bool multiple_node = true;
+    /// Identify and exploit combinational gate equivalences.
+    bool use_equivalences = true;
+    /// Partition sequential elements into clock classes and learn per class
+    /// (required for multi-domain circuits; a no-op cost-wise for single-
+    /// domain ones).
+    bool respect_clock_classes = true;
+    /// Per-(node,value) cap on stored stem records (0 = unlimited).
+    std::size_t record_cap = 64;
+    /// Multiple-node pass tuning.
+    MultipleNodeConfig multi;
+    /// Equivalence-finder tuning.
+    EquivOptions equiv;
+};
+
+struct LearnStats {
+    std::size_t stems = 0;
+    std::size_t stems_processed = 0;
+    /// Sequential relations (frame >= 1), the paper's Table 3 metric.
+    std::size_t ff_ff_relations = 0;
+    std::size_t gate_ff_relations = 0;
+    /// Relations learned at frame 0 (combinational by-products).
+    std::size_t comb_relations = 0;
+    std::size_t ties_combinational = 0;
+    std::size_t ties_sequential = 0;
+    std::size_t equiv_classes = 0;
+    std::size_t multi_targets = 0;
+    std::size_t multi_relations = 0;
+    std::size_t multi_ties = 0;
+    double cpu_seconds = 0.0;
+};
+
+struct LearnResult {
+    ImplicationDB db;
+    TieSet ties;
+    EquivResult equivalences;
+    LearnStats stats;
+
+    LearnResult(std::size_t num_gates) : db(num_gates), ties(num_gates) {}
+};
+
+/// Run the full learning pipeline on `nl`.
+LearnResult learn(const netlist::Netlist& nl, const LearnConfig& cfg = {});
+
+}  // namespace seqlearn::core

@@ -1,0 +1,122 @@
+#include "core/single_node.hpp"
+
+#include <algorithm>
+
+namespace seqlearn::core {
+
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+bool is_constant(const Netlist& nl, GateId g) {
+    const GateType t = nl.type(g);
+    return t == GateType::Const0 || t == GateType::Const1;
+}
+
+// Group implied values by frame: frame -> list of literals.
+std::vector<std::vector<Literal>> by_frame(const sim::FrameSimResult& res,
+                                           std::uint32_t max_frames) {
+    std::vector<std::vector<Literal>> out(std::min(res.frames_run, max_frames));
+    for (const sim::ImpliedValue& iv : res.implied) {
+        if (iv.frame < out.size()) out[iv.frame].push_back({iv.gate, iv.value});
+    }
+    return out;
+}
+
+}  // namespace
+
+SingleNodeOutcome single_node_learning(const Netlist& nl, sim::FrameSimulator& sim,
+                                       std::span<const GateId> stems,
+                                       std::uint32_t max_frames, TieSet& ties,
+                                       ImplicationDB& db, StemRecords& records) {
+    SingleNodeOutcome out;
+    sim::FrameSimOptions opt;
+    opt.max_frames = max_frames;
+
+    // Scratch: value of each gate in the "inject 1" run at the frame being
+    // paired (X = absent), reset via touch list between frames.
+    std::vector<Val3> other(nl.size(), Val3::X);
+    std::vector<GateId> other_touched;
+
+    for (const GateId stem : stems) {
+        if (ties.is_tied(stem) || is_constant(nl, stem)) continue;
+        ++out.stems_processed;
+
+        sim::FrameSimResult res[2];
+        bool conflicted = false;
+        for (const Val3 v : {Val3::Zero, Val3::One}) {
+            const std::vector<sim::Injection> inj{{0, stem, v}};
+            auto& r = res[v == Val3::One ? 1 : 0];
+            r = sim.run(inj, opt);
+            if (r.conflict) {
+                // Injecting v contradicted established facts: the stem can
+                // never be v, i.e. it is tied to !v. The refuted premise sat
+                // at an arbitrary-state frame, so the tie holds from frame 0.
+                ties.set(stem, logic::v3_not(v), 0);
+                ++out.ties_found;
+                ++out.stem_ties;
+                conflicted = true;
+                break;
+            }
+        }
+        if (conflicted) continue;
+
+        // Observations feed the multiple-node pass.
+        for (int side = 0; side < 2; ++side) {
+            const Literal stem_lit{stem, side == 1 ? Val3::One : Val3::Zero};
+            for (const sim::ImpliedValue& iv : res[side].implied) {
+                if (is_constant(nl, iv.gate) || ties.is_tied(iv.gate)) continue;
+                records.add({iv.gate, iv.value}, stem_lit, iv.frame);
+            }
+        }
+
+        const auto f0 = by_frame(res[0], max_frames);
+        const auto f1 = by_frame(res[1], max_frames);
+        const std::size_t frames = std::min(f0.size(), f1.size());
+        std::vector<Literal> seq1;
+        for (std::size_t t = 0; t < frames; ++t) {
+            // Index the inject-1 run's frame-t values; collect its FF subset.
+            for (const GateId g : other_touched) other[g] = Val3::X;
+            other_touched.clear();
+            seq1.clear();
+            for (const Literal& b : f1[t]) {
+                if (is_constant(nl, b.gate) || ties.is_tied(b.gate)) continue;
+                other[b.gate] = b.value;
+                other_touched.push_back(b.gate);
+                if (netlist::is_sequential(nl.type(b.gate))) seq1.push_back(b);
+            }
+
+            for (const Literal& a : f0[t]) {
+                if (is_constant(nl, a.gate) || ties.is_tied(a.gate)) continue;
+                // Tie check: both stem values force the same value here.
+                if (other[a.gate] == a.value) {
+                    ties.set(a.gate, a.value, static_cast<std::uint32_t>(t));
+                    ++out.ties_found;
+                    continue;
+                }
+                const bool a_seq = netlist::is_sequential(nl.type(a.gate));
+                // s=0 => a@t and s=1 => b@t give !a => b (same frame).
+                // Keep relations touching at least one sequential element.
+                for (const Literal& b : seq1) {
+                    if (b.gate == a.gate || ties.is_tied(b.gate)) continue;
+                    if (db.add(negate(a), b, static_cast<std::uint32_t>(t)))
+                        ++out.relations_added;
+                }
+                if (a_seq) {
+                    for (const Literal& b : f1[t]) {
+                        if (b.gate == a.gate) continue;
+                        if (netlist::is_sequential(nl.type(b.gate))) continue;  // done above
+                        if (is_constant(nl, b.gate) || ties.is_tied(b.gate)) continue;
+                        if (db.add(negate(a), b, static_cast<std::uint32_t>(t)))
+                            ++out.relations_added;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace seqlearn::core

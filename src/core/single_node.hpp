@@ -1,0 +1,42 @@
+#pragma once
+// Single-node learning (paper Section 3.1).
+//
+// For every fanout stem, inject 0 and 1 separately and forward-simulate
+// across frames. By the contrapositive law, `s=0 => n1=v1@t` together with
+// `s=1 => n2=v2@t` yields the same-frame relation `n1=!v1 => n2=v2` (at any
+// frame with >= t predecessors). A node implied to the same value at the
+// same frame by both stem values is a tie. All observations are also stored
+// as stem records for the multiple-node pass.
+
+#include "core/impl_db.hpp"
+#include "core/stem_records.hpp"
+#include "core/tie.hpp"
+#include "sim/frame_sim.hpp"
+
+#include <span>
+
+namespace seqlearn::core {
+
+struct SingleNodeOutcome {
+    std::size_t stems_processed = 0;
+    std::size_t relations_added = 0;
+    std::size_t ties_found = 0;
+    /// Stems proven tied because injecting one value conflicted outright.
+    std::size_t stem_ties = 0;
+};
+
+/// Run single-node learning over `stems` using `sim` (whose gating,
+/// equivalences, and ties configure the pass). New relations land in `db`,
+/// new ties in `ties` (and are available to later stems via the simulator's
+/// tie vector, which aliases `ties`), and observations in `records`.
+///
+/// Relations are stored when at least one side is a sequential element
+/// (gate-gate relations follow from these and are skipped, as in the
+/// paper). Constants and already-tied gates never form relations.
+SingleNodeOutcome single_node_learning(const netlist::Netlist& nl,
+                                       sim::FrameSimulator& sim,
+                                       std::span<const netlist::GateId> stems,
+                                       std::uint32_t max_frames, TieSet& ties,
+                                       ImplicationDB& db, StemRecords& records);
+
+}  // namespace seqlearn::core

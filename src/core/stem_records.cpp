@@ -1,0 +1,33 @@
+#include "core/stem_records.hpp"
+
+#include <algorithm>
+
+namespace seqlearn::core {
+
+const std::vector<StemRecord> StemRecords::kEmpty{};
+
+void StemRecords::add(Literal node, Literal stem, std::uint32_t offset) {
+    auto& vec = by_key_[lit_key(node)];
+    if (cap_ != 0 && vec.size() >= cap_) return;
+    const StemRecord rec{stem, offset};
+    if (std::find(vec.begin(), vec.end(), rec) != vec.end()) return;
+    vec.push_back(rec);
+    ++total_;
+}
+
+const std::vector<StemRecord>& StemRecords::records_for(Literal node) const {
+    const auto it = by_key_.find(lit_key(node));
+    return it == by_key_.end() ? kEmpty : it->second;
+}
+
+std::vector<Literal> StemRecords::targets(std::size_t min_records) const {
+    std::vector<Literal> out;
+    out.reserve(by_key_.size());
+    for (const auto& [key, recs] : by_key_) {
+        if (recs.size() >= min_records) out.push_back(lit_from_key(key));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace seqlearn::core

@@ -1,0 +1,54 @@
+#pragma once
+// Stem records for multiple-node learning (paper Section 3.1).
+//
+// During single-node learning, every observation "stem s held value sv at
+// frame 0 and node n became v at frame t" is recorded against the key
+// (n, v). Multiple-node learning later inverts a key: the assumption n=!v at
+// frame T (T = the largest recorded offset) implies the contrapositive of
+// every record, i.e. s=!sv at frame T-t, all injectable simultaneously.
+
+#include "core/implication.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace seqlearn::core {
+
+/// One observation: `stem` (with its injected value) implied the keyed node
+/// value `offset` frames later.
+struct StemRecord {
+    Literal stem;
+    std::uint32_t offset = 0;
+
+    friend bool operator==(const StemRecord&, const StemRecord&) = default;
+};
+
+/// Records grouped by implied (node, value), with a per-key cap to bound
+/// memory on large circuits (dropping records is sound: multiple-node
+/// learning simply injects fewer simultaneous assignments).
+class StemRecords {
+public:
+    /// `cap` = maximum records kept per (node, value) key; 0 = unlimited.
+    explicit StemRecords(std::size_t cap) : cap_(cap) {}
+
+    /// Record stem=sv@0 => node=v@offset. Self-observations of the stem at
+    /// offset 0 (the injection itself) are kept too — they are valid records.
+    void add(Literal node, Literal stem, std::uint32_t offset);
+
+    /// Records for (node, value); empty when none survive the cap.
+    const std::vector<StemRecord>& records_for(Literal node) const;
+
+    /// Keys with at least `min_records` records, in deterministic order.
+    std::vector<Literal> targets(std::size_t min_records) const;
+
+    std::size_t total_records() const noexcept { return total_; }
+
+private:
+    std::size_t cap_;
+    std::size_t total_ = 0;
+    std::unordered_map<std::uint64_t, std::vector<StemRecord>> by_key_;
+    static const std::vector<StemRecord> kEmpty;
+};
+
+}  // namespace seqlearn::core

@@ -1,0 +1,94 @@
+#include "fault/collapse.hpp"
+
+#include "netlist/gate_type.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace seqlearn::fault {
+
+namespace {
+
+using logic::GateOp;
+using netlist::GateType;
+
+// Union-find over fault indices.
+class Dsu {
+public:
+    explicit Dsu(std::size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+    std::size_t find(std::size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+    void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+private:
+    std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+const Fault& CollapsedFaults::rep_of(const Fault& f) const {
+    const auto it = class_of_.find(f);
+    if (it == class_of_.end()) throw std::invalid_argument("rep_of: fault not in universe");
+    return reps_[it->second];
+}
+
+CollapsedFaults collapse(const Netlist& nl) {
+    const std::vector<Fault> universe = fault_universe(nl);
+    std::unordered_map<Fault, std::size_t, FaultHash> index;
+    index.reserve(universe.size() * 2);
+    for (std::size_t i = 0; i < universe.size(); ++i) index.emplace(universe[i], i);
+
+    // A pin on a fanout-free connection is the same line as its driver's
+    // stem; such pins carry no universe fault of their own.
+    auto line_fault = [&](netlist::GateId gate, std::size_t pin, Val3 v) -> std::size_t {
+        const netlist::GateId driver = nl.fanins(gate)[pin];
+        const Fault as_pin{gate, static_cast<std::int32_t>(pin), v};
+        const auto it = index.find(as_pin);
+        if (it != index.end()) return it->second;
+        return index.at(Fault{driver, kOutputPin, v});
+    };
+
+    Dsu dsu(universe.size());
+    for (netlist::GateId id = 0; id < nl.size(); ++id) {
+        const GateType t = nl.type(id);
+        if (!netlist::is_combinational(t) || t == GateType::Const0 || t == GateType::Const1)
+            continue;
+        const GateOp op = netlist::to_op(t);
+        const Val3 ctrl = logic::controlling_value(op);
+        const bool inv = logic::output_inverted(op);
+        const std::size_t n_pins = nl.fanins(id).size();
+        if (op == GateOp::Buf || op == GateOp::Not) {
+            for (const Val3 v : {Val3::Zero, Val3::One}) {
+                const Val3 out_v = inv ? logic::v3_not(v) : v;
+                dsu.unite(line_fault(id, 0, v), index.at(Fault{id, kOutputPin, out_v}));
+            }
+            continue;
+        }
+        if (ctrl == Val3::X) continue;  // XOR/XNOR: no structural equivalences
+        const Val3 out_v = inv ? logic::v3_not(ctrl) : ctrl;
+        const std::size_t out_idx = index.at(Fault{id, kOutputPin, out_v});
+        for (std::size_t pin = 0; pin < n_pins; ++pin) {
+            dsu.unite(line_fault(id, pin, ctrl), out_idx);
+        }
+    }
+
+    CollapsedFaults out;
+    out.universe_size_ = universe.size();
+    std::unordered_map<std::size_t, std::size_t> root_to_class;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+        const std::size_t root = dsu.find(i);
+        auto [it, inserted] = root_to_class.emplace(root, out.reps_.size());
+        if (inserted) out.reps_.push_back(universe[root]);
+        out.class_of_.emplace(universe[i], it->second);
+    }
+    return out;
+}
+
+}  // namespace seqlearn::fault

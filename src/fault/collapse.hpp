@@ -1,0 +1,56 @@
+#pragma once
+// Structural fault-equivalence collapsing.
+//
+// Classic rules: a controlling-value fault on a gate input is equivalent to
+// the corresponding output fault (AND: in s-a-0 == out s-a-0; NAND: in s-a-0
+// == out s-a-1; OR: in s-a-1 == out s-a-1; NOR: in s-a-1 == out s-a-0), and
+// NOT/BUF input faults are equivalent to the matching output faults. Pins on
+// fanout-free connections are the same line as their driver's stem. Only
+// equivalence (not dominance) collapsing is performed, so every class member
+// is detected by exactly the tests that detect its representative.
+
+#include "fault/fault.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace seqlearn::fault {
+
+struct FaultHash {
+    std::size_t operator()(const Fault& f) const noexcept {
+        std::uint64_t k = (static_cast<std::uint64_t>(f.gate) << 24) ^
+                          (static_cast<std::uint64_t>(f.pin + 2) << 2) ^
+                          static_cast<std::uint64_t>(f.stuck);
+        k *= 0x9e3779b97f4a7c15ULL;
+        return static_cast<std::size_t>(k ^ (k >> 32));
+    }
+};
+
+/// Result of collapsing a netlist's fault universe.
+class CollapsedFaults {
+public:
+    /// One representative per equivalence class, in deterministic order.
+    const std::vector<Fault>& representatives() const noexcept { return reps_; }
+
+    /// Representative of the class containing `f`.
+    /// Precondition: `f` belongs to the universe the collapse was built from.
+    const Fault& rep_of(const Fault& f) const;
+
+    /// Number of classes (== representatives().size()).
+    std::size_t size() const noexcept { return reps_.size(); }
+
+    /// Total faults in the uncollapsed universe.
+    std::size_t universe_size() const noexcept { return universe_size_; }
+
+private:
+    friend CollapsedFaults collapse(const Netlist& nl);
+    std::vector<Fault> reps_;
+    std::unordered_map<Fault, std::size_t, FaultHash> class_of_;
+    std::size_t universe_size_ = 0;
+};
+
+/// Collapse the full fault universe of `nl`.
+CollapsedFaults collapse(const Netlist& nl);
+
+}  // namespace seqlearn::fault

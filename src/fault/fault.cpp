@@ -1,0 +1,73 @@
+#include "fault/fault.hpp"
+
+#include "util/strings.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::fault {
+
+std::string to_string(const Netlist& nl, const Fault& f) {
+    const char* sv = f.stuck == Val3::One ? "1" : "0";
+    if (f.pin == kOutputPin) return util::format("%s s-a-%s", nl.name_of(f.gate).c_str(), sv);
+    return util::format("%s.in%d s-a-%s", nl.name_of(f.gate).c_str(), f.pin, sv);
+}
+
+std::vector<Fault> fault_universe(const Netlist& nl) {
+    std::vector<Fault> out;
+    for (GateId id = 0; id < nl.size(); ++id) {
+        out.push_back({id, kOutputPin, Val3::Zero});
+        out.push_back({id, kOutputPin, Val3::One});
+        const auto fanins = nl.fanins(id);
+        for (std::size_t pin = 0; pin < fanins.size(); ++pin) {
+            if (nl.fanouts(fanins[pin]).size() > 1) {
+                out.push_back({id, static_cast<std::int32_t>(pin), Val3::Zero});
+                out.push_back({id, static_cast<std::int32_t>(pin), Val3::One});
+            }
+        }
+    }
+    return out;
+}
+
+Netlist apply_fault_copy(const Netlist& nl, const Fault& f) {
+    if (f.stuck == Val3::X) throw std::invalid_argument("apply_fault_copy: X stuck value");
+    // Rebuild the netlist gate by gate (ids are preserved because gates are
+    // re-added in id order), appending one constant source for the fault.
+    Netlist out;
+    out.set_name(nl.name() + "__faulty");
+    for (GateId id = 0; id < nl.size(); ++id) {
+        const netlist::GateType t = nl.type(id);
+        if (netlist::is_sequential(t)) {
+            out.add_sequential_deferred(t, nl.name_of(id));
+        } else {
+            std::vector<GateId> fanins(nl.fanins(id).begin(), nl.fanins(id).end());
+            out.add_gate(t, nl.name_of(id), fanins);
+        }
+    }
+    for (const GateId id : nl.seq_elements()) {
+        std::vector<GateId> fanins(nl.fanins(id).begin(), nl.fanins(id).end());
+        out.attach_seq_fanins(id, fanins);
+        out.seq_attrs(id) = nl.seq_attrs(id);
+    }
+    const GateId konst = out.add_gate(
+        f.stuck == Val3::One ? netlist::GateType::Const1 : netlist::GateType::Const0,
+        "__fault_const", {});
+
+    if (f.pin == kOutputPin) {
+        // Rewire every consumer pin fed by f.gate to the constant.
+        for (GateId id = 0; id < nl.size(); ++id) {
+            const auto fanins = nl.fanins(id);
+            for (std::size_t pin = 0; pin < fanins.size(); ++pin) {
+                if (fanins[pin] == f.gate) out.replace_fanin(id, pin, konst);
+            }
+        }
+        // If the faulty line is a primary output, observe the constant.
+        for (const GateId o : nl.outputs()) out.mark_output(o == f.gate ? konst : o);
+    } else {
+        out.replace_fanin(f.gate, static_cast<std::size_t>(f.pin), konst);
+        for (const GateId o : nl.outputs()) out.mark_output(o);
+    }
+    out.validate();
+    return out;
+}
+
+}  // namespace seqlearn::fault

@@ -1,0 +1,174 @@
+#include "fault/fault_sim.hpp"
+
+#include "netlist/structure.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::fault {
+
+using logic::Pattern;
+using logic::pat_get;
+using logic::pat_set;
+using netlist::GateId;
+using netlist::GateType;
+using netlist::is_sequential;
+
+FaultSimulator::FaultSimulator(const Netlist& nl)
+    : nl_(&nl), lv_(netlist::levelize(nl)), out_forces_(nl.size()), pin_forces_(nl.size()) {}
+
+std::vector<bool> FaultSimulator::run(const sim::InputSequence& seq,
+                                      std::span<const Fault> faults) {
+    if (faults.size() > kFaultsPerPass)
+        throw std::invalid_argument("FaultSimulator::run: too many faults for one pass");
+    const auto inputs = nl_->inputs();
+    const auto seq_elems = nl_->seq_elements();
+
+    for (const GateId g : forced_gates_) {
+        out_forces_[g].clear();
+        pin_forces_[g].clear();
+    }
+    forced_gates_.clear();
+    for (std::size_t j = 0; j < faults.size(); ++j) {
+        const Fault& f = faults[j];
+        const int lane = static_cast<int>(j) + 1;
+        if (f.pin == kOutputPin) {
+            if (out_forces_[f.gate].empty() && pin_forces_[f.gate].empty())
+                forced_gates_.push_back(f.gate);
+            out_forces_[f.gate].push_back({lane, f.stuck});
+        } else {
+            if (out_forces_[f.gate].empty() && pin_forces_[f.gate].empty())
+                forced_gates_.push_back(f.gate);
+            pin_forces_[f.gate].push_back({static_cast<std::size_t>(f.pin), lane, f.stuck});
+        }
+    }
+
+    // Tie lanes: lane 0 always; faulty lanes only where the tied gate is
+    // outside that fault's cone (there the machines agree line-for-line).
+    tie_lanes_.clear();
+    if (tie_values_ != nullptr) {
+        std::vector<std::uint64_t> outside_cone(nl_->size(), ~0ULL);
+        for (std::size_t j = 0; j < faults.size(); ++j) {
+            const std::uint64_t lane_bit = 1ULL << (j + 1);
+            const GateId root = faults[j].gate;
+            outside_cone[root] &= ~lane_bit;
+            for (const GateId g : netlist::fanout_cone(*nl_, root, /*through_seq=*/true)) {
+                outside_cone[g] &= ~lane_bit;
+            }
+        }
+        const std::uint64_t used_lanes = faults.size() == 63
+                                             ? ~0ULL
+                                             : ((1ULL << (faults.size() + 1)) - 1);
+        for (GateId g = 0; g < nl_->size(); ++g) {
+            const Val3 v = (*tie_values_)[g];
+            if (v == Val3::X) continue;
+            const std::uint64_t lanes = (outside_cone[g] | 1ULL) & used_lanes;
+            tie_lanes_.push_back({g, v == Val3::One ? lanes : 0, v == Val3::Zero ? lanes : 0,
+                                  tie_cycles_ ? (*tie_cycles_)[g] : 0});
+        }
+    }
+    std::vector<std::int32_t> tie_index(tie_lanes_.empty() ? 0 : nl_->size(), -1);
+    for (std::size_t i = 0; i < tie_lanes_.size(); ++i)
+        tie_index[tie_lanes_[i].gate] = static_cast<std::int32_t>(i);
+    std::size_t frame_index = 0;
+    auto apply_tie = [&](GateId g, Pattern& p) {
+        if (tie_lanes_.empty() || tie_index[g] < 0) return;
+        const TieLanes& t = tie_lanes_[static_cast<std::size_t>(tie_index[g])];
+        if (frame_index < t.cycle) return;
+        p.ones |= t.ones;
+        p.zeros |= t.zeros;
+    };
+
+    auto force_output = [&](GateId g, Pattern& p) {
+        for (const OutputForce& of : out_forces_[g]) pat_set(p, of.lane, of.stuck);
+    };
+    // The data value gate `g` sees on `pin`, with per-lane pin faults applied.
+    auto pin_value = [&](GateId g, std::size_t pin, const std::vector<Pattern>& pats) {
+        Pattern p = pats[nl_->fanins(g)[pin]];
+        for (const PinForce& pf : pin_forces_[g]) {
+            if (pf.pin == pin) pat_set(p, pf.lane, pf.stuck);
+        }
+        return p;
+    };
+
+    std::vector<Pattern> pats(nl_->size(), logic::kPatAllX);
+    std::vector<Pattern> state(seq_elems.size(), logic::kPatAllX);
+    std::vector<bool> detected(faults.size(), false);
+    std::vector<Pattern> ins;
+
+    for (const sim::InputFrame& frame : seq) {
+        if (frame.size() != inputs.size())
+            throw std::invalid_argument("FaultSimulator::run: bad input frame size");
+        // Seed sources.
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            Pattern p = logic::pat_broadcast(frame[i]);
+            force_output(inputs[i], p);
+            pats[inputs[i]] = p;
+        }
+        for (std::size_t i = 0; i < seq_elems.size(); ++i) {
+            Pattern p = state[i];
+            apply_tie(seq_elems[i], p);
+            force_output(seq_elems[i], p);
+            pats[seq_elems[i]] = p;
+        }
+        // Levelized evaluation with fault forcing.
+        for (const GateId g : lv_.topo_order) {
+            const GateType t = nl_->type(g);
+            if (t == GateType::Input || is_sequential(t)) continue;
+            ins.clear();
+            for (std::size_t pin = 0; pin < nl_->fanins(g).size(); ++pin)
+                ins.push_back(pin_value(g, pin, pats));
+            Pattern p = logic::eval_op(netlist::to_op(t), ins.data(), static_cast<int>(ins.size()));
+            apply_tie(g, p);
+            force_output(g, p);
+            pats[g] = p;
+        }
+        // Detection: a faulty lane differs from the good lane at a PO while
+        // both are binary.
+        for (const GateId o : nl_->outputs()) {
+            const Pattern p = pats[o];
+            const Val3 good = pat_get(p, 0);
+            if (good == Val3::X) continue;
+            const std::uint64_t diff = good == Val3::One ? p.zeros : p.ones;
+            if (diff == 0) continue;
+            for (std::size_t j = 0; j < faults.size(); ++j) {
+                if (diff & (1ULL << (j + 1))) detected[j] = true;
+            }
+        }
+        // Capture next state (pin faults on sequential data pins included).
+        for (std::size_t i = 0; i < seq_elems.size(); ++i) {
+            state[i] = pin_value(seq_elems[i], 0, pats);
+        }
+        ++frame_index;
+    }
+    return detected;
+}
+
+bool FaultSimulator::detects(const sim::InputSequence& seq, const Fault& f) {
+    const std::vector<Fault> one{f};
+    return run(seq, one)[0];
+}
+
+std::size_t FaultSimulator::drop_detected(const sim::InputSequence& seq, FaultList& list) {
+    std::size_t dropped = 0;
+    std::vector<std::size_t> chunk_indices;
+    std::vector<Fault> chunk;
+    const std::vector<std::size_t> todo = list.undetected();
+    for (std::size_t pos = 0; pos < todo.size(); pos += kFaultsPerPass) {
+        chunk_indices.clear();
+        chunk.clear();
+        for (std::size_t k = pos; k < std::min(pos + kFaultsPerPass, todo.size()); ++k) {
+            chunk_indices.push_back(todo[k]);
+            chunk.push_back(list.fault(todo[k]));
+        }
+        const std::vector<bool> det = run(seq, chunk);
+        for (std::size_t k = 0; k < chunk.size(); ++k) {
+            if (det[k]) {
+                list.set_status(chunk_indices[k], FaultStatus::Detected);
+                ++dropped;
+            }
+        }
+    }
+    return dropped;
+}
+
+}  // namespace seqlearn::fault

@@ -1,0 +1,86 @@
+#pragma once
+// Sequential stuck-at fault simulation, 63 faults per pass.
+//
+// Lane 0 of every 64-lane pattern carries the fault-free circuit; lanes
+// 1..63 carry faulty circuits (one permanent fault each). All machines run
+// from the all-X state under 3-valued semantics. A fault is detected when a
+// primary output is binary in both the good and the faulty lane and the two
+// values differ (the conservative definition a tester can rely on).
+
+#include "fault/fault.hpp"
+#include "fault/fault_list.hpp"
+#include "logic/pattern.hpp"
+#include "netlist/levelize.hpp"
+#include "sim/comb_engine.hpp"
+
+#include <span>
+#include <vector>
+
+namespace seqlearn::fault {
+
+/// Maximum faults per simulation pass (lanes 1..63).
+inline constexpr std::size_t kFaultsPerPass = 63;
+
+class FaultSimulator {
+public:
+    explicit FaultSimulator(const Netlist& nl);
+
+    /// Augment simulation with learned tie facts: gate -> tied value (X =
+    /// untied) with per-gate proof cycles (frames before the cycle are not
+    /// seeded; null = all combinational). Ties always apply to the good
+    /// machine (lane 0); a faulty lane receives a tie only when the tied
+    /// gate lies outside that fault's cone, where the faulty machine
+    /// behaves identically. This closes the pessimism gap between the
+    /// learning-aware ATPG and plain 3-valued validation (the paper's
+    /// "pitfalls of necessary assignments" discussion). Vectors must
+    /// outlive the simulator.
+    void set_good_ties(const std::vector<Val3>* values,
+                       const std::vector<std::uint32_t>* cycles) noexcept {
+        tie_values_ = values;
+        tie_cycles_ = cycles;
+    }
+
+    /// Simulate `seq` with up to kFaultsPerPass `faults` injected in
+    /// parallel; returns one flag per fault (true = detected).
+    std::vector<bool> run(const sim::InputSequence& seq, std::span<const Fault> faults);
+
+    /// True when `seq` detects the single fault `f`.
+    bool detects(const sim::InputSequence& seq, const Fault& f);
+
+    /// Fault-simulate `seq` against every Undetected fault of `list`,
+    /// marking newly detected ones Detected. Returns how many were dropped.
+    std::size_t drop_detected(const sim::InputSequence& seq, FaultList& list);
+
+    const Netlist& netlist() const noexcept { return *nl_; }
+
+private:
+    const Netlist* nl_;
+    netlist::Levelization lv_;
+
+    struct OutputForce {
+        int lane;
+        Val3 stuck;
+    };
+    struct PinForce {
+        std::size_t pin;
+        int lane;
+        Val3 stuck;
+    };
+    // Rebuilt per run(): per-gate forcing lists.
+    std::vector<std::vector<OutputForce>> out_forces_;
+    std::vector<std::vector<PinForce>> pin_forces_;
+    std::vector<netlist::GateId> forced_gates_;
+
+    const std::vector<Val3>* tie_values_ = nullptr;
+    const std::vector<std::uint32_t>* tie_cycles_ = nullptr;
+    // Per tied gate: the lanes its tie may be asserted in (rebuilt per run).
+    struct TieLanes {
+        netlist::GateId gate;
+        std::uint64_t ones;
+        std::uint64_t zeros;
+        std::uint32_t cycle;
+    };
+    std::vector<TieLanes> tie_lanes_;
+};
+
+}  // namespace seqlearn::fault

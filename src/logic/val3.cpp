@@ -1,0 +1,70 @@
+#include "logic/val3.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::logic {
+
+Val3 eval_op(GateOp op, std::span<const Val3> ins) noexcept {
+    switch (op) {
+        case GateOp::Const0: return Val3::Zero;
+        case GateOp::Const1: return Val3::One;
+        case GateOp::Buf: return ins.empty() ? Val3::X : ins[0];
+        case GateOp::Not: return ins.empty() ? Val3::X : v3_not(ins[0]);
+        case GateOp::And:
+        case GateOp::Nand: {
+            Val3 acc = Val3::One;
+            for (const Val3 v : ins) acc = v3_and(acc, v);
+            return op == GateOp::Nand ? v3_not(acc) : acc;
+        }
+        case GateOp::Or:
+        case GateOp::Nor: {
+            Val3 acc = Val3::Zero;
+            for (const Val3 v : ins) acc = v3_or(acc, v);
+            return op == GateOp::Nor ? v3_not(acc) : acc;
+        }
+        case GateOp::Xor:
+        case GateOp::Xnor: {
+            Val3 acc = Val3::Zero;
+            for (const Val3 v : ins) acc = v3_xor(acc, v);
+            return op == GateOp::Xnor ? v3_not(acc) : acc;
+        }
+    }
+    return Val3::X;
+}
+
+char to_char(Val3 v) noexcept {
+    switch (v) {
+        case Val3::Zero: return '0';
+        case Val3::One: return '1';
+        case Val3::X: return 'X';
+    }
+    return '?';
+}
+
+Val3 val3_from_char(char c) {
+    switch (c) {
+        case '0': return Val3::Zero;
+        case '1': return Val3::One;
+        case 'x':
+        case 'X': return Val3::X;
+        default: throw std::invalid_argument("val3_from_char: expected 0/1/X");
+    }
+}
+
+std::string to_string(GateOp op) {
+    switch (op) {
+        case GateOp::Const0: return "CONST0";
+        case GateOp::Const1: return "CONST1";
+        case GateOp::Buf: return "BUF";
+        case GateOp::Not: return "NOT";
+        case GateOp::And: return "AND";
+        case GateOp::Nand: return "NAND";
+        case GateOp::Or: return "OR";
+        case GateOp::Nor: return "NOR";
+        case GateOp::Xor: return "XOR";
+        case GateOp::Xnor: return "XNOR";
+    }
+    return "?";
+}
+
+}  // namespace seqlearn::logic

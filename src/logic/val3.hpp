@@ -1,0 +1,116 @@
+#pragma once
+// Three-valued (Kleene) logic and combinational gate operators.
+//
+// The learning technique of the paper runs entirely on 3-valued forward
+// simulation: a node is 0, 1, or X (unknown). X is "no information", so all
+// operators are the standard Kleene extensions: a gate output is binary only
+// when the inputs force it regardless of how the Xs are resolved.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace seqlearn::logic {
+
+/// A three-valued logic value.
+enum class Val3 : std::uint8_t {
+    Zero = 0,
+    One = 1,
+    X = 2,
+};
+
+/// Combinational gate operator. The netlist's richer gate-type enum maps onto
+/// this for evaluation; sequential elements and ports are not operators.
+enum class GateOp : std::uint8_t {
+    Const0,
+    Const1,
+    Buf,
+    Not,
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+};
+
+/// Kleene negation: !0=1, !1=0, !X=X.
+constexpr Val3 v3_not(Val3 a) noexcept {
+    return a == Val3::X ? Val3::X : (a == Val3::Zero ? Val3::One : Val3::Zero);
+}
+
+/// Kleene conjunction: 0 dominates, X otherwise unless both are 1.
+constexpr Val3 v3_and(Val3 a, Val3 b) noexcept {
+    if (a == Val3::Zero || b == Val3::Zero) return Val3::Zero;
+    if (a == Val3::One && b == Val3::One) return Val3::One;
+    return Val3::X;
+}
+
+/// Kleene disjunction: 1 dominates, X otherwise unless both are 0.
+constexpr Val3 v3_or(Val3 a, Val3 b) noexcept {
+    if (a == Val3::One || b == Val3::One) return Val3::One;
+    if (a == Val3::Zero && b == Val3::Zero) return Val3::Zero;
+    return Val3::X;
+}
+
+/// Kleene exclusive-or: binary only when both operands are binary.
+constexpr Val3 v3_xor(Val3 a, Val3 b) noexcept {
+    if (a == Val3::X || b == Val3::X) return Val3::X;
+    return a == b ? Val3::Zero : Val3::One;
+}
+
+/// True when `v` is 0 or 1 (not X).
+constexpr bool is_binary(Val3 v) noexcept { return v != Val3::X; }
+
+/// The opposite binary value. Precondition: is_binary(v).
+constexpr Val3 v3_opposite(Val3 v) noexcept { return v3_not(v); }
+
+/// Evaluate `op` over `ins` under 3-valued semantics.
+/// Const0/Const1 ignore inputs; Buf/Not take the first input.
+Val3 eval_op(GateOp op, std::span<const Val3> ins) noexcept;
+
+/// The controlling value of `op` (the input value that determines the output
+/// by itself), or X when the operator has none (Buf/Not/Xor/Xnor/consts).
+constexpr Val3 controlling_value(GateOp op) noexcept {
+    switch (op) {
+        case GateOp::And:
+        case GateOp::Nand: return Val3::Zero;
+        case GateOp::Or:
+        case GateOp::Nor: return Val3::One;
+        default: return Val3::X;
+    }
+}
+
+/// Output inversion parity of `op`: true for Not/Nand/Nor/Xnor.
+constexpr bool output_inverted(GateOp op) noexcept {
+    switch (op) {
+        case GateOp::Not:
+        case GateOp::Nand:
+        case GateOp::Nor:
+        case GateOp::Xnor: return true;
+        default: return false;
+    }
+}
+
+/// Non-controlled output: the value the gate produces when no input carries
+/// the controlling value and all are binary (e.g. And -> 1, Nor -> 0).
+constexpr Val3 noncontrolled_output(GateOp op) noexcept {
+    switch (op) {
+        case GateOp::And: return Val3::One;
+        case GateOp::Nand: return Val3::Zero;
+        case GateOp::Or: return Val3::Zero;
+        case GateOp::Nor: return Val3::One;
+        default: return Val3::X;
+    }
+}
+
+/// '0', '1', or 'X'.
+char to_char(Val3 v) noexcept;
+
+/// Parse '0'/'1'/'x'/'X'; anything else throws std::invalid_argument.
+Val3 val3_from_char(char c);
+
+/// Human-readable operator name ("AND", "NOR", ...).
+std::string to_string(GateOp op);
+
+}  // namespace seqlearn::logic

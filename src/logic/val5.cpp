@@ -1,0 +1,56 @@
+#include "logic/val5.hpp"
+
+#include <array>
+
+namespace seqlearn::logic {
+
+DVal eval_op(GateOp op, std::span<const DVal> ins) noexcept {
+    // Plane-wise evaluation is exact for the pair algebra: the good plane of
+    // the output depends only on good planes of inputs, and likewise faulty.
+    // Evaluate without materializing per-plane arrays for the common cases.
+    switch (op) {
+        case GateOp::Const0: return kDZero;
+        case GateOp::Const1: return kDOne;
+        case GateOp::Buf: return ins.empty() ? kDX : ins[0];
+        case GateOp::Not: return ins.empty() ? kDX : dval_not(ins[0]);
+        case GateOp::And:
+        case GateOp::Nand: {
+            DVal acc = kDOne;
+            for (const DVal v : ins) {
+                acc.good = v3_and(acc.good, v.good);
+                acc.faulty = v3_and(acc.faulty, v.faulty);
+            }
+            return op == GateOp::Nand ? dval_not(acc) : acc;
+        }
+        case GateOp::Or:
+        case GateOp::Nor: {
+            DVal acc = kDZero;
+            for (const DVal v : ins) {
+                acc.good = v3_or(acc.good, v.good);
+                acc.faulty = v3_or(acc.faulty, v.faulty);
+            }
+            return op == GateOp::Nor ? dval_not(acc) : acc;
+        }
+        case GateOp::Xor:
+        case GateOp::Xnor: {
+            DVal acc = kDZero;
+            for (const DVal v : ins) {
+                acc.good = v3_xor(acc.good, v.good);
+                acc.faulty = v3_xor(acc.faulty, v.faulty);
+            }
+            return op == GateOp::Xnor ? dval_not(acc) : acc;
+        }
+    }
+    return kDX;
+}
+
+std::string to_string(DVal v) {
+    if (v == kDZero) return "0";
+    if (v == kDOne) return "1";
+    if (v == kDX) return "X";
+    if (v == kD) return "D";
+    if (v == kDBar) return "D'";
+    return std::string{to_char(v.good)} + "/" + to_char(v.faulty);
+}
+
+}  // namespace seqlearn::logic

@@ -1,0 +1,56 @@
+#pragma once
+// Composite good/faulty logic for test generation.
+//
+// A DVal carries the value of a line in the fault-free circuit (good plane)
+// and in the faulty circuit (faulty plane), each three-valued. This is
+// Muth's nine-valued algebra; the classic five-valued D-calculus constants
+// (0, 1, X, D, D̄) are the subset with equal-or-fault-effect planes. Using
+// the full pair representation keeps sequential (multi-frame) implications
+// sound: a line may be known in one plane and unknown in the other.
+
+#include "logic/val3.hpp"
+
+#include <string>
+
+namespace seqlearn::logic {
+
+/// Good/faulty value pair for one circuit line.
+struct DVal {
+    Val3 good = Val3::X;
+    Val3 faulty = Val3::X;
+
+    constexpr bool operator==(const DVal&) const noexcept = default;
+};
+
+inline constexpr DVal kDZero{Val3::Zero, Val3::Zero};
+inline constexpr DVal kDOne{Val3::One, Val3::One};
+inline constexpr DVal kDX{Val3::X, Val3::X};
+/// D: good 1, faulty 0.
+inline constexpr DVal kD{Val3::One, Val3::Zero};
+/// D̄: good 0, faulty 1.
+inline constexpr DVal kDBar{Val3::Zero, Val3::One};
+
+/// True when both planes carry binary values.
+constexpr bool fully_known(DVal v) noexcept {
+    return is_binary(v.good) && is_binary(v.faulty);
+}
+
+/// True when the value is a fault effect (planes are binary and differ).
+constexpr bool is_fault_effect(DVal v) noexcept {
+    return fully_known(v) && v.good != v.faulty;
+}
+
+/// True when both planes agree on the same binary value.
+constexpr bool is_binary_equal(DVal v) noexcept {
+    return fully_known(v) && v.good == v.faulty;
+}
+
+constexpr DVal dval_not(DVal a) noexcept { return {v3_not(a.good), v3_not(a.faulty)}; }
+
+/// Evaluate `op` plane-wise over `ins`.
+DVal eval_op(GateOp op, std::span<const DVal> ins) noexcept;
+
+/// "0", "1", "X", "D", "D'", or "g/f" for mixed-knowledge values.
+std::string to_string(DVal v);
+
+}  // namespace seqlearn::logic

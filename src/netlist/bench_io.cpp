@@ -1,0 +1,189 @@
+#include "netlist/bench_io.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/strings.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace seqlearn::netlist {
+
+namespace {
+
+using util::iequals;
+using util::split;
+using util::trim;
+
+struct SeqPragma {
+    std::string name;
+    SeqAttrs attrs;
+};
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+    throw std::runtime_error("bench:" + std::to_string(line_no) + ": " + msg);
+}
+
+SeqPragma parse_seq_pragma(std::string_view rest, std::size_t line_no) {
+    // rest = "NAME key[=value] ..."
+    const auto tokens = split(rest, " \t");
+    if (tokens.empty()) fail(line_no, "#@ seq pragma without element name");
+    SeqPragma p;
+    p.name = std::string(tokens[0]);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string_view tok = tokens[i];
+        const auto eq = tok.find('=');
+        const std::string_view key = eq == std::string_view::npos ? tok : tok.substr(0, eq);
+        const std::string_view val = eq == std::string_view::npos ? "" : tok.substr(eq + 1);
+        if (iequals(key, "clock")) {
+            p.attrs.clock_id = static_cast<std::uint16_t>(std::stoul(std::string(val)));
+        } else if (iequals(key, "phase")) {
+            p.attrs.phase = static_cast<std::uint8_t>(std::stoul(std::string(val)));
+        } else if (iequals(key, "sr")) {
+            if (iequals(val, "none")) p.attrs.set_reset = SetReset::None;
+            else if (iequals(val, "set")) p.attrs.set_reset = SetReset::SetOnly;
+            else if (iequals(val, "reset")) p.attrs.set_reset = SetReset::ResetOnly;
+            else if (iequals(val, "both")) p.attrs.set_reset = SetReset::Both;
+            else fail(line_no, "bad sr value (none/set/reset/both)");
+        } else if (iequals(key, "unconstrained")) {
+            p.attrs.sr_unconstrained = true;
+        } else if (iequals(key, "constrained")) {
+            p.attrs.sr_unconstrained = false;
+        } else {
+            fail(line_no, "unknown seq pragma key: " + std::string(key));
+        }
+    }
+    return p;
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string circuit_name) {
+    NetlistBuilder b(circuit_name);
+    std::vector<SeqPragma> pragmas;
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string_view line = trim(raw);
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            const std::string_view body = trim(line.substr(1));
+            if (util::starts_with(body, "@")) {
+                const auto tokens = split(body.substr(1), " \t");
+                if (!tokens.empty() && iequals(tokens[0], "seq")) {
+                    const auto pos = raw.find(std::string(tokens[0]));
+                    pragmas.push_back(
+                        parse_seq_pragma(trim(std::string_view(raw).substr(pos + tokens[0].size())),
+                                         line_no));
+                }
+            }
+            continue;
+        }
+        // INPUT(x) / OUTPUT(x) / name = TYPE(args)
+        const auto lparen = line.find('(');
+        const auto rparen = line.rfind(')');
+        if (lparen == std::string_view::npos || rparen == std::string_view::npos ||
+            rparen < lparen) {
+            fail(line_no, "expected '(...)' in: " + std::string(line));
+        }
+        const std::string_view head = trim(line.substr(0, lparen));
+        const std::string_view args_sv = line.substr(lparen + 1, rparen - lparen - 1);
+        const auto args_views = split(args_sv, ",");
+        std::vector<std::string> args;
+        args.reserve(args_views.size());
+        for (const auto a : args_views) args.emplace_back(a);
+
+        if (iequals(head, "INPUT")) {
+            if (args.size() != 1) fail(line_no, "INPUT takes one signal");
+            b.input(args[0]);
+            continue;
+        }
+        if (iequals(head, "OUTPUT")) {
+            if (args.size() != 1) fail(line_no, "OUTPUT takes one signal");
+            b.output(args[0]);
+            continue;
+        }
+        const auto eq = head.find('=');
+        if (eq == std::string_view::npos) fail(line_no, "expected 'name = TYPE(...)'");
+        const std::string name{trim(head.substr(0, eq))};
+        const std::string_view type_tok = trim(head.substr(eq + 1));
+        if (name.empty() || type_tok.empty()) fail(line_no, "malformed assignment");
+        GateType type{};
+        try {
+            type = gate_type_from_string(type_tok);
+        } catch (const std::invalid_argument& e) {
+            fail(line_no, e.what());
+        }
+        if (type == GateType::Dff) {
+            if (args.size() != 1) fail(line_no, "DFF takes one data input");
+            b.dff(name, args[0]);
+        } else if (type == GateType::Dlatch) {
+            if (args.empty()) fail(line_no, "DLATCH takes >=1 data input");
+            b.dlatch(name, args);
+        } else if (type == GateType::Const0 || type == GateType::Const1) {
+            b.constant(name, type == GateType::Const1);
+        } else {
+            b.gate(type, name, args);
+        }
+    }
+    Netlist nl = b.build();
+    for (const SeqPragma& p : pragmas) {
+        const GateId id = nl.find(p.name);
+        if (id == kNoGate)
+            throw std::runtime_error("bench: #@ seq pragma for unknown element " + p.name);
+        SeqAttrs attrs = p.attrs;
+        attrs.num_ports = nl.seq_attrs(id).num_ports;  // ports come from arity
+        nl.seq_attrs(id) = attrs;
+    }
+    return nl;
+}
+
+Netlist read_bench_string(std::string_view text, std::string circuit_name) {
+    std::istringstream in{std::string(text)};
+    return read_bench(in, std::move(circuit_name));
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+    out << "# " << nl.name() << "\n";
+    for (const GateId id : nl.inputs()) out << "INPUT(" << nl.name_of(id) << ")\n";
+    for (const GateId id : nl.outputs()) out << "OUTPUT(" << nl.name_of(id) << ")\n";
+    for (GateId id = 0; id < nl.size(); ++id) {
+        const GateType t = nl.type(id);
+        if (t == GateType::Input) continue;
+        out << nl.name_of(id) << " = " << to_string(t) << "(";
+        bool first = true;
+        for (const GateId f : nl.fanins(id)) {
+            if (!first) out << ", ";
+            out << nl.name_of(f);
+            first = false;
+        }
+        out << ")\n";
+    }
+    for (const GateId id : nl.seq_elements()) {
+        const SeqAttrs& a = nl.seq_attrs(id);
+        const SeqAttrs defaults{};
+        const bool nondefault = a.clock_id != defaults.clock_id || a.phase != defaults.phase ||
+                                a.set_reset != defaults.set_reset ||
+                                a.sr_unconstrained != defaults.sr_unconstrained;
+        if (!nondefault) continue;
+        out << "#@ seq " << nl.name_of(id) << " clock=" << a.clock_id
+            << " phase=" << static_cast<int>(a.phase);
+        switch (a.set_reset) {
+            case SetReset::None: out << " sr=none"; break;
+            case SetReset::SetOnly: out << " sr=set"; break;
+            case SetReset::ResetOnly: out << " sr=reset"; break;
+            case SetReset::Both: out << " sr=both"; break;
+        }
+        out << (a.sr_unconstrained ? " unconstrained" : " constrained") << "\n";
+    }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+    std::ostringstream out;
+    write_bench(out, nl);
+    return out.str();
+}
+
+}  // namespace seqlearn::netlist

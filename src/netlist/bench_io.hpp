@@ -1,0 +1,37 @@
+#pragma once
+// ISCAS-89 .bench reader/writer.
+//
+// The classic format is preserved exactly:
+//     INPUT(G0)
+//     OUTPUT(G17)
+//     G5 = DFF(G10)
+//     G14 = NOT(G0)
+//     G9 = NAND(G16, G15)
+// Real-circuit attributes (multiple clock domains, phases, set/reset,
+// multi-port latches) are carried in pragma comments so files stay readable
+// by other ISCAS-89 tools:
+//     #@ seq G5 clock=2 phase=1 sr=reset unconstrained
+// A DLATCH with several data arguments is a multiple-port latch.
+
+#include "netlist/netlist.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace seqlearn::netlist {
+
+/// Parse a .bench description. Throws std::runtime_error with a line number
+/// on malformed input.
+Netlist read_bench(std::istream& in, std::string circuit_name = "circuit");
+
+/// Parse a .bench description held in a string.
+Netlist read_bench_string(std::string_view text, std::string circuit_name = "circuit");
+
+/// Write `nl` in .bench format (including attribute pragmas for any
+/// sequential element with non-default attributes).
+void write_bench(std::ostream& out, const Netlist& nl);
+
+/// write_bench into a string.
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace seqlearn::netlist

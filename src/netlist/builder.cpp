@@ -1,0 +1,138 @@
+#include "netlist/builder.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace seqlearn::netlist {
+
+NetlistBuilder& NetlistBuilder::input(std::string name) {
+    decls_.push_back({GateType::Input, std::move(name), {}, {}});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::constant(std::string name, bool value) {
+    decls_.push_back({value ? GateType::Const1 : GateType::Const0, std::move(name), {}, {}});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::gate(GateType type, std::string name,
+                                     std::vector<std::string> fanins) {
+    if (type == GateType::Input || is_sequential(type))
+        throw std::invalid_argument("NetlistBuilder::gate: use input()/dff()/dlatch()");
+    decls_.push_back({type, std::move(name), std::move(fanins), {}});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::dff(std::string name, std::string d, SeqAttrs attrs) {
+    decls_.push_back({GateType::Dff, std::move(name), {std::move(d)}, attrs});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::dlatch(std::string name, std::vector<std::string> ports,
+                                       SeqAttrs attrs) {
+    attrs.num_ports = static_cast<std::uint8_t>(ports.size());
+    decls_.push_back({GateType::Dlatch, std::move(name), std::move(ports), attrs});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::output(std::string name) {
+    outputs_.push_back(std::move(name));
+    return *this;
+}
+
+Netlist NetlistBuilder::build() const {
+    Netlist nl;
+    nl.set_name(name_);
+
+    std::unordered_map<std::string, std::size_t> decl_index;
+    decl_index.reserve(decls_.size());
+    for (std::size_t i = 0; i < decls_.size(); ++i) {
+        if (!decl_index.emplace(decls_[i].name, i).second)
+            throw std::runtime_error("NetlistBuilder: duplicate declaration " + decls_[i].name);
+    }
+
+    std::vector<GateId> ids(decls_.size(), kNoGate);
+
+    // Pass 1: sources and sequential elements. Sequential elements are
+    // created with deferred fanins so that combinational feedback resolves.
+    for (std::size_t i = 0; i < decls_.size(); ++i) {
+        const Decl& d = decls_[i];
+        if (d.type == GateType::Input || d.type == GateType::Const0 ||
+            d.type == GateType::Const1) {
+            ids[i] = nl.add_gate(d.type, d.name, {});
+        } else if (is_sequential(d.type)) {
+            ids[i] = nl.add_sequential_deferred(d.type, d.name);
+            nl.seq_attrs(ids[i]) = d.attrs;
+        }
+    }
+
+    // Pass 2: combinational gates in dependency order (iterative DFS over
+    // combinational fanin edges; sequential elements and sources are leaves).
+    enum class Mark : std::uint8_t { White, Grey, Black };
+    std::vector<Mark> mark(decls_.size(), Mark::White);
+    for (std::size_t i = 0; i < decls_.size(); ++i) {
+        if (ids[i] != kNoGate) mark[i] = Mark::Black;
+    }
+    // Two-visit DFS: a node is marked Grey when its expansion starts and
+    // Black when it is emitted. A Grey fanin seen during expansion is an
+    // ancestor on the current dependency path, i.e. a combinational cycle.
+    std::vector<std::size_t> stack;
+    for (std::size_t root = 0; root < decls_.size(); ++root) {
+        if (mark[root] != Mark::White) continue;
+        stack.push_back(root);
+        while (!stack.empty()) {
+            const std::size_t i = stack.back();
+            if (mark[i] == Mark::Black) {
+                stack.pop_back();
+                continue;
+            }
+            if (mark[i] == Mark::White) {
+                mark[i] = Mark::Grey;
+                for (const std::string& f : decls_[i].fanins) {
+                    const auto it = decl_index.find(f);
+                    if (it == decl_index.end())
+                        throw std::runtime_error("NetlistBuilder: undeclared fanin " + f +
+                                                 " of " + decls_[i].name);
+                    const std::size_t j = it->second;
+                    if (mark[j] == Mark::White) stack.push_back(j);
+                    else if (mark[j] == Mark::Grey)
+                        throw std::runtime_error("NetlistBuilder: combinational cycle through " +
+                                                 decls_[j].name);
+                }
+                continue;  // revisit i once the pushed fanins are Black
+            }
+            // Second visit (Grey): all fanins are emitted.
+            std::vector<GateId> fan;
+            fan.reserve(decls_[i].fanins.size());
+            for (const std::string& f : decls_[i].fanins) fan.push_back(ids[decl_index.at(f)]);
+            ids[i] = nl.add_gate(decls_[i].type, decls_[i].name, fan);
+            mark[i] = Mark::Black;
+            stack.pop_back();
+        }
+    }
+
+    // Pass 3: attach sequential fanins.
+    for (std::size_t i = 0; i < decls_.size(); ++i) {
+        if (!is_sequential(decls_[i].type)) continue;
+        std::vector<GateId> fan;
+        fan.reserve(decls_[i].fanins.size());
+        for (const std::string& f : decls_[i].fanins) {
+            const auto it = decl_index.find(f);
+            if (it == decl_index.end())
+                throw std::runtime_error("NetlistBuilder: undeclared fanin " + f + " of " +
+                                         decls_[i].name);
+            fan.push_back(ids[it->second]);
+        }
+        nl.attach_seq_fanins(ids[i], fan);
+    }
+
+    for (const std::string& o : outputs_) {
+        const GateId id = nl.find(o);
+        if (id == kNoGate) throw std::runtime_error("NetlistBuilder: unknown output " + o);
+        nl.mark_output(id);
+    }
+    nl.validate();
+    return nl;
+}
+
+}  // namespace seqlearn::netlist

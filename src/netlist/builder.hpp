@@ -1,0 +1,65 @@
+#pragma once
+// Two-phase netlist construction with forward references.
+//
+// Sequential circuits contain feedback (a DFF's D input usually depends on
+// the DFF itself), so gates must be declarable before their fanins exist.
+// The builder collects declarations by name and resolves connectivity in
+// build(), emitting gates in a dependency-friendly order (sources and
+// sequential elements first, then combinational gates topologically).
+
+#include "netlist/netlist.hpp"
+
+#include <string>
+#include <vector>
+
+namespace seqlearn::netlist {
+
+/// Declarative builder for Netlist.
+///
+/// Usage:
+///   NetlistBuilder b("my_circuit");
+///   b.input("I1");
+///   b.dff("F1", "G2");               // D input may be declared later
+///   b.gate(GateType::Nand, "G2", {"I1", "F1"});
+///   b.output("G2");
+///   Netlist nl = b.build();
+class NetlistBuilder {
+public:
+    explicit NetlistBuilder(std::string circuit_name = "circuit")
+        : name_(std::move(circuit_name)) {}
+
+    /// Declare a primary input.
+    NetlistBuilder& input(std::string name);
+
+    /// Declare a constant source.
+    NetlistBuilder& constant(std::string name, bool value);
+
+    /// Declare a combinational gate with named fanins (forward refs allowed).
+    NetlistBuilder& gate(GateType type, std::string name, std::vector<std::string> fanins);
+
+    /// Declare a flip-flop with D input `d` and optional attributes.
+    NetlistBuilder& dff(std::string name, std::string d, SeqAttrs attrs = {});
+
+    /// Declare a latch with one data input per port.
+    NetlistBuilder& dlatch(std::string name, std::vector<std::string> ports, SeqAttrs attrs = {});
+
+    /// Mark a signal as primary output.
+    NetlistBuilder& output(std::string name);
+
+    /// Resolve all references and produce the netlist.
+    /// Throws std::runtime_error on undeclared fanins or duplicate names.
+    Netlist build() const;
+
+private:
+    struct Decl {
+        GateType type;
+        std::string name;
+        std::vector<std::string> fanins;
+        SeqAttrs attrs;
+    };
+    std::string name_;
+    std::vector<Decl> decls_;
+    std::vector<std::string> outputs_;
+};
+
+}  // namespace seqlearn::netlist

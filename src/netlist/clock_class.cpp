@@ -1,0 +1,27 @@
+#include "netlist/clock_class.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace seqlearn::netlist {
+
+std::vector<ClockClass> clock_classes(const Netlist& nl) {
+    std::map<std::tuple<std::uint16_t, std::uint8_t, bool>, ClockClass> classes;
+    for (const GateId id : nl.seq_elements()) {
+        const SeqAttrs& a = nl.seq_attrs(id);
+        const bool is_latch = nl.type(id) == GateType::Dlatch;
+        const auto key = std::make_tuple(a.clock_id, a.phase, is_latch);
+        auto& cls = classes[key];
+        cls.clock_id = a.clock_id;
+        cls.phase = a.phase;
+        cls.is_latch = is_latch;
+        cls.members.push_back(id);
+    }
+    std::vector<ClockClass> out;
+    out.reserve(classes.size());
+    for (auto& [key, cls] : classes) out.push_back(std::move(cls));
+    return out;
+}
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,28 @@
+#pragma once
+// Clock-class partitioning of sequential elements (paper Section 3.3.2).
+//
+// Relations are only valid regardless of clocking when learned among
+// elements driven by the same clock net at the same phase; latches and
+// flip-flops never share a class even on the same clock because their
+// capture times differ. Learning runs once per class.
+
+#include "netlist/netlist.hpp"
+
+#include <vector>
+
+namespace seqlearn::netlist {
+
+/// One learning class of sequential elements.
+struct ClockClass {
+    std::uint16_t clock_id = 0;
+    std::uint8_t phase = 0;
+    bool is_latch = false;
+    std::vector<GateId> members;
+};
+
+/// Partition all sequential elements of `nl` into clock classes, ordered by
+/// (clock_id, phase, flip-flops-before-latches). Every sequential element
+/// appears in exactly one class.
+std::vector<ClockClass> clock_classes(const Netlist& nl);
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,66 @@
+#include "netlist/gate_type.hpp"
+
+#include "util/strings.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::netlist {
+
+logic::GateOp to_op(GateType t) {
+    using logic::GateOp;
+    switch (t) {
+        case GateType::Const0: return GateOp::Const0;
+        case GateType::Const1: return GateOp::Const1;
+        case GateType::Buf: return GateOp::Buf;
+        case GateType::Not: return GateOp::Not;
+        case GateType::And: return GateOp::And;
+        case GateType::Nand: return GateOp::Nand;
+        case GateType::Or: return GateOp::Or;
+        case GateType::Nor: return GateOp::Nor;
+        case GateType::Xor: return GateOp::Xor;
+        case GateType::Xnor: return GateOp::Xnor;
+        case GateType::Input:
+        case GateType::Dff:
+        case GateType::Dlatch: break;
+    }
+    throw std::invalid_argument("to_op: gate type has no combinational operator");
+}
+
+std::string to_string(GateType t) {
+    switch (t) {
+        case GateType::Input: return "INPUT";
+        case GateType::Const0: return "CONST0";
+        case GateType::Const1: return "CONST1";
+        case GateType::Buf: return "BUF";
+        case GateType::Not: return "NOT";
+        case GateType::And: return "AND";
+        case GateType::Nand: return "NAND";
+        case GateType::Or: return "OR";
+        case GateType::Nor: return "NOR";
+        case GateType::Xor: return "XOR";
+        case GateType::Xnor: return "XNOR";
+        case GateType::Dff: return "DFF";
+        case GateType::Dlatch: return "DLATCH";
+    }
+    return "?";
+}
+
+GateType gate_type_from_string(std::string_view s) {
+    using util::iequals;
+    if (iequals(s, "INPUT")) return GateType::Input;
+    if (iequals(s, "CONST0")) return GateType::Const0;
+    if (iequals(s, "CONST1")) return GateType::Const1;
+    if (iequals(s, "BUF") || iequals(s, "BUFF")) return GateType::Buf;
+    if (iequals(s, "NOT") || iequals(s, "INV")) return GateType::Not;
+    if (iequals(s, "AND")) return GateType::And;
+    if (iequals(s, "NAND")) return GateType::Nand;
+    if (iequals(s, "OR")) return GateType::Or;
+    if (iequals(s, "NOR")) return GateType::Nor;
+    if (iequals(s, "XOR")) return GateType::Xor;
+    if (iequals(s, "XNOR")) return GateType::Xnor;
+    if (iequals(s, "DFF")) return GateType::Dff;
+    if (iequals(s, "DLATCH") || iequals(s, "LATCH")) return GateType::Dlatch;
+    throw std::invalid_argument("unknown gate type: " + std::string(s));
+}
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,55 @@
+#pragma once
+// Gate vocabulary of the netlist substrate.
+//
+// The library models gate-level sequential circuits in the ISCAS-89 style:
+// primary inputs, combinational gates, and sequential elements (edge-
+// triggered flip-flops and level-sensitive latches, possibly multi-port).
+// Primary outputs are marks on signals, not gates.
+
+#include "logic/val3.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace seqlearn::netlist {
+
+/// Type of a netlist node.
+enum class GateType : std::uint8_t {
+    Input,   ///< primary input; no fanins
+    Const0,  ///< constant 0 source; no fanins
+    Const1,  ///< constant 1 source; no fanins
+    Buf,
+    Not,
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Dff,     ///< edge-triggered flip-flop; fanin[0] is D
+    Dlatch,  ///< level-sensitive latch; fanin[i] is the data input of port i
+};
+
+/// True for Dff and Dlatch.
+constexpr bool is_sequential(GateType t) noexcept {
+    return t == GateType::Dff || t == GateType::Dlatch;
+}
+
+/// True for evaluable combinational operators (excludes Input and
+/// sequential elements; includes constants).
+constexpr bool is_combinational(GateType t) noexcept {
+    return !is_sequential(t) && t != GateType::Input;
+}
+
+/// Map a combinational gate type onto its logic operator.
+/// Precondition: is_combinational(t).
+logic::GateOp to_op(GateType t);
+
+/// Gate-type name as used by the .bench format ("NAND", "DFF", ...).
+std::string to_string(GateType t);
+
+/// Parse a .bench gate-type token (case-insensitive). Throws
+/// std::invalid_argument on unknown names.
+GateType gate_type_from_string(std::string_view s);
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,58 @@
+#include "netlist/levelize.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::netlist {
+
+Levelization levelize(const Netlist& nl) {
+    const std::size_t n = nl.size();
+    Levelization out;
+    out.level.assign(n, 0);
+    out.topo_order.reserve(n);
+
+    // Kahn's algorithm over combinational edges only: an edge u->v counts
+    // unless v is sequential (sequential elements consume values at the frame
+    // boundary, so they are sinks here and sources for their fanouts).
+    std::vector<std::uint32_t> pending(n, 0);
+    std::vector<GateId> ready;
+    ready.reserve(n);
+    for (GateId id = 0; id < n; ++id) {
+        const GateType t = nl.type(id);
+        if (is_sequential(t) || t == GateType::Input || t == GateType::Const0 ||
+            t == GateType::Const1) {
+            ready.push_back(id);
+        } else {
+            pending[id] = static_cast<std::uint32_t>(nl.fanins(id).size());
+            if (pending[id] == 0) ready.push_back(id);  // defensive; arity checks forbid this
+        }
+    }
+
+    std::size_t head = 0;
+    std::vector<GateId> queue = std::move(ready);
+    while (head < queue.size()) {
+        const GateId u = queue[head++];
+        out.topo_order.push_back(u);
+        for (const GateId v : nl.fanouts(u)) {
+            if (is_sequential(nl.type(v))) continue;
+            // Multi-edges (same driver twice) decrement once per edge.
+            if (--pending[v] == 0) {
+                std::uint32_t lvl = 0;
+                for (const GateId f : nl.fanins(v)) {
+                    const std::uint32_t fl =
+                        is_sequential(nl.type(f)) ? 0 : out.level[f];
+                    lvl = std::max(lvl, fl + 1);
+                }
+                out.level[v] = lvl;
+                out.max_level = std::max(out.max_level, lvl);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    if (out.topo_order.size() != n) {
+        throw std::runtime_error("levelize: combinational cycle in netlist '" + nl.name() + "'");
+    }
+    return out;
+}
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,29 @@
+#pragma once
+// Combinational levelization and topological ordering.
+//
+// Sources (inputs, constants, sequential-element outputs) sit at level 0;
+// every combinational gate sits one past its deepest fanin. The topological
+// order drives the levelized simulators and the ATPG's implication engine.
+
+#include "netlist/netlist.hpp"
+
+#include <vector>
+
+namespace seqlearn::netlist {
+
+/// Result of levelizing a netlist's combinational logic.
+struct Levelization {
+    /// Level per gate; sources are 0.
+    std::vector<std::uint32_t> level;
+    /// All gates in a valid combinational evaluation order: sources first,
+    /// then combinational gates by non-decreasing level.
+    std::vector<GateId> topo_order;
+    /// Highest level in the circuit.
+    std::uint32_t max_level = 0;
+};
+
+/// Levelize `nl`. Throws std::runtime_error when the combinational logic
+/// contains a cycle (a cycle not broken by a sequential element).
+Levelization levelize(const Netlist& nl);
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,169 @@
+#include "netlist/netlist.hpp"
+
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seqlearn::netlist {
+
+GateId Netlist::find(std::string_view name) const {
+    const auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? kNoGate : it->second;
+}
+
+const SeqAttrs& Netlist::seq_attrs(GateId id) const {
+    if (seq_index_[id] < 0) throw std::invalid_argument("seq_attrs: not a sequential element");
+    return seq_attrs_store_[static_cast<std::size_t>(seq_index_[id])];
+}
+
+SeqAttrs& Netlist::seq_attrs(GateId id) {
+    if (seq_index_[id] < 0) throw std::invalid_argument("seq_attrs: not a sequential element");
+    return seq_attrs_store_[static_cast<std::size_t>(seq_index_[id])];
+}
+
+std::vector<GateId> Netlist::stems() const {
+    std::vector<GateId> out;
+    for (GateId id = 0; id < gates_.size(); ++id) {
+        if (gates_[id].fanouts.size() > 1) out.push_back(id);
+    }
+    return out;
+}
+
+Netlist::Counts Netlist::counts() const {
+    Counts c;
+    c.inputs = inputs_.size();
+    c.outputs = outputs_.size();
+    for (const GateId id : seq_elems_) {
+        if (gates_[id].type == GateType::Dff) ++c.flip_flops;
+        else ++c.latches;
+    }
+    c.combinational = gates_.size() - c.inputs - seq_elems_.size();
+    return c;
+}
+
+GateId Netlist::add_gate(GateType type, std::string name, std::span<const GateId> fanins) {
+    if (name.empty()) throw std::invalid_argument("add_gate: empty name");
+    if (by_name_.contains(name)) throw std::invalid_argument("add_gate: duplicate name " + name);
+    switch (type) {
+        case GateType::Input:
+        case GateType::Const0:
+        case GateType::Const1:
+            if (!fanins.empty()) throw std::invalid_argument("add_gate: source with fanins: " + name);
+            break;
+        case GateType::Buf:
+        case GateType::Not:
+        case GateType::Dff:
+            if (fanins.size() != 1)
+                throw std::invalid_argument("add_gate: " + to_string(type) + " needs 1 fanin: " + name);
+            break;
+        case GateType::Dlatch:
+            if (fanins.empty()) throw std::invalid_argument("add_gate: DLATCH needs >=1 fanin: " + name);
+            break;
+        default:
+            if (fanins.size() < 2)
+                throw std::invalid_argument("add_gate: " + to_string(type) + " needs >=2 fanins: " + name);
+            break;
+    }
+    const auto id = static_cast<GateId>(gates_.size());
+    for (const GateId f : fanins) {
+        if (f >= id) throw std::invalid_argument("add_gate: unresolved fanin for " + name);
+    }
+    Gate g;
+    g.type = type;
+    g.fanins.assign(fanins.begin(), fanins.end());
+    gates_.push_back(std::move(g));
+    names_.push_back(name);
+    by_name_.emplace(std::move(name), id);
+    seq_index_.push_back(-1);
+    for (const GateId f : fanins) gates_[f].fanouts.push_back(id);
+    if (type == GateType::Input) inputs_.push_back(id);
+    if (is_sequential(type)) {
+        seq_index_[id] = static_cast<std::int32_t>(seq_attrs_store_.size());
+        seq_attrs_store_.emplace_back();
+        if (type == GateType::Dlatch) {
+            seq_attrs_store_.back().num_ports = static_cast<std::uint8_t>(gates_[id].fanins.size());
+        }
+        seq_elems_.push_back(id);
+    }
+    return id;
+}
+
+GateId Netlist::add_sequential_deferred(GateType type, std::string name) {
+    if (!is_sequential(type))
+        throw std::invalid_argument("add_sequential_deferred: not a sequential type");
+    if (name.empty()) throw std::invalid_argument("add_sequential_deferred: empty name");
+    if (by_name_.contains(name))
+        throw std::invalid_argument("add_sequential_deferred: duplicate name " + name);
+    const auto id = static_cast<GateId>(gates_.size());
+    Gate g;
+    g.type = type;
+    gates_.push_back(std::move(g));
+    names_.push_back(name);
+    by_name_.emplace(std::move(name), id);
+    seq_index_.push_back(static_cast<std::int32_t>(seq_attrs_store_.size()));
+    seq_attrs_store_.emplace_back();
+    seq_elems_.push_back(id);
+    return id;
+}
+
+void Netlist::attach_seq_fanins(GateId id, std::span<const GateId> fanins) {
+    if (seq_index_[id] < 0) throw std::invalid_argument("attach_seq_fanins: not sequential");
+    Gate& g = gates_[id];
+    if (!g.fanins.empty()) throw std::invalid_argument("attach_seq_fanins: already attached");
+    if (fanins.empty()) throw std::invalid_argument("attach_seq_fanins: no data input");
+    if (g.type == GateType::Dff && fanins.size() != 1)
+        throw std::invalid_argument("attach_seq_fanins: DFF takes exactly one data input");
+    for (const GateId f : fanins) {
+        if (f >= gates_.size()) throw std::invalid_argument("attach_seq_fanins: bad fanin id");
+    }
+    g.fanins.assign(fanins.begin(), fanins.end());
+    for (const GateId f : fanins) gates_[f].fanouts.push_back(id);
+    if (g.type == GateType::Dlatch)
+        seq_attrs_store_[static_cast<std::size_t>(seq_index_[id])].num_ports =
+            static_cast<std::uint8_t>(fanins.size());
+}
+
+void Netlist::mark_output(GateId id) {
+    if (id >= gates_.size()) throw std::invalid_argument("mark_output: bad id");
+    if (std::find(outputs_.begin(), outputs_.end(), id) == outputs_.end()) outputs_.push_back(id);
+}
+
+void Netlist::replace_fanin(GateId id, std::size_t slot, GateId new_fanin) {
+    Gate& g = gates_[id];
+    if (slot >= g.fanins.size()) throw std::invalid_argument("replace_fanin: bad slot");
+    const GateId old = g.fanins[slot];
+    if (old == new_fanin) return;
+    auto& old_fo = gates_[old].fanouts;
+    // A gate may appear in fanins more than once; remove one edge only.
+    const auto it = std::find(old_fo.begin(), old_fo.end(), id);
+    if (it != old_fo.end()) old_fo.erase(it);
+    g.fanins[slot] = new_fanin;
+    gates_[new_fanin].fanouts.push_back(id);
+}
+
+void Netlist::validate() const {
+    for (GateId id = 0; id < gates_.size(); ++id) {
+        const Gate& g = gates_[id];
+        if (g.type == GateType::Dff && g.fanins.size() != 1)
+            throw std::runtime_error("validate: DFF without data input: " + names_[id]);
+        if (g.type == GateType::Dlatch && g.fanins.empty())
+            throw std::runtime_error("validate: DLATCH without data input: " + names_[id]);
+        for (const GateId f : g.fanins) {
+            if (f >= gates_.size()) throw std::runtime_error("validate: dangling fanin at " + names_[id]);
+            const auto& fo = gates_[f].fanouts;
+            if (std::count(fo.begin(), fo.end(), id) < 1)
+                throw std::runtime_error("validate: missing fanout edge into " + names_[id]);
+        }
+        for (const GateId f : g.fanouts) {
+            if (f >= gates_.size()) throw std::runtime_error("validate: dangling fanout at " + names_[id]);
+            const auto& fi = gates_[f].fanins;
+            if (std::count(fi.begin(), fi.end(), id) < 1)
+                throw std::runtime_error("validate: missing fanin edge from " + names_[id]);
+        }
+    }
+    // Levelization throws on combinational cycles.
+    (void)levelize(*this);
+}
+
+}  // namespace seqlearn::netlist

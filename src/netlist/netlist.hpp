@@ -1,0 +1,150 @@
+#pragma once
+// The gate-level sequential netlist container.
+//
+// Gates are stored in a flat array indexed by GateId; names are kept for I/O
+// and reporting. Primary outputs are signal marks (a PO list), not separate
+// gates. Sequential elements carry SeqAttrs describing clocking and
+// set/reset behaviour; those attributes drive the real-circuit rules of
+// Section 3.3 of the paper.
+
+#include "netlist/gate_type.hpp"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seqlearn::netlist {
+
+/// Index of a gate inside a Netlist.
+using GateId = std::uint32_t;
+
+/// Sentinel for "no gate".
+inline constexpr GateId kNoGate = static_cast<GateId>(-1);
+
+/// Set/reset configuration of a sequential element.
+enum class SetReset : std::uint8_t {
+    None,       ///< no asynchronous set/reset lines
+    SetOnly,    ///< asynchronous set (forces 1)
+    ResetOnly,  ///< asynchronous reset (forces 0)
+    Both,       ///< both set and reset lines present
+};
+
+/// Attributes of a sequential element (flip-flop or latch).
+struct SeqAttrs {
+    /// Identifier of the clock net driving the element. A gated clock must be
+    /// given a distinct id by the front end (the paper treats a clock and its
+    /// gated version as different clocks).
+    std::uint16_t clock_id = 0;
+    /// Capture phase on that clock (0 = leading/posedge, 1 = trailing/negedge).
+    std::uint8_t phase = 0;
+    /// Asynchronous set/reset lines present on the element.
+    SetReset set_reset = SetReset::None;
+    /// True when the set/reset lines are free to toggle during test
+    /// (the paper's "unconstrained" case, which restricts learning);
+    /// false when they are tied inactive, behaving like SetReset::None.
+    bool sr_unconstrained = false;
+    /// Number of data ports (Dlatch only; >1 blocks learning propagation).
+    std::uint8_t num_ports = 1;
+};
+
+/// A single netlist node. `fanins` for a Dff is {D}; for a Dlatch it is one
+/// data input per port.
+struct Gate {
+    GateType type = GateType::Buf;
+    std::vector<GateId> fanins;
+    std::vector<GateId> fanouts;
+};
+
+/// Gate-level sequential circuit.
+///
+/// Invariants (established by NetlistBuilder / BenchReader and checked by
+/// validate()): names are unique and non-empty; every fanin/fanout edge is
+/// consistent; Input/Const gates have no fanins; Buf/Not have exactly one;
+/// Dff has exactly one; the combinational logic is acyclic (cycles must pass
+/// through sequential elements).
+class Netlist {
+public:
+    /// Circuit name used in reports.
+    const std::string& name() const noexcept { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    /// Number of gates (all node kinds).
+    std::size_t size() const noexcept { return gates_.size(); }
+
+    const Gate& gate(GateId id) const noexcept { return gates_[id]; }
+    GateType type(GateId id) const noexcept { return gates_[id].type; }
+    std::span<const GateId> fanins(GateId id) const noexcept { return gates_[id].fanins; }
+    std::span<const GateId> fanouts(GateId id) const noexcept { return gates_[id].fanouts; }
+    const std::string& name_of(GateId id) const noexcept { return names_[id]; }
+
+    /// Gate id for `name`, or kNoGate when absent.
+    GateId find(std::string_view name) const;
+
+    /// Primary inputs in creation order.
+    std::span<const GateId> inputs() const noexcept { return inputs_; }
+    /// Signals marked as primary outputs, in mark order.
+    std::span<const GateId> outputs() const noexcept { return outputs_; }
+    /// Sequential elements (flip-flops and latches) in creation order.
+    std::span<const GateId> seq_elements() const noexcept { return seq_elems_; }
+
+    /// Attributes of the sequential element `id`.
+    /// Precondition: is_sequential(type(id)).
+    const SeqAttrs& seq_attrs(GateId id) const;
+    SeqAttrs& seq_attrs(GateId id);
+
+    /// True when the node drives more than one fanout branch.
+    bool is_stem(GateId id) const noexcept { return gates_[id].fanouts.size() > 1; }
+
+    /// All fanout stems in id order.
+    std::vector<GateId> stems() const;
+
+    /// Count of gates per category used in reports.
+    struct Counts {
+        std::size_t inputs = 0;
+        std::size_t outputs = 0;
+        std::size_t flip_flops = 0;
+        std::size_t latches = 0;
+        std::size_t combinational = 0;  ///< gates excluding inputs and seq elements
+    };
+    Counts counts() const;
+
+    /// Append a gate. Fanins must already exist; fanout edges are maintained
+    /// automatically. Throws std::invalid_argument on duplicate name or
+    /// arity violations. Returns the new gate's id.
+    GateId add_gate(GateType type, std::string name, std::span<const GateId> fanins);
+
+    /// Append a sequential element whose data fanins will be attached later
+    /// with attach_seq_fanins(); used to build feedback loops.
+    GateId add_sequential_deferred(GateType type, std::string name);
+
+    /// Attach the data fanins of a sequential element created by
+    /// add_sequential_deferred(). May be called once per element.
+    void attach_seq_fanins(GateId id, std::span<const GateId> fanins);
+
+    /// Mark an existing signal as a primary output (idempotent).
+    void mark_output(GateId id);
+
+    /// Replace fanin slot `slot` of gate `id` with `new_fanin`, maintaining
+    /// fanout edges on both the old and new driver.
+    void replace_fanin(GateId id, std::size_t slot, GateId new_fanin);
+
+    /// Throws std::runtime_error describing the first violated invariant, if
+    /// any (including combinational cycles).
+    void validate() const;
+
+private:
+    std::string name_ = "circuit";
+    std::vector<Gate> gates_;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, GateId> by_name_;
+    std::vector<GateId> inputs_;
+    std::vector<GateId> outputs_;
+    std::vector<GateId> seq_elems_;
+    // Parallel to gates_: index into seq_attrs_store_, or -1.
+    std::vector<std::int32_t> seq_index_;
+    std::vector<SeqAttrs> seq_attrs_store_;
+};
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,211 @@
+#include "sim/frame_sim.hpp"
+
+#include <algorithm>
+
+namespace seqlearn::sim {
+
+using netlist::GateType;
+using netlist::is_sequential;
+using netlist::SetReset;
+
+SeqGating SeqGating::all_open(const Netlist& nl) {
+    SeqGating g(nl.size());
+    for (const GateId id : nl.seq_elements()) g.mask_[id] = 3;
+    return g;
+}
+
+SeqGating SeqGating::for_class(const Netlist& nl, std::span<const GateId> class_members) {
+    SeqGating g(nl.size());
+    for (const GateId id : class_members) {
+        const netlist::SeqAttrs& a = nl.seq_attrs(id);
+        if (a.num_ports > 1) continue;  // Section 3.3.1: multi-port latches block
+        std::uint8_t mask = 3;
+        if (a.sr_unconstrained) {
+            switch (a.set_reset) {
+                case SetReset::None: break;
+                case SetReset::SetOnly: mask = 2; break;    // only 1 survives a free set line
+                case SetReset::ResetOnly: mask = 1; break;  // only 0 survives a free reset line
+                case SetReset::Both: mask = 0; break;       // Section 3.3.3: block entirely
+            }
+        }
+        g.mask_[id] = mask;
+    }
+    return g;
+}
+
+FrameSimulator::FrameSimulator(const Netlist& nl, SeqGating gating)
+    : nl_(&nl),
+      gating_(std::move(gating)),
+      lv_(netlist::levelize(nl)),
+      val_(nl.size(), Val3::X),
+      queued_(nl.size(), 0) {
+    buckets_.resize(lv_.max_level + 1);
+    for (GateId id = 0; id < nl.size(); ++id) {
+        if (nl.type(id) == GateType::Const0 || nl.type(id) == GateType::Const1)
+            consts_.push_back(id);
+    }
+}
+
+void FrameSimulator::reset_frame_scratch() {
+    for (const GateId g : touched_) {
+        val_[g] = Val3::X;
+        queued_[g] = 0;
+    }
+    touched_.clear();
+    for (auto& b : buckets_) b.clear();
+    pending_ = 0;
+}
+
+// Give `g` the binary value `v`; detect contradictions; record; enqueue
+// combinational fanouts; force equivalence partners. Returns false on
+// conflict.
+bool FrameSimulator::assign(GateId g, Val3 v, std::uint32_t frame, FrameSimResult& res) {
+    if (val_[g] == v) return true;
+    if (val_[g] != Val3::X) {
+        res.conflict = true;
+        res.conflict_gate = g;
+        res.conflict_frame = frame;
+        return false;
+    }
+    val_[g] = v;
+    touched_.push_back(g);
+    res.implied.push_back({frame, g, v});
+    for (const GateId fo : nl_->fanouts(g)) {
+        if (is_sequential(nl_->type(fo))) continue;  // consumed at the frame boundary
+        if (!queued_[fo]) {
+            queued_[fo] = 1;
+            buckets_[lv_.level[fo]].push_back(fo);
+            ++pending_;
+        }
+    }
+    if (equiv_ && g < equiv_->size()) {
+        for (const EquivLink& link : (*equiv_)[g]) {
+            const Val3 forced = link.inverted ? logic::v3_not(v) : v;
+            if (!assign(link.other, forced, frame, res)) return false;
+        }
+    }
+    return true;
+}
+
+void FrameSimulator::propagate(std::uint32_t frame, FrameSimResult& res) {
+    // Equivalence forcing can enqueue gates at levels already swept, so the
+    // level sweep repeats until no events remain. Values only move X ->
+    // binary, so the total work is bounded by the number of assignments.
+    while (pending_ > 0) {
+        for (std::uint32_t level = 0; level < buckets_.size(); ++level) {
+            // assign() may append to the bucket being drained; index-based
+            // loop handles growth.
+            for (std::size_t i = 0; i < buckets_[level].size(); ++i) {
+                const GateId g = buckets_[level][i];
+                queued_[g] = 0;
+                --pending_;
+                const GateType t = nl_->type(g);
+                if (t == GateType::Input || is_sequential(t)) continue;
+                scratch_ins_.clear();
+                for (const GateId f : nl_->fanins(g)) scratch_ins_.push_back(val_[f]);
+                const Val3 v = logic::eval_op(netlist::to_op(t), scratch_ins_);
+                if (v == Val3::X) continue;
+                if (!assign(g, v, frame, res)) return;
+            }
+            buckets_[level].clear();
+        }
+    }
+}
+
+FrameSimResult FrameSimulator::run(std::span<const Injection> injections,
+                                   const FrameSimOptions& opt) {
+    FrameSimResult res;
+    // Injections sorted by frame for sequential application.
+    std::vector<Injection> inj(injections.begin(), injections.end());
+    std::sort(inj.begin(), inj.end(),
+              [](const Injection& a, const Injection& b) { return a.frame < b.frame; });
+    std::uint32_t last_seed_frame = 0;
+    for (const Injection& x : inj) last_seed_frame = std::max(last_seed_frame, x.frame);
+    if (ties_ && tie_cycles_) {
+        for (GateId g = 0; g < ties_->size(); ++g) {
+            if ((*ties_)[g] != Val3::X && (*tie_cycles_)[g] < opt.max_frames)
+                last_seed_frame = std::max(last_seed_frame, (*tie_cycles_)[g]);
+        }
+    }
+
+    std::vector<StateEntry> state;       // binary sequential outputs entering this frame
+    std::vector<StateEntry> next_state;  // captured at this frame's boundary
+    std::size_t inj_cursor = 0;
+
+    for (std::uint32_t frame = 0; frame < opt.max_frames; ++frame) {
+        reset_frame_scratch();
+
+        // Seed 0: constant sources (event-driven evaluation never visits
+        // them otherwise).
+        for (const GateId g : consts_) {
+            const Val3 cv = nl_->type(g) == GateType::Const1 ? Val3::One : Val3::Zero;
+            if (!assign(g, cv, frame, res)) {
+                res.frames_run = frame + 1;
+                return res;
+            }
+        }
+        // Seed 1: established tie facts (paper: later passes exploit
+        // previously learned ties). A sequential tie proven from cycle c is
+        // a fact only in frames with at least c predecessors.
+        if (ties_) {
+            for (GateId g = 0; g < ties_->size(); ++g) {
+                if ((*ties_)[g] == Val3::X) continue;
+                if (tie_cycles_ && (*tie_cycles_)[g] > frame) continue;
+                if (!assign(g, (*ties_)[g], frame, res)) {
+                    res.frames_run = frame + 1;
+                    return res;
+                }
+            }
+        }
+        // Seed 2: sequential state from the previous frame.
+        for (const StateEntry& e : state) {
+            if (!assign(e.gate, e.value, frame, res)) {
+                res.frames_run = frame + 1;
+                return res;
+            }
+        }
+        // Seed 3: this frame's injections.
+        while (inj_cursor < inj.size() && inj[inj_cursor].frame == frame) {
+            const Injection& x = inj[inj_cursor++];
+            if (!assign(x.gate, x.value, frame, res)) {
+                res.frames_run = frame + 1;
+                return res;
+            }
+        }
+
+        propagate(frame, res);
+        res.frames_run = frame + 1;
+        if (res.conflict) return res;
+
+        // Capture: sequential elements fed by a touched gate (or touched
+        // themselves, for direct feedback) take their gated data value.
+        next_state.clear();
+        for (const GateId t : touched_) {
+            for (const GateId fo : nl_->fanouts(t)) {
+                if (!is_sequential(nl_->type(fo))) continue;
+                const Val3 d = val_[nl_->fanins(fo)[0]];
+                if (d == Val3::X) continue;
+                if (!gating_.allows(fo, d)) continue;
+                next_state.push_back({fo, d});
+            }
+        }
+        std::sort(next_state.begin(), next_state.end(),
+                  [](const StateEntry& a, const StateEntry& b) { return a.gate < b.gate; });
+        next_state.erase(std::unique(next_state.begin(), next_state.end()), next_state.end());
+
+        // Stop rules apply only once every scheduled injection has fired and
+        // every sequential tie has activated.
+        const bool seeding_done = inj_cursor >= inj.size() && frame >= last_seed_frame;
+        if (seeding_done && opt.stop_on_state_repeat && frame > 0 && next_state == state) {
+            res.stopped_on_repeat = true;
+            return res;
+        }
+        if (seeding_done && next_state.empty()) return res;
+
+        state = std::move(next_state);
+        next_state.clear();
+    }
+    return res;
+}
+
+}  // namespace seqlearn::sim

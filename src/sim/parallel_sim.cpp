@@ -1,0 +1,52 @@
+#include "sim/parallel_sim.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::sim {
+
+using netlist::GateType;
+using netlist::is_sequential;
+
+ParallelSim::ParallelSim(const Netlist& nl) : nl_(&nl), lv_(netlist::levelize(nl)) {}
+
+void ParallelSim::eval(std::vector<Pattern>& pats) const {
+    if (pats.size() != nl_->size()) throw std::invalid_argument("ParallelSim::eval: bad size");
+    std::vector<Pattern> ins;
+    for (const GateId id : lv_.topo_order) {
+        const GateType t = nl_->type(id);
+        if (t == GateType::Input || is_sequential(t)) continue;
+        const auto fanins = nl_->fanins(id);
+        ins.clear();
+        for (const GateId f : fanins) ins.push_back(pats[f]);
+        pats[id] = logic::eval_op(netlist::to_op(t), ins.data(), static_cast<int>(ins.size()));
+    }
+}
+
+void ParallelSim::eval_random(std::vector<Pattern>& pats, util::Rng& rng) const {
+    if (pats.size() != nl_->size())
+        throw std::invalid_argument("ParallelSim::eval_random: bad size");
+    auto randomize = [&](GateId id) {
+        const std::uint64_t bits = rng.next_u64();
+        pats[id] = Pattern{bits, ~bits};
+    };
+    for (const GateId id : nl_->inputs()) randomize(id);
+    for (const GateId id : nl_->seq_elements()) randomize(id);
+    eval(pats);
+}
+
+SignatureSet collect_signatures(const Netlist& nl, std::size_t rounds, std::uint64_t seed) {
+    ParallelSim sim(nl);
+    util::Rng rng(seed);
+    SignatureSet out;
+    out.rounds = rounds;
+    out.sig.assign(nl.size(), {});
+    for (auto& s : out.sig) s.reserve(rounds);
+    std::vector<Pattern> pats(nl.size());
+    for (std::size_t r = 0; r < rounds; ++r) {
+        sim.eval_random(pats, rng);
+        for (GateId id = 0; id < nl.size(); ++id) out.sig[id].push_back(pats[id].ones);
+    }
+    return out;
+}
+
+}  // namespace seqlearn::sim

@@ -1,0 +1,55 @@
+#pragma once
+// 64-way bit-parallel levelized simulation.
+//
+// Drives the gate-equivalence candidate search (paper Section 3.1:
+// "Equivalent combinational gates can be efficiently identified based on
+// parallel pattern simulation techniques") and provides the plane machinery
+// reused by the fault simulator.
+
+#include "logic/pattern.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+#include <vector>
+
+namespace seqlearn::sim {
+
+using logic::Pattern;
+using netlist::GateId;
+using netlist::Netlist;
+
+/// Levelized evaluator over 64-lane patterns.
+class ParallelSim {
+public:
+    explicit ParallelSim(const Netlist& nl);
+
+    /// Evaluate every combinational gate from the source patterns already in
+    /// `pats` (inputs and sequential-element outputs). `pats` must be sized
+    /// nl.size().
+    void eval(std::vector<Pattern>& pats) const;
+
+    /// Fill all source lanes (inputs and sequential outputs) with random
+    /// binary values and evaluate. Convenient for signature collection.
+    void eval_random(std::vector<Pattern>& pats, util::Rng& rng) const;
+
+    const Netlist& netlist() const noexcept { return *nl_; }
+
+private:
+    const Netlist* nl_;
+    netlist::Levelization lv_;
+};
+
+/// Per-gate 64-bit signatures accumulated over `rounds` random evaluations;
+/// two combinationally equivalent gates always have equal signatures, and
+/// inverse-equivalent gates have complementary ones. Collisions are
+/// candidates only — callers must prove equivalence before using it.
+struct SignatureSet {
+    /// gate -> concatenated signature words (rounds entries per gate).
+    std::vector<std::vector<std::uint64_t>> sig;
+    std::size_t rounds = 0;
+};
+
+SignatureSet collect_signatures(const Netlist& nl, std::size_t rounds, std::uint64_t seed);
+
+}  // namespace seqlearn::sim

@@ -1,0 +1,167 @@
+#include "workload/circuit_gen.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+
+namespace seqlearn::workload {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+using netlist::SeqAttrs;
+using util::format;
+
+namespace {
+
+// Locality-biased pick: mostly recent entries, occasionally anything.
+std::size_t biased_pick(util::Rng& rng, std::size_t pool, double locality) {
+    if (pool == 1) return 0;
+    if (!rng.chance(locality)) return rng.below(pool);
+    // Geometric walk back from the end of the pool.
+    std::size_t back = 0;
+    while (rng.chance(0.6) && back + 1 < pool) ++back;
+    const std::size_t window = std::min<std::size_t>(pool, 8 + back * 4);
+    return pool - 1 - rng.below(window);
+}
+
+}  // namespace
+
+Netlist generate(const GenParams& p) {
+    util::Rng rng(p.seed);
+    NetlistBuilder b(p.name);
+
+    std::vector<std::string> pool;  // all referencable signals
+    std::vector<std::string> gate_names;
+
+    for (std::size_t i = 0; i < p.n_inputs; ++i) {
+        const std::string n = format("i%zu", i);
+        b.input(n);
+        pool.push_back(n);
+    }
+    std::vector<std::string> ff_names;
+    for (std::size_t i = 0; i < p.n_ffs; ++i) {
+        ff_names.push_back(format("f%zu", i));
+        pool.push_back(ff_names.back());
+    }
+
+    for (std::size_t i = 0; i < p.n_gates; ++i) {
+        GateType t;
+        if (rng.chance(p.xor_fraction)) {
+            t = rng.chance(0.5) ? GateType::Xor : GateType::Xnor;
+        } else {
+            const GateType kinds[] = {GateType::And, GateType::Nand, GateType::Or,
+                                      GateType::Nor, GateType::Not, GateType::And,
+                                      GateType::Or,  GateType::Nand};
+            t = kinds[rng.below(std::size(kinds))];
+        }
+        std::size_t arity = t == GateType::Not ? 1 : (rng.chance(p.wide_fraction) ? 3 : 2);
+        std::vector<std::string> fan;
+        for (std::size_t a = 0; a < arity; ++a) {
+            // Distinct fanins: duplicated inputs degenerate gates into
+            // buffers/constants and flood the circuit with tied logic.
+            std::string pick;
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                pick = pool[biased_pick(rng, pool.size(), p.locality)];
+                if (std::find(fan.begin(), fan.end(), pick) == fan.end()) break;
+            }
+            fan.push_back(pick);
+        }
+        const std::string n = format("g%zu", i);
+        b.gate(t, n, std::move(fan));
+        pool.push_back(n);
+        gate_names.push_back(n);
+    }
+
+    // Sequential attributes: clock domains round-robin, optional latches and
+    // unconstrained set/reset decoration.
+    auto seq_attrs_for = [&](std::size_t index) {
+        SeqAttrs a{};
+        if (p.clock_domains > 1)
+            a.clock_id = static_cast<std::uint16_t>(index % p.clock_domains);
+        if (rng.chance(p.sr_fraction)) {
+            a.set_reset = rng.chance(0.5) ? netlist::SetReset::SetOnly
+                                          : netlist::SetReset::ResetOnly;
+            a.sr_unconstrained = true;
+        }
+        return a;
+    };
+
+    std::vector<std::string> ff_data(p.n_ffs);
+    for (std::size_t i = 0; i < p.n_ffs; ++i) {
+        std::string d = (!gate_names.empty() && rng.chance(p.ff_from_gate))
+                            ? gate_names[biased_pick(rng, gate_names.size(), p.locality)]
+                            : pool[rng.below(p.n_inputs + p.n_ffs)];
+        if (rng.chance(p.ff_mixer_fraction)) {
+            const std::string mix = format("gmx%zu", i);
+            b.gate(GateType::Xor, mix, {d, format("i%zu", rng.below(p.n_inputs))});
+            d = mix;
+        }
+        ff_data[i] = d;
+        const SeqAttrs a = seq_attrs_for(i);
+        if (rng.chance(p.latch_fraction)) b.dlatch(ff_names[i], {d}, a);
+        else b.dff(ff_names[i], d, a);
+    }
+
+    // Shadow registers: duplicates or derivations of existing state bits.
+    // A duplicate creates F' == F (half the state space invalid); a derived
+    // shadow F' = DFF(AND(d, x)) creates the implication F'=1 => F=1.
+    const auto n_shadows =
+        static_cast<std::size_t>(p.shadow_ff_fraction * static_cast<double>(p.n_ffs));
+    for (std::size_t s = 0; s < n_shadows; ++s) {
+        const std::size_t victim = rng.below(p.n_ffs);
+        const std::string name = format("fs%zu", s);
+        const SeqAttrs a = seq_attrs_for(p.n_ffs + s);
+        const double roll = rng.uniform01();
+        if (roll < 0.4) {
+            b.dff(name, ff_data[victim], a);  // exact duplicate
+        } else if (roll < 0.7) {
+            const std::string inv = format("gsn%zu", s);
+            b.gate(GateType::Not, inv, {ff_data[victim]});
+            b.dff(name, inv, a);  // inverted duplicate
+        } else {
+            const std::string mix = format("gsm%zu", s);
+            const std::string& other = pool[biased_pick(rng, pool.size(), p.locality)];
+            b.gate(rng.chance(0.5) ? GateType::And : GateType::Or, mix,
+                   {ff_data[victim], other});
+            b.dff(name, mix, a);  // derived shadow
+        }
+        pool.push_back(name);
+    }
+
+    // Observation points: bias towards late gates so deep logic is visible.
+    std::size_t marked = 0;
+    for (std::size_t i = 0; i < p.n_outputs && !gate_names.empty(); ++i) {
+        b.output(gate_names[biased_pick(rng, gate_names.size(), 0.9)]);
+        ++marked;
+    }
+    if (marked == 0) b.output(pool.back());
+
+    netlist::Netlist nl = b.build();
+    // Dangling logic is unobservable and would make the fault universe
+    // artificially untestable; real netlists observe every net somewhere,
+    // so promote all zero-fanout signals to primary outputs.
+    for (netlist::GateId id = 0; id < nl.size(); ++id) {
+        if (nl.fanouts(id).empty() && nl.type(id) != GateType::Input) nl.mark_output(id);
+    }
+    return nl;
+}
+
+GenParams iscas_like(std::string name, std::size_t n_ffs, std::size_t n_gates,
+                     std::uint64_t seed) {
+    GenParams p;
+    p.name = std::move(name);
+    p.seed = seed;
+    p.n_ffs = n_ffs;
+    // Keep shadows inside the published FF count: ~1/6 of the registers act
+    // as shadows of the others.
+    p.shadow_ff_fraction = 0.2;
+    p.n_ffs = std::max<std::size_t>(2, n_ffs - static_cast<std::size_t>(0.2 * n_ffs));
+    p.n_gates = n_gates;
+    p.n_inputs = std::clamp<std::size_t>(n_gates / 40, 4, 40);
+    p.n_outputs = std::clamp<std::size_t>(n_gates / 30, 4, 60);
+    return p;
+}
+
+}  // namespace seqlearn::workload

@@ -1,0 +1,61 @@
+#pragma once
+// Synthetic sequential circuit generation.
+//
+// Public ISCAS-89 netlists beyond s27 are not shipped with this repository,
+// so the experiment suite uses generator circuits calibrated to the paper's
+// (FF, gate) sizes. The generator produces ISCAS-like structure — random
+// mixed-type combinational logic with locality-biased (reconvergent)
+// wiring, state feedback through flip-flops — plus the ingredients the
+// learning technique feeds on: shadow registers (duplicated or derived
+// state bits that create invalid states) and optional multi-clock, latch,
+// and partial set/reset decoration to exercise the Section-3.3 rules.
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+#include <string>
+
+namespace seqlearn::workload {
+
+struct GenParams {
+    std::string name = "gen";
+    std::uint64_t seed = 1;
+    std::size_t n_inputs = 8;
+    std::size_t n_outputs = 8;
+    /// Primary flip-flops (before shadows).
+    std::size_t n_ffs = 16;
+    /// Combinational gates.
+    std::size_t n_gates = 100;
+    /// Fraction of XOR/XNOR gates (they resist learning, as in real logic).
+    double xor_fraction = 0.08;
+    /// Fraction of 3-input gates.
+    double wide_fraction = 0.25;
+    /// Wiring locality in (0,1): higher = more reconvergence.
+    double locality = 0.75;
+    /// Probability an FF's D input comes from a gate (vs a primary input).
+    double ff_from_gate = 0.9;
+    /// Fraction of FF data inputs routed through an XOR with a primary
+    /// input. Purely random feedback logic tends to collapse into absorbing
+    /// states (everything converges to constants); the mixers keep the
+    /// state controllable the way designed FSMs are.
+    double ff_mixer_fraction = 0.5;
+    /// Extra registers duplicating or deriving existing state bits; each
+    /// one lowers the density of encoding and yields FF-FF relations.
+    double shadow_ff_fraction = 0.2;
+    /// Clock domains (round-robin assignment when > 1).
+    std::size_t clock_domains = 1;
+    /// Fraction of sequential elements realized as latches.
+    double latch_fraction = 0.0;
+    /// Fraction of flip-flops given an unconstrained set or reset line.
+    double sr_fraction = 0.0;
+};
+
+/// Generate a circuit; deterministic in `params` (including the seed).
+netlist::Netlist generate(const GenParams& params);
+
+/// Parameters calibrated to an ISCAS-89-sized circuit: `n_ffs` and
+/// `n_gates` match the paper's Table 3 row for the like-named circuit.
+GenParams iscas_like(std::string name, std::size_t n_ffs, std::size_t n_gates,
+                     std::uint64_t seed);
+
+}  // namespace seqlearn::workload

@@ -1,0 +1,32 @@
+#pragma once
+// FIRE-style fault-independent untestable-fault identification — the
+// comparator of the paper's Table 4 (Iyer/Long/Abramovici's FIRES).
+//
+// Principle: every test assigns each fanout stem 0 or 1 (a test leaving the
+// stem at X still works under either refinement, by Kleene monotonicity).
+// Therefore a fault undetectable when s=0 is asserted AND undetectable when
+// s=1 is asserted is undetectable outright. For each stem value the
+// analysis computes necessary implications (forward + unique backward, one
+// frame, free state, pseudo outputs observable) and declares a fault
+// undetectable under that value when it is unexcitable (the faulted line is
+// implied to the stuck value) or unpropagatable (every path from the fault
+// site to an observation point passes a gate with an implied controlling
+// side input).
+
+#include "fault/fault.hpp"
+
+#include <vector>
+
+namespace seqlearn::workload {
+
+struct FiresResult {
+    /// Faults proven untestable, in universe order.
+    std::vector<fault::Fault> untestable;
+    std::size_t stems_analyzed = 0;
+};
+
+/// Run the analysis over every fanout stem of `nl` against `universe`.
+FiresResult fires_untestable(const netlist::Netlist& nl,
+                             std::span<const fault::Fault> universe);
+
+}  // namespace seqlearn::workload

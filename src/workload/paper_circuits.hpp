@@ -1,0 +1,35 @@
+#pragma once
+// Embedded circuits: ISCAS-89 s27 (exact) and reconstructions of the
+// paper's Figure 1 and Figure 2 example circuits.
+//
+// The paper's figures are not fully specified by the text (gate functions
+// are not enumerated), so fig1_analog/fig2_analog are *mechanism analogs*:
+// they are built to exhibit, with the same node naming style, every
+// phenomenon the figures illustrate — see each function's contract. The
+// Table 1/Table 2 bench regenerates the paper's tables on fig1_analog.
+
+#include "netlist/netlist.hpp"
+
+namespace seqlearn::workload {
+
+/// The ISCAS-89 s27 benchmark (public domain), exactly as distributed.
+netlist::Netlist s27();
+
+/// Figure-1 analog. Phenomena exercised (paper Section 3.1-3.2):
+///  - a combinationally tied gate (G3) learned because both values of a
+///    stem imply the same value at frame 0;
+///  - FF-FF invalid-state relations from single-node learning;
+///  - additional relations only multiple-node learning extracts;
+///  - additional relations only the gate-equivalence assist enables
+///    (a reconvergent XOR pair G2/G4 equivalent to a plain signal);
+///  - a sequentially tied gate (G15) proven by a multiple-node conflict.
+netlist::Netlist fig1_analog();
+
+/// Figure-2 analog, faithful to the paper's worked example: stems I2 and I3
+/// each imply G9=1 one frame later, so G9=0 implies I2=1 and I3=1 in the
+/// previous frame, which forces F2=0 — the relation G9=0 => F2=0 that no
+/// single-stem (or inject-on-G9) technique can learn. G6/G7 are the AND
+/// decision nodes of the paper's Section-4 discussion.
+netlist::Netlist fig2_analog();
+
+}  // namespace seqlearn::workload

@@ -1,0 +1,131 @@
+#include "workload/retime.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace seqlearn::workload {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+namespace {
+
+// Mutable "declaration soup" the transform edits by name.
+struct Soup {
+    struct Node {
+        GateType type;
+        std::vector<std::string> fanins;
+        netlist::SeqAttrs attrs{};
+    };
+    std::map<std::string, Node> nodes;
+    std::vector<std::string> outputs;
+    std::string name;
+
+    static Soup from(const Netlist& nl) {
+        Soup s;
+        s.name = nl.name();
+        for (GateId id = 0; id < nl.size(); ++id) {
+            Soup::Node node;
+            node.type = nl.type(id);
+            for (const GateId f : nl.fanins(id)) node.fanins.push_back(nl.name_of(f));
+            if (netlist::is_sequential(node.type)) node.attrs = nl.seq_attrs(id);
+            s.nodes.emplace(nl.name_of(id), std::move(node));
+        }
+        for (const GateId o : nl.outputs()) s.outputs.push_back(nl.name_of(o));
+        return s;
+    }
+
+    Netlist build() const {
+        netlist::NetlistBuilder b(name);
+        for (const auto& [n, node] : nodes) {
+            switch (node.type) {
+                case GateType::Input: b.input(n); break;
+                case GateType::Const0: b.constant(n, false); break;
+                case GateType::Const1: b.constant(n, true); break;
+                case GateType::Dff: b.dff(n, node.fanins[0], node.attrs); break;
+                case GateType::Dlatch: b.dlatch(n, node.fanins, node.attrs); break;
+                default: b.gate(node.type, n, node.fanins); break;
+            }
+        }
+        for (const auto& o : outputs) b.output(o);
+        return b.build();
+    }
+
+    std::size_t fanout_count(const std::string& sig) const {
+        std::size_t n = 0;
+        for (const auto& [name2, node] : nodes) {
+            n += static_cast<std::size_t>(
+                std::count(node.fanins.begin(), node.fanins.end(), sig));
+        }
+        n += static_cast<std::size_t>(std::count(outputs.begin(), outputs.end(), sig));
+        return n;
+    }
+};
+
+}  // namespace
+
+Netlist forward_retime(const Netlist& nl, std::size_t max_moves, std::uint64_t seed,
+                       RetimeStats* stats) {
+    util::Rng rng(seed);
+    Soup soup = Soup::from(nl);
+    soup.name = nl.name() + "_rt";
+    std::size_t fresh = 0;
+    std::size_t moves = 0;
+
+    for (std::size_t attempt = 0; attempt < max_moves * 8 && moves < max_moves; ++attempt) {
+        // Eligible: a plain DFF whose D is a single-fanout combinational
+        // gate with at least two inputs (pushing through an inverter just
+        // renames state; through a 2+-input gate it *duplicates* state).
+        std::vector<std::string> candidates;
+        for (const auto& [n, node] : soup.nodes) {
+            if (node.type != GateType::Dff) continue;
+            if (node.attrs.set_reset != netlist::SetReset::None) continue;
+            const auto it = soup.nodes.find(node.fanins[0]);
+            if (it == soup.nodes.end()) continue;
+            const Soup::Node& g = it->second;
+            if (!netlist::is_combinational(g.type) || g.type == GateType::Const0 ||
+                g.type == GateType::Const1) {
+                continue;
+            }
+            if (g.fanins.size() < 2) continue;
+            if (soup.fanout_count(node.fanins[0]) != 1) continue;
+            candidates.push_back(n);
+        }
+        if (candidates.empty()) break;
+        const std::string ff = candidates[rng.below(candidates.size())];
+        const std::string gate = soup.nodes.at(ff).fanins[0];
+        const Soup::Node g = soup.nodes.at(gate);
+        const netlist::SeqAttrs attrs = soup.nodes.at(ff).attrs;
+
+        // One new register per gate input (deliberately not shared even if
+        // an equal register exists — the redundancy is the point).
+        std::vector<std::string> regs;
+        for (const std::string& src : g.fanins) {
+            const std::string r = util::format("rt%zu", fresh++);
+            soup.nodes.emplace(r, Soup::Node{GateType::Dff, {src}, attrs});
+            regs.push_back(r);
+        }
+        // The FF becomes the combinational gate over the new registers; the
+        // old gate disappears (its only fanout was the FF).
+        soup.nodes[ff] = Soup::Node{g.type, regs, {}};
+        soup.nodes.erase(gate);
+        ++moves;
+    }
+
+    if (stats != nullptr) {
+        stats->moves_applied = moves;
+        stats->registers_before = nl.seq_elements().size();
+        std::size_t after = 0;
+        for (const auto& [n, node] : soup.nodes)
+            after += netlist::is_sequential(node.type) ? 1 : 0;
+        stats->registers_after = after;
+    }
+    return soup.build();
+}
+
+}  // namespace seqlearn::workload

@@ -1,0 +1,30 @@
+#pragma once
+// Forward retiming (paper Section 5 workload; references [9] and [16]).
+//
+// A forward-retiming move takes a flip-flop whose data input is a
+// single-fanout combinational gate and pushes the register backward through
+// that gate: one register per gate input replaces the single register at
+// its output. Steady-state behaviour is preserved (the moved registers
+// jointly deliver the same next value), but the replacement registers now
+// encode redundantly correlated state — the density of encoding drops and
+// invalid states appear, which is exactly why the paper's retimed circuits
+// are hard for ATPG without learned invalid-state relations.
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace seqlearn::workload {
+
+struct RetimeStats {
+    std::size_t moves_applied = 0;
+    std::size_t registers_before = 0;
+    std::size_t registers_after = 0;
+};
+
+/// Apply up to `max_moves` random forward-retiming moves to a copy of `nl`.
+/// Latches, multi-port elements, and elements with set/reset are never
+/// moved. Returns the transformed circuit (named `nl.name() + "_rt"`).
+netlist::Netlist forward_retime(const netlist::Netlist& nl, std::size_t max_moves,
+                                std::uint64_t seed, RetimeStats* stats = nullptr);
+
+}  // namespace seqlearn::workload

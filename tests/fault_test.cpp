@@ -1,0 +1,314 @@
+// Tests for the fault substrate: universe generation, equivalence
+// collapsing, the status list, and the 63-fault-parallel sequential fault
+// simulator cross-validated against netlist-surgery reference simulation.
+
+#include "fault/collapse.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "sim/comb_engine.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace seqlearn::fault {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+using sim::InputFrame;
+using sim::InputSequence;
+
+constexpr const char* kS27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+Netlist make_s27() { return netlist::read_bench_string(kS27, "s27"); }
+
+InputSequence random_sequence(const Netlist& nl, std::size_t len, util::Rng& rng) {
+    InputSequence seq(len, InputFrame(nl.inputs().size(), Val3::X));
+    for (auto& frame : seq) {
+        for (auto& v : frame) v = rng.chance(0.5) ? Val3::One : Val3::Zero;
+    }
+    return seq;
+}
+
+// Reference detection: simulate good and surgically-faulted netlists and
+// compare primary outputs frame by frame (both binary, different).
+bool reference_detects(const Netlist& nl, const Fault& f, const InputSequence& seq) {
+    const Netlist bad = apply_fault_copy(nl, f);
+    const auto good = sim::simulate_sequence(nl, seq);
+    const auto faulty = sim::simulate_sequence(bad, seq);
+    for (std::size_t t = 0; t < seq.size(); ++t) {
+        for (std::size_t o = 0; o < good.outputs[t].size(); ++o) {
+            const Val3 g = good.outputs[t][o];
+            const Val3 b = faulty.outputs[t][o];
+            if (g != Val3::X && b != Val3::X && g != b) return true;
+        }
+    }
+    return false;
+}
+
+TEST(FaultUniverse, SizeMatchesStructure) {
+    const Netlist nl = make_s27();
+    std::size_t branch_pins = 0;
+    for (GateId id = 0; id < nl.size(); ++id) {
+        for (const GateId f : nl.fanins(id)) {
+            if (nl.fanouts(f).size() > 1) ++branch_pins;
+        }
+    }
+    const auto universe = fault_universe(nl);
+    EXPECT_EQ(universe.size(), 2 * (nl.size() + branch_pins));
+    // No duplicates.
+    auto sorted = universe;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+}
+
+TEST(FaultUniverse, FanoutFreePinsCarryNoFaults) {
+    NetlistBuilder b("ff");
+    b.input("a").input("bb");
+    b.gate(GateType::And, "g", {"a", "bb"});
+    b.output("g");
+    const Netlist nl = b.build();
+    const auto universe = fault_universe(nl);
+    EXPECT_EQ(universe.size(), 6u);  // 3 gates x 2, no branch faults
+    for (const Fault& f : universe) EXPECT_EQ(f.pin, kOutputPin);
+}
+
+TEST(FaultToString, Formats) {
+    const Netlist nl = make_s27();
+    EXPECT_EQ(to_string(nl, Fault{nl.find("G14"), kOutputPin, Val3::One}), "G14 s-a-1");
+    EXPECT_EQ(to_string(nl, Fault{nl.find("G9"), 1, Val3::Zero}), "G9.in1 s-a-0");
+}
+
+TEST(Collapse, SingleAndGate) {
+    NetlistBuilder b("and2");
+    b.input("a").input("bb");
+    b.gate(GateType::And, "g", {"a", "bb"});
+    b.output("g");
+    const Netlist nl = b.build();
+    const CollapsedFaults cf = collapse(nl);
+    EXPECT_EQ(cf.universe_size(), 6u);
+    // {a0,b0,g0} collapse; a1, b1, g1 stay separate -> 4 classes.
+    EXPECT_EQ(cf.size(), 4u);
+    const Fault a0{nl.find("a"), kOutputPin, Val3::Zero};
+    const Fault b0{nl.find("bb"), kOutputPin, Val3::Zero};
+    const Fault g0{nl.find("g"), kOutputPin, Val3::Zero};
+    EXPECT_EQ(cf.rep_of(a0), cf.rep_of(g0));
+    EXPECT_EQ(cf.rep_of(b0), cf.rep_of(g0));
+    const Fault a1{nl.find("a"), kOutputPin, Val3::One};
+    const Fault g1{nl.find("g"), kOutputPin, Val3::One};
+    EXPECT_NE(cf.rep_of(a1), cf.rep_of(g1));
+}
+
+TEST(Collapse, InverterChainFoldsToTwoClasses) {
+    NetlistBuilder b("chain");
+    b.input("a");
+    b.gate(GateType::Not, "n1", {"a"});
+    b.gate(GateType::Not, "n2", {"n1"});
+    b.output("n2");
+    const Netlist nl = b.build();
+    const CollapsedFaults cf = collapse(nl);
+    EXPECT_EQ(cf.universe_size(), 6u);
+    EXPECT_EQ(cf.size(), 2u);
+    const Fault a0{nl.find("a"), kOutputPin, Val3::Zero};
+    const Fault n1_1{nl.find("n1"), kOutputPin, Val3::One};
+    const Fault n2_0{nl.find("n2"), kOutputPin, Val3::Zero};
+    EXPECT_EQ(cf.rep_of(a0), cf.rep_of(n1_1));
+    EXPECT_EQ(cf.rep_of(a0), cf.rep_of(n2_0));
+}
+
+TEST(Collapse, NandPolarity) {
+    NetlistBuilder b("nand2");
+    b.input("a").input("bb");
+    b.gate(GateType::Nand, "g", {"a", "bb"});
+    b.output("g");
+    const Netlist nl = b.build();
+    const CollapsedFaults cf = collapse(nl);
+    // in s-a-0 == out s-a-1 for NAND.
+    const Fault a0{nl.find("a"), kOutputPin, Val3::Zero};
+    const Fault g1{nl.find("g"), kOutputPin, Val3::One};
+    EXPECT_EQ(cf.rep_of(a0), cf.rep_of(g1));
+}
+
+TEST(Collapse, XorHasNoEquivalences) {
+    NetlistBuilder b("xor2");
+    b.input("a").input("bb");
+    b.gate(GateType::Xor, "g", {"a", "bb"});
+    b.output("g");
+    const Netlist nl = b.build();
+    EXPECT_EQ(collapse(nl).size(), 6u);
+}
+
+TEST(Collapse, BranchFaultsStayDistinctFromStem) {
+    // A stem feeding an AND and an OR: branch faults collapse into the
+    // consumers' output faults, not into the stem fault.
+    NetlistBuilder b("branch");
+    b.input("a").input("bb").input("c");
+    b.gate(GateType::Buf, "s", {"a"});
+    b.gate(GateType::And, "g1", {"s", "bb"});
+    b.gate(GateType::Or, "g2", {"s", "c"});
+    b.output("g1").output("g2");
+    const Netlist nl = b.build();
+    const CollapsedFaults cf = collapse(nl);
+    const Fault stem0{nl.find("s"), kOutputPin, Val3::Zero};
+    const Fault branch_and_0{nl.find("g1"), 0, Val3::Zero};
+    const Fault g1_0{nl.find("g1"), kOutputPin, Val3::Zero};
+    EXPECT_EQ(cf.rep_of(branch_and_0), cf.rep_of(g1_0));
+    EXPECT_NE(cf.rep_of(stem0), cf.rep_of(branch_and_0));
+}
+
+// Detection equivalence: every fault must be detected by exactly the
+// sequences that detect its class representative.
+TEST(Collapse, ClassMembersShareDetection) {
+    const Netlist nl = make_s27();
+    const CollapsedFaults cf = collapse(nl);
+    const auto universe = fault_universe(nl);
+    FaultSimulator fsim(nl);
+    util::Rng rng(2024);
+    for (int trial = 0; trial < 4; ++trial) {
+        const InputSequence seq = random_sequence(nl, 6, rng);
+        for (const Fault& f : universe) {
+            const Fault& rep = cf.rep_of(f);
+            if (rep == f) continue;
+            EXPECT_EQ(fsim.detects(seq, f), fsim.detects(seq, rep))
+                << to_string(nl, f) << " vs rep " << to_string(nl, rep);
+        }
+    }
+}
+
+TEST(FaultList, CountsAndCoverage) {
+    FaultList list({Fault{0, kOutputPin, Val3::Zero}, Fault{0, kOutputPin, Val3::One},
+                    Fault{1, kOutputPin, Val3::Zero}, Fault{1, kOutputPin, Val3::One}});
+    list.set_status(0, FaultStatus::Detected);
+    list.set_status(1, FaultStatus::Untestable);
+    list.set_status(2, FaultStatus::Aborted);
+    const auto c = list.counts();
+    EXPECT_EQ(c.total, 4u);
+    EXPECT_EQ(c.detected, 1u);
+    EXPECT_EQ(c.untestable, 1u);
+    EXPECT_EQ(c.aborted, 1u);
+    EXPECT_EQ(c.undetected, 1u);
+    EXPECT_DOUBLE_EQ(list.fault_coverage(), 0.25);
+    EXPECT_DOUBLE_EQ(list.test_coverage(), 1.0 / 3.0);
+    EXPECT_EQ(list.undetected(), (std::vector<std::size_t>{3}));
+    EXPECT_EQ(list.aborted(), (std::vector<std::size_t>{2}));
+}
+
+// The parallel fault simulator must agree with netlist-surgery reference
+// simulation for every fault in the universe.
+TEST(FaultSim, AgreesWithSurgeryReferenceOnS27) {
+    const Netlist nl = make_s27();
+    const auto universe = fault_universe(nl);
+    FaultSimulator fsim(nl);
+    util::Rng rng(7);
+    for (int trial = 0; trial < 3; ++trial) {
+        const InputSequence seq = random_sequence(nl, 8, rng);
+        for (const Fault& f : universe) {
+            EXPECT_EQ(fsim.detects(seq, f), reference_detects(nl, f, seq))
+                << to_string(nl, f) << " trial " << trial;
+        }
+    }
+}
+
+TEST(FaultSim, ParallelPassMatchesSerialRuns) {
+    const Netlist nl = make_s27();
+    const auto universe = fault_universe(nl);
+    FaultSimulator fsim(nl);
+    util::Rng rng(15);
+    const InputSequence seq = random_sequence(nl, 10, rng);
+    // One big pass over the first 63 faults vs. per-fault runs.
+    const std::size_t n = std::min<std::size_t>(universe.size(), kFaultsPerPass);
+    const std::span<const Fault> chunk(universe.data(), n);
+    const auto parallel = fsim.run(seq, chunk);
+    for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(parallel[j], fsim.detects(seq, universe[j])) << to_string(nl, universe[j]);
+    }
+}
+
+TEST(FaultSim, XInputsNeverProduceFalseDetections) {
+    // With all-X stimuli nothing is observable, so nothing may be detected.
+    const Netlist nl = make_s27();
+    const auto universe = fault_universe(nl);
+    FaultSimulator fsim(nl);
+    const InputSequence seq(5, InputFrame(nl.inputs().size(), Val3::X));
+    for (const Fault& f : universe) {
+        EXPECT_FALSE(fsim.detects(seq, f)) << to_string(nl, f);
+    }
+}
+
+TEST(FaultSim, DropDetectedMatchesIndividualDetection) {
+    const Netlist nl = make_s27();
+    const CollapsedFaults cf = collapse(nl);
+    FaultList list(cf.representatives());
+    FaultSimulator fsim(nl);
+    util::Rng rng(31);
+    const InputSequence seq = random_sequence(nl, 12, rng);
+    const std::size_t dropped = fsim.drop_detected(seq, list);
+    std::size_t expect_dropped = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const bool det = fsim.detects(seq, list.fault(i));
+        expect_dropped += det;
+        EXPECT_EQ(list.status(i) == FaultStatus::Detected, det);
+    }
+    EXPECT_EQ(dropped, expect_dropped);
+    EXPECT_GT(dropped, 0u);  // a 12-frame random sequence detects something
+}
+
+TEST(FaultSim, DetectsObviousFault) {
+    // y = AND(a, b), y observed: a s-a-0 detected by a=b=1.
+    NetlistBuilder b("and2");
+    b.input("a").input("bb");
+    b.gate(GateType::And, "y", {"a", "bb"});
+    b.output("y");
+    const Netlist nl = b.build();
+    FaultSimulator fsim(nl);
+    const InputSequence seq{{Val3::One, Val3::One}};
+    EXPECT_TRUE(fsim.detects(seq, Fault{nl.find("a"), kOutputPin, Val3::Zero}));
+    EXPECT_FALSE(fsim.detects(seq, Fault{nl.find("a"), kOutputPin, Val3::One}));
+    const InputSequence seq01{{Val3::Zero, Val3::One}};
+    EXPECT_TRUE(fsim.detects(seq01, Fault{nl.find("a"), kOutputPin, Val3::One}));
+}
+
+TEST(FaultSim, SequentialFaultNeedsPropagationFrames) {
+    // Pipeline: fault at the head shows at the PO only after 2 frames.
+    NetlistBuilder b("pipe");
+    b.input("i");
+    b.dff("f1", "i");
+    b.dff("f2", "f1");
+    b.output("f2");
+    const Netlist nl = b.build();
+    FaultSimulator fsim(nl);
+    const Fault f{nl.find("i"), kOutputPin, Val3::Zero};
+    const InputSequence short_seq{{Val3::One}, {Val3::One}};
+    EXPECT_FALSE(fsim.detects(short_seq, f));
+    const InputSequence long_seq{{Val3::One}, {Val3::One}, {Val3::One}};
+    EXPECT_TRUE(fsim.detects(long_seq, f));
+}
+
+}  // namespace
+}  // namespace seqlearn::fault

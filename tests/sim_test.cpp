@@ -1,0 +1,515 @@
+// Tests for the simulation substrate: the levelized reference engine, the
+// scalar sequence simulator, the event-driven multi-frame simulator used by
+// learning, and the 64-lane parallel simulator.
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/clock_class.hpp"
+#include "sim/comb_engine.hpp"
+#include "sim/frame_sim.hpp"
+#include "sim/parallel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace seqlearn::sim {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::kNoGate;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+using netlist::SeqAttrs;
+using netlist::SetReset;
+
+constexpr const char* kS27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+// Find the implied value of `gate` at `frame`, or X if absent.
+Val3 implied_at(const FrameSimResult& res, GateId gate, std::uint32_t frame) {
+    for (const ImpliedValue& iv : res.implied) {
+        if (iv.gate == gate && iv.frame == frame) return iv.value;
+    }
+    return Val3::X;
+}
+
+TEST(CombEngine, EvaluatesKnownTruthTable) {
+    NetlistBuilder b("tt");
+    b.input("a").input("b");
+    b.gate(GateType::Nand, "n", {"a", "b"});
+    b.gate(GateType::Xor, "x", {"n", "a"});
+    b.output("x");
+    const Netlist nl = b.build();
+    const CombEngine eng(nl);
+    std::vector<Val3> vals(nl.size(), Val3::X);
+    vals[nl.find("a")] = Val3::One;
+    vals[nl.find("b")] = Val3::Zero;
+    eng.eval(vals);
+    EXPECT_EQ(vals[nl.find("n")], Val3::One);   // NAND(1,0)=1
+    EXPECT_EQ(vals[nl.find("x")], Val3::Zero);  // XOR(1,1)=0
+}
+
+TEST(CombEngine, XPropagatesPessimistically) {
+    NetlistBuilder b("xprop");
+    b.input("a");
+    b.gate(GateType::Not, "na", {"a"});
+    b.gate(GateType::Or, "taut", {"a", "na"});  // tautology, but 3-valued X
+    b.output("taut");
+    const Netlist nl = b.build();
+    const CombEngine eng(nl);
+    std::vector<Val3> vals(nl.size(), Val3::X);
+    eng.eval(vals);
+    EXPECT_EQ(vals[nl.find("taut")], Val3::X);
+    vals.assign(nl.size(), Val3::X);
+    vals[nl.find("a")] = Val3::Zero;
+    eng.eval(vals);
+    EXPECT_EQ(vals[nl.find("taut")], Val3::One);
+}
+
+TEST(CombEngine, ConstantsAlwaysEvaluate) {
+    NetlistBuilder b("consts");
+    b.input("a");
+    b.constant("zero", false);
+    b.constant("one", true);
+    b.gate(GateType::And, "g", {"a", "one"});
+    b.output("g");
+    const Netlist nl = b.build();
+    const CombEngine eng(nl);
+    std::vector<Val3> vals(nl.size(), Val3::X);
+    eng.eval(vals);
+    EXPECT_EQ(vals[nl.find("zero")], Val3::Zero);
+    EXPECT_EQ(vals[nl.find("one")], Val3::One);
+    EXPECT_EQ(vals[nl.find("g")], Val3::X);  // a is X
+}
+
+TEST(SequenceSim, ToggleFlipFlop) {
+    // F toggles every cycle once initialized: F' = XOR(F, 1) via NOT.
+    NetlistBuilder b("toggle");
+    b.input("seed");
+    b.gate(GateType::Not, "nf", {"f"});
+    b.dff("f", "mux");
+    // mux = (seed AND first) OR nf — emulate init by ORing seed once.
+    b.gate(GateType::Or, "mux", {"seed", "nf"});
+    b.output("f");
+    const Netlist nl = b.build();
+
+    // Drive seed=1 in frame 0 (forces mux=1), then 0.
+    InputSequence seq{{Val3::One}, {Val3::Zero}, {Val3::Zero}, {Val3::Zero}};
+    const SequenceResult r = simulate_sequence(nl, seq);
+    const GateId f = nl.find("f");
+    EXPECT_EQ(r.frames[0][f], Val3::X);    // uninitialized
+    EXPECT_EQ(r.frames[1][f], Val3::One);  // captured the forced 1
+    EXPECT_EQ(r.frames[2][f], Val3::Zero);
+    EXPECT_EQ(r.frames[3][f], Val3::One);
+}
+
+TEST(SequenceSim, InitialStateArgument) {
+    NetlistBuilder b("sr");
+    b.input("i");
+    b.dff("f", "i");
+    b.output("f");
+    const Netlist nl = b.build();
+    std::vector<Val3> init{Val3::One};
+    InputSequence seq{{Val3::Zero}, {Val3::Zero}};
+    const SequenceResult r = simulate_sequence(nl, seq, &init);
+    EXPECT_EQ(r.frames[0][nl.find("f")], Val3::One);
+    EXPECT_EQ(r.frames[1][nl.find("f")], Val3::Zero);
+}
+
+TEST(SequenceSim, RejectsBadSizes) {
+    NetlistBuilder b("bad");
+    b.input("i");
+    b.dff("f", "i");
+    b.output("f");
+    const Netlist nl = b.build();
+    InputSequence wrong{{Val3::Zero, Val3::Zero}};
+    EXPECT_THROW(simulate_sequence(nl, wrong), std::invalid_argument);
+    std::vector<Val3> bad_init{Val3::One, Val3::One};
+    InputSequence ok{{Val3::Zero}};
+    EXPECT_THROW(simulate_sequence(nl, ok, &bad_init), std::invalid_argument);
+}
+
+// --- FrameSimulator -------------------------------------------------------
+
+TEST(FrameSim, SingleInjectionPropagatesWithinFrame) {
+    const Netlist nl = netlist::read_bench_string(kS27, "s27");
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const std::vector<Injection> inj{{0, nl.find("G0"), Val3::One}};
+    const auto res = sim.run(inj, {});
+    // G0=1 -> G14=0 -> G8=0, and G10 = NOR(G14=0, G11=X) stays X.
+    EXPECT_EQ(implied_at(res, nl.find("G14"), 0), Val3::Zero);
+    EXPECT_EQ(implied_at(res, nl.find("G8"), 0), Val3::Zero);
+    EXPECT_EQ(implied_at(res, nl.find("G10"), 0), Val3::X);
+    EXPECT_FALSE(res.conflict);
+}
+
+TEST(FrameSim, ValueCrossesFrameBoundaryThroughFF) {
+    // f = DFF(i); g = AND(f, j).
+    NetlistBuilder b("cross");
+    b.input("i").input("j");
+    b.dff("f", "i");
+    b.gate(GateType::And, "g", {"f", "j"});
+    b.output("g");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const std::vector<Injection> inj{{0, nl.find("i"), Val3::Zero}};
+    const auto res = sim.run(inj, {});
+    EXPECT_EQ(implied_at(res, nl.find("f"), 1), Val3::Zero);
+    EXPECT_EQ(implied_at(res, nl.find("g"), 1), Val3::Zero);  // AND with 0
+    EXPECT_EQ(implied_at(res, nl.find("f"), 0), Val3::X);
+}
+
+TEST(FrameSim, StopsOnStateRepeat) {
+    // f latches 1 forever once i=1 passes through OR feedback.
+    NetlistBuilder b("sticky");
+    b.input("i");
+    b.gate(GateType::Or, "d", {"i", "f"});
+    b.dff("f", "d");
+    b.output("f");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const std::vector<Injection> inj{{0, nl.find("i"), Val3::One}};
+    FrameSimOptions opt;
+    opt.max_frames = 50;
+    const auto res = sim.run(inj, opt);
+    EXPECT_TRUE(res.stopped_on_repeat);
+    // Frame 0: d=1. Frame 1: f=1, d=1 -> state repeats -> stop.
+    EXPECT_EQ(res.frames_run, 2u);
+    EXPECT_EQ(implied_at(res, nl.find("f"), 1), Val3::One);
+}
+
+TEST(FrameSim, RespectsMaxFrames) {
+    // A two-stage ring oscillator: f1 = DFF(NOT f2), f2 = DFF(f1). Kicking
+    // f1 directly makes a single known value circulate forever; consecutive
+    // states always differ (the known bit alternates between f1 and f2), so
+    // only max_frames stops the run.
+    NetlistBuilder b("osc2");
+    b.gate(GateType::Not, "nf2", {"f2"});
+    b.dff("f1", "nf2");
+    b.dff("f2", "f1");
+    b.output("f2");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const std::vector<Injection> inj{{0, nl.find("f1"), Val3::One}};
+    FrameSimOptions opt;
+    opt.max_frames = 7;
+    const auto res = sim.run(inj, opt);
+    EXPECT_EQ(res.frames_run, 7u);
+    EXPECT_FALSE(res.stopped_on_repeat);
+}
+
+TEST(FrameSim, ContradictoryInjectionsConflict) {
+    NetlistBuilder b("c");
+    b.input("i");
+    b.gate(GateType::Not, "n", {"i"});
+    b.output("n");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const std::vector<Injection> inj{{0, nl.find("i"), Val3::One},
+                                     {0, nl.find("n"), Val3::One}};
+    const auto res = sim.run(inj, {});
+    EXPECT_TRUE(res.conflict);
+    EXPECT_EQ(res.conflict_frame, 0u);
+}
+
+TEST(FrameSim, PropagationContradictingInjectionConflicts) {
+    // Inject g=1 while its inputs force 0.
+    NetlistBuilder b("c2");
+    b.input("a").input("b");
+    b.gate(GateType::And, "g", {"a", "b"});
+    b.output("g");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const std::vector<Injection> inj{{0, nl.find("g"), Val3::One},
+                                     {0, nl.find("a"), Val3::Zero}};
+    const auto res = sim.run(inj, {});
+    EXPECT_TRUE(res.conflict);
+}
+
+TEST(FrameSim, LaterFrameInjectionsApply) {
+    NetlistBuilder b("late");
+    b.input("i");
+    b.dff("f", "i");
+    b.output("f");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const std::vector<Injection> inj{{2, nl.find("i"), Val3::One}};
+    const auto res = sim.run(inj, {});
+    EXPECT_EQ(implied_at(res, nl.find("i"), 2), Val3::One);
+    EXPECT_EQ(implied_at(res, nl.find("f"), 3), Val3::One);
+    EXPECT_EQ(implied_at(res, nl.find("f"), 1), Val3::X);
+}
+
+TEST(FrameSim, EquivalenceForcingDefeatsXPessimism) {
+    // g2 = XOR(h, XOR(h, a)) is functionally a, but 3-valued simulation
+    // cannot see it when h is X. An equivalence link a <-> g2 recovers it.
+    NetlistBuilder b("equiv");
+    b.input("a").input("h");
+    b.gate(GateType::Xor, "x1", {"h", "a"});
+    b.gate(GateType::Xor, "g2", {"h", "x1"});
+    b.gate(GateType::And, "down", {"g2", "a"});
+    b.output("down");
+    const Netlist nl = b.build();
+
+    const std::vector<Injection> inj{{0, nl.find("a"), Val3::One}};
+    {
+        FrameSimulator plain(nl, SeqGating::all_open(nl));
+        const auto res = plain.run(inj, {});
+        EXPECT_EQ(implied_at(res, nl.find("g2"), 0), Val3::X);
+        EXPECT_EQ(implied_at(res, nl.find("down"), 0), Val3::X);
+    }
+    EquivMap eq(nl.size());
+    eq[nl.find("a")].push_back({nl.find("g2"), false});
+    eq[nl.find("g2")].push_back({nl.find("a"), false});
+    {
+        FrameSimulator forced(nl, SeqGating::all_open(nl));
+        forced.set_equivalences(&eq);
+        const auto res = forced.run(inj, {});
+        EXPECT_EQ(implied_at(res, nl.find("g2"), 0), Val3::One);
+        EXPECT_EQ(implied_at(res, nl.find("down"), 0), Val3::One);
+        EXPECT_FALSE(res.conflict);
+    }
+}
+
+TEST(FrameSim, InverseEquivalenceLink) {
+    NetlistBuilder b("inveq");
+    b.input("a").input("h");
+    b.gate(GateType::Xor, "x1", {"h", "a"});
+    b.gate(GateType::Xnor, "g2", {"h", "x1"});  // functionally NOT a
+    b.output("g2");
+    const Netlist nl = b.build();
+    EquivMap eq(nl.size());
+    eq[nl.find("a")].push_back({nl.find("g2"), true});
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    sim.set_equivalences(&eq);
+    const std::vector<Injection> inj{{0, nl.find("a"), Val3::One}};
+    const auto res = sim.run(inj, {});
+    EXPECT_EQ(implied_at(res, nl.find("g2"), 0), Val3::Zero);
+}
+
+TEST(FrameSim, TiesSeedEveryFrameAndDetectConflicts) {
+    NetlistBuilder b("ties");
+    b.input("i");
+    b.gate(GateType::Or, "g", {"t", "i"});
+    b.gate(GateType::And, "t", {"i", "i"});  // pretend-tied gate
+    b.dff("f", "g");
+    b.output("f");
+    const Netlist nl = b.build();
+    std::vector<Val3> ties(nl.size(), Val3::X);
+    ties[nl.find("t")] = Val3::One;
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    sim.set_ties(&ties);
+    // No injections at all: the tie alone drives g=1 and f=1 from frame 1 on.
+    const auto res = sim.run({}, {});
+    EXPECT_EQ(implied_at(res, nl.find("g"), 0), Val3::One);
+    EXPECT_EQ(implied_at(res, nl.find("f"), 1), Val3::One);
+
+    // An injection contradicting the tie conflicts immediately.
+    const std::vector<Injection> bad{{0, nl.find("t"), Val3::Zero}};
+    const auto res2 = sim.run(bad, {});
+    EXPECT_TRUE(res2.conflict);
+}
+
+TEST(FrameSim, ConstantGatesAreSeeded) {
+    NetlistBuilder b("konst");
+    b.constant("one", true);
+    b.input("i");
+    b.gate(GateType::And, "g", {"one", "i"});
+    b.dff("f", "one");
+    b.output("g");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    const auto res = sim.run({}, {});
+    EXPECT_EQ(implied_at(res, nl.find("one"), 0), Val3::One);
+    EXPECT_EQ(implied_at(res, nl.find("f"), 1), Val3::One);
+}
+
+// --- Section 3.3 gating rules ---------------------------------------------
+
+Netlist gating_circuit(SetReset sr, bool unconstrained) {
+    NetlistBuilder b("gating");
+    b.input("i");
+    SeqAttrs attrs{};
+    attrs.set_reset = sr;
+    attrs.sr_unconstrained = unconstrained;
+    b.dff("f", "i", attrs);
+    b.gate(GateType::Buf, "o", {"f"});
+    b.output("o");
+    return b.build();
+}
+
+Val3 propagated(const Netlist& nl, Val3 injected) {
+    const auto classes = netlist::clock_classes(nl);
+    FrameSimulator sim(nl, SeqGating::for_class(nl, classes[0].members));
+    const std::vector<Injection> inj{{0, nl.find("i"), injected}};
+    const auto res = sim.run(inj, {});
+    for (const ImpliedValue& iv : res.implied) {
+        if (iv.gate == nl.find("f") && iv.frame == 1) return iv.value;
+    }
+    return Val3::X;
+}
+
+TEST(FrameSimGating, UnconstrainedSetPassesOnlyOne) {
+    const Netlist nl = gating_circuit(SetReset::SetOnly, true);
+    EXPECT_EQ(propagated(nl, Val3::One), Val3::One);
+    EXPECT_EQ(propagated(nl, Val3::Zero), Val3::X);
+}
+
+TEST(FrameSimGating, UnconstrainedResetPassesOnlyZero) {
+    const Netlist nl = gating_circuit(SetReset::ResetOnly, true);
+    EXPECT_EQ(propagated(nl, Val3::Zero), Val3::Zero);
+    EXPECT_EQ(propagated(nl, Val3::One), Val3::X);
+}
+
+TEST(FrameSimGating, UnconstrainedBothBlocks) {
+    const Netlist nl = gating_circuit(SetReset::Both, true);
+    EXPECT_EQ(propagated(nl, Val3::Zero), Val3::X);
+    EXPECT_EQ(propagated(nl, Val3::One), Val3::X);
+}
+
+TEST(FrameSimGating, ConstrainedSetResetPassesBoth) {
+    const Netlist nl = gating_circuit(SetReset::Both, false);
+    EXPECT_EQ(propagated(nl, Val3::Zero), Val3::Zero);
+    EXPECT_EQ(propagated(nl, Val3::One), Val3::One);
+}
+
+TEST(FrameSimGating, MultiPortLatchBlocks) {
+    NetlistBuilder b("mp");
+    b.input("a").input("b");
+    b.dlatch("l", {"a", "b"});
+    b.gate(GateType::Buf, "o", {"l"});
+    b.output("o");
+    const Netlist nl = b.build();
+    const auto classes = netlist::clock_classes(nl);
+    FrameSimulator sim(nl, SeqGating::for_class(nl, classes[0].members));
+    const std::vector<Injection> inj{{0, nl.find("a"), Val3::One},
+                                     {0, nl.find("b"), Val3::One}};
+    const auto res = sim.run(inj, {});
+    for (const ImpliedValue& iv : res.implied) EXPECT_NE(iv.gate, nl.find("l"));
+}
+
+TEST(FrameSimGating, ForeignClockClassBlocks) {
+    NetlistBuilder b("2dom");
+    b.input("i");
+    SeqAttrs dom1{};
+    dom1.clock_id = 1;
+    b.dff("f0", "i");          // domain 0
+    b.dff("f1", "i", dom1);    // domain 1
+    b.gate(GateType::And, "g", {"f0", "f1"});
+    b.output("g");
+    const Netlist nl = b.build();
+    // Learning pass for domain 0 must not propagate through f1.
+    const auto classes = netlist::clock_classes(nl);
+    const auto& dom0_members =
+        classes[0].clock_id == 0 ? classes[0].members : classes[1].members;
+    FrameSimulator sim(nl, SeqGating::for_class(nl, dom0_members));
+    const std::vector<Injection> inj{{0, nl.find("i"), Val3::Zero}};
+    const auto res = sim.run(inj, {});
+    EXPECT_EQ(implied_at(res, nl.find("f0"), 1), Val3::Zero);
+    EXPECT_EQ(implied_at(res, nl.find("f1"), 1), Val3::X);
+}
+
+// --- Cross-check: event-driven == full levelized simulation ---------------
+
+TEST(FrameSim, AgreesWithReferenceSequenceSimulation) {
+    const Netlist nl = netlist::read_bench_string(kS27, "s27");
+    const auto inputs = nl.inputs();
+
+    // Try all 16 binary assignments of s27's four inputs at frame 0.
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        std::vector<Injection> inj;
+        InputFrame frame(inputs.size(), Val3::X);
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const Val3 v = (bits >> i) & 1 ? Val3::One : Val3::Zero;
+            inj.push_back({0, inputs[i], v});
+            frame[i] = v;
+        }
+        FrameSimOptions opt;
+        opt.max_frames = 5;
+        opt.stop_on_state_repeat = false;
+        FrameSimulator sim(nl, SeqGating::all_open(nl));
+        const auto res = sim.run(inj, opt);
+
+        InputSequence seq(res.frames_run, InputFrame(inputs.size(), Val3::X));
+        seq[0] = frame;
+        const SequenceResult ref = simulate_sequence(nl, seq);
+
+        // Every implied value must match the reference; every binary
+        // reference value within the simulated frames must be implied.
+        std::map<std::pair<std::uint32_t, GateId>, Val3> implied;
+        for (const ImpliedValue& iv : res.implied) implied[{iv.frame, iv.gate}] = iv.value;
+        for (std::uint32_t f = 0; f < res.frames_run; ++f) {
+            for (GateId g = 0; g < nl.size(); ++g) {
+                const Val3 ref_v = ref.frames[f][g];
+                const auto it = implied.find({f, g});
+                const Val3 got = it == implied.end() ? Val3::X : it->second;
+                EXPECT_EQ(got, ref_v) << "gate " << nl.name_of(g) << " frame " << f;
+            }
+        }
+    }
+}
+
+// --- ParallelSim -----------------------------------------------------------
+
+TEST(ParallelSim, MatchesScalarEngineLanewise) {
+    const Netlist nl = netlist::read_bench_string(kS27, "s27");
+    ParallelSim psim(nl);
+    const CombEngine eng(nl);
+    util::Rng rng(99);
+    std::vector<logic::Pattern> pats(nl.size());
+    psim.eval_random(pats, rng);
+    for (int lane = 0; lane < 64; lane += 17) {
+        std::vector<Val3> vals(nl.size(), Val3::X);
+        for (const GateId id : nl.inputs()) vals[id] = logic::pat_get(pats[id], lane);
+        for (const GateId id : nl.seq_elements()) vals[id] = logic::pat_get(pats[id], lane);
+        eng.eval(vals);
+        for (GateId g = 0; g < nl.size(); ++g) {
+            EXPECT_EQ(logic::pat_get(pats[g], lane), vals[g]) << nl.name_of(g);
+        }
+    }
+}
+
+TEST(ParallelSim, SignaturesDeterministicAndEquivalenceRevealing) {
+    // Two structurally different but equivalent gates share signatures.
+    NetlistBuilder b("sig");
+    b.input("a").input("b");
+    b.gate(GateType::And, "g1", {"a", "b"});
+    b.gate(GateType::Nor, "g2", {"na", "nb"});  // AND via De Morgan
+    b.gate(GateType::Not, "na", {"a"});
+    b.gate(GateType::Not, "nb", {"b"});
+    b.gate(GateType::Nand, "g3", {"a", "b"});  // complement of g1
+    b.output("g1");
+    const Netlist nl = b.build();
+    const auto s1 = collect_signatures(nl, 4, 7);
+    const auto s2 = collect_signatures(nl, 4, 7);
+    EXPECT_EQ(s1.sig, s2.sig);
+    EXPECT_EQ(s1.sig[nl.find("g1")], s1.sig[nl.find("g2")]);
+    // g3 is the complement in every lane.
+    for (std::size_t r = 0; r < s1.rounds; ++r) {
+        EXPECT_EQ(s1.sig[nl.find("g1")][r], ~s1.sig[nl.find("g3")][r]);
+    }
+}
+
+}  // namespace
+}  // namespace seqlearn::sim
