@@ -1,0 +1,117 @@
+// Machine-readable perf baseline: emits BENCH_sim.json with the throughput
+// of the three learning-relevant hot paths on the gen5378 suite circuit.
+// Every perf PR diffs against the numbers this driver produced at its base
+// commit, so the schema is deliberately small and stable:
+//
+//   { "circuit": "gen5378",
+//     "benchmarks": [ {"name": ..., "items_per_sec": ..., "seconds": ...,
+//                      "items": ...}, ... ] }
+//
+// Usage: bench_bench_json [output.json]   (default: BENCH_sim.json in cwd;
+// "-" writes the JSON to stdout only).
+
+#include "core/seq_learn.hpp"
+#include "logic/pattern.hpp"
+#include "sim/frame_sim.hpp"
+#include "sim/parallel_sim.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "workload/suite.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace seqlearn;
+using logic::Val3;
+using netlist::Netlist;
+
+struct Row {
+    std::string name;
+    double items_per_sec = 0;
+    double seconds = 0;
+    std::size_t items = 0;
+};
+
+// Repeat `body(items_per_rep)` until `min_seconds` of wall time accumulates.
+template <typename Body>
+Row measure(std::string name, std::size_t items_per_rep, double min_seconds, Body&& body) {
+    Row row;
+    row.name = std::move(name);
+    const util::Timer timer;
+    while (timer.seconds() < min_seconds) {
+        body();
+        row.items += items_per_rep;
+    }
+    row.seconds = timer.seconds();
+    row.items_per_sec = static_cast<double>(row.items) / row.seconds;
+    return row;
+}
+
+Row bench_frame_sim(const Netlist& nl) {
+    sim::FrameSimulator fsim(nl, sim::SeqGating::all_open(nl));
+    const auto stems = nl.stems();
+    sim::FrameSimOptions opt;
+    opt.max_frames = 50;
+    sim::FrameSimResult res;  // reused: the zero-allocation steady state
+    std::size_t i = 0;
+    return measure("frame_sim_stem_injection", 1, 2.0, [&] {
+        const sim::Injection inj{0, stems[i++ % stems.size()], Val3::One};
+        fsim.run_into({&inj, 1}, opt, res);
+    });
+}
+
+Row bench_parallel_patterns(const Netlist& nl) {
+    sim::ParallelSim psim(nl);
+    util::Rng rng(1);
+    std::vector<logic::Pattern> pats(nl.size());
+    // 64 patterns per evaluation.
+    return measure("parallel_pattern_eval", 64, 2.0, [&] { psim.eval_random(pats, rng); });
+}
+
+Row bench_learn(const Netlist& nl) {
+    // One full learn() pass per rep; items = stems processed per pass.
+    const std::size_t stems = nl.stems().size();
+    return measure("learn_full_pass", stems, 2.0, [&] {
+        const core::LearnResult r = core::learn(nl);
+        if (r.stats.stems_processed == 0) std::fprintf(stderr, "learn: empty pass?\n");
+    });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+    const Netlist nl = workload::suite_circuit("gen5378");
+
+    std::vector<Row> rows;
+    rows.push_back(bench_frame_sim(nl));
+    rows.push_back(bench_parallel_patterns(nl));
+    rows.push_back(bench_learn(nl));
+
+    std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"items_per_sec\": %.1f, "
+                      "\"seconds\": %.3f, \"items\": %zu}%s\n",
+                      rows[i].name.c_str(), rows[i].items_per_sec, rows[i].seconds,
+                      rows[i].items, i + 1 < rows.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (out_path != "-") {
+        if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+            std::fputs(json.c_str(), f);
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -30,9 +30,12 @@ void BM_FrameSimStemInjection(benchmark::State& state) {
     std::size_t i = 0;
     sim::FrameSimOptions opt;
     opt.max_frames = 50;
+    // The learning hot path: one frame-0 injection per run, result buffers
+    // reused across runs (zero heap allocations in steady state).
+    sim::FrameSimResult res;
     for (auto _ : state) {
-        const std::vector<sim::Injection> inj{{0, stems[i % stems.size()], Val3::One}};
-        const auto res = fsim.run(inj, opt);
+        const sim::Injection inj{0, stems[i % stems.size()], Val3::One};
+        fsim.run_into({&inj, 1}, opt, res);
         benchmark::DoNotOptimize(res.implied.size());
         ++i;
     }

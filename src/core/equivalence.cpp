@@ -107,7 +107,8 @@ EquivResult find_equivalences(const Netlist& nl, const EquivOptions& opt) {
     };
     std::map<std::vector<std::uint64_t>, std::vector<Entry>> buckets;
     for (GateId g = 0; g < nl.size(); ++g) {
-        std::vector<std::uint64_t> key = sigs.sig[g];
+        const auto words = sigs.of(g);
+        std::vector<std::uint64_t> key(words.begin(), words.end());
         const bool flip = !key.empty() && (key[0] & 1);
         if (flip) {
             for (auto& w : key) w = ~w;

@@ -1,23 +1,30 @@
 #include "core/impl_db.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace seqlearn::core {
 
-ImplicationDB::ImplicationDB(std::size_t num_gates) : adj_(num_gates * 2) {}
+namespace {
 
-std::uint64_t ImplicationDB::pair_key(Literal lhs, Literal rhs) {
-    // Canonical orientation so a relation and its contrapositive share a key.
-    const Relation canon = Relation{lhs, rhs, 0}.canonical();
-    return (lit_key(canon.lhs) << 32) | lit_key(canon.rhs);
+// Position of (the edge to) `to` in a list sorted by lit_key(to).
+std::vector<ImplicationDB::Edge>::const_iterator lower_bound_to(
+    const std::vector<ImplicationDB::Edge>& list, Literal to) {
+    return std::lower_bound(list.begin(), list.end(), lit_key(to),
+                            [](const ImplicationDB::Edge& e, std::uint64_t key) {
+                                return lit_key(e.to) < key;
+                            });
 }
+
+}  // namespace
+
+ImplicationDB::ImplicationDB(std::size_t num_gates) : adj_(num_gates * 2) {}
 
 const ImplicationDB::Edge* ImplicationDB::find_edge(Literal lhs, Literal rhs) const {
     const auto key = lit_key(lhs);
     if (key >= adj_.size()) return nullptr;
-    for (const Edge& e : adj_[key]) {
-        if (e.to == rhs) return &e;
-    }
+    const auto it = lower_bound_to(adj_[key], rhs);
+    if (it != adj_[key].end() && it->to == rhs) return &*it;
     return nullptr;
 }
 
@@ -26,22 +33,24 @@ bool ImplicationDB::add(Literal lhs, Literal rhs, std::uint32_t frame) {
         if (lhs.value == rhs.value) return false;  // tautology
         throw std::invalid_argument("ImplicationDB::add: tie statement (a => !a)");
     }
-    if (members_.contains(pair_key(lhs, rhs))) {
+    std::vector<Edge>& fwd = adj_[lit_key(lhs)];
+    const auto it = lower_bound_to(fwd, rhs);
+    if (it != fwd.end() && it->to == rhs) {
         // Keep the earliest frame at which the relation was learned.
-        if (const Edge* e = find_edge(lhs, rhs); e != nullptr && frame < e->frame)
-            const_cast<Edge*>(e)->frame = frame;
+        Edge& e = fwd[static_cast<std::size_t>(it - fwd.begin())];
+        if (frame < e.frame) e.frame = frame;
         return false;
     }
-    members_.insert(pair_key(lhs, rhs));
-    adj_[lit_key(lhs)].push_back({rhs, frame});
-    adj_[lit_key(negate(rhs))].push_back({negate(lhs), frame});
+    fwd.insert(it, {rhs, frame});
+    std::vector<Edge>& bwd = adj_[lit_key(negate(rhs))];
+    bwd.insert(lower_bound_to(bwd, negate(lhs)), {negate(lhs), frame});
     ++relation_count_;
     return true;
 }
 
 bool ImplicationDB::implies(Literal lhs, Literal rhs) const {
     if (lhs.gate == rhs.gate) return false;
-    return members_.contains(pair_key(lhs, rhs));
+    return find_edge(lhs, rhs) != nullptr;
 }
 
 std::span<const ImplicationDB::Edge> ImplicationDB::edges_of(Literal lhs) const {

@@ -5,11 +5,15 @@
 // a=va => b=vb also records !b=vb... i.e. (b,!vb) => (a,!va), so queries by
 // either literal see every consequence. Adjacency is dense per literal
 // (2 slots per gate), which makes the ATPG-side lookups O(degree).
+//
+// Each literal's edge list is kept sorted by the target literal's key, so
+// membership (add/implies, the single-node learning inner loop) is a binary
+// search over a contiguous array — no hash function, no separate membership
+// set, and edges_of() spans stay cache-friendly for the ATPG consumers.
 
 #include "core/implication.hpp"
 
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 namespace seqlearn::core {
@@ -35,9 +39,9 @@ public:
         std::uint32_t frame;
     };
 
-    /// All consequences of `lhs` with their frame tags. The span stays
-    /// valid until the database is modified — safe under reentrant queries,
-    /// unlike implied_by().
+    /// All consequences of `lhs` with their frame tags, sorted by target
+    /// literal key. The span stays valid until the database is modified —
+    /// safe under reentrant queries, unlike implied_by().
     std::span<const Edge> edges_of(Literal lhs) const;
 
     /// All literals directly implied by `lhs` in the same frame. Uses a
@@ -65,15 +69,15 @@ public:
     Counts counts(const netlist::Netlist& nl, std::uint32_t min_frame) const;
 
 private:
-    // Indexed by lit_key; each edge appears in the list of its lhs literal.
+    // Indexed by lit_key; each edge appears in the list of its lhs literal
+    // (and its contrapositive in the list of !rhs), sorted by lit_key(to).
+    // Both directions are always stored, so "edge present" is exactly
+    // "relation present" — no separate membership structure needed.
     std::vector<std::vector<Edge>> adj_;
-    // O(1) membership: canonical (lhs_key << 32 | rhs_key) of every relation.
-    std::unordered_set<std::uint64_t> members_;
     // Scratch return buffer for implied_by (rebuilt per call).
     mutable std::vector<Literal> scratch_;
     std::size_t relation_count_ = 0;
 
-    static std::uint64_t pair_key(Literal lhs, Literal rhs);
     const Edge* find_edge(Literal lhs, Literal rhs) const;
 };
 

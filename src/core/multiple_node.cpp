@@ -23,6 +23,7 @@ MultipleNodeOutcome multiple_node_learning(const Netlist& nl, sim::FrameSimulato
                                            ImplicationDB& db) {
     MultipleNodeOutcome out;
     std::vector<sim::Injection> inj;
+    sim::FrameSimResult res;  // reused across targets
 
     for (const Literal target : records.targets(cfg.min_records)) {
         if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets) break;
@@ -70,7 +71,7 @@ MultipleNodeOutcome multiple_node_learning(const Netlist& nl, sim::FrameSimulato
         sim::FrameSimOptions opt;
         opt.max_frames = T + 1;
         opt.stop_on_state_repeat = false;  // the window is already exact
-        const sim::FrameSimResult res = sim.run(inj, opt);
+        sim.run_into(inj, opt, res);
 
         if (res.conflict) {
             ties.set(target.gate, target.value, T);

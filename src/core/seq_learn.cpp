@@ -1,6 +1,7 @@
 #include "core/seq_learn.hpp"
 
 #include "netlist/clock_class.hpp"
+#include "netlist/topology.hpp"
 #include "util/timer.hpp"
 
 namespace seqlearn::core {
@@ -32,8 +33,10 @@ LearnResult learn(const Netlist& nl, const LearnConfig& cfg) {
         classes.push_back(std::move(all));
     }
 
+    // One CSR snapshot shared by every per-class simulator.
+    const netlist::Topology topo(nl);
     for (const netlist::ClockClass& cls : classes) {
-        sim::FrameSimulator fsim(nl, sim::SeqGating::for_class(nl, cls.members));
+        sim::FrameSimulator fsim(topo, sim::SeqGating::for_class(nl, cls.members));
         if (cfg.use_equivalences) fsim.set_equivalences(&result.equivalences.map);
         fsim.set_ties(&result.ties.dense(), &result.ties.dense_cycles());
 

@@ -15,14 +15,19 @@ bool is_constant(const Netlist& nl, GateId g) {
     return t == GateType::Const0 || t == GateType::Const1;
 }
 
-// Group implied values by frame: frame -> list of literals.
-std::vector<std::vector<Literal>> by_frame(const sim::FrameSimResult& res,
-                                           std::uint32_t max_frames) {
-    std::vector<std::vector<Literal>> out(std::min(res.frames_run, max_frames));
-    for (const sim::ImpliedValue& iv : res.implied) {
-        if (iv.frame < out.size()) out[iv.frame].push_back({iv.gate, iv.value});
+// Frame bucketing without building per-frame vectors: `implied` is sorted by
+// frame (frames simulate in order), so one sweep yields flat offsets —
+// frame t's literals are implied[starts[t] .. starts[t+1]).
+void frame_starts(const sim::FrameSimResult& res, std::uint32_t max_frames,
+                  std::vector<std::uint32_t>& starts) {
+    const std::uint32_t frames = std::min(res.frames_run, max_frames);
+    starts.clear();
+    std::size_t i = 0;
+    for (std::uint32_t t = 0; t < frames; ++t) {
+        starts.push_back(static_cast<std::uint32_t>(i));
+        while (i < res.implied.size() && res.implied[i].frame == t) ++i;
     }
-    return out;
+    starts.push_back(static_cast<std::uint32_t>(i));
 }
 
 }  // namespace
@@ -35,21 +40,24 @@ SingleNodeOutcome single_node_learning(const Netlist& nl, sim::FrameSimulator& s
     sim::FrameSimOptions opt;
     opt.max_frames = max_frames;
 
-    // Scratch: value of each gate in the "inject 1" run at the frame being
-    // paired (X = absent), reset via touch list between frames.
+    // All scratch lives outside the stem loop; in steady state a stem costs
+    // zero heap allocations. `other` holds the "inject 1" run's value per
+    // gate at the frame being paired (X = absent), reset via touch list.
     std::vector<Val3> other(nl.size(), Val3::X);
     std::vector<GateId> other_touched;
+    sim::FrameSimResult res[2];
+    std::vector<std::uint32_t> starts[2];
+    std::vector<Literal> seq1;
 
     for (const GateId stem : stems) {
         if (ties.is_tied(stem) || is_constant(nl, stem)) continue;
         ++out.stems_processed;
 
-        sim::FrameSimResult res[2];
         bool conflicted = false;
         for (const Val3 v : {Val3::Zero, Val3::One}) {
-            const std::vector<sim::Injection> inj{{0, stem, v}};
+            const sim::Injection inj{0, stem, v};
             auto& r = res[v == Val3::One ? 1 : 0];
-            r = sim.run(inj, opt);
+            sim.run_into({&inj, 1}, opt, r);
             if (r.conflict) {
                 // Injecting v contradicted established facts: the stem can
                 // never be v, i.e. it is tied to !v. The refuted premise sat
@@ -72,23 +80,28 @@ SingleNodeOutcome single_node_learning(const Netlist& nl, sim::FrameSimulator& s
             }
         }
 
-        const auto f0 = by_frame(res[0], max_frames);
-        const auto f1 = by_frame(res[1], max_frames);
-        const std::size_t frames = std::min(f0.size(), f1.size());
-        std::vector<Literal> seq1;
+        frame_starts(res[0], max_frames, starts[0]);
+        frame_starts(res[1], max_frames, starts[1]);
+        const std::size_t frames = std::min(starts[0].size(), starts[1].size()) - 1;
         for (std::size_t t = 0; t < frames; ++t) {
+            const std::span<const sim::ImpliedValue> f0{
+                res[0].implied.data() + starts[0][t], res[0].implied.data() + starts[0][t + 1]};
+            const std::span<const sim::ImpliedValue> f1{
+                res[1].implied.data() + starts[1][t], res[1].implied.data() + starts[1][t + 1]};
+
             // Index the inject-1 run's frame-t values; collect its FF subset.
             for (const GateId g : other_touched) other[g] = Val3::X;
             other_touched.clear();
             seq1.clear();
-            for (const Literal& b : f1[t]) {
+            for (const sim::ImpliedValue& b : f1) {
                 if (is_constant(nl, b.gate) || ties.is_tied(b.gate)) continue;
                 other[b.gate] = b.value;
                 other_touched.push_back(b.gate);
-                if (netlist::is_sequential(nl.type(b.gate))) seq1.push_back(b);
+                if (netlist::is_sequential(nl.type(b.gate))) seq1.push_back({b.gate, b.value});
             }
 
-            for (const Literal& a : f0[t]) {
+            for (const sim::ImpliedValue& iv : f0) {
+                const Literal a{iv.gate, iv.value};
                 if (is_constant(nl, a.gate) || ties.is_tied(a.gate)) continue;
                 // Tie check: both stem values force the same value here.
                 if (other[a.gate] == a.value) {
@@ -105,11 +118,11 @@ SingleNodeOutcome single_node_learning(const Netlist& nl, sim::FrameSimulator& s
                         ++out.relations_added;
                 }
                 if (a_seq) {
-                    for (const Literal& b : f1[t]) {
+                    for (const sim::ImpliedValue& b : f1) {
                         if (b.gate == a.gate) continue;
                         if (netlist::is_sequential(nl.type(b.gate))) continue;  // done above
                         if (is_constant(nl, b.gate) || ties.is_tied(b.gate)) continue;
-                        if (db.add(negate(a), b, static_cast<std::uint32_t>(t)))
+                        if (db.add(negate(a), {b.gate, b.value}, static_cast<std::uint32_t>(t)))
                             ++out.relations_added;
                     }
                 }

@@ -3,31 +3,8 @@
 namespace seqlearn::logic {
 
 Pattern eval_op(GateOp op, const Pattern* ins, int n_ins) noexcept {
-    switch (op) {
-        case GateOp::Const0: return kPatAllZero;
-        case GateOp::Const1: return kPatAllOne;
-        case GateOp::Buf: return n_ins == 0 ? kPatAllX : ins[0];
-        case GateOp::Not: return n_ins == 0 ? kPatAllX : pat_not(ins[0]);
-        case GateOp::And:
-        case GateOp::Nand: {
-            Pattern acc = kPatAllOne;
-            for (int i = 0; i < n_ins; ++i) acc = pat_and(acc, ins[i]);
-            return op == GateOp::Nand ? pat_not(acc) : acc;
-        }
-        case GateOp::Or:
-        case GateOp::Nor: {
-            Pattern acc = kPatAllZero;
-            for (int i = 0; i < n_ins; ++i) acc = pat_or(acc, ins[i]);
-            return op == GateOp::Nor ? pat_not(acc) : acc;
-        }
-        case GateOp::Xor:
-        case GateOp::Xnor: {
-            Pattern acc = kPatAllZero;
-            for (int i = 0; i < n_ins; ++i) acc = pat_xor(acc, ins[i]);
-            return op == GateOp::Xnor ? pat_not(acc) : acc;
-        }
-    }
-    return kPatAllX;
+    return eval_op_indirect(op, static_cast<std::size_t>(n_ins),
+                            [&](std::size_t i) { return ins[i]; });
 }
 
 }  // namespace seqlearn::logic

@@ -8,7 +8,9 @@
 
 #include "logic/val3.hpp"
 
+#include <concepts>
 #include <cstdint>
+#include <type_traits>
 
 namespace seqlearn::logic {
 
@@ -77,5 +79,37 @@ constexpr Pattern pat_broadcast(Val3 v) noexcept {
 /// Evaluate a gate operator over patterns (same semantics as the scalar
 /// eval_op applied lane-wise).
 Pattern eval_op(GateOp op, const Pattern* ins, int n_ins) noexcept;
+
+/// Pattern twin of logic::eval_op_indirect: evaluate `op` over `n` operands
+/// fetched through `get(i)`, without gathering them into a buffer first.
+template <typename GetFn>
+    requires std::same_as<std::invoke_result_t<GetFn&, std::size_t>, Pattern>
+Pattern eval_op_indirect(GateOp op, std::size_t n, GetFn&& get) noexcept {
+    switch (op) {
+        case GateOp::Const0: return kPatAllZero;
+        case GateOp::Const1: return kPatAllOne;
+        case GateOp::Buf: return n == 0 ? kPatAllX : get(0);
+        case GateOp::Not: return n == 0 ? kPatAllX : pat_not(get(0));
+        case GateOp::And:
+        case GateOp::Nand: {
+            Pattern acc = kPatAllOne;
+            for (std::size_t i = 0; i < n; ++i) acc = pat_and(acc, get(i));
+            return op == GateOp::Nand ? pat_not(acc) : acc;
+        }
+        case GateOp::Or:
+        case GateOp::Nor: {
+            Pattern acc = kPatAllZero;
+            for (std::size_t i = 0; i < n; ++i) acc = pat_or(acc, get(i));
+            return op == GateOp::Nor ? pat_not(acc) : acc;
+        }
+        case GateOp::Xor:
+        case GateOp::Xnor: {
+            Pattern acc = kPatAllZero;
+            for (std::size_t i = 0; i < n; ++i) acc = pat_xor(acc, get(i));
+            return op == GateOp::Xnor ? pat_not(acc) : acc;
+        }
+    }
+    return kPatAllX;
+}
 
 }  // namespace seqlearn::logic

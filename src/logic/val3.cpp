@@ -5,31 +5,7 @@
 namespace seqlearn::logic {
 
 Val3 eval_op(GateOp op, std::span<const Val3> ins) noexcept {
-    switch (op) {
-        case GateOp::Const0: return Val3::Zero;
-        case GateOp::Const1: return Val3::One;
-        case GateOp::Buf: return ins.empty() ? Val3::X : ins[0];
-        case GateOp::Not: return ins.empty() ? Val3::X : v3_not(ins[0]);
-        case GateOp::And:
-        case GateOp::Nand: {
-            Val3 acc = Val3::One;
-            for (const Val3 v : ins) acc = v3_and(acc, v);
-            return op == GateOp::Nand ? v3_not(acc) : acc;
-        }
-        case GateOp::Or:
-        case GateOp::Nor: {
-            Val3 acc = Val3::Zero;
-            for (const Val3 v : ins) acc = v3_or(acc, v);
-            return op == GateOp::Nor ? v3_not(acc) : acc;
-        }
-        case GateOp::Xor:
-        case GateOp::Xnor: {
-            Val3 acc = Val3::Zero;
-            for (const Val3 v : ins) acc = v3_xor(acc, v);
-            return op == GateOp::Xnor ? v3_not(acc) : acc;
-        }
-    }
-    return Val3::X;
+    return eval_op_indirect(op, ins.size(), [&](std::size_t i) { return ins[i]; });
 }
 
 char to_char(Val3 v) noexcept {

@@ -6,9 +6,11 @@
 // operators are the standard Kleene extensions: a gate output is binary only
 // when the inputs force it regardless of how the Xs are resolved.
 
+#include <concepts>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <type_traits>
 
 namespace seqlearn::logic {
 
@@ -68,6 +70,40 @@ constexpr Val3 v3_opposite(Val3 v) noexcept { return v3_not(v); }
 /// Evaluate `op` over `ins` under 3-valued semantics.
 /// Const0/Const1 ignore inputs; Buf/Not take the first input.
 Val3 eval_op(GateOp op, std::span<const Val3> ins) noexcept;
+
+/// Evaluate `op` over `n` operands fetched through `get(i)` — identical
+/// semantics to eval_op over a gathered span, without materializing the
+/// operands (the simulators read fanin values straight out of their value
+/// arrays through a CSR index span).
+template <typename GetFn>
+    requires std::same_as<std::invoke_result_t<GetFn&, std::size_t>, Val3>
+Val3 eval_op_indirect(GateOp op, std::size_t n, GetFn&& get) noexcept {
+    switch (op) {
+        case GateOp::Const0: return Val3::Zero;
+        case GateOp::Const1: return Val3::One;
+        case GateOp::Buf: return n == 0 ? Val3::X : get(0);
+        case GateOp::Not: return n == 0 ? Val3::X : v3_not(get(0));
+        case GateOp::And:
+        case GateOp::Nand: {
+            Val3 acc = Val3::One;
+            for (std::size_t i = 0; i < n; ++i) acc = v3_and(acc, get(i));
+            return op == GateOp::Nand ? v3_not(acc) : acc;
+        }
+        case GateOp::Or:
+        case GateOp::Nor: {
+            Val3 acc = Val3::Zero;
+            for (std::size_t i = 0; i < n; ++i) acc = v3_or(acc, get(i));
+            return op == GateOp::Nor ? v3_not(acc) : acc;
+        }
+        case GateOp::Xor:
+        case GateOp::Xnor: {
+            Val3 acc = Val3::Zero;
+            for (std::size_t i = 0; i < n; ++i) acc = v3_xor(acc, get(i));
+            return op == GateOp::Xnor ? v3_not(acc) : acc;
+        }
+    }
+    return Val3::X;
+}
 
 /// The controlling value of `op` (the input value that determines the output
 /// by itself), or X when the operator has none (Buf/Not/Xor/Xnor/consts).

@@ -1,0 +1,60 @@
+#include "netlist/topology.hpp"
+
+namespace seqlearn::netlist {
+
+Topology::Topology(const Netlist& nl) : lv_(levelize(nl)) {
+    const std::size_t n = nl.size();
+    type_.resize(n);
+    op_.assign(n, logic::GateOp::Buf);
+    flags_.assign(n, 0);
+
+    std::size_t fanin_total = 0;
+    std::size_t fanout_total = 0;
+    for (GateId g = 0; g < n; ++g) {
+        fanin_total += nl.fanins(g).size();
+        fanout_total += nl.fanouts(g).size();
+    }
+
+    fanin_off_.resize(n + 1);
+    fanout_off_.resize(n + 1);
+    fanout_seq_.resize(n);
+    fanin_.reserve(fanin_total);
+    fanout_.reserve(fanout_total);
+
+    for (GateId g = 0; g < n; ++g) {
+        const GateType t = nl.type(g);
+        type_[g] = t;
+        std::uint8_t f = 0;
+        if (t == GateType::Input) {
+            f |= kInput;
+        } else if (t == GateType::Const0 || t == GateType::Const1) {
+            f |= kConst;
+            op_[g] = to_op(t);
+            consts_.push_back(g);
+        } else if (is_sequential(t)) {
+            f |= kSeq;
+        } else {
+            f |= kComb;
+            op_[g] = to_op(t);
+        }
+        flags_[g] = f;
+
+        fanin_off_[g] = static_cast<std::uint32_t>(fanin_.size());
+        for (const GateId fi : nl.fanins(g)) fanin_.push_back(fi);
+
+        // Stable partition of the fanout list: combinational sinks first,
+        // sequential sinks last, each keeping the Netlist's relative order
+        // (event-driven propagation order — and hence every downstream
+        // discovery order — stays identical to iterating the Netlist lists).
+        fanout_off_[g] = static_cast<std::uint32_t>(fanout_.size());
+        for (const GateId fo : nl.fanouts(g))
+            if (!is_sequential(nl.type(fo))) fanout_.push_back(fo);
+        fanout_seq_[g] = static_cast<std::uint32_t>(fanout_.size());
+        for (const GateId fo : nl.fanouts(g))
+            if (is_sequential(nl.type(fo))) fanout_.push_back(fo);
+    }
+    fanin_off_[n] = static_cast<std::uint32_t>(fanin_.size());
+    fanout_off_[n] = static_cast<std::uint32_t>(fanout_.size());
+}
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,96 @@
+#pragma once
+// Flat compressed-sparse-row (CSR) view of a Netlist, built once and shared
+// by every simulator.
+//
+// The Netlist stores per-gate std::vector fanin/fanout lists — convenient
+// for construction and editing, but a pointer chase per gate on the
+// simulation hot paths. Topology freezes the connectivity into four
+// contiguous arrays (fanin offsets+edges, fanout offsets+edges), caches the
+// per-gate operator code and structural flags, and carries the combinational
+// levelization. Each gate's fanout range is additionally partitioned so its
+// combinational sinks come first and its sequential sinks last: the
+// event-driven frame simulator iterates the combinational span when
+// scheduling and the sequential span at the frame boundary, with no
+// per-edge type test.
+//
+// A Topology is a snapshot: it must be rebuilt after the Netlist is edited.
+
+#include "logic/val3.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace seqlearn::netlist {
+
+class Topology {
+public:
+    /// Structural flags per gate.
+    enum Flag : std::uint8_t {
+        kInput = 1,  ///< primary input
+        kConst = 2,  ///< Const0/Const1 source
+        kSeq = 4,    ///< Dff/Dlatch
+        kComb = 8,   ///< evaluable combinational operator (excludes consts)
+    };
+
+    /// Build the CSR snapshot (levelizes internally; throws on
+    /// combinational cycles, like levelize()).
+    explicit Topology(const Netlist& nl);
+
+    std::size_t size() const noexcept { return type_.size(); }
+
+    // --- connectivity -----------------------------------------------------
+    std::span<const GateId> fanins(GateId g) const noexcept {
+        return {fanin_.data() + fanin_off_[g], fanin_.data() + fanin_off_[g + 1]};
+    }
+    std::span<const GateId> fanouts(GateId g) const noexcept {
+        return {fanout_.data() + fanout_off_[g], fanout_.data() + fanout_off_[g + 1]};
+    }
+    /// Fanouts that are combinational gates (evaluated within a frame).
+    std::span<const GateId> comb_fanouts(GateId g) const noexcept {
+        return {fanout_.data() + fanout_off_[g], fanout_.data() + fanout_seq_[g]};
+    }
+    /// Fanouts that are sequential elements (captured at the frame boundary).
+    std::span<const GateId> seq_fanouts(GateId g) const noexcept {
+        return {fanout_.data() + fanout_seq_[g], fanout_.data() + fanout_off_[g + 1]};
+    }
+    std::size_t fanout_count(GateId g) const noexcept {
+        return fanout_off_[g + 1] - fanout_off_[g];
+    }
+
+    // --- per-gate codes ---------------------------------------------------
+    GateType type(GateId g) const noexcept { return type_[g]; }
+    /// Operator code; meaningful only when is_comb(g) or is_const(g).
+    logic::GateOp op(GateId g) const noexcept { return op_[g]; }
+    std::uint8_t flags(GateId g) const noexcept { return flags_[g]; }
+    bool is_input(GateId g) const noexcept { return flags_[g] & kInput; }
+    bool is_const(GateId g) const noexcept { return flags_[g] & kConst; }
+    bool is_seq(GateId g) const noexcept { return flags_[g] & kSeq; }
+    bool is_comb(GateId g) const noexcept { return flags_[g] & kComb; }
+
+    // --- schedule ---------------------------------------------------------
+    const Levelization& levels() const noexcept { return lv_; }
+    std::uint32_t level(GateId g) const noexcept { return lv_.level[g]; }
+    std::uint32_t max_level() const noexcept { return lv_.max_level; }
+    /// All gates in combinational evaluation order (sources first, then by
+    /// non-decreasing level) — identical to levelize(nl).topo_order.
+    std::span<const GateId> schedule() const noexcept { return lv_.topo_order; }
+    /// Constant sources in id order (event-driven runs must seed them).
+    std::span<const GateId> const_gates() const noexcept { return consts_; }
+
+private:
+    std::vector<std::uint32_t> fanin_off_;   // size() + 1
+    std::vector<GateId> fanin_;
+    std::vector<std::uint32_t> fanout_off_;  // size() + 1
+    std::vector<std::uint32_t> fanout_seq_;  // start of the sequential span
+    std::vector<GateId> fanout_;
+    std::vector<GateType> type_;
+    std::vector<logic::GateOp> op_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<GateId> consts_;
+    Levelization lv_;
+};
+
+}  // namespace seqlearn::netlist

@@ -4,26 +4,17 @@
 
 namespace seqlearn::sim {
 
-CombEngine::CombEngine(const Netlist& nl) : nl_(&nl), lv_(netlist::levelize(nl)) {}
+CombEngine::CombEngine(const Netlist& nl) : nl_(&nl), topo_(nl) {}
 
 void CombEngine::eval(std::vector<Val3>& vals) const {
-    if (vals.size() != nl_->size()) throw std::invalid_argument("CombEngine::eval: bad size");
-    std::vector<Val3> ins;
-    for (const GateId id : lv_.topo_order) {
-        const netlist::GateType t = nl_->type(id);
-        if (t == netlist::GateType::Input || netlist::is_sequential(t)) continue;
-        if (t == netlist::GateType::Const0) {
-            vals[id] = Val3::Zero;
+    if (vals.size() != topo_.size()) throw std::invalid_argument("CombEngine::eval: bad size");
+    Val3* const v = vals.data();
+    for (const GateId id : topo_.schedule()) {
+        if (!(topo_.flags(id) & (netlist::Topology::kComb | netlist::Topology::kConst)))
             continue;
-        }
-        if (t == netlist::GateType::Const1) {
-            vals[id] = Val3::One;
-            continue;
-        }
-        const auto fanins = nl_->fanins(id);
-        ins.clear();
-        for (const GateId f : fanins) ins.push_back(vals[f]);
-        vals[id] = logic::eval_op(netlist::to_op(t), ins);
+        const auto fi = topo_.fanins(id);
+        v[id] = logic::eval_op_indirect(topo_.op(id), fi.size(),
+                                        [&](std::size_t k) { return v[fi[k]]; });
     }
 }
 

@@ -9,6 +9,7 @@
 #include "logic/val3.hpp"
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
 
 #include <vector>
 
@@ -18,7 +19,9 @@ using logic::Val3;
 using netlist::GateId;
 using netlist::Netlist;
 
-/// Levelized evaluator over all combinational gates.
+/// Levelized evaluator over all combinational gates. Evaluation walks the
+/// CSR topology schedule and reads fanin values through flat index spans —
+/// no per-gate operand gather.
 class CombEngine {
 public:
     explicit CombEngine(const Netlist& nl);
@@ -29,12 +32,13 @@ public:
     /// sized nl.size().
     void eval(std::vector<Val3>& vals) const;
 
-    const netlist::Levelization& levels() const noexcept { return lv_; }
+    const netlist::Levelization& levels() const noexcept { return topo_.levels(); }
+    const netlist::Topology& topology() const noexcept { return topo_; }
     const Netlist& netlist() const noexcept { return *nl_; }
 
 private:
     const Netlist* nl_;
-    netlist::Levelization lv_;
+    netlist::Topology topo_;
 };
 
 /// One frame of primary-input values, indexed like Netlist::inputs().

@@ -5,7 +5,6 @@
 namespace seqlearn::sim {
 
 using netlist::GateType;
-using netlist::is_sequential;
 using netlist::SetReset;
 
 SeqGating SeqGating::all_open(const Netlist& nl) {
@@ -34,16 +33,20 @@ SeqGating SeqGating::for_class(const Netlist& nl, std::span<const GateId> class_
 }
 
 FrameSimulator::FrameSimulator(const Netlist& nl, SeqGating gating)
-    : nl_(&nl),
+    : owned_topo_(std::make_unique<Topology>(nl)),
+      topo_(owned_topo_.get()),
       gating_(std::move(gating)),
-      lv_(netlist::levelize(nl)),
-      val_(nl.size(), Val3::X),
-      queued_(nl.size(), 0) {
-    buckets_.resize(lv_.max_level + 1);
-    for (GateId id = 0; id < nl.size(); ++id) {
-        if (nl.type(id) == GateType::Const0 || nl.type(id) == GateType::Const1)
-            consts_.push_back(id);
-    }
+      val_(topo_->size(), Val3::X),
+      queued_(topo_->size(), 0) {
+    buckets_.resize(topo_->max_level() + 1);
+}
+
+FrameSimulator::FrameSimulator(const Topology& topo, SeqGating gating)
+    : topo_(&topo),
+      gating_(std::move(gating)),
+      val_(topo.size(), Val3::X),
+      queued_(topo.size(), 0) {
+    buckets_.resize(topo.max_level() + 1);
 }
 
 void FrameSimulator::reset_frame_scratch() {
@@ -52,7 +55,19 @@ void FrameSimulator::reset_frame_scratch() {
         queued_[g] = 0;
     }
     touched_.clear();
-    for (auto& b : buckets_) b.clear();
+    // A completed propagate() drains, clears, and bound-resets every bucket
+    // it visited; only a conflict abort leaves events behind, and then
+    // [evt_lo_, evt_hi_] still brackets them. Clear the queued_ flag of
+    // every discarded event (gates already drained have it down; undrained
+    // ones must not stay blocked) or later runs silently skip them.
+    if (evt_lo_ != UINT32_MAX) {
+        for (std::uint32_t l = evt_lo_; l <= evt_hi_ && l < buckets_.size(); ++l) {
+            for (const GateId g : buckets_[l]) queued_[g] = 0;
+            buckets_[l].clear();
+        }
+        evt_lo_ = UINT32_MAX;
+        evt_hi_ = 0;
+    }
     pending_ = 0;
 }
 
@@ -70,11 +85,13 @@ bool FrameSimulator::assign(GateId g, Val3 v, std::uint32_t frame, FrameSimResul
     val_[g] = v;
     touched_.push_back(g);
     res.implied.push_back({frame, g, v});
-    for (const GateId fo : nl_->fanouts(g)) {
-        if (is_sequential(nl_->type(fo))) continue;  // consumed at the frame boundary
+    for (const GateId fo : topo_->comb_fanouts(g)) {
         if (!queued_[fo]) {
             queued_[fo] = 1;
-            buckets_[lv_.level[fo]].push_back(fo);
+            const std::uint32_t lvl = topo_->level(fo);
+            buckets_[lvl].push_back(fo);
+            evt_lo_ = std::min(evt_lo_, lvl);
+            evt_hi_ = std::max(evt_hi_, lvl);
             ++pending_;
         }
     }
@@ -91,34 +108,58 @@ void FrameSimulator::propagate(std::uint32_t frame, FrameSimResult& res) {
     // Equivalence forcing can enqueue gates at levels already swept, so the
     // level sweep repeats until no events remain. Values only move X ->
     // binary, so the total work is bounded by the number of assignments.
+    // Only the occupied band [evt_lo_, evt_hi_] is visited; enqueues during
+    // the sweep extend evt_hi_ (picked up by the re-read bound) or lower
+    // evt_lo_ (picked up by the next while pass).
     while (pending_ > 0) {
-        for (std::uint32_t level = 0; level < buckets_.size(); ++level) {
+        for (std::uint32_t level = evt_lo_; level <= evt_hi_; ++level) {
             // assign() may append to the bucket being drained; index-based
             // loop handles growth.
             for (std::size_t i = 0; i < buckets_[level].size(); ++i) {
                 const GateId g = buckets_[level][i];
                 queued_[g] = 0;
                 --pending_;
-                const GateType t = nl_->type(g);
-                if (t == GateType::Input || is_sequential(t)) continue;
-                scratch_ins_.clear();
-                for (const GateId f : nl_->fanins(g)) scratch_ins_.push_back(val_[f]);
-                const Val3 v = logic::eval_op(netlist::to_op(t), scratch_ins_);
+                if (!topo_->is_comb(g)) continue;
+                const auto fi = topo_->fanins(g);
+                const Val3 v = logic::eval_op_indirect(
+                    topo_->op(g), fi.size(), [&](std::size_t k) { return val_[fi[k]]; });
                 if (v == Val3::X) continue;
                 if (!assign(g, v, frame, res)) return;
             }
             buckets_[level].clear();
         }
     }
+    evt_lo_ = UINT32_MAX;
+    evt_hi_ = 0;
 }
 
-FrameSimResult FrameSimulator::run(std::span<const Injection> injections,
-                                   const FrameSimOptions& opt) {
-    FrameSimResult res;
-    // Injections sorted by frame for sequential application.
-    std::vector<Injection> inj(injections.begin(), injections.end());
-    std::sort(inj.begin(), inj.end(),
-              [](const Injection& a, const Injection& b) { return a.frame < b.frame; });
+FrameSimResult& FrameSimulator::run_into(std::span<const Injection> injections,
+                                         const FrameSimOptions& opt, FrameSimResult& out) {
+    out.implied.clear();
+    out.conflict = false;
+    out.conflict_gate = netlist::kNoGate;
+    out.conflict_frame = 0;
+    out.frames_run = 0;
+    out.stopped_on_repeat = false;
+    FrameSimResult& res = out;
+
+    // Injections are applied in frame order. The universal caller — learning
+    // passing one frame-0 injection per run — is already sorted, so the copy
+    // + sort happens only for genuinely out-of-order schedules.
+    std::span<const Injection> inj = injections;
+    bool sorted = true;
+    for (std::size_t i = 1; i < injections.size(); ++i) {
+        if (injections[i].frame < injections[i - 1].frame) {
+            sorted = false;
+            break;
+        }
+    }
+    if (!sorted) {
+        inj_scratch_.assign(injections.begin(), injections.end());
+        std::sort(inj_scratch_.begin(), inj_scratch_.end(),
+                  [](const Injection& a, const Injection& b) { return a.frame < b.frame; });
+        inj = inj_scratch_;
+    }
     std::uint32_t last_seed_frame = 0;
     for (const Injection& x : inj) last_seed_frame = std::max(last_seed_frame, x.frame);
     if (ties_ && tie_cycles_) {
@@ -128,8 +169,8 @@ FrameSimResult FrameSimulator::run(std::span<const Injection> injections,
         }
     }
 
-    std::vector<StateEntry> state;       // binary sequential outputs entering this frame
-    std::vector<StateEntry> next_state;  // captured at this frame's boundary
+    state_.clear();       // binary sequential outputs entering this frame
+    next_state_.clear();  // captured at this frame's boundary
     std::size_t inj_cursor = 0;
 
     for (std::uint32_t frame = 0; frame < opt.max_frames; ++frame) {
@@ -137,8 +178,8 @@ FrameSimResult FrameSimulator::run(std::span<const Injection> injections,
 
         // Seed 0: constant sources (event-driven evaluation never visits
         // them otherwise).
-        for (const GateId g : consts_) {
-            const Val3 cv = nl_->type(g) == GateType::Const1 ? Val3::One : Val3::Zero;
+        for (const GateId g : topo_->const_gates()) {
+            const Val3 cv = topo_->op(g) == logic::GateOp::Const1 ? Val3::One : Val3::Zero;
             if (!assign(g, cv, frame, res)) {
                 res.frames_run = frame + 1;
                 return res;
@@ -158,7 +199,7 @@ FrameSimResult FrameSimulator::run(std::span<const Injection> injections,
             }
         }
         // Seed 2: sequential state from the previous frame.
-        for (const StateEntry& e : state) {
+        for (const StateEntry& e : state_) {
             if (!assign(e.gate, e.value, frame, res)) {
                 res.frames_run = frame + 1;
                 return res;
@@ -179,31 +220,30 @@ FrameSimResult FrameSimulator::run(std::span<const Injection> injections,
 
         // Capture: sequential elements fed by a touched gate (or touched
         // themselves, for direct feedback) take their gated data value.
-        next_state.clear();
+        next_state_.clear();
         for (const GateId t : touched_) {
-            for (const GateId fo : nl_->fanouts(t)) {
-                if (!is_sequential(nl_->type(fo))) continue;
-                const Val3 d = val_[nl_->fanins(fo)[0]];
+            for (const GateId fo : topo_->seq_fanouts(t)) {
+                const Val3 d = val_[topo_->fanins(fo)[0]];
                 if (d == Val3::X) continue;
                 if (!gating_.allows(fo, d)) continue;
-                next_state.push_back({fo, d});
+                next_state_.push_back({fo, d});
             }
         }
-        std::sort(next_state.begin(), next_state.end(),
+        std::sort(next_state_.begin(), next_state_.end(),
                   [](const StateEntry& a, const StateEntry& b) { return a.gate < b.gate; });
-        next_state.erase(std::unique(next_state.begin(), next_state.end()), next_state.end());
+        next_state_.erase(std::unique(next_state_.begin(), next_state_.end()),
+                          next_state_.end());
 
         // Stop rules apply only once every scheduled injection has fired and
         // every sequential tie has activated.
         const bool seeding_done = inj_cursor >= inj.size() && frame >= last_seed_frame;
-        if (seeding_done && opt.stop_on_state_repeat && frame > 0 && next_state == state) {
+        if (seeding_done && opt.stop_on_state_repeat && frame > 0 && next_state_ == state_) {
             res.stopped_on_repeat = true;
             return res;
         }
-        if (seeding_done && next_state.empty()) return res;
+        if (seeding_done && next_state_.empty()) return res;
 
-        state = std::move(next_state);
-        next_state.clear();
+        std::swap(state_, next_state_);
     }
     return res;
 }

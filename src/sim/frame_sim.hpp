@@ -14,12 +14,19 @@
 //
 // Conflicts — a node acquiring both binary values — abort the run and are
 // reported; multiple-node learning turns them into tie-gate proofs.
+//
+// Hot-path design: all connectivity is read from a flat CSR
+// netlist::Topology (contiguous fanin/fanout spans, per-gate op codes,
+// fanouts partitioned into combinational/sequential sub-spans), and every
+// scratch buffer — including the result's implied list via run_into() — is
+// reused across runs, so a run in steady state performs no heap allocation.
 
 #include "logic/val3.hpp"
-#include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +35,7 @@ namespace seqlearn::sim {
 using logic::Val3;
 using netlist::GateId;
 using netlist::Netlist;
+using netlist::Topology;
 
 /// Per-sequential-element, per-value propagation permission.
 class SeqGating {
@@ -85,8 +93,9 @@ struct FrameSimOptions {
 };
 
 struct FrameSimResult {
-    /// Every binary value observed, in (frame, discovery) order; includes
-    /// the injected values themselves.
+    /// Every binary value observed, in (frame, discovery) order — frames are
+    /// simulated in order, so this list is sorted by frame; includes the
+    /// injected values themselves.
     std::vector<ImpliedValue> implied;
     /// True when two contradictory binary values met; the run stops there.
     bool conflict = false;
@@ -98,11 +107,15 @@ struct FrameSimResult {
     bool stopped_on_repeat = false;
 };
 
-/// Reusable event-driven simulator; one instance per (netlist, gating) pair
-/// amortizes the levelization and scratch buffers across many runs.
+/// Reusable event-driven simulator; one instance per (topology, gating) pair
+/// amortizes the CSR build and scratch buffers across many runs.
 class FrameSimulator {
 public:
+    /// Build (and own) the CSR topology from `nl`.
     FrameSimulator(const Netlist& nl, SeqGating gating);
+
+    /// Share an existing topology (must outlive the simulator).
+    FrameSimulator(const Topology& topo, SeqGating gating);
 
     /// Force known equivalence classes during simulation (may be null).
     /// The map must outlive the simulator.
@@ -119,9 +132,22 @@ public:
         tie_cycles_ = cycles;
     }
 
-    /// Run one injection scenario. Injections may target any frame below
-    /// opt.max_frames; out-of-range injections are ignored.
-    FrameSimResult run(std::span<const Injection> injections, const FrameSimOptions& opt);
+    /// Run one injection scenario into a caller-owned result whose buffers
+    /// are reused across calls (the zero-allocation path — hand the same
+    /// result object back on every call). Injections may target any frame
+    /// below opt.max_frames; out-of-range injections are ignored.
+    /// Returns `out` for chaining.
+    FrameSimResult& run_into(std::span<const Injection> injections,
+                             const FrameSimOptions& opt, FrameSimResult& out);
+
+    /// Convenience wrapper allocating a fresh result per call.
+    FrameSimResult run(std::span<const Injection> injections, const FrameSimOptions& opt) {
+        FrameSimResult res;
+        run_into(injections, opt, res);
+        return res;
+    }
+
+    const Topology& topology() const noexcept { return *topo_; }
 
 private:
     struct StateEntry {
@@ -134,20 +160,28 @@ private:
     void propagate(std::uint32_t frame, FrameSimResult& res);
     void reset_frame_scratch();
 
-    const Netlist* nl_;
+    std::unique_ptr<const Topology> owned_topo_;  // null when sharing
+    const Topology* topo_;
     SeqGating gating_;
-    netlist::Levelization lv_;
     const EquivMap* equiv_ = nullptr;
     const std::vector<Val3>* ties_ = nullptr;
     const std::vector<std::uint32_t>* tie_cycles_ = nullptr;
 
-    std::vector<GateId> consts_;
     std::vector<Val3> val_;
     std::vector<GateId> touched_;
     std::vector<std::vector<GateId>> buckets_;
     std::vector<std::uint8_t> queued_;
-    std::vector<Val3> scratch_ins_;
     std::size_t pending_ = 0;
+    // Occupied-level bounds of the event buckets: the sweep visits only
+    // [evt_lo_, evt_hi_] instead of every level (deep circuits have hundreds
+    // of levels while a sparse run touches a handful of gates).
+    std::uint32_t evt_lo_ = UINT32_MAX;
+    std::uint32_t evt_hi_ = 0;
+    // Reused run() scratch: out-of-order injections (slow path) and the
+    // sequential state entering/leaving the current frame.
+    std::vector<Injection> inj_scratch_;
+    std::vector<StateEntry> state_;
+    std::vector<StateEntry> next_state_;
 };
 
 }  // namespace seqlearn::sim

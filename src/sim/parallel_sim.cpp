@@ -4,26 +4,22 @@
 
 namespace seqlearn::sim {
 
-using netlist::GateType;
-using netlist::is_sequential;
-
-ParallelSim::ParallelSim(const Netlist& nl) : nl_(&nl), lv_(netlist::levelize(nl)) {}
+ParallelSim::ParallelSim(const Netlist& nl) : nl_(&nl), topo_(nl) {}
 
 void ParallelSim::eval(std::vector<Pattern>& pats) const {
-    if (pats.size() != nl_->size()) throw std::invalid_argument("ParallelSim::eval: bad size");
-    std::vector<Pattern> ins;
-    for (const GateId id : lv_.topo_order) {
-        const GateType t = nl_->type(id);
-        if (t == GateType::Input || is_sequential(t)) continue;
-        const auto fanins = nl_->fanins(id);
-        ins.clear();
-        for (const GateId f : fanins) ins.push_back(pats[f]);
-        pats[id] = logic::eval_op(netlist::to_op(t), ins.data(), static_cast<int>(ins.size()));
+    if (pats.size() != topo_.size()) throw std::invalid_argument("ParallelSim::eval: bad size");
+    Pattern* const vals = pats.data();
+    for (const GateId id : topo_.schedule()) {
+        if (!(topo_.flags(id) & (netlist::Topology::kComb | netlist::Topology::kConst)))
+            continue;
+        const auto fi = topo_.fanins(id);
+        vals[id] = logic::eval_op_indirect(topo_.op(id), fi.size(),
+                                           [&](std::size_t k) { return vals[fi[k]]; });
     }
 }
 
 void ParallelSim::eval_random(std::vector<Pattern>& pats, util::Rng& rng) const {
-    if (pats.size() != nl_->size())
+    if (pats.size() != topo_.size())
         throw std::invalid_argument("ParallelSim::eval_random: bad size");
     auto randomize = [&](GateId id) {
         const std::uint64_t bits = rng.next_u64();
@@ -37,14 +33,14 @@ void ParallelSim::eval_random(std::vector<Pattern>& pats, util::Rng& rng) const 
 SignatureSet collect_signatures(const Netlist& nl, std::size_t rounds, std::uint64_t seed) {
     ParallelSim sim(nl);
     util::Rng rng(seed);
+    const std::size_t n = nl.size();
     SignatureSet out;
     out.rounds = rounds;
-    out.sig.assign(nl.size(), {});
-    for (auto& s : out.sig) s.reserve(rounds);
-    std::vector<Pattern> pats(nl.size());
+    out.words.assign(n * rounds, 0);  // one preallocated rounds-per-gate block
+    std::vector<Pattern> pats(n);
     for (std::size_t r = 0; r < rounds; ++r) {
         sim.eval_random(pats, rng);
-        for (GateId id = 0; id < nl.size(); ++id) out.sig[id].push_back(pats[id].ones);
+        for (GateId id = 0; id < n; ++id) out.words[id * rounds + r] = pats[id].ones;
     }
     return out;
 }

@@ -5,12 +5,17 @@
 // "Equivalent combinational gates can be efficiently identified based on
 // parallel pattern simulation techniques") and provides the plane machinery
 // reused by the fault simulator.
+//
+// Evaluation walks the CSR topology schedule and applies each gate's
+// operator directly over the pattern array through the flat fanin span —
+// no per-gate operand gather.
 
 #include "logic/pattern.hpp"
-#include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
 #include "util/rng.hpp"
 
+#include <span>
 #include <vector>
 
 namespace seqlearn::sim {
@@ -34,20 +39,29 @@ public:
     void eval_random(std::vector<Pattern>& pats, util::Rng& rng) const;
 
     const Netlist& netlist() const noexcept { return *nl_; }
+    const netlist::Topology& topology() const noexcept { return topo_; }
 
 private:
     const Netlist* nl_;
-    netlist::Levelization lv_;
+    netlist::Topology topo_;
 };
 
 /// Per-gate 64-bit signatures accumulated over `rounds` random evaluations;
 /// two combinationally equivalent gates always have equal signatures, and
 /// inverse-equivalent gates have complementary ones. Collisions are
 /// candidates only — callers must prove equivalence before using it.
+///
+/// Storage is one flat gate-major array (`rounds` words per gate) written
+/// in place — no per-gate vectors.
 struct SignatureSet {
-    /// gate -> concatenated signature words (rounds entries per gate).
-    std::vector<std::vector<std::uint64_t>> sig;
+    /// words[g * rounds + r] = the ones-plane of gate g in round r.
+    std::vector<std::uint64_t> words;
     std::size_t rounds = 0;
+
+    /// The signature words of gate `g`.
+    std::span<const std::uint64_t> of(GateId g) const noexcept {
+        return {words.data() + static_cast<std::size_t>(g) * rounds, rounds};
+    }
 };
 
 SignatureSet collect_signatures(const Netlist& nl, std::size_t rounds, std::uint64_t seed);

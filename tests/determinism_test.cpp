@@ -1,0 +1,102 @@
+// Learning determinism goldens.
+//
+// The CSR/zero-allocation refactor of the learning hot path is required to
+// be behaviour-preserving: learn() must produce exactly the relations, ties,
+// and equivalences the vector-of-vectors implementation produced. These
+// goldens were recorded from the pre-refactor implementation (seed commit
+// built with the same compiler) and pin both the summary counts and an
+// order-independent FNV-1a hash over the canonical relation set, so any
+// change to what is learned — not just how fast — fails here.
+
+#include "core/seq_learn.hpp"
+#include "test_helpers.hpp"
+#include "workload/paper_circuits.hpp"
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+namespace seqlearn::core {
+namespace {
+
+struct Golden {
+    std::size_t relations;
+    std::size_t ties_comb;
+    std::size_t ties_seq;
+    std::size_t equiv_classes;
+    std::size_t multi_relations;
+    std::size_t multi_ties;
+    std::uint64_t relation_hash;
+};
+
+// Order-independent digest: relations sorted canonically, FNV-1a over
+// (lhs key, rhs key, frame) triples.
+std::uint64_t relation_hash(const ImplicationDB& db) {
+    std::vector<Relation> rels = db.relations();
+    std::sort(rels.begin(), rels.end(), [](const Relation& a, const Relation& b) {
+        return std::tuple(lit_key(a.lhs), lit_key(a.rhs), a.frame) <
+               std::tuple(lit_key(b.lhs), lit_key(b.rhs), b.frame);
+    });
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ULL;
+    };
+    for (const Relation& r : rels) {
+        mix(lit_key(r.lhs));
+        mix(lit_key(r.rhs));
+        mix(r.frame);
+    }
+    return h;
+}
+
+void expect_golden(const netlist::Netlist& nl, const Golden& want) {
+    const LearnResult r = learn(nl);
+    EXPECT_EQ(r.db.size(), want.relations);
+    EXPECT_EQ(r.stats.ties_combinational, want.ties_comb);
+    EXPECT_EQ(r.stats.ties_sequential, want.ties_seq);
+    EXPECT_EQ(r.stats.equiv_classes, want.equiv_classes);
+    EXPECT_EQ(r.stats.multi_relations, want.multi_relations);
+    EXPECT_EQ(r.stats.multi_ties, want.multi_ties);
+    EXPECT_EQ(relation_hash(r.db), want.relation_hash);
+}
+
+TEST(LearnDeterminism, PaperFigure1Analog) {
+    expect_golden(workload::fig1_analog(),
+                  {32, 1, 1, 6, 4, 1, 9352316135702824732ULL});
+}
+
+TEST(LearnDeterminism, PaperFigure2Analog) {
+    expect_golden(workload::fig2_analog(),
+                  {13, 0, 0, 2, 1, 0, 11842453436998031946ULL});
+}
+
+TEST(LearnDeterminism, S27) {
+    expect_golden(workload::suite_circuit("s27"),
+                  {5, 0, 0, 2, 2, 0, 10935399525861348907ULL});
+}
+
+TEST(LearnDeterminism, RandomCircuitSeeds) {
+    expect_golden(testing::random_circuit(7, 6, 5, 30),
+                  {20, 0, 0, 6, 1, 0, 9588694382730483008ULL});
+    expect_golden(testing::random_circuit(21, 6, 5, 30),
+                  {40, 2, 13, 6, 2, 13, 5824401802024623481ULL});
+    expect_golden(testing::random_circuit(99, 6, 5, 30),
+                  {23, 2, 0, 2, 0, 0, 1161416052004708422ULL});
+}
+
+// Two learn() invocations on the same circuit must agree exactly (the
+// scratch-buffer reuse inside the passes carries no state across runs).
+TEST(LearnDeterminism, RepeatedRunsIdentical) {
+    const netlist::Netlist nl = testing::random_circuit(55, 6, 5, 40);
+    const LearnResult a = learn(nl);
+    const LearnResult b = learn(nl);
+    EXPECT_EQ(a.db.size(), b.db.size());
+    EXPECT_EQ(relation_hash(a.db), relation_hash(b.db));
+    EXPECT_EQ(a.ties.count(), b.ties.count());
+}
+
+}  // namespace
+}  // namespace seqlearn::core

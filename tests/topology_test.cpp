@@ -1,0 +1,138 @@
+// Tests for the CSR topology snapshot: adjacency equivalence against the
+// Netlist's per-gate lists, the comb/seq fanout partition, cached codes, and
+// the zero-allocation run_into() contract of the frame simulator.
+
+#include "netlist/levelize.hpp"
+#include "netlist/topology.hpp"
+#include "sim/frame_sim.hpp"
+#include "test_helpers.hpp"
+#include "workload/paper_circuits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace seqlearn::netlist {
+namespace {
+
+using sim::FrameSimOptions;
+using sim::FrameSimResult;
+using sim::FrameSimulator;
+using sim::Injection;
+using sim::SeqGating;
+
+// The CSR view must agree with the Netlist edge-for-edge: fanins in
+// identical order, and fanouts as a *stable partition* (combinational sinks
+// first, sequential sinks last, each in Netlist order) — the frame
+// simulator's discovery order depends on it.
+void expect_adjacency_equivalent(const Netlist& nl) {
+    const Topology topo(nl);
+    const Levelization lv = levelize(nl);
+    ASSERT_EQ(topo.size(), nl.size());
+    for (GateId g = 0; g < nl.size(); ++g) {
+        const auto nf = nl.fanins(g);
+        const auto tf = topo.fanins(g);
+        ASSERT_TRUE(std::equal(nf.begin(), nf.end(), tf.begin(), tf.end()))
+            << "fanins differ at gate " << nl.name_of(g);
+
+        std::vector<GateId> comb, seq;
+        for (const GateId fo : nl.fanouts(g)) {
+            (is_sequential(nl.type(fo)) ? seq : comb).push_back(fo);
+        }
+        const auto tc = topo.comb_fanouts(g);
+        const auto ts = topo.seq_fanouts(g);
+        ASSERT_TRUE(std::equal(comb.begin(), comb.end(), tc.begin(), tc.end()))
+            << "comb fanouts differ at gate " << nl.name_of(g);
+        ASSERT_TRUE(std::equal(seq.begin(), seq.end(), ts.begin(), ts.end()))
+            << "seq fanouts differ at gate " << nl.name_of(g);
+        ASSERT_EQ(topo.fanout_count(g), nl.fanouts(g).size());
+        ASSERT_EQ(topo.fanouts(g).size(), comb.size() + seq.size());
+
+        EXPECT_EQ(topo.type(g), nl.type(g));
+        EXPECT_EQ(topo.is_seq(g), is_sequential(nl.type(g)));
+        EXPECT_EQ(topo.is_input(g), nl.type(g) == GateType::Input);
+        const bool is_const =
+            nl.type(g) == GateType::Const0 || nl.type(g) == GateType::Const1;
+        EXPECT_EQ(topo.is_const(g), is_const);
+        if (topo.is_comb(g) || is_const) EXPECT_EQ(topo.op(g), to_op(nl.type(g)));
+        EXPECT_EQ(topo.level(g), lv.level[g]);
+    }
+    EXPECT_EQ(topo.max_level(), lv.max_level);
+    const auto sched = topo.schedule();
+    ASSERT_TRUE(std::equal(lv.topo_order.begin(), lv.topo_order.end(), sched.begin(),
+                           sched.end()));
+    for (const GateId c : topo.const_gates()) EXPECT_TRUE(topo.is_const(c));
+}
+
+TEST(Topology, MatchesNetlistOnPaperCircuits) {
+    expect_adjacency_equivalent(workload::fig1_analog());
+    expect_adjacency_equivalent(workload::fig2_analog());
+}
+
+TEST(Topology, MatchesNetlistOnRandomCircuits) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 21ULL, 42ULL, 99ULL, 1234ULL}) {
+        expect_adjacency_equivalent(testing::random_circuit(seed, 6, 5, 40));
+    }
+    // Larger shape: more fanout sharing, deeper logic.
+    expect_adjacency_equivalent(testing::random_circuit(5, 10, 12, 150));
+}
+
+TEST(FrameSimulator, RunIntoMatchesRunAndReusesBuffers) {
+    const Netlist nl = testing::random_circuit(17, 6, 6, 60);
+    FrameSimulator fsim(nl, SeqGating::all_open(nl));
+    FrameSimOptions opt;
+    FrameSimResult reused;
+    const auto stems = nl.stems();
+    ASSERT_FALSE(stems.empty());
+
+    // Same results through both entry points, for both injection values.
+    for (const GateId stem : stems) {
+        for (const logic::Val3 v : {logic::Val3::Zero, logic::Val3::One}) {
+            const Injection inj{0, stem, v};
+            const FrameSimResult fresh = fsim.run({&inj, 1}, opt);
+            fsim.run_into({&inj, 1}, opt, reused);
+            ASSERT_EQ(fresh.conflict, reused.conflict);
+            ASSERT_EQ(fresh.frames_run, reused.frames_run);
+            ASSERT_EQ(fresh.stopped_on_repeat, reused.stopped_on_repeat);
+            ASSERT_EQ(fresh.implied.size(), reused.implied.size());
+            for (std::size_t i = 0; i < fresh.implied.size(); ++i) {
+                ASSERT_EQ(fresh.implied[i].gate, reused.implied[i].gate);
+                ASSERT_EQ(fresh.implied[i].frame, reused.implied[i].frame);
+                ASSERT_EQ(fresh.implied[i].value, reused.implied[i].value);
+            }
+        }
+    }
+
+    // Steady state: re-running the same scenario must not reallocate the
+    // reused result's implied storage.
+    const Injection inj{0, stems[0], logic::Val3::One};
+    fsim.run_into({&inj, 1}, opt, reused);
+    const auto* data = reused.implied.data();
+    const auto cap = reused.implied.capacity();
+    for (int i = 0; i < 10; ++i) fsim.run_into({&inj, 1}, opt, reused);
+    EXPECT_EQ(reused.implied.data(), data);
+    EXPECT_EQ(reused.implied.capacity(), cap);
+}
+
+TEST(FrameSimulator, SharedTopologyMatchesOwned) {
+    const Netlist nl = testing::random_circuit(23, 5, 4, 50);
+    const Topology topo(nl);
+    FrameSimulator owned(nl, SeqGating::all_open(nl));
+    FrameSimulator shared(topo, SeqGating::all_open(nl));
+    FrameSimOptions opt;
+    FrameSimResult a, b;
+    for (const GateId stem : nl.stems()) {
+        const Injection inj{0, stem, logic::Val3::One};
+        owned.run_into({&inj, 1}, opt, a);
+        shared.run_into({&inj, 1}, opt, b);
+        ASSERT_EQ(a.implied.size(), b.implied.size());
+        for (std::size_t i = 0; i < a.implied.size(); ++i) {
+            ASSERT_EQ(a.implied[i].gate, b.implied[i].gate);
+            ASSERT_EQ(a.implied[i].value, b.implied[i].value);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace seqlearn::netlist
