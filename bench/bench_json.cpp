@@ -1,7 +1,7 @@
 // Machine-readable perf baseline: emits BENCH_sim.json with the throughput
-// of the three learning-relevant hot paths on the gen5378 suite circuit.
-// Every perf PR diffs against the numbers this driver produced at its base
-// commit, so the schema is deliberately small and stable:
+// of the learning- and validation-relevant hot paths on the gen5378 suite
+// circuit. Every perf PR diffs against the numbers this driver produced at
+// its base commit, so the schema is deliberately small and stable:
 //
 //   { "circuit": "gen5378",
 //     "benchmarks": [ {"name": ..., "items_per_sec": ..., "seconds": ...,
@@ -11,7 +11,10 @@
 // "-" writes the JSON to stdout only).
 
 #include "core/seq_learn.hpp"
+#include "fault/collapse.hpp"
+#include "fault/fault_sim.hpp"
 #include "logic/pattern.hpp"
+#include "netlist/topology.hpp"
 #include "sim/frame_sim.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/rng.hpp"
@@ -80,6 +83,24 @@ Row bench_learn(const Netlist& nl) {
     });
 }
 
+Row bench_fault_sim(const Netlist& nl) {
+    // drop_detected over the full collapsed list with 24-frame random
+    // sequences — the validation hot path of every ATPG campaign; items =
+    // faults simulated per pass. The simulator shares one CSR snapshot, the
+    // Session pattern.
+    const netlist::Topology topo(nl);
+    fault::FaultSimulator fsim(topo);
+    const fault::CollapsedFaults collapsed = fault::collapse(nl);
+    util::Rng rng(1);
+    sim::InputSequence seq(24, sim::InputFrame(nl.inputs().size(), logic::Val3::X));
+    return measure("fault_sim_drop_detected", collapsed.size(), 2.0, [&] {
+        for (auto& frame : seq)
+            for (auto& v : frame) v = rng.chance(0.5) ? logic::Val3::One : logic::Val3::Zero;
+        fault::FaultList list(collapsed.representatives());
+        fsim.drop_detected(seq, list);
+    });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +111,7 @@ int main(int argc, char** argv) {
     rows.push_back(bench_frame_sim(nl));
     rows.push_back(bench_parallel_patterns(nl));
     rows.push_back(bench_learn(nl));
+    rows.push_back(bench_fault_sim(nl));
 
     std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -1,14 +1,13 @@
-// Full test-generation flow: learn, then run the sequential ATPG in each of
-// the three learning modes (none / forbidden-value / known-value) and
-// compare coverage and cost — a miniature of the paper's Table 5.
+// Full test-generation flow through the Session facade: learn once, then
+// run the sequential ATPG in each of the three learning modes (none /
+// forbidden-value / known-value) and compare coverage and cost — a
+// miniature of the paper's Table 5.
 //
 //   $ ./atpg_flow [suite-circuit-name] [backtrack-limit]
 //
 // Defaults: rt510a (a retimed, low-density-of-encoding circuit) at limit 30.
 
-#include "atpg/atpg_loop.hpp"
-#include "core/seq_learn.hpp"
-#include "fault/collapse.hpp"
+#include "api/session.hpp"
 #include "workload/suite.hpp"
 
 #include <cstdio>
@@ -21,14 +20,15 @@ int main(int argc, char** argv) {
     const auto backtrack_limit =
         static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 30);
 
-    const netlist::Netlist nl = workload::suite_circuit(name);
-    const fault::CollapsedFaults collapsed = fault::collapse(nl);
+    // One Session per circuit: the netlist is levelized once and the learn /
+    // generate / simulate engines all share that snapshot.
+    api::Session session(workload::suite_circuit(name));
     std::printf("%s: %zu gates, %zu FFs, %zu collapsed faults (%zu uncollapsed)\n",
-                name.c_str(), nl.counts().combinational,
-                nl.seq_elements().size(), collapsed.size(), collapsed.universe_size());
+                name.c_str(), session.netlist().counts().combinational,
+                session.netlist().seq_elements().size(), session.collapsed_faults().size(),
+                session.collapsed_faults().universe_size());
 
-    core::LearnConfig lcfg;
-    const core::LearnResult learned = core::learn(nl, lcfg);
+    const core::LearnResult& learned = session.learn();
     std::printf("learning: %zu FF-FF + %zu Gate-FF relations, %zu ties, %.3f s\n\n",
                 learned.stats.ff_ff_relations, learned.stats.gate_ff_relations,
                 learned.ties.count(), learned.stats.cpu_seconds);
@@ -42,17 +42,15 @@ int main(int argc, char** argv) {
     for (const ModeRow m : {ModeRow{"no learning", atpg::LearnMode::None},
                             ModeRow{"forbidden values", atpg::LearnMode::ForbiddenValue},
                             ModeRow{"known values", atpg::LearnMode::KnownValue}}) {
-        fault::FaultList list(collapsed.representatives());
         atpg::AtpgConfig cfg;
         cfg.mode = m.mode;
-        cfg.learned = m.mode == atpg::LearnMode::None ? nullptr : &learned;
         cfg.backtrack_limit = backtrack_limit;
-        cfg.count_c_cycle_redundant = cfg.learned != nullptr;
-        const atpg::AtpgOutcome out = run_atpg(nl, list, cfg);
-        const auto c = list.counts();
+        cfg.count_c_cycle_redundant = m.mode != atpg::LearnMode::None;
+        const api::AtpgReport& report = session.atpg(cfg);
+        const auto c = report.list.counts();
         std::printf("%-18s | %8zu %8zu %8zu %8zu | %8.2f%% %10.2f\n", m.label, c.detected,
-                    c.untestable, c.aborted, c.undetected, 100.0 * list.test_coverage(),
-                    out.cpu_seconds);
+                    c.untestable, c.aborted, c.undetected,
+                    100.0 * report.list.test_coverage(), report.outcome.cpu_seconds);
     }
     std::printf("\n(test coverage = detected / (total - untestable), as in the paper)\n");
     return 0;

@@ -1,11 +1,11 @@
-// Quickstart: parse a circuit, run sequential learning, inspect the results.
+// Quickstart: parse a circuit into a Session, run the paper flow, inspect.
 //
 //   $ ./quickstart [circuit.bench]
 //
 // Without an argument it uses the embedded Figure-2 analog from the paper.
 
+#include "api/session.hpp"
 #include "core/invalid_state.hpp"
-#include "core/seq_learn.hpp"
 #include "netlist/bench_io.hpp"
 #include "workload/paper_circuits.hpp"
 
@@ -27,33 +27,36 @@ int main(int argc, char** argv) {
     } else {
         nl = workload::fig2_analog();
     }
-    const auto counts = nl.counts();
+
+    // 2. A Session owns the netlist and the one shared CSR topology every
+    //    stage engine reads; the whole flow hangs off its methods.
+    api::Session session(std::move(nl));
+    const auto counts = session.netlist().counts();
     std::printf("circuit %s: %zu inputs, %zu outputs, %zu FFs, %zu gates\n",
-                nl.name().c_str(), counts.inputs, counts.outputs,
+                session.netlist().name().c_str(), counts.inputs, counts.outputs,
                 counts.flip_flops + counts.latches, counts.combinational);
 
-    // 2. Run the sequential learner (paper defaults: 50 frames, multiple-
+    // 3. Run the sequential learner (paper defaults: 50 frames, multiple-
     //    node learning and gate-equivalence assists on).
-    core::LearnConfig cfg;
-    const core::LearnResult learned = core::learn(nl, cfg);
+    const core::LearnResult& learned = session.learn();
     std::printf("learned in %.3f s: %zu FF-FF relations, %zu Gate-FF relations, "
                 "%zu tie gates (%zu combinational, %zu sequential)\n",
                 learned.stats.cpu_seconds, learned.stats.ff_ff_relations,
                 learned.stats.gate_ff_relations, learned.ties.count(),
                 learned.stats.ties_combinational, learned.stats.ties_sequential);
 
-    // 3. Inspect individual relations. FF-FF relations are invalid-state
+    // 4. Inspect individual relations. FF-FF relations are invalid-state
     //    relations: each one rules out part of the state space.
     std::printf("\nsequentially learned relations (frame tag >= 1):\n");
     for (const core::Relation& rel : learned.db.relations()) {
         if (rel.frame < 1) continue;
-        std::printf("  %-24s (holds from frame %u on)\n", to_string(nl, rel).c_str(),
-                    rel.frame);
+        std::printf("  %-24s (holds from frame %u on)\n",
+                    to_string(session.netlist(), rel).c_str(), rel.frame);
     }
 
-    // 4. Compile the FF-FF subset into a fast partial-state checker (this is
+    // 5. Compile the FF-FF subset into a fast partial-state checker (this is
     //    what the ATPG uses to prune invalid states).
-    const core::InvalidStateChecker checker(nl, learned.db);
+    const core::InvalidStateChecker checker(session.netlist(), learned.db);
     std::printf("\ninvalid-state checker holds %zu relations over %zu FFs\n",
                 checker.size(), checker.num_ffs());
     if (checker.num_ffs() <= 20 && checker.num_ffs() > 0) {
@@ -61,5 +64,18 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(checker.count_invalid_states()),
                     1ULL << checker.num_ffs());
     }
+
+    // 6. Generate tests with the learned data and validate them with the
+    //    independent fault simulator — the rest of the paper flow.
+    atpg::AtpgConfig acfg;
+    acfg.mode = atpg::LearnMode::ForbiddenValue;
+    acfg.backtrack_limit = 100;
+    const api::AtpgReport& report = session.atpg(acfg);
+    const api::FaultSimReport check = session.fault_sim();
+    std::printf("\nATPG: %zu/%zu faults detected (%zu untestable) with %zu sequences; "
+                "fault-sim revalidation detects %zu\n",
+                report.list.counts().detected, report.list.counts().total,
+                report.list.counts().untestable, report.outcome.tests.size(),
+                check.detected);
     return 0;
 }

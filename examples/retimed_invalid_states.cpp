@@ -5,10 +5,8 @@
 //
 //   $ ./retimed_invalid_states
 
-#include "atpg/atpg_loop.hpp"
+#include "api/session.hpp"
 #include "core/invalid_state.hpp"
-#include "core/seq_learn.hpp"
-#include "fault/collapse.hpp"
 #include "workload/circuit_gen.hpp"
 #include "workload/reachability.hpp"
 #include "workload/retime.hpp"
@@ -41,7 +39,10 @@ int main() {
             std::printf("density of encoding: %.4f (valid states / total states)\n",
                         density);
         }
-        const core::LearnResult learned = core::learn(*nl);
+        // One Session per circuit: learning and both campaigns below share
+        // its topology and engines.
+        api::Session session(*nl);
+        const core::LearnResult& learned = session.learn();
         const core::InvalidStateChecker chk(*nl, learned.db);
         std::printf("learned: %zu FF-FF relations (invalid-state relations), "
                     "%zu Gate-FF, %zu ties, %.3f s\n",
@@ -55,18 +56,16 @@ int main() {
 
         // ATPG with and without the learned data, tight backtrack budget.
         for (const bool use_learning : {false, true}) {
-            fault::FaultList list(fault::collapse(*nl).representatives());
             atpg::AtpgConfig cfg;
             cfg.backtrack_limit = 30;
             cfg.mode = use_learning ? atpg::LearnMode::ForbiddenValue
                                     : atpg::LearnMode::None;
-            cfg.learned = use_learning ? &learned : nullptr;
             cfg.count_c_cycle_redundant = use_learning;
-            const atpg::AtpgOutcome out = run_atpg(*nl, list, cfg);
-            const auto c = list.counts();
+            const api::AtpgReport& report = session.atpg(cfg);
+            const auto c = report.list.counts();
             std::printf("  ATPG %-12s: det %zu, untestable %zu, aborted %zu, %.2f s\n",
                         use_learning ? "with learning" : "no learning", c.detected,
-                        c.untestable, c.aborted, out.cpu_seconds);
+                        c.untestable, c.aborted, report.outcome.cpu_seconds);
         }
     }
     return 0;

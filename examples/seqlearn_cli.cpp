@@ -1,17 +1,19 @@
 // seqlearn_cli — drive the library from the command line on .bench files.
 //
 //   seqlearn_cli stats  <circuit.bench | suite:NAME>
-//   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--out FILE]
+//   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N]
+//                       [--save-db FILE] [--out FILE]
 //   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
-//                       [--backtracks N] [--learned FILE] [--random N]
+//                       [--backtracks N] [--load-db FILE] [--save-db FILE]
+//                       [--random N] [--progress]
 //
 // "suite:NAME" loads one of the built-in experiment circuits (e.g.
-// suite:rt510a); anything else is parsed as an ISCAS-89 .bench file.
+// suite:rt510a); anything else is parsed as an ISCAS-89 .bench file. All
+// commands run through an api::Session, so the circuit is levelized once
+// and learned data moves through Session::save_db / load_db. (--out and
+// --learned are deprecated aliases of --save-db and --load-db.)
 
-#include "atpg/atpg_loop.hpp"
-#include "core/db_io.hpp"
-#include "core/seq_learn.hpp"
-#include "fault/collapse.hpp"
+#include "api/session.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/structure.hpp"
 #include "workload/suite.hpp"
@@ -40,27 +42,36 @@ const char* flag_value(int argc, char** argv, const char* name) {
     return nullptr;
 }
 
-int cmd_stats(const netlist::Netlist& nl) {
-    const auto c = nl.counts();
-    std::printf("circuit:      %s\n", nl.name().c_str());
-    std::printf("inputs:       %zu\n", c.inputs);
-    std::printf("outputs:      %zu\n", c.outputs);
-    std::printf("flip-flops:   %zu\n", c.flip_flops);
-    std::printf("latches:      %zu\n", c.latches);
-    std::printf("gates:        %zu\n", c.combinational);
-    std::printf("fanout stems: %zu\n", nl.stems().size());
-    std::printf("seq depth:    %zu (capped at 16)\n", netlist::sequential_depth(nl, 16));
-    const auto collapsed = fault::collapse(nl);
-    std::printf("faults:       %zu collapsed / %zu total\n", collapsed.size(),
-                collapsed.universe_size());
+bool flag_present(int argc, char** argv, const char* name) {
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) return true;
+    }
+    return false;
+}
+
+int cmd_stats(api::Session& session) {
+    const api::SessionStats s = session.stats();
+    std::printf("circuit:      %s\n", session.netlist().name().c_str());
+    std::printf("inputs:       %zu\n", s.circuit.inputs);
+    std::printf("outputs:      %zu\n", s.circuit.outputs);
+    std::printf("flip-flops:   %zu\n", s.circuit.flip_flops);
+    std::printf("latches:      %zu\n", s.circuit.latches);
+    std::printf("gates:        %zu\n", s.circuit.combinational);
+    std::printf("fanout stems: %zu\n", s.stems);
+    std::printf("levels:       %zu\n", s.levels);
+    std::printf("clock classes:%zu\n", s.clock_classes);
+    std::printf("seq depth:    %zu (capped at 16)\n",
+                netlist::sequential_depth(session.topology(), 16));
+    std::printf("faults:       %zu collapsed / %zu total\n", s.collapsed_faults,
+                session.collapsed_faults().universe_size());
     return 0;
 }
 
-int cmd_learn(const netlist::Netlist& nl, int argc, char** argv) {
+int cmd_learn(api::Session& session, int argc, char** argv) {
     core::LearnConfig cfg;
     if (const char* f = flag_value(argc, argv, "--frames"))
         cfg.max_frames = static_cast<std::uint32_t>(std::atoi(f));
-    const core::LearnResult r = core::learn(nl, cfg);
+    const core::LearnResult& r = session.learn(cfg);
     std::printf("learned in %.3f s over %zu stems:\n", r.stats.cpu_seconds,
                 r.stats.stems_processed);
     std::printf("  FF-FF relations:   %zu\n", r.stats.ff_ff_relations);
@@ -69,19 +80,16 @@ int cmd_learn(const netlist::Netlist& nl, int argc, char** argv) {
     std::printf("  tie gates:         %zu (%zu comb, %zu seq)\n", r.ties.count(),
                 r.stats.ties_combinational, r.stats.ties_sequential);
     std::printf("  equivalence classes: %zu\n", r.stats.equiv_classes);
-    if (const char* path = flag_value(argc, argv, "--out")) {
-        std::ofstream out(path);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n", path);
-            return 1;
-        }
-        core::save_learned(out, nl, r.db, r.ties);
+    const char* path = flag_value(argc, argv, "--save-db");
+    if (path == nullptr) path = flag_value(argc, argv, "--out");
+    if (path != nullptr) {
+        session.save_db(path);
         std::printf("saved learned data to %s\n", path);
     }
     return 0;
 }
 
-int cmd_atpg(const netlist::Netlist& nl, int argc, char** argv) {
+int cmd_atpg(api::Session& session, int argc, char** argv) {
     atpg::AtpgConfig cfg;
     cfg.backtrack_limit = 30;
     if (const char* bt = flag_value(argc, argv, "--backtracks"))
@@ -89,46 +97,41 @@ int cmd_atpg(const netlist::Netlist& nl, int argc, char** argv) {
     if (const char* r = flag_value(argc, argv, "--random"))
         cfg.random_sequences = static_cast<std::size_t>(std::atoi(r));
 
-    std::optional<core::LearnResult> learned;
     const char* mode = flag_value(argc, argv, "--mode");
     const std::string mode_s = mode ? mode : "forbidden";
     if (mode_s != "none") {
         cfg.mode = mode_s == "known" ? atpg::LearnMode::KnownValue
                                      : atpg::LearnMode::ForbiddenValue;
-        if (const char* path = flag_value(argc, argv, "--learned")) {
-            std::ifstream in(path);
-            if (!in) {
-                std::fprintf(stderr, "cannot read %s\n", path);
-                return 1;
-            }
-            const core::LoadedLearned loaded = core::load_learned(in, nl);
+        const char* db_path = flag_value(argc, argv, "--load-db");
+        if (db_path == nullptr) db_path = flag_value(argc, argv, "--learned");
+        if (const char* path = db_path) {
+            const std::size_t skipped = session.load_db(path);
             std::printf("loaded learned data (%zu relations, %zu ties, %zu skipped)\n",
-                        loaded.db.size(), loaded.ties.count(), loaded.skipped_lines);
-            learned.emplace(nl.size());
-            // Rebuild a LearnResult around the loaded data.
-            learned->db = loaded.db;
-            learned->ties = loaded.ties;
+                        session.learn().db.size(), session.learn().ties.count(), skipped);
         } else {
-            learned.emplace(core::learn(nl));
+            const core::LearnResult& learned = session.learn();
             std::printf("learned on the fly: %zu relations, %zu ties\n",
-                        learned->db.size(), learned->ties.count());
+                        learned.db.size(), learned.ties.count());
         }
-        cfg.learned = &*learned;
         cfg.count_c_cycle_redundant = true;
     }
 
-    fault::FaultList list(fault::collapse(nl).representatives());
-    const atpg::AtpgOutcome out = run_atpg(nl, list, cfg);
-    const auto c = list.counts();
+    const api::AtpgReport& report = session.atpg(cfg);
+    const auto c = report.list.counts();
     std::printf("mode=%s backtracks=%u\n", mode_s.c_str(), cfg.backtrack_limit);
     std::printf("  detected:   %zu (of %zu)\n", c.detected, c.total);
     std::printf("  untestable: %zu\n", c.untestable);
     std::printf("  aborted:    %zu\n", c.aborted);
-    std::printf("  coverage:   %.2f%% fault, %.2f%% test\n", 100.0 * list.fault_coverage(),
-                100.0 * list.test_coverage());
-    std::printf("  sequences:  %zu (bootstrap detected %zu)\n", out.tests.size(),
-                out.detected_by_bootstrap);
-    std::printf("  cpu:        %.2f s\n", out.cpu_seconds);
+    std::printf("  coverage:   %.2f%% fault, %.2f%% test\n",
+                100.0 * report.list.fault_coverage(),
+                100.0 * report.list.test_coverage());
+    std::printf("  sequences:  %zu (bootstrap detected %zu)\n",
+                report.outcome.tests.size(), report.outcome.detected_by_bootstrap);
+    std::printf("  cpu:        %.2f s\n", report.outcome.cpu_seconds);
+    if (const char* path = flag_value(argc, argv, "--save-db")) {
+        session.save_db(path);
+        std::printf("saved learned data to %s\n", path);
+    }
     return 0;
 }
 
@@ -142,13 +145,32 @@ int main(int argc, char** argv) {
         return 2;
     }
     try {
-        const netlist::Netlist nl = load_circuit(argv[2]);
+        api::SessionConfig scfg;
+        const bool progress = flag_present(argc, argv, "--progress");
+        if (progress) {
+            // One \r-rewritten line per stage; the line is terminated on a
+            // stage change and once more when the command finishes (no
+            // stage knows up front how many of its units will be skipped).
+            scfg.progress = [last = std::optional<api::Stage>()](
+                                const api::Progress& p) mutable {
+                const char* stage = p.stage == api::Stage::Learn     ? "learn"
+                                    : p.stage == api::Stage::Atpg    ? "atpg"
+                                                                     : "fault-sim";
+                if (last && *last != p.stage) std::fprintf(stderr, "\n");
+                last = p.stage;
+                std::fprintf(stderr, "\r%-9s %zu/%zu", stage, p.done, p.total);
+                return true;  // observation only; never cancels
+            };
+        }
+        api::Session session(load_circuit(argv[2]), std::move(scfg));
         const std::string cmd = argv[1];
-        if (cmd == "stats") return cmd_stats(nl);
-        if (cmd == "learn") return cmd_learn(nl, argc, argv);
-        if (cmd == "atpg") return cmd_atpg(nl, argc, argv);
-        std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
-        return 2;
+        int rc = 2;
+        if (cmd == "stats") rc = cmd_stats(session);
+        else if (cmd == "learn") rc = cmd_learn(session, argc, argv);
+        else if (cmd == "atpg") rc = cmd_atpg(session, argc, argv);
+        else std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+        if (progress) std::fprintf(stderr, "\n");
+        return rc;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

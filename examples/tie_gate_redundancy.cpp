@@ -5,7 +5,7 @@
 //
 //   $ ./tie_gate_redundancy [suite-circuit-name]      (default: fig1x)
 
-#include "core/seq_learn.hpp"
+#include "api/session.hpp"
 #include "fault/fault.hpp"
 #include "workload/fires.hpp"
 #include "workload/suite.hpp"
@@ -17,13 +17,14 @@
 int main(int argc, char** argv) {
     using namespace seqlearn;
     const std::string name = argc > 1 ? argv[1] : "fig1x";
-    const netlist::Netlist nl = workload::suite_circuit(name);
+    api::Session session(workload::suite_circuit(name));
+    const netlist::Netlist& nl = session.netlist();
     const auto universe = fault::fault_universe(nl);
     std::printf("%s: %zu faults in the uncollapsed universe\n", name.c_str(),
                 universe.size());
 
     // Tie gates fall out of sequential learning as a by-product.
-    const core::LearnResult learned = core::learn(nl);
+    const core::LearnResult& learned = session.learn();
     std::printf("\ntie gates (%zu combinational, %zu sequential):\n",
                 learned.stats.ties_combinational, learned.stats.ties_sequential);
     for (const netlist::GateId g : learned.ties.tied_gates()) {

@@ -1,0 +1,182 @@
+#include "api/session.hpp"
+
+#include "core/db_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace seqlearn::api {
+
+Session::Session(netlist::Netlist nl, SessionConfig cfg)
+    : Session(std::make_unique<netlist::Netlist>(std::move(nl)), nullptr, std::move(cfg)) {}
+
+Session Session::view(const netlist::Netlist& nl, SessionConfig cfg) {
+    return Session(nullptr, &nl, std::move(cfg));
+}
+
+Session::Session(std::unique_ptr<netlist::Netlist> owned, const netlist::Netlist* borrowed,
+                 SessionConfig cfg)
+    : cfg_(std::move(cfg)),
+      owned_nl_(std::move(owned)),
+      nl_(owned_nl_ ? owned_nl_.get() : borrowed),
+      topo_(std::make_unique<const netlist::Topology>(*nl_)) {}
+
+const std::vector<netlist::ClockClass>& Session::clock_classes() {
+    if (!classes_) classes_.emplace(netlist::clock_classes(*nl_));
+    return *classes_;
+}
+
+const fault::CollapsedFaults& Session::collapsed_faults() {
+    if (!collapsed_) collapsed_.emplace(fault::collapse(*nl_));
+    return *collapsed_;
+}
+
+fault::FaultSimulator& Session::fault_simulator() {
+    if (!fsim_) fsim_.emplace(*topo_);
+    return *fsim_;
+}
+
+atpg::Engine& Session::engine() {
+    if (!engine_) engine_.emplace(*topo_);
+    return *engine_;
+}
+
+const core::LearnResult& Session::learn() {
+    if (!learned_) return learn(cfg_.learn);
+    return *learned_;
+}
+
+const core::LearnResult& Session::learn(const core::LearnConfig& lcfg) {
+    core::LearnConfig cfg = lcfg;
+    if (cfg_.progress && !cfg.on_stem) {
+        cfg.on_stem = [this](std::size_t done, std::size_t total) {
+            return cfg_.progress({Stage::Learn, done, total});
+        };
+    }
+    replace_learned(std::make_unique<core::LearnResult>(core::learn(*nl_, *topo_, cfg)));
+    return *learned_;
+}
+
+void Session::replace_learned(std::unique_ptr<core::LearnResult> next) {
+    // The fault simulator may still point at the previous result's tie
+    // vectors (set_good_ties's "must outlive" contract); drop those
+    // pointers before the vectors die. Facade paths re-set ties on use.
+    if (fsim_) fsim_->set_good_ties(nullptr, nullptr);
+    learned_ = std::move(next);
+}
+
+const AtpgReport& Session::atpg() {
+    if (!atpg_) return atpg(cfg_.atpg);
+    return *atpg_;
+}
+
+const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
+    // Modes that consume learned data get this session's result wired in
+    // (learning on demand); an explicit cfg.learned — e.g. data brought in
+    // through load_db on another session — is respected as-is. Mode None
+    // stays a true no-learning baseline.
+    if (acfg.mode != atpg::LearnMode::None && acfg.learned == nullptr) {
+        acfg.learned = &learn();
+    }
+    if (cfg_.progress && !acfg.on_fault) {
+        acfg.on_fault = [this](std::size_t done, std::size_t total) {
+            return cfg_.progress({Stage::Atpg, done, total});
+        };
+    }
+    fault::FaultList list(collapsed_faults().representatives());
+    atpg::AtpgOutcome outcome = run_atpg(engine(), fault_simulator(), list, acfg);
+    atpg_.emplace(
+        AtpgReport{std::move(list), std::move(outcome), acfg.learned != nullptr});
+    return *atpg_;
+}
+
+FaultSimReport Session::fault_sim() {
+    const AtpgReport& report = atpg();
+    // Replay exactly the expected-value model the campaign validated its
+    // tests with: tie-augmented only when that campaign used learned data
+    // (a LearnMode::None baseline must not gain tie knowledge here).
+    return fault_sim(report.outcome.tests, report.used_learned);
+}
+
+FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests) {
+    return fault_sim(tests, learned_ != nullptr);
+}
+
+FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests,
+                                  bool with_ties) {
+    fault::FaultSimulator& fsim = fault_simulator();
+    // The tie-augmented good machine closes the 3-valued pessimism gap for
+    // learning-aware campaigns (Section 4).
+    if (with_ties && learned_) {
+        fsim.set_good_ties(&learned_->ties.dense(), &learned_->ties.dense_cycles());
+    } else {
+        fsim.set_good_ties(nullptr, nullptr);
+    }
+    fault::FaultList list(collapsed_faults().representatives());
+    FaultSimReport report;
+    for (const sim::InputSequence& t : tests) {
+        if (cfg_.progress &&
+            !cfg_.progress({Stage::FaultSim, report.sequences, tests.size()})) {
+            report.cancelled = true;
+            break;
+        }
+        fsim.drop_detected(t, list);
+        ++report.sequences;
+    }
+    const fault::FaultList::Counts c = list.counts();
+    report.total = c.total;
+    report.detected = c.detected;
+    report.fault_coverage = list.fault_coverage();
+    return report;
+}
+
+SessionStats Session::stats() {
+    SessionStats s;
+    s.circuit = nl_->counts();
+    s.gates = nl_->size();
+    s.stems = nl_->stems().size();
+    s.levels = topo_->max_level();
+    s.clock_classes = clock_classes().size();
+    s.collapsed_faults = collapsed_faults().size();
+    if (learned_) {
+        s.learned = true;
+        s.learn = learned_->stats;
+        s.relations = learned_->db.size();
+        s.ties = learned_->ties.count();
+    }
+    if (atpg_) {
+        s.atpg_run = true;
+        s.faults = atpg_->list.counts();
+        s.test_coverage = atpg_->list.test_coverage();
+        s.tests = atpg_->outcome.tests.size();
+    }
+    return s;
+}
+
+void Session::save_db(std::ostream& out) {
+    const core::LearnResult& r = learn();
+    core::save_learned(out, *nl_, r.db, r.ties);
+}
+
+void Session::save_db(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("Session::save_db: cannot write " + path);
+    save_db(out);
+}
+
+std::size_t Session::load_db(std::istream& in) {
+    core::LoadedLearned loaded = core::load_learned(in, *nl_);
+    auto result = std::make_unique<core::LearnResult>(nl_->size());
+    result->db = std::move(loaded.db);
+    result->ties = std::move(loaded.ties);
+    replace_learned(std::move(result));
+    return loaded.skipped_lines;
+}
+
+std::size_t Session::load_db(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("Session::load_db: cannot read " + path);
+    return load_db(in);
+}
+
+}  // namespace seqlearn::api

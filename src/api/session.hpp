@@ -1,0 +1,184 @@
+#pragma once
+// The seqlearn facade: one object for the paper's whole flow.
+//
+// The pipeline is a single arc — learn an implication database, feed it to
+// ATPG, validate with fault simulation — but the stage engines historically
+// had to be wired by hand, each re-deriving circuit structure. A Session
+// owns the Netlist, the one shared CSR netlist::Topology (levels included)
+// and the clock classes, builds the stage engines lazily over that snapshot,
+// and exposes the flow as methods:
+//
+//     api::Session session(std::move(nl));
+//     session.learn();                       // implication DB + ties
+//     const api::AtpgReport& r = session.atpg();
+//     api::FaultSimReport v = session.fault_sim();   // independent check
+//     session.save_db("circuit.learned");
+//
+// Results are cached: learn() and atpg() run once and return the stored
+// result on later calls; the config-taking overloads force a re-run. A
+// ProgressObserver receives stem-granular callbacks during learning,
+// fault-granular callbacks during ATPG, and sequence-granular callbacks
+// during fault-sim validation, and can cancel any stage by returning false.
+
+#include "atpg/atpg_loop.hpp"
+#include "core/seq_learn.hpp"
+#include "fault/collapse.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/clock_class.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace seqlearn::api {
+
+/// Which pipeline stage a progress callback refers to.
+enum class Stage : std::uint8_t {
+    Learn,     ///< single-node learning; units are fanout stems
+    Atpg,      ///< deterministic generation; units are targeted faults
+    FaultSim,  ///< validation; units are test sequences
+};
+
+struct Progress {
+    Stage stage = Stage::Learn;
+    std::size_t done = 0;   ///< units completed so far
+    std::size_t total = 0;  ///< units the stage will process
+};
+
+/// Stage observer; return false to cancel the running stage (partial
+/// results are kept; learn/ATPG outcomes carry a cancelled flag).
+using ProgressObserver = std::function<bool(const Progress&)>;
+
+/// One configuration for the whole flow. The nested atpg config's `learned`
+/// and `on_fault` fields are managed by the Session (learned data is wired
+/// in automatically for modes that use it); everything else passes through.
+struct SessionConfig {
+    core::LearnConfig learn;
+    atpg::AtpgConfig atpg;
+    ProgressObserver progress;
+};
+
+/// Campaign result: the fault list with final statuses plus the outcome
+/// counters and generated tests.
+struct AtpgReport {
+    fault::FaultList list;
+    atpg::AtpgOutcome outcome;
+    /// Whether the campaign ran with learned data (and hence validated its
+    /// tests against the tie-augmented good machine). fault_sim() replays
+    /// the same expected-value model.
+    bool used_learned = false;
+};
+
+/// Independent validation result from fault-simulating a test set.
+struct FaultSimReport {
+    std::size_t total = 0;     ///< collapsed faults simulated
+    std::size_t detected = 0;  ///< faults the test set detects
+    std::size_t sequences = 0;
+    double fault_coverage = 0.0;  ///< detected / total
+    /// True when the progress observer cancelled validation early (the
+    /// counts above cover only the sequences simulated before the cut).
+    bool cancelled = false;
+};
+
+/// Aggregate view over everything the Session has computed so far.
+struct SessionStats {
+    netlist::Netlist::Counts circuit;
+    std::size_t gates = 0;  ///< all netlist nodes
+    std::size_t stems = 0;
+    std::size_t levels = 0;
+    std::size_t clock_classes = 0;
+    std::size_t collapsed_faults = 0;
+    bool learned = false;
+    core::LearnStats learn;  ///< zeros until learned
+    std::size_t relations = 0;
+    std::size_t ties = 0;
+    bool atpg_run = false;
+    fault::FaultList::Counts faults;  ///< zeros until atpg_run
+    double test_coverage = 0.0;
+    std::size_t tests = 0;
+};
+
+class Session {
+public:
+    /// Take ownership of `nl`. The Topology snapshot is built immediately
+    /// (levelizing once); engines and analyses are built on first use.
+    explicit Session(netlist::Netlist nl, SessionConfig cfg = {});
+
+    /// Borrow `nl` instead of owning it (must outlive the Session). Used by
+    /// the deprecated free-function shims; prefer the owning constructor.
+    static Session view(const netlist::Netlist& nl, SessionConfig cfg = {});
+
+    Session(Session&&) noexcept = default;
+    Session& operator=(Session&&) noexcept = default;
+
+    // --- shared structure -------------------------------------------------
+    const netlist::Netlist& netlist() const noexcept { return *nl_; }
+    const netlist::Topology& topology() const noexcept { return *topo_; }
+    const std::vector<netlist::ClockClass>& clock_classes();
+    const fault::CollapsedFaults& collapsed_faults();
+
+    // --- lazily-built stage engines (all over the shared Topology) --------
+    fault::FaultSimulator& fault_simulator();
+    atpg::Engine& engine();
+
+    // --- the flow ---------------------------------------------------------
+    /// Run sequential learning once (cached) with cfg.learn.
+    const core::LearnResult& learn();
+    /// Re-run learning with an explicit config; replaces the cached result.
+    const core::LearnResult& learn(const core::LearnConfig& lcfg);
+    bool has_learned() const noexcept { return learned_ != nullptr; }
+
+    /// Run the ATPG campaign once (cached) with cfg.atpg. Modes that use
+    /// learned data trigger learn() automatically.
+    const AtpgReport& atpg();
+    /// Re-run the campaign with an explicit config; replaces the cache.
+    const AtpgReport& atpg(atpg::AtpgConfig acfg);
+    bool has_atpg() const noexcept { return atpg_.has_value(); }
+
+    /// Fault-simulate the last campaign's test set (running atpg() first if
+    /// needed) against a fresh fault list — the independent validation step.
+    /// Uses the same expected-value model the campaign validated against:
+    /// tie-augmented only when that campaign used learned data.
+    FaultSimReport fault_sim();
+    /// Fault-simulate an explicit test set. The good machine is
+    /// tie-augmented when this session holds learned data.
+    FaultSimReport fault_sim(std::span<const sim::InputSequence> tests);
+
+    SessionStats stats();
+
+    // --- learned-data persistence (core::db_io text format) ---------------
+    /// Save the learned implication DB and ties (learning first if needed).
+    void save_db(std::ostream& out);
+    void save_db(const std::string& path);
+    /// Load a saved DB as this session's learned data (replacing any learn()
+    /// result); returns the number of skipped entries naming unknown gates.
+    /// Throws std::runtime_error on malformed input or an unreadable path.
+    std::size_t load_db(std::istream& in);
+    std::size_t load_db(const std::string& path);
+
+private:
+    Session(std::unique_ptr<netlist::Netlist> owned, const netlist::Netlist* borrowed,
+            SessionConfig cfg);
+    FaultSimReport fault_sim(std::span<const sim::InputSequence> tests, bool with_ties);
+    void replace_learned(std::unique_ptr<core::LearnResult> next);
+
+    SessionConfig cfg_;
+    std::unique_ptr<netlist::Netlist> owned_nl_;  // null for view sessions
+    const netlist::Netlist* nl_;
+    std::unique_ptr<const netlist::Topology> topo_;
+    std::optional<std::vector<netlist::ClockClass>> classes_;
+    std::optional<fault::CollapsedFaults> collapsed_;
+    std::optional<fault::FaultSimulator> fsim_;
+    std::optional<atpg::Engine> engine_;
+    // Heap-allocated so the tie vectors the fault simulator may point at
+    // keep a stable address across Session moves.
+    std::unique_ptr<core::LearnResult> learned_;
+    std::optional<AtpgReport> atpg_;
+};
+
+}  // namespace seqlearn::api

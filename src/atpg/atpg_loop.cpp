@@ -13,8 +13,8 @@ using fault::FaultStatus;
 
 namespace {
 
-std::vector<std::uint32_t> default_windows(const Netlist& nl) {
-    const std::size_t depth = netlist::sequential_depth(nl, 16);
+std::vector<std::uint32_t> default_windows(const netlist::Topology& topo) {
+    const std::size_t depth = netlist::sequential_depth(topo, 16);
     const std::uint32_t max_w =
         std::clamp<std::uint32_t>(static_cast<std::uint32_t>(2 * depth + 2), 4, 20);
     std::vector<std::uint32_t> out;
@@ -25,16 +25,18 @@ std::vector<std::uint32_t> default_windows(const Netlist& nl) {
 
 }  // namespace
 
-AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig& cfg) {
+AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList& list,
+                     const AtpgConfig& cfg) {
     const util::Timer timer;
     AtpgOutcome out;
+    const netlist::Topology& topo = engine.topology();
 
-    Engine engine(nl);
-    fault::FaultSimulator fsim(nl);
     if (cfg.learned != nullptr) {
         // Tie-augmented good simulation: keeps validation in step with the
         // tie facts the engine asserts (Section 4 / reference [15] gap).
         fsim.set_good_ties(&cfg.learned->ties.dense(), &cfg.learned->ties.dense_cycles());
+    } else {
+        fsim.set_good_ties(nullptr, nullptr);
     }
 
     EngineConfig ecfg;
@@ -53,7 +55,8 @@ AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig
         for (std::size_t i = 0; i < list.size(); ++i) {
             if (list.status(i) != FaultStatus::Undetected) continue;
             const fault::Fault& f = list.fault(i);
-            const GateId line = f.pin == fault::kOutputPin ? f.gate : nl.fanins(f.gate)[f.pin];
+            const GateId line =
+                f.pin == fault::kOutputPin ? f.gate : topo.fanins(f.gate)[f.pin];
             if (cfg.learned->ties.value(line) != f.stuck) continue;
             if (cfg.learned->ties.cycle(line) > 0 && !cfg.count_c_cycle_redundant) continue;
             list.set_status(i, FaultStatus::Untestable);
@@ -67,7 +70,7 @@ AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig
         util::Rng rng(cfg.random_seed);
         for (std::size_t s = 0; s < cfg.random_sequences; ++s) {
             sim::InputSequence seq(cfg.random_sequence_length,
-                                   sim::InputFrame(nl.inputs().size(), logic::Val3::X));
+                                   sim::InputFrame(topo.inputs().size(), logic::Val3::X));
             for (auto& frame : seq) {
                 for (auto& v : frame)
                     v = rng.chance(0.5) ? logic::Val3::One : logic::Val3::Zero;
@@ -79,10 +82,15 @@ AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig
     }
 
     const std::vector<std::uint32_t> windows =
-        cfg.windows.empty() ? default_windows(nl) : cfg.windows;
+        cfg.windows.empty() ? default_windows(topo) : cfg.windows;
+    const std::size_t total_targets = list.undetected().size();
 
     for (std::size_t i = 0; i < list.size(); ++i) {
         if (list.status(i) != FaultStatus::Undetected) continue;
+        if (cfg.on_fault && !cfg.on_fault(out.targeted_faults, total_targets)) {
+            out.cancelled = true;
+            break;
+        }
         const fault::Fault& f = list.fault(i);
         ++out.targeted_faults;
 
@@ -121,6 +129,18 @@ AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig
 
     out.cpu_seconds = timer.seconds();
     return out;
+}
+
+AtpgOutcome run_atpg(const netlist::Topology& topo, fault::FaultList& list,
+                     const AtpgConfig& cfg) {
+    Engine engine(topo);
+    fault::FaultSimulator fsim(topo);
+    return run_atpg(engine, fsim, list, cfg);
+}
+
+AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig& cfg) {
+    const netlist::Topology topo(nl);
+    return run_atpg(topo, list, cfg);
 }
 
 }  // namespace seqlearn::atpg

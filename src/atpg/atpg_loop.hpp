@@ -14,6 +14,7 @@
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
 
+#include <functional>
 #include <vector>
 
 namespace seqlearn::atpg {
@@ -50,6 +51,11 @@ struct AtpgConfig {
     /// Frames per bootstrap sequence.
     std::size_t random_sequence_length = 24;
     std::uint64_t random_seed = 1;
+    /// Per-fault progress observer: called before each deterministic target
+    /// with (faults fully processed so far, targets when the loop entered).
+    /// Return false to cancel the campaign; partial results are kept and the
+    /// outcome is flagged cancelled. Null = no observation.
+    std::function<bool(std::size_t done, std::size_t total)> on_fault;
 };
 
 struct AtpgOutcome {
@@ -64,9 +70,23 @@ struct AtpgOutcome {
     std::size_t untestable_by_tie = 0;
     std::size_t untestable_by_proof = 0;
     std::size_t detected_by_bootstrap = 0;
+    /// True when cfg.on_fault requested cancellation mid-campaign.
+    bool cancelled = false;
 };
 
-/// Run a campaign over `list` (statuses updated in place).
+/// Run a campaign over `list` (statuses updated in place) reusing the
+/// caller's engine and fault simulator — the zero-rebuild path a Session
+/// uses. Both must be built over the same Topology. The simulator's
+/// good-machine ties are (re)configured from cfg.learned.
+AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList& list,
+                     const AtpgConfig& cfg);
+
+/// Convenience: build the engine and fault simulator over `topo` and run.
+AtpgOutcome run_atpg(const netlist::Topology& topo, fault::FaultList& list,
+                     const AtpgConfig& cfg);
+
+/// Deprecated: levelizes `nl` privately per call. Prefer the Topology
+/// overload (or api::Session) so the snapshot is shared across stages.
 AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig& cfg);
 
 }  // namespace seqlearn::atpg

@@ -9,17 +9,17 @@ namespace {
 using logic::GateOp;
 using logic::Val3;
 using netlist::GateType;
+using netlist::Topology;
 
 constexpr int kGood = 0;
 constexpr int kFaulty = 1;
 
 }  // namespace
 
-// All per-solve state lives here; the Engine object only caches the
-// levelization across solves.
+// All per-solve state lives here; the Engine object only caches the shared
+// CSR topology across solves.
 struct Engine::Search {
-    const Netlist& nl;
-    const netlist::Levelization& lv;
+    const Topology& topo;
     Ila ila;
     fault::Fault fault;
     EngineConfig cfg;
@@ -58,13 +58,13 @@ struct Engine::Search {
     bool site_output_pinned = false;
     bool site_seq_data_pinned = false;
 
-    Search(const Netlist& netlist, const netlist::Levelization& levels, const fault::Fault& f,
-           std::uint32_t frames, const EngineConfig& config)
-        : nl(netlist), lv(levels), ila(netlist, frames), fault(f), cfg(config) {
-        fault_line = f.pin == fault::kOutputPin ? f.gate : nl.fanins(f.gate)[f.pin];
-        cone = fault_cone_mask(nl, f);
+    Search(const Topology& topology, const fault::Fault& f, std::uint32_t frames,
+           const EngineConfig& config)
+        : topo(topology), ila(topology, frames), fault(f), cfg(config) {
+        fault_line = f.pin == fault::kOutputPin ? f.gate : topo.fanins(f.gate)[f.pin];
+        cone = fault_cone_mask(topo, f);
         site_output_pinned = f.pin == fault::kOutputPin;
-        site_seq_data_pinned = f.pin == 0 && netlist::is_sequential(nl.type(f.gate));
+        site_seq_data_pinned = f.pin == 0 && topo.is_seq(f.gate);
         const std::size_t cells = ila.num_cells();
         plane[0].assign(cells, Val3::X);
         plane[1].assign(cells, Val3::X);
@@ -77,10 +77,7 @@ struct Engine::Search {
 
     Val3 value(Cell c, int p) const { return plane[p][c]; }
 
-    bool is_const(GateId g) const {
-        const GateType t = nl.type(g);
-        return t == GateType::Const0 || t == GateType::Const1;
-    }
+    bool is_const(GateId g) const { return topo.is_const(g); }
 
     // The value gate `g` sees on input pin `pin` in plane `p` at `frame`:
     // pin faults override the faulty plane.
@@ -89,23 +86,23 @@ struct Engine::Search {
             pin == static_cast<std::size_t>(fault.pin)) {
             return fault.stuck;
         }
-        return plane[p][ila.cell(frame, nl.fanins(g)[pin])];
+        return plane[p][ila.cell(frame, topo.fanins(g)[pin])];
     }
 
     Val3 eval_plane(std::uint32_t frame, GateId g, int p) const {
-        const GateType t = nl.type(g);
+        const GateType t = topo.type(g);
         if (t == GateType::Const0) return Val3::Zero;
         if (t == GateType::Const1) return Val3::One;
-        if (t == GateType::Input || netlist::is_sequential(t)) return Val3::X;
+        if (topo.is_input(g) || topo.is_seq(g)) return Val3::X;
         std::array<Val3, 2> small;
-        const std::size_t n = nl.fanins(g).size();
+        const std::size_t n = topo.fanins(g).size();
         if (n <= 2) {
             for (std::size_t i = 0; i < n; ++i) small[i] = input_value(frame, g, i, p);
-            return logic::eval_op(netlist::to_op(t), std::span<const Val3>(small.data(), n));
+            return logic::eval_op(topo.op(g), std::span<const Val3>(small.data(), n));
         }
         std::vector<Val3> ins(n);
         for (std::size_t i = 0; i < n; ++i) ins[i] = input_value(frame, g, i, p);
-        return logic::eval_op(netlist::to_op(t), ins);
+        return logic::eval_op(topo.op(g), ins);
     }
 
     // ----- assignment with trail -------------------------------------------
@@ -122,7 +119,7 @@ struct Engine::Search {
         const GateId g = ila.gate_of(c);
         const std::uint32_t frame = ila.frame_of(c);
         // Unknown initial state: frame-0 sequential outputs stay X.
-        const bool is_ppi = frame == 0 && netlist::is_sequential(nl.type(g));
+        const bool is_ppi = frame == 0 && topo.is_seq(g);
         if (is_ppi && !cfg.ppi_free) {
             conflict = true;
             return false;
@@ -201,7 +198,6 @@ struct Engine::Search {
     // Backward implication on gate `g`'s own inputs in plane `p`, given its
     // binary output value.
     void backward(std::uint32_t frame, GateId g, int p) {
-        const GateType t = nl.type(g);
         const Cell c = ila.cell(frame, g);
         const Val3 out = plane[p][c];
         if (out == Val3::X) return;
@@ -211,23 +207,23 @@ struct Engine::Search {
             (site_output_pinned || site_seq_data_pinned)) {
             return;
         }
-        if (netlist::is_sequential(t)) {
+        if (topo.is_seq(g)) {
             if (frame == 0) return;  // guarded at set_plane already
             // FF output at k equals its (first-port) data value at k-1.
-            set_plane(ila.cell(frame - 1, nl.fanins(g)[0]), p, out);
+            set_plane(ila.cell(frame - 1, topo.fanins(g)[0]), p, out);
             return;
         }
-        if (t == GateType::Input || is_const(g)) return;
+        if (topo.is_input(g) || is_const(g)) return;
 
-        const GateOp op = netlist::to_op(t);
-        const std::size_t n = nl.fanins(g).size();
+        const GateOp op = topo.op(g);
+        const std::size_t n = topo.fanins(g).size();
         auto skip_pin = [&](std::size_t pin) {
             return p == kFaulty && fault.pin != fault::kOutputPin && g == fault.gate &&
                    pin == static_cast<std::size_t>(fault.pin);
         };
         if (op == GateOp::Buf || op == GateOp::Not) {
             if (!skip_pin(0)) {
-                set_plane(ila.cell(frame, nl.fanins(g)[0]), p,
+                set_plane(ila.cell(frame, topo.fanins(g)[0]), p,
                           op == GateOp::Not ? logic::v3_not(out) : out);
             }
             return;
@@ -239,7 +235,7 @@ struct Engine::Search {
                 // Every input must carry the noncontrolling value.
                 for (std::size_t i = 0; i < n; ++i) {
                     if (skip_pin(i)) continue;
-                    if (!set_plane(ila.cell(frame, nl.fanins(g)[i]), p, logic::v3_not(ctrl)))
+                    if (!set_plane(ila.cell(frame, topo.fanins(g)[i]), p, logic::v3_not(ctrl)))
                         return;
                 }
             } else {
@@ -255,7 +251,7 @@ struct Engine::Search {
                     }
                 }
                 if (unknown != n && !skip_pin(unknown)) {
-                    set_plane(ila.cell(frame, nl.fanins(g)[unknown]), p, ctrl);
+                    set_plane(ila.cell(frame, topo.fanins(g)[unknown]), p, ctrl);
                 }
             }
             return;
@@ -276,7 +272,7 @@ struct Engine::Search {
         if (skip_pin(unknown)) return;
         Val3 need = logic::v3_xor(out, acc);
         if (op == GateOp::Xnor) need = logic::v3_not(need);
-        set_plane(ila.cell(frame, nl.fanins(g)[unknown]), p, need);
+        set_plane(ila.cell(frame, topo.fanins(g)[unknown]), p, need);
     }
 
     // Re-evaluate gate `g` at `frame` in plane `p` and merge the result.
@@ -297,13 +293,13 @@ struct Engine::Search {
                 const std::uint32_t frame = ila.frame_of(c);
                 // Forward into same-frame consumers, and their backward
                 // rules (a new input value can complete a unique choice).
-                for (const GateId h : nl.fanouts(g)) {
-                    if (netlist::is_sequential(nl.type(h))) {
+                for (const GateId h : topo.fanouts(g)) {
+                    if (topo.is_seq(h)) {
                         // A fault-pinned sequential output ignores its data.
                         const bool pinned_site =
                             p == kFaulty && h == fault.gate &&
                             (site_output_pinned || site_seq_data_pinned);
-                        if (!pinned_site && nl.fanins(h)[0] == g && frame + 1 < ila.frames) {
+                        if (!pinned_site && topo.fanins(h)[0] == g && frame + 1 < ila.frames) {
                             set_plane(ila.cell(frame + 1, h), p, plane[p][c]);
                         }
                         continue;
@@ -336,9 +332,9 @@ struct Engine::Search {
         const GateId g = ila.gate_of(c);
         const std::uint32_t frame = ila.frame_of(c);
         // Forward: consumers of g (and the FF link).
-        for (const GateId h : nl.fanouts(g)) {
-            if (netlist::is_sequential(nl.type(h))) {
-                if (nl.fanins(h)[0] == g && frame + 1 < ila.frames) {
+        for (const GateId h : topo.fanouts(g)) {
+            if (topo.is_seq(h)) {
+                if (topo.fanins(h)[0] == g && frame + 1 < ila.frames) {
                     mirror_forbid(c, ila.cell(frame + 1, h));
                 }
                 continue;
@@ -348,8 +344,8 @@ struct Engine::Search {
             if (conflict) return;
         }
         // Cross-frame backward: an FF's forbids push onto its D input.
-        if (netlist::is_sequential(nl.type(g)) && frame > 0) {
-            mirror_forbid(c, ila.cell(frame - 1, nl.fanins(g)[0]));
+        if (topo.is_seq(g) && frame > 0) {
+            mirror_forbid(c, ila.cell(frame - 1, topo.fanins(g)[0]));
         }
         forbid_backward(frame, g);
     }
@@ -361,33 +357,31 @@ struct Engine::Search {
     }
 
     void forbid_eval(std::uint32_t frame, GateId h) {
-        const GateType t = nl.type(h);
-        if (!netlist::is_combinational(t) || is_const(h)) return;
+        if (!topo.is_comb(h)) return;
         const Cell hc = ila.cell(frame, h);
         if (plane[kGood][hc] != Val3::X) return;
-        const std::size_t n = nl.fanins(h).size();
+        const std::size_t n = topo.fanins(h).size();
         std::vector<Val3> ins(n);
         bool any_forbid_based = false;
         for (std::size_t i = 0; i < n; ++i) {
-            const Cell ic = ila.cell(frame, nl.fanins(h)[i]);
+            const Cell ic = ila.cell(frame, topo.fanins(h)[i]);
             ins[i] = effective(ic);
             if (plane[kGood][ic] == Val3::X && ins[i] != Val3::X) any_forbid_based = true;
         }
         if (!any_forbid_based) return;  // plain values are handled by imply()
-        const Val3 v = logic::eval_op(netlist::to_op(t), ins);
+        const Val3 v = logic::eval_op(topo.op(h), ins);
         if (v != Val3::X) add_forbid(hc, logic::v3_not(v));
     }
 
     void forbid_backward(std::uint32_t frame, GateId h) {
-        const GateType t = nl.type(h);
-        if (!netlist::is_combinational(t) || is_const(h)) return;
+        if (!topo.is_comb(h)) return;
         const Cell hc = ila.cell(frame, h);
         const Val3 out = effective(hc);
         if (out == Val3::X) return;
-        const GateOp op = netlist::to_op(t);
+        const GateOp op = topo.op(h);
         if (op == GateOp::Buf || op == GateOp::Not) {
             const Val3 need = op == GateOp::Not ? logic::v3_not(out) : out;
-            add_forbid(ila.cell(frame, nl.fanins(h)[0]), logic::v3_not(need));
+            add_forbid(ila.cell(frame, topo.fanins(h)[0]), logic::v3_not(need));
             return;
         }
         const Val3 ctrl = logic::controlling_value(op);
@@ -397,7 +391,7 @@ struct Engine::Search {
         if (out != controlled_out) {
             // Output holds (or must hold) the noncontrolled value: no input
             // may take the controlling value.
-            for (const GateId f : nl.fanins(h)) add_forbid(ila.cell(frame, f), ctrl);
+            for (const GateId f : topo.fanins(h)) add_forbid(ila.cell(frame, f), ctrl);
         }
     }
 
@@ -453,14 +447,14 @@ struct Engine::Search {
 
     bool observed() const {
         for (std::uint32_t k = 0; k < ila.frames; ++k) {
-            for (const GateId o : nl.outputs()) {
+            for (const GateId o : topo.outputs()) {
                 if (effect_at(ila.cell(k, o))) return true;
             }
         }
         if (cfg.observe_ppo) {
             const std::uint32_t k = ila.frames - 1;
-            for (const GateId ff : nl.seq_elements()) {
-                if (effect_at(ila.cell(k, nl.fanins(ff)[0]))) return true;
+            for (const GateId ff : topo.seq_elements()) {
+                if (effect_at(ila.cell(k, topo.fanins(ff)[0]))) return true;
             }
             // A data-pin fault on a sequential element creates its effect at
             // the capture itself: the faulty machine latches the stuck value
@@ -476,12 +470,11 @@ struct Engine::Search {
     bool is_justified(Cell c, int p) const {
         if (exempt[p][c]) return true;
         const GateId g = ila.gate_of(c);
-        const GateType t = nl.type(g);
         const std::uint32_t frame = ila.frame_of(c);
-        if (t == GateType::Input || is_const(g)) return true;
-        if (netlist::is_sequential(t)) {
+        if (topo.is_input(g) || is_const(g)) return true;
+        if (topo.is_seq(g)) {
             if (frame == 0) return true;  // ppi_free or unreachable
-            return plane[p][ila.cell(frame - 1, nl.fanins(g)[0])] == plane[p][c];
+            return plane[p][ila.cell(frame - 1, topo.fanins(g)[0])] == plane[p][c];
         }
         return eval_plane(frame, g, p) == plane[p][c];
     }
@@ -491,10 +484,9 @@ struct Engine::Search {
     void d_frontier(std::vector<Cell>& out) const {
         out.clear();
         for (std::uint32_t k = 0; k < ila.frames; ++k) {
-            for (GateId g = 0; g < nl.size(); ++g) {
+            for (GateId g = 0; g < topo.size(); ++g) {
                 if (!cone[g]) continue;
-                const GateType t = nl.type(g);
-                if (!netlist::is_combinational(t) || is_const(g)) {
+                if (!topo.is_comb(g)) {
                     // A sequential element forwards effects by itself.
                     continue;
                 }
@@ -502,9 +494,9 @@ struct Engine::Search {
                 if (plane[kFaulty][c] != Val3::X && plane[kGood][c] != Val3::X) continue;
                 bool has_effect_input = false;
                 bool blocked = false;
-                const GateOp op = netlist::to_op(t);
+                const GateOp op = topo.op(g);
                 const Val3 ctrl = logic::controlling_value(op);
-                for (std::size_t i = 0; i < nl.fanins(g).size(); ++i) {
+                for (std::size_t i = 0; i < topo.fanins(g).size(); ++i) {
                     const Val3 gv = input_value(k, g, i, kGood);
                     const Val3 fv = input_value(k, g, i, kFaulty);
                     if (gv != Val3::X && fv != Val3::X && gv != fv) {
@@ -562,20 +554,20 @@ struct Engine::Search {
             case Alternative::Kind::Propagate: {
                 const GateId g = ila.gate_of(a.cell);
                 const std::uint32_t k = ila.frame_of(a.cell);
-                const GateOp op = netlist::to_op(nl.type(g));
+                const GateOp op = topo.op(g);
                 const Val3 ctrl = logic::controlling_value(op);
                 const Val3 side = ctrl != Val3::X ? logic::v3_not(ctrl) : Val3::Zero;
                 bool assigned_any = false;
-                for (std::size_t i = 0; i < nl.fanins(g).size(); ++i) {
+                for (std::size_t i = 0; i < topo.fanins(g).size(); ++i) {
                     const Val3 gv = input_value(k, g, i, kGood);
                     const Val3 fv = input_value(k, g, i, kFaulty);
                     if (gv != Val3::X && fv != Val3::X && gv != fv) continue;  // the effect
-                    const Cell ic = ila.cell(k, nl.fanins(g)[i]);
+                    const Cell ic = ila.cell(k, topo.fanins(g)[i]);
                     if (gv == Val3::X) {
                         if (!set_plane(ic, kGood, side)) return false;
                         assigned_any = true;
                     }
-                    if (fv == Val3::X && cone[nl.fanins(g)[i]]) {
+                    if (fv == Val3::X && cone[topo.fanins(g)[i]]) {
                         if (!set_plane(ic, kFaulty, side)) return false;
                         assigned_any = true;
                     }
@@ -596,10 +588,10 @@ struct Engine::Search {
         alts.clear();
         const GateId g = ila.gate_of(c);
         const std::uint32_t frame = ila.frame_of(c);
-        const GateOp op = netlist::to_op(nl.type(g));
+        const GateOp op = netlist::to_op(topo.type(g));
         const Val3 out = plane[p][c];
         const Val3 ctrl = logic::controlling_value(op);
-        auto pin_cell = [&](std::size_t i) { return ila.cell(frame, nl.fanins(g)[i]); };
+        auto pin_cell = [&](std::size_t i) { return ila.cell(frame, topo.fanins(g)[i]); };
         auto pin_skipped = [&](std::size_t i) {
             return p == kFaulty && fault.pin != fault::kOutputPin && g == fault.gate &&
                    i == static_cast<std::size_t>(fault.pin);
@@ -609,7 +601,7 @@ struct Engine::Search {
             if (out == nco) return true;  // backward imply handles it fully
             // Controlled output: some input must take the controlling value.
             std::vector<Alternative> preferred;
-            for (std::size_t i = 0; i < nl.fanins(g).size(); ++i) {
+            for (std::size_t i = 0; i < topo.fanins(g).size(); ++i) {
                 if (pin_skipped(i)) continue;
                 if (input_value(frame, g, i, p) != Val3::X) continue;
                 Alternative a{Alternative::Kind::Assign, pin_cell(i),
@@ -628,7 +620,7 @@ struct Engine::Search {
             return !alts.empty();
         }
         // XOR-like: branch on the first unknown input's polarity.
-        for (std::size_t i = 0; i < nl.fanins(g).size(); ++i) {
+        for (std::size_t i = 0; i < topo.fanins(g).size(); ++i) {
             if (pin_skipped(i)) continue;
             if (input_value(frame, g, i, p) != Val3::X) continue;
             alts.push_back({Alternative::Kind::Assign, pin_cell(i),
@@ -653,7 +645,7 @@ struct Engine::Search {
             d.trail_mark = trail.size();
             for (std::uint32_t k = 0; k < ila.frames; ++k) {
                 // Activating on a frame-0 sequential output is impossible.
-                if (k == 0 && netlist::is_sequential(nl.type(fault_line)) && !cfg.ppi_free)
+                if (k == 0 && topo.is_seq(fault_line) && !cfg.ppi_free)
                     continue;
                 d.alts.push_back({Alternative::Kind::Activate, 0, 0, Val3::X, k});
             }
@@ -731,10 +723,10 @@ struct Engine::Search {
                 if (!all_justified) continue;
                 result.status = EngineResult::Status::TestFound;
                 result.test.assign(ila.frames,
-                                   sim::InputFrame(nl.inputs().size(), Val3::X));
+                                   sim::InputFrame(topo.inputs().size(), Val3::X));
                 for (std::uint32_t k = 0; k < ila.frames; ++k) {
-                    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-                        result.test[k][i] = plane[kGood][ila.cell(k, nl.inputs()[i])];
+                    for (std::size_t i = 0; i < topo.inputs().size(); ++i) {
+                        result.test[k][i] = plane[kGood][ila.cell(k, topo.inputs()[i])];
                     }
                 }
                 result.backtracks = backtracks;
@@ -749,7 +741,7 @@ struct Engine::Search {
                 Cell pick = 0;
                 bool found = false;
                 for (std::uint32_t k = 0; k < ila.frames && !found; ++k) {
-                    for (const GateId pi : nl.inputs()) {
+                    for (const GateId pi : topo.inputs()) {
                         const Cell c = ila.cell(k, pi);
                         if (plane[kGood][c] == Val3::X) {
                             pick = c;
@@ -758,7 +750,7 @@ struct Engine::Search {
                         }
                     }
                     if (found || !cfg.ppi_free || k != 0) continue;
-                    for (const GateId ff : nl.seq_elements()) {
+                    for (const GateId ff : topo.seq_elements()) {
                         const Cell c = ila.cell(0, ff);
                         if (plane[kGood][c] == Val3::X) {
                             pick = c;
@@ -821,11 +813,18 @@ struct Engine::Search {
     }
 };
 
-Engine::Engine(const Netlist& nl) : nl_(&nl), lv_(netlist::levelize(nl)) {}
+Engine::Engine(const netlist::Topology& topo) : topo_(&topo) {}
+
+Engine::Engine(const Netlist& nl)
+    : Engine(std::make_unique<const netlist::Topology>(nl)) {}
+
+Engine::Engine(std::unique_ptr<const netlist::Topology> topo) : topo_(topo.get()) {
+    owned_topo_ = std::move(topo);
+}
 
 EngineResult Engine::solve(const fault::Fault& f, std::uint32_t frames,
                            const EngineConfig& cfg) {
-    Search search(*nl_, lv_, f, frames, cfg);
+    Search search(*topo_, f, frames, cfg);
     EngineResult result = search.run();
     // Count decisions also when a test was found.
     result.decisions = search.decisions;

@@ -22,9 +22,11 @@
 #include "core/impl_db.hpp"
 #include "core/tie.hpp"
 #include "fault/fault.hpp"
+#include "netlist/topology.hpp"
 #include "sim/comb_engine.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace seqlearn::atpg {
@@ -70,18 +72,30 @@ struct EngineResult {
     std::uint32_t decisions = 0;
 };
 
-/// One engine instance per netlist; solve() may be called repeatedly.
+/// One engine instance per circuit; solve() may be called repeatedly. All
+/// structural walks (frontier expansion, cone tracing, implication hooks)
+/// read the flat CSR Topology.
 class Engine {
 public:
+    /// Share an existing CSR snapshot (must outlive the engine). This is the
+    /// primary constructor — a Session hands every engine the same Topology
+    /// so the circuit is levelized exactly once.
+    explicit Engine(const netlist::Topology& topo);
+
+    /// Deprecated: build (and own) a private snapshot from `nl`. Prefer the
+    /// Topology overload (or api::Session) so the snapshot is shared.
     explicit Engine(const Netlist& nl);
 
     /// Try to generate a test for `f` within a `frames`-frame window.
     EngineResult solve(const fault::Fault& f, std::uint32_t frames, const EngineConfig& cfg);
 
+    const netlist::Topology& topology() const noexcept { return *topo_; }
+
 private:
+    explicit Engine(std::unique_ptr<const netlist::Topology> topo);
     struct Search;  // defined in engine.cpp
-    const Netlist* nl_;
-    netlist::Levelization lv_;
+    std::unique_ptr<const netlist::Topology> owned_topo_;  // null when sharing
+    const netlist::Topology* topo_;
 };
 
 }  // namespace seqlearn::atpg

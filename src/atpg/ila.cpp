@@ -1,16 +1,25 @@
 #include "atpg/ila.hpp"
 
-#include "netlist/structure.hpp"
-
 namespace seqlearn::atpg {
 
-std::vector<bool> fault_cone_mask(const Netlist& nl, const fault::Fault& f) {
-    std::vector<bool> mask(nl.size(), false);
+std::vector<bool> fault_cone_mask(const netlist::Topology& topo, const fault::Fault& f) {
+    std::vector<bool> mask(topo.size(), false);
     // For an output fault the affected line starts at the gate itself; for a
-    // pin fault the divergence starts at the consuming gate.
+    // pin fault the divergence starts at the consuming gate. Reachability
+    // runs over the full CSR fanout spans (combinational and sequential).
     const GateId root = f.gate;
     mask[root] = true;
-    for (const GateId g : netlist::fanout_cone(nl, root, /*through_seq=*/true)) mask[g] = true;
+    std::vector<GateId> stack{root};
+    while (!stack.empty()) {
+        const GateId g = stack.back();
+        stack.pop_back();
+        for (const GateId h : topo.fanouts(g)) {
+            if (!mask[h]) {
+                mask[h] = true;
+                stack.push_back(h);
+            }
+        }
+    }
     return mask;
 }
 

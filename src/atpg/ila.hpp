@@ -9,7 +9,7 @@
 // take a binary value.
 
 #include "fault/fault.hpp"
-#include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
 
 #include <cstdint>
 #include <vector>
@@ -23,25 +23,26 @@ using netlist::Netlist;
 using Cell = std::uint32_t;
 
 struct Ila {
-    const Netlist* nl;
+    std::size_t num_gates;
     std::uint32_t frames;
 
-    Ila(const Netlist& netlist, std::uint32_t w) : nl(&netlist), frames(w) {}
+    Ila(const netlist::Topology& topo, std::uint32_t w)
+        : num_gates(topo.size()), frames(w) {}
 
-    std::size_t num_cells() const noexcept { return nl->size() * frames; }
+    std::size_t num_cells() const noexcept { return num_gates * frames; }
     Cell cell(std::uint32_t frame, GateId gate) const noexcept {
-        return static_cast<Cell>(frame * nl->size() + gate);
+        return static_cast<Cell>(frame * num_gates + gate);
     }
     std::uint32_t frame_of(Cell c) const noexcept {
-        return static_cast<std::uint32_t>(c / nl->size());
+        return static_cast<std::uint32_t>(c / num_gates);
     }
-    GateId gate_of(Cell c) const noexcept { return static_cast<GateId>(c % nl->size()); }
+    GateId gate_of(Cell c) const noexcept { return static_cast<GateId>(c % num_gates); }
 };
 
 /// Gates whose value can differ between the good and faulty machines: the
 /// forward cone of the fault site, traversed *through* sequential elements
 /// (a latched fault effect persists across frames). Gates outside this set
 /// always have equal planes, which the engine exploits by mirroring writes.
-std::vector<bool> fault_cone_mask(const Netlist& nl, const fault::Fault& f);
+std::vector<bool> fault_cone_mask(const netlist::Topology& topo, const fault::Fault& f);
 
 }  // namespace seqlearn::atpg

@@ -1,7 +1,7 @@
 #include "core/seq_learn.hpp"
 
+#include "api/session.hpp"
 #include "netlist/clock_class.hpp"
-#include "netlist/topology.hpp"
 #include "util/timer.hpp"
 
 namespace seqlearn::core {
@@ -9,7 +9,7 @@ namespace seqlearn::core {
 using netlist::GateId;
 using netlist::Netlist;
 
-LearnResult learn(const Netlist& nl, const LearnConfig& cfg) {
+LearnResult learn(const Netlist& nl, const netlist::Topology& topo, const LearnConfig& cfg) {
     const util::Timer timer;
     LearnResult result(nl.size());
 
@@ -33,17 +33,33 @@ LearnResult learn(const Netlist& nl, const LearnConfig& cfg) {
         classes.push_back(std::move(all));
     }
 
-    // One CSR snapshot shared by every per-class simulator.
-    const netlist::Topology topo(nl);
+    // Progress is reported monotonically across the per-class passes (each
+    // pass visits every stem): done runs 0 .. classes * stems.
+    std::size_t stems_done_base = 0;
+    ProgressFn progress;
+    if (cfg.on_stem) {
+        const std::size_t grand_total = classes.size() * stems.size();
+        progress = [&cfg, &stems_done_base, grand_total](std::size_t done, std::size_t) {
+            return cfg.on_stem(stems_done_base + done, grand_total);
+        };
+    }
+
+    // Every per-class simulator shares the caller's CSR snapshot.
     for (const netlist::ClockClass& cls : classes) {
         sim::FrameSimulator fsim(topo, sim::SeqGating::for_class(nl, cls.members));
         if (cfg.use_equivalences) fsim.set_equivalences(&result.equivalences.map);
         fsim.set_ties(&result.ties.dense(), &result.ties.dense_cycles());
 
         StemRecords records(cfg.record_cap);
-        const SingleNodeOutcome single = single_node_learning(
-            nl, fsim, stems, cfg.max_frames, result.ties, result.db, records);
+        const SingleNodeOutcome single =
+            single_node_learning(nl, fsim, stems, cfg.max_frames, result.ties, result.db,
+                                 records, progress ? &progress : nullptr);
+        stems_done_base += stems.size();
         result.stats.stems_processed += single.stems_processed;
+        if (single.cancelled) {
+            result.stats.cancelled = true;
+            break;
+        }
 
         if (cfg.multiple_node) {
             MultipleNodeConfig mcfg = cfg.multi;
@@ -67,6 +83,12 @@ LearnResult learn(const Netlist& nl, const LearnConfig& cfg) {
     result.stats.ties_sequential = result.ties.count_sequential();
     result.stats.cpu_seconds = timer.seconds();
     return result;
+}
+
+LearnResult learn(const Netlist& nl, const LearnConfig& cfg) {
+    // Deprecated shim: a temporary non-owning Session supplies the Topology
+    // (and any future cross-stage caching) exactly like the facade flow.
+    return api::Session::view(nl).learn(cfg);
 }
 
 }  // namespace seqlearn::core

@@ -17,10 +17,16 @@
 #include "core/multiple_node.hpp"
 #include "core/single_node.hpp"
 #include "core/tie.hpp"
+#include "netlist/topology.hpp"
 
+#include <functional>
 #include <memory>
 
 namespace seqlearn::core {
+
+/// Progress observer: (units done, total units). Return false to cancel the
+/// running pass; partial results are kept and flagged cancelled.
+using ProgressFn = std::function<bool(std::size_t done, std::size_t total)>;
 
 struct LearnConfig {
     /// Forward-simulation depth (the paper's experiments use 50).
@@ -41,6 +47,9 @@ struct LearnConfig {
     MultipleNodeConfig multi;
     /// Equivalence-finder tuning.
     EquivOptions equiv;
+    /// Per-stem progress observer for the single-node pass (stem
+    /// granularity; cancellation supported). Null = no observation.
+    ProgressFn on_stem;
 };
 
 struct LearnStats {
@@ -58,6 +67,8 @@ struct LearnStats {
     std::size_t multi_relations = 0;
     std::size_t multi_ties = 0;
     double cpu_seconds = 0.0;
+    /// True when cfg.on_stem requested cancellation mid-pass.
+    bool cancelled = false;
 };
 
 struct LearnResult {
@@ -69,7 +80,15 @@ struct LearnResult {
     LearnResult(std::size_t num_gates) : db(num_gates), ties(num_gates) {}
 };
 
-/// Run the full learning pipeline on `nl`.
+/// Run the full learning pipeline on `nl` over a caller-provided CSR
+/// snapshot — the primary entry point. A Session passes its shared Topology
+/// so the circuit is levelized exactly once across learn/ATPG/fault-sim.
+LearnResult learn(const netlist::Netlist& nl, const netlist::Topology& topo,
+                  const LearnConfig& cfg = {});
+
+/// Deprecated convenience: forwards through a temporary api::Session (which
+/// builds a private Topology). Prefer constructing a Session, or the
+/// Topology overload above, so the snapshot is shared.
 LearnResult learn(const netlist::Netlist& nl, const LearnConfig& cfg = {});
 
 }  // namespace seqlearn::core

@@ -35,10 +35,12 @@ void frame_starts(const sim::FrameSimResult& res, std::uint32_t max_frames,
 SingleNodeOutcome single_node_learning(const Netlist& nl, sim::FrameSimulator& sim,
                                        std::span<const GateId> stems,
                                        std::uint32_t max_frames, TieSet& ties,
-                                       ImplicationDB& db, StemRecords& records) {
+                                       ImplicationDB& db, StemRecords& records,
+                                       const std::function<bool(std::size_t, std::size_t)>* progress) {
     SingleNodeOutcome out;
     sim::FrameSimOptions opt;
     opt.max_frames = max_frames;
+    std::size_t visited = 0;
 
     // All scratch lives outside the stem loop; in steady state a stem costs
     // zero heap allocations. `other` holds the "inject 1" run's value per
@@ -50,6 +52,11 @@ SingleNodeOutcome single_node_learning(const Netlist& nl, sim::FrameSimulator& s
     std::vector<Literal> seq1;
 
     for (const GateId stem : stems) {
+        if (progress != nullptr && *progress && !(*progress)(visited, stems.size())) {
+            out.cancelled = true;
+            break;
+        }
+        ++visited;
         if (ties.is_tied(stem) || is_constant(nl, stem)) continue;
         ++out.stems_processed;
 

@@ -13,6 +13,7 @@
 #include "core/tie.hpp"
 #include "sim/frame_sim.hpp"
 
+#include <functional>
 #include <span>
 
 namespace seqlearn::core {
@@ -23,6 +24,8 @@ struct SingleNodeOutcome {
     std::size_t ties_found = 0;
     /// Stems proven tied because injecting one value conflicted outright.
     std::size_t stem_ties = 0;
+    /// True when the progress observer requested cancellation.
+    bool cancelled = false;
 };
 
 /// Run single-node learning over `stems` using `sim` (whose gating,
@@ -33,10 +36,13 @@ struct SingleNodeOutcome {
 /// Relations are stored when at least one side is a sequential element
 /// (gate-gate relations follow from these and are skipped, as in the
 /// paper). Constants and already-tied gates never form relations.
-SingleNodeOutcome single_node_learning(const netlist::Netlist& nl,
-                                       sim::FrameSimulator& sim,
-                                       std::span<const netlist::GateId> stems,
-                                       std::uint32_t max_frames, TieSet& ties,
-                                       ImplicationDB& db, StemRecords& records);
+/// `progress`, when non-null, is invoked before each stem with (stems
+/// visited so far, stems.size()); returning false cancels the pass (partial
+/// results are kept and the outcome flagged cancelled).
+SingleNodeOutcome single_node_learning(
+    const netlist::Netlist& nl, sim::FrameSimulator& sim,
+    std::span<const netlist::GateId> stems, std::uint32_t max_frames, TieSet& ties,
+    ImplicationDB& db, StemRecords& records,
+    const std::function<bool(std::size_t, std::size_t)>* progress = nullptr);
 
 }  // namespace seqlearn::core

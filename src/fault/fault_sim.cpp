@@ -1,99 +1,154 @@
 #include "fault/fault_sim.hpp"
 
-#include "netlist/structure.hpp"
-
+#include <algorithm>
 #include <stdexcept>
 
 namespace seqlearn::fault {
 
 using logic::Pattern;
 using logic::pat_get;
-using logic::pat_set;
 using netlist::GateId;
-using netlist::GateType;
-using netlist::is_sequential;
+using netlist::Topology;
+
+FaultSimulator::FaultSimulator(const Topology& topo)
+    : topo_(&topo),
+      force_flags_(topo.size(), 0),
+      out_force1_(topo.size(), 0),
+      out_force0_(topo.size(), 0),
+      pin_force1_(topo.num_fanin_edges(), 0),
+      pin_force0_(topo.num_fanin_edges(), 0),
+      pats_(topo.size(), logic::kPatAllX),
+      outside_cone_(topo.size(), ~0ULL) {}
 
 FaultSimulator::FaultSimulator(const Netlist& nl)
-    : nl_(&nl), lv_(netlist::levelize(nl)), out_forces_(nl.size()), pin_forces_(nl.size()) {}
+    : FaultSimulator(std::make_unique<const Topology>(nl)) {}
+
+FaultSimulator::FaultSimulator(std::unique_ptr<const Topology> topo)
+    : FaultSimulator(*topo) {
+    owned_topo_ = std::move(topo);
+}
+
+void FaultSimulator::set_good_ties(const std::vector<Val3>* values,
+                                   const std::vector<std::uint32_t>* cycles) noexcept {
+    tie_values_ = values;
+    tie_cycles_ = cycles;
+    if (values != nullptr && tie_index_.size() != topo_->size())
+        tie_index_.assign(topo_->size(), -1);
+}
+
+void FaultSimulator::clear_forces() {
+    for (const GateId g : forced_gates_) {
+        force_flags_[g] = 0;
+        out_force1_[g] = 0;
+        out_force0_[g] = 0;
+    }
+    forced_gates_.clear();
+    for (const std::uint32_t e : forced_edges_) {
+        pin_force1_[e] = 0;
+        pin_force0_[e] = 0;
+    }
+    forced_edges_.clear();
+}
+
+void FaultSimulator::mark_cone(GateId root, std::uint64_t lane_bit) {
+    // Forward reachability through both combinational and sequential sinks
+    // (a latched fault effect persists across frames). The lane bit doubles
+    // as the visited marker, so reconvergent regions are expanded once.
+    auto clear_bit = [&](GateId g) -> bool {
+        std::uint64_t& m = outside_cone_[g];
+        if ((m & lane_bit) == 0) return false;
+        if (m == ~0ULL) cone_touched_.push_back(g);
+        m &= ~lane_bit;
+        return true;
+    };
+    clear_bit(root);
+    cone_stack_.clear();
+    cone_stack_.push_back(root);
+    while (!cone_stack_.empty()) {
+        const GateId g = cone_stack_.back();
+        cone_stack_.pop_back();
+        for (const GateId h : topo_->fanouts(g)) {
+            if (clear_bit(h)) cone_stack_.push_back(h);
+        }
+    }
+}
 
 std::vector<bool> FaultSimulator::run(const sim::InputSequence& seq,
                                       std::span<const Fault> faults) {
     if (faults.size() > kFaultsPerPass)
         throw std::invalid_argument("FaultSimulator::run: too many faults for one pass");
-    const auto inputs = nl_->inputs();
-    const auto seq_elems = nl_->seq_elements();
+    const Topology& topo = *topo_;
+    const auto inputs = topo.inputs();
+    const auto seq_elems = topo.seq_elements();
 
-    for (const GateId g : forced_gates_) {
-        out_forces_[g].clear();
-        pin_forces_[g].clear();
-    }
-    forced_gates_.clear();
+    clear_forces();
     for (std::size_t j = 0; j < faults.size(); ++j) {
         const Fault& f = faults[j];
-        const int lane = static_cast<int>(j) + 1;
+        const std::uint64_t bit = 1ULL << (j + 1);
+        if (force_flags_[f.gate] == 0) forced_gates_.push_back(f.gate);
         if (f.pin == kOutputPin) {
-            if (out_forces_[f.gate].empty() && pin_forces_[f.gate].empty())
-                forced_gates_.push_back(f.gate);
-            out_forces_[f.gate].push_back({lane, f.stuck});
+            force_flags_[f.gate] |= kOutForced;
+            (f.stuck == Val3::One ? out_force1_ : out_force0_)[f.gate] |= bit;
         } else {
-            if (out_forces_[f.gate].empty() && pin_forces_[f.gate].empty())
-                forced_gates_.push_back(f.gate);
-            pin_forces_[f.gate].push_back({static_cast<std::size_t>(f.pin), lane, f.stuck});
+            force_flags_[f.gate] |= kPinForced;
+            const std::uint32_t edge =
+                topo.fanin_offset(f.gate) + static_cast<std::uint32_t>(f.pin);
+            if (pin_force1_[edge] == 0 && pin_force0_[edge] == 0)
+                forced_edges_.push_back(edge);
+            (f.stuck == Val3::One ? pin_force1_ : pin_force0_)[edge] |= bit;
         }
     }
 
     // Tie lanes: lane 0 always; faulty lanes only where the tied gate is
     // outside that fault's cone (there the machines agree line-for-line).
+    for (const TieLanes& t : tie_lanes_) tie_index_[t.gate] = -1;
     tie_lanes_.clear();
     if (tie_values_ != nullptr) {
-        std::vector<std::uint64_t> outside_cone(nl_->size(), ~0ULL);
+        for (const GateId g : cone_touched_) outside_cone_[g] = ~0ULL;
+        cone_touched_.clear();
         for (std::size_t j = 0; j < faults.size(); ++j) {
-            const std::uint64_t lane_bit = 1ULL << (j + 1);
-            const GateId root = faults[j].gate;
-            outside_cone[root] &= ~lane_bit;
-            for (const GateId g : netlist::fanout_cone(*nl_, root, /*through_seq=*/true)) {
-                outside_cone[g] &= ~lane_bit;
-            }
+            mark_cone(faults[j].gate, 1ULL << (j + 1));
         }
         const std::uint64_t used_lanes = faults.size() == 63
                                              ? ~0ULL
                                              : ((1ULL << (faults.size() + 1)) - 1);
-        for (GateId g = 0; g < nl_->size(); ++g) {
+        for (GateId g = 0; g < topo.size(); ++g) {
             const Val3 v = (*tie_values_)[g];
             if (v == Val3::X) continue;
-            const std::uint64_t lanes = (outside_cone[g] | 1ULL) & used_lanes;
+            const std::uint64_t lanes = (outside_cone_[g] | 1ULL) & used_lanes;
+            tie_index_[g] = static_cast<std::int32_t>(tie_lanes_.size());
             tie_lanes_.push_back({g, v == Val3::One ? lanes : 0, v == Val3::Zero ? lanes : 0,
                                   tie_cycles_ ? (*tie_cycles_)[g] : 0});
         }
     }
-    std::vector<std::int32_t> tie_index(tie_lanes_.empty() ? 0 : nl_->size(), -1);
-    for (std::size_t i = 0; i < tie_lanes_.size(); ++i)
-        tie_index[tie_lanes_[i].gate] = static_cast<std::int32_t>(i);
     std::size_t frame_index = 0;
     auto apply_tie = [&](GateId g, Pattern& p) {
-        if (tie_lanes_.empty() || tie_index[g] < 0) return;
-        const TieLanes& t = tie_lanes_[static_cast<std::size_t>(tie_index[g])];
+        if (tie_lanes_.empty() || tie_index_[g] < 0) return;
+        const TieLanes& t = tie_lanes_[static_cast<std::size_t>(tie_index_[g])];
         if (frame_index < t.cycle) return;
         p.ones |= t.ones;
         p.zeros |= t.zeros;
     };
 
     auto force_output = [&](GateId g, Pattern& p) {
-        for (const OutputForce& of : out_forces_[g]) pat_set(p, of.lane, of.stuck);
+        const std::uint64_t f1 = out_force1_[g], f0 = out_force0_[g];
+        const std::uint64_t both = f1 | f0;
+        p.ones = (p.ones & ~both) | f1;
+        p.zeros = (p.zeros & ~both) | f0;
     };
-    // The data value gate `g` sees on `pin`, with per-lane pin faults applied.
-    auto pin_value = [&](GateId g, std::size_t pin, const std::vector<Pattern>& pats) {
-        Pattern p = pats[nl_->fanins(g)[pin]];
-        for (const PinForce& pf : pin_forces_[g]) {
-            if (pf.pin == pin) pat_set(p, pf.lane, pf.stuck);
-        }
+    // The data value gate `g` sees on flat fanin edge `edge`, with per-lane
+    // pin faults applied.
+    auto forced_pin_value = [&](GateId driver, std::uint32_t edge) {
+        Pattern p = pats_[driver];
+        const std::uint64_t f1 = pin_force1_[edge], f0 = pin_force0_[edge];
+        const std::uint64_t both = f1 | f0;
+        p.ones = (p.ones & ~both) | f1;
+        p.zeros = (p.zeros & ~both) | f0;
         return p;
     };
 
-    std::vector<Pattern> pats(nl_->size(), logic::kPatAllX);
-    std::vector<Pattern> state(seq_elems.size(), logic::kPatAllX);
+    state_.assign(seq_elems.size(), logic::kPatAllX);
     std::vector<bool> detected(faults.size(), false);
-    std::vector<Pattern> ins;
 
     for (const sim::InputFrame& frame : seq) {
         if (frame.size() != inputs.size())
@@ -101,31 +156,37 @@ std::vector<bool> FaultSimulator::run(const sim::InputSequence& seq,
         // Seed sources.
         for (std::size_t i = 0; i < inputs.size(); ++i) {
             Pattern p = logic::pat_broadcast(frame[i]);
-            force_output(inputs[i], p);
-            pats[inputs[i]] = p;
+            if (force_flags_[inputs[i]] & kOutForced) force_output(inputs[i], p);
+            pats_[inputs[i]] = p;
         }
         for (std::size_t i = 0; i < seq_elems.size(); ++i) {
-            Pattern p = state[i];
+            Pattern p = state_[i];
             apply_tie(seq_elems[i], p);
-            force_output(seq_elems[i], p);
-            pats[seq_elems[i]] = p;
+            if (force_flags_[seq_elems[i]] & kOutForced) force_output(seq_elems[i], p);
+            pats_[seq_elems[i]] = p;
         }
-        // Levelized evaluation with fault forcing.
-        for (const GateId g : lv_.topo_order) {
-            const GateType t = nl_->type(g);
-            if (t == GateType::Input || is_sequential(t)) continue;
-            ins.clear();
-            for (std::size_t pin = 0; pin < nl_->fanins(g).size(); ++pin)
-                ins.push_back(pin_value(g, pin, pats));
-            Pattern p = logic::eval_op(netlist::to_op(t), ins.data(), static_cast<int>(ins.size()));
+        // Levelized evaluation over the CSR schedule with fault forcing.
+        for (const GateId g : topo.schedule()) {
+            if (topo.is_input(g) || topo.is_seq(g)) continue;
+            const auto fi = topo.fanins(g);
+            Pattern p;
+            if (force_flags_[g] & kPinForced) {
+                const std::uint32_t base = topo.fanin_offset(g);
+                p = logic::eval_op_indirect(topo.op(g), fi.size(), [&](std::size_t i) {
+                    return forced_pin_value(fi[i], base + static_cast<std::uint32_t>(i));
+                });
+            } else {
+                p = logic::eval_op_indirect(topo.op(g), fi.size(),
+                                            [&](std::size_t i) { return pats_[fi[i]]; });
+            }
             apply_tie(g, p);
-            force_output(g, p);
-            pats[g] = p;
+            if (force_flags_[g] & kOutForced) force_output(g, p);
+            pats_[g] = p;
         }
         // Detection: a faulty lane differs from the good lane at a PO while
         // both are binary.
-        for (const GateId o : nl_->outputs()) {
-            const Pattern p = pats[o];
+        for (const GateId o : topo.outputs()) {
+            const Pattern p = pats_[o];
             const Val3 good = pat_get(p, 0);
             if (good == Val3::X) continue;
             const std::uint64_t diff = good == Val3::One ? p.zeros : p.ones;
@@ -136,7 +197,11 @@ std::vector<bool> FaultSimulator::run(const sim::InputSequence& seq,
         }
         // Capture next state (pin faults on sequential data pins included).
         for (std::size_t i = 0; i < seq_elems.size(); ++i) {
-            state[i] = pin_value(seq_elems[i], 0, pats);
+            const GateId ff = seq_elems[i];
+            const GateId d = topo.fanins(ff)[0];
+            state_[i] = force_flags_[ff] & kPinForced
+                            ? forced_pin_value(d, topo.fanin_offset(ff))
+                            : pats_[d];
         }
         ++frame_index;
     }
@@ -144,26 +209,23 @@ std::vector<bool> FaultSimulator::run(const sim::InputSequence& seq,
 }
 
 bool FaultSimulator::detects(const sim::InputSequence& seq, const Fault& f) {
-    const std::vector<Fault> one{f};
-    return run(seq, one)[0];
+    return run(seq, {&f, 1})[0];
 }
 
 std::size_t FaultSimulator::drop_detected(const sim::InputSequence& seq, FaultList& list) {
     std::size_t dropped = 0;
-    std::vector<std::size_t> chunk_indices;
-    std::vector<Fault> chunk;
     const std::vector<std::size_t> todo = list.undetected();
     for (std::size_t pos = 0; pos < todo.size(); pos += kFaultsPerPass) {
-        chunk_indices.clear();
-        chunk.clear();
+        chunk_indices_.clear();
+        chunk_.clear();
         for (std::size_t k = pos; k < std::min(pos + kFaultsPerPass, todo.size()); ++k) {
-            chunk_indices.push_back(todo[k]);
-            chunk.push_back(list.fault(todo[k]));
+            chunk_indices_.push_back(todo[k]);
+            chunk_.push_back(list.fault(todo[k]));
         }
-        const std::vector<bool> det = run(seq, chunk);
-        for (std::size_t k = 0; k < chunk.size(); ++k) {
+        const std::vector<bool> det = run(seq, chunk_);
+        for (std::size_t k = 0; k < chunk_.size(); ++k) {
             if (det[k]) {
-                list.set_status(chunk_indices[k], FaultStatus::Detected);
+                list.set_status(chunk_indices_[k], FaultStatus::Detected);
                 ++dropped;
             }
         }

@@ -6,13 +6,21 @@
 // from the all-X state under 3-valued semantics. A fault is detected when a
 // primary output is binary in both the good and the faulty lane and the two
 // values differ (the conservative definition a tester can rely on).
+//
+// Hot-path design: all structural access goes through the flat CSR
+// netlist::Topology (contiguous fanin spans in the 64-lane evaluation loop,
+// fanout spans for fault-cone marking). Fault forcing lives in flat per-gate
+// and per-fanin-edge mask arrays that persist on the simulator and are
+// cleared entry-by-entry between passes, so a run() in steady state performs
+// no per-pass heap allocation.
 
 #include "fault/fault.hpp"
 #include "fault/fault_list.hpp"
 #include "logic/pattern.hpp"
-#include "netlist/levelize.hpp"
+#include "netlist/topology.hpp"
 #include "sim/comb_engine.hpp"
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,6 +31,13 @@ inline constexpr std::size_t kFaultsPerPass = 63;
 
 class FaultSimulator {
 public:
+    /// Share an existing CSR snapshot (must outlive the simulator). This is
+    /// the primary constructor — a Session hands every engine the same
+    /// Topology so the circuit is levelized exactly once.
+    explicit FaultSimulator(const netlist::Topology& topo);
+
+    /// Deprecated: build (and own) a private snapshot from `nl`. Prefer the
+    /// Topology overload (or api::Session) so the snapshot is shared.
     explicit FaultSimulator(const Netlist& nl);
 
     /// Augment simulation with learned tie facts: gate -> tied value (X =
@@ -35,10 +50,7 @@ public:
     /// "pitfalls of necessary assignments" discussion). Vectors must
     /// outlive the simulator.
     void set_good_ties(const std::vector<Val3>* values,
-                       const std::vector<std::uint32_t>* cycles) noexcept {
-        tie_values_ = values;
-        tie_cycles_ = cycles;
-    }
+                       const std::vector<std::uint32_t>* cycles) noexcept;
 
     /// Simulate `seq` with up to kFaultsPerPass `faults` injected in
     /// parallel; returns one flag per fault (true = detected).
@@ -51,25 +63,26 @@ public:
     /// marking newly detected ones Detected. Returns how many were dropped.
     std::size_t drop_detected(const sim::InputSequence& seq, FaultList& list);
 
-    const Netlist& netlist() const noexcept { return *nl_; }
+    const netlist::Topology& topology() const noexcept { return *topo_; }
 
 private:
-    const Netlist* nl_;
-    netlist::Levelization lv_;
+    explicit FaultSimulator(std::unique_ptr<const netlist::Topology> topo);
+    void clear_forces();
+    void mark_cone(netlist::GateId root, std::uint64_t lane_bit);
 
-    struct OutputForce {
-        int lane;
-        Val3 stuck;
-    };
-    struct PinForce {
-        std::size_t pin;
-        int lane;
-        Val3 stuck;
-    };
-    // Rebuilt per run(): per-gate forcing lists.
-    std::vector<std::vector<OutputForce>> out_forces_;
-    std::vector<std::vector<PinForce>> pin_forces_;
+    std::unique_ptr<const netlist::Topology> owned_topo_;  // null when sharing
+    const netlist::Topology* topo_;
+
+    // Per-gate force flags (bits below); flat force masks per gate (output
+    // forces) and per fanin edge (pin forces, indexed topo fanin_offset + pin).
+    // Only entries named in forced_gates_ / forced_edges_ are ever nonzero.
+    static constexpr std::uint8_t kOutForced = 1;
+    static constexpr std::uint8_t kPinForced = 2;
+    std::vector<std::uint8_t> force_flags_;
+    std::vector<std::uint64_t> out_force1_, out_force0_;
+    std::vector<std::uint64_t> pin_force1_, pin_force0_;
     std::vector<netlist::GateId> forced_gates_;
+    std::vector<std::uint32_t> forced_edges_;
 
     const std::vector<Val3>* tie_values_ = nullptr;
     const std::vector<std::uint32_t>* tie_cycles_ = nullptr;
@@ -81,6 +94,19 @@ private:
         std::uint32_t cycle;
     };
     std::vector<TieLanes> tie_lanes_;
+    // gate -> index into tie_lanes_ (or -1); fixed once ties are set.
+    std::vector<std::int32_t> tie_index_;
+
+    // Reused run() scratch: per-gate patterns, sequential state, fault-cone
+    // lane masks (entries reset through cone_touched_), and the BFS stack.
+    std::vector<logic::Pattern> pats_;
+    std::vector<logic::Pattern> state_;
+    std::vector<std::uint64_t> outside_cone_;
+    std::vector<netlist::GateId> cone_touched_;
+    std::vector<netlist::GateId> cone_stack_;
+    // Reused drop_detected() chunk buffers.
+    std::vector<std::size_t> chunk_indices_;
+    std::vector<Fault> chunk_;
 };
 
 }  // namespace seqlearn::fault

@@ -53,6 +53,47 @@ std::vector<GateId> comb_support(const Netlist& nl, GateId id) {
     return support;
 }
 
+std::size_t sequential_depth(const Topology& topo, std::size_t cap) {
+    // Same wave relaxation as the Netlist overload, with the combinational
+    // fanin support gathered by a backward walk over the CSR fanin spans
+    // that does not expand through sequential elements.
+    std::vector<std::size_t> depth(topo.size(), 0);
+    std::vector<bool> seen(topo.size(), false);
+    std::vector<GateId> stack;
+    std::vector<GateId> touched;
+    bool changed = true;
+    std::size_t result = 0;
+    std::size_t iter = 0;
+    while (changed && iter++ < cap) {
+        changed = false;
+        for (const GateId ff : topo.seq_elements()) {
+            std::size_t d = 1;  // the element itself is one stage
+            for (const GateId g : touched) seen[g] = false;
+            touched.clear();
+            stack.assign(1, ff);
+            while (!stack.empty()) {
+                const GateId u = stack.back();
+                stack.pop_back();
+                if (u != ff && topo.is_seq(u)) continue;  // support boundary
+                for (const GateId v : topo.fanins(u)) {
+                    if (seen[v]) continue;
+                    seen[v] = true;
+                    touched.push_back(v);
+                    if (topo.is_seq(v)) d = std::max(d, depth[v] + 1);
+                    stack.push_back(v);
+                }
+            }
+            d = std::min(d, cap);
+            if (d > depth[ff]) {
+                depth[ff] = d;
+                changed = true;
+                result = std::max(result, d);
+            }
+        }
+    }
+    return result;
+}
+
 std::size_t sequential_depth(const Netlist& nl, std::size_t cap) {
     // BFS in waves over sequential elements: depth of an element is one past
     // the max depth of elements in its combinational fanin support.

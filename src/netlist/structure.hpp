@@ -2,6 +2,7 @@
 // Structural traversals: fanin/fanout cones and reconvergence helpers.
 
 #include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
 
 #include <vector>
 
@@ -24,5 +25,9 @@ std::vector<GateId> comb_support(const Netlist& nl, GateId id);
 /// from any primary input to any output/element, capped at `cap` to stay
 /// finite on cyclic state machines.
 std::size_t sequential_depth(const Netlist& nl, std::size_t cap = 64);
+
+/// Topology overload of sequential_depth: identical result, computed over
+/// the CSR snapshot (no Netlist adjacency walks).
+std::size_t sequential_depth(const Topology& topo, std::size_t cap = 64);
 
 }  // namespace seqlearn::netlist

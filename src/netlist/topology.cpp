@@ -55,6 +55,10 @@ Topology::Topology(const Netlist& nl) : lv_(levelize(nl)) {
     }
     fanin_off_[n] = static_cast<std::uint32_t>(fanin_.size());
     fanout_off_[n] = static_cast<std::uint32_t>(fanout_.size());
+
+    inputs_.assign(nl.inputs().begin(), nl.inputs().end());
+    outputs_.assign(nl.outputs().begin(), nl.outputs().end());
+    seq_elems_.assign(nl.seq_elements().begin(), nl.seq_elements().end());
 }
 
 }  // namespace seqlearn::netlist

@@ -59,6 +59,16 @@ public:
     std::size_t fanout_count(GateId g) const noexcept {
         return fanout_off_[g + 1] - fanout_off_[g];
     }
+    /// Index of gate `g`'s first fanin edge in the flat edge numbering
+    /// [0, num_fanin_edges()); pin `i` of `g` is edge fanin_offset(g) + i.
+    /// Lets consumers keep per-pin side data in one flat array.
+    std::uint32_t fanin_offset(GateId g) const noexcept { return fanin_off_[g]; }
+    std::size_t num_fanin_edges() const noexcept { return fanin_.size(); }
+
+    // --- interface lists (mirrors of the Netlist's, in the same order) ----
+    std::span<const GateId> inputs() const noexcept { return inputs_; }
+    std::span<const GateId> outputs() const noexcept { return outputs_; }
+    std::span<const GateId> seq_elements() const noexcept { return seq_elems_; }
 
     // --- per-gate codes ---------------------------------------------------
     GateType type(GateId g) const noexcept { return type_[g]; }
@@ -90,6 +100,9 @@ private:
     std::vector<logic::GateOp> op_;
     std::vector<std::uint8_t> flags_;
     std::vector<GateId> consts_;
+    std::vector<GateId> inputs_;
+    std::vector<GateId> outputs_;
+    std::vector<GateId> seq_elems_;
     Levelization lv_;
 };
 

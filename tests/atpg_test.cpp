@@ -2,6 +2,7 @@
 // prover, the campaign loop, learned-implication modes, and exhaustive
 // soundness checks of untestability claims on small circuits.
 
+#include "api/session.hpp"
 #include "atpg/atpg_loop.hpp"
 #include "atpg/engine.hpp"
 #include "atpg/redundancy.hpp"
@@ -75,12 +76,13 @@ TEST(Engine, CombinationalTestGeneration) {
     b.gate(GateType::And, "y", {"a", "c"});
     b.output("y");
     const Netlist nl = b.build();
-    Engine engine(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
     EngineConfig cfg;
     cfg.backtrack_limit = 100;
     const EngineResult r = engine.solve(Fault{nl.find("a"), kOutputPin, Val3::Zero}, 1, cfg);
     ASSERT_EQ(r.status, EngineResult::Status::TestFound);
-    fault::FaultSimulator fsim(nl);
+    fault::FaultSimulator fsim(topo);
     EXPECT_TRUE(fsim.detects(r.test, Fault{nl.find("a"), kOutputPin, Val3::Zero}));
     // The test must be a=1, c=1.
     EXPECT_EQ(r.test[0][0], Val3::One);
@@ -90,8 +92,9 @@ TEST(Engine, CombinationalTestGeneration) {
 TEST(Engine, GeneratesForEveryDetectableS27Fault) {
     const Netlist nl = make_s27();
     const auto collapsed = fault::collapse(nl);
-    Engine engine(nl);
-    fault::FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
+    fault::FaultSimulator fsim(topo);
     EngineConfig cfg;
     cfg.backtrack_limit = 5000;
     std::size_t found = 0, none = 0;
@@ -119,14 +122,15 @@ TEST(Engine, SequentialDepthNeedsWiderWindow) {
     b.dff("f2", "f1");
     b.output("f2");
     const Netlist nl = b.build();
-    Engine engine(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
     EngineConfig cfg;
     cfg.backtrack_limit = 1000;
     const Fault f{nl.find("i"), kOutputPin, Val3::Zero};
     EXPECT_NE(engine.solve(f, 2, cfg).status, EngineResult::Status::TestFound);
     const EngineResult r = engine.solve(f, 3, cfg);
     ASSERT_EQ(r.status, EngineResult::Status::TestFound);
-    fault::FaultSimulator fsim(nl);
+    fault::FaultSimulator fsim(topo);
     EXPECT_TRUE(fsim.detects(r.test, f));
 }
 
@@ -139,14 +143,15 @@ TEST(Engine, SelfInitializingSequenceRequired) {
     b.gate(GateType::And, "g", {"f", "j"});
     b.output("g");
     const Netlist nl = b.build();
-    Engine engine(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
     EngineConfig cfg;
     cfg.backtrack_limit = 1000;
     const Fault f{nl.find("j"), kOutputPin, Val3::One};
     EXPECT_NE(engine.solve(f, 1, cfg).status, EngineResult::Status::TestFound);
     const EngineResult r = engine.solve(f, 2, cfg);
     ASSERT_EQ(r.status, EngineResult::Status::TestFound);
-    fault::FaultSimulator fsim(nl);
+    fault::FaultSimulator fsim(topo);
     EXPECT_TRUE(fsim.detects(r.test, f));
     // Frame 0 must drive i=1 so that f=1 in frame 1.
     EXPECT_EQ(r.test[0][0], Val3::One);
@@ -162,7 +167,8 @@ TEST(Redundancy, ProvesUntestableAndTestable) {
     b.gate(GateType::Or, "y", {"g", "c"});
     b.output("y");
     const Netlist nl = b.build();
-    Engine engine(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
     EngineConfig cfg;
     EXPECT_EQ(prove_redundancy(engine, Fault{nl.find("g"), kOutputPin, Val3::Zero}, cfg, 10000),
               RedundancyVerdict::Untestable);
@@ -179,7 +185,8 @@ TEST(Redundancy, FreeStateSeparatesCombinationalFromSequential) {
     b.gate(GateType::And, "y", {"f", "j"});
     b.output("y");
     const Netlist nl = b.build();
-    Engine engine(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
     EngineConfig cfg;
     for (const Fault f : {Fault{nl.find("f"), kOutputPin, Val3::Zero},
                           Fault{nl.find("j"), kOutputPin, Val3::One}}) {
@@ -189,17 +196,20 @@ TEST(Redundancy, FreeStateSeparatesCombinationalFromSequential) {
 }
 
 TEST(AtpgLoop, FullCampaignOnS27) {
-    const Netlist nl = make_s27();
-    fault::FaultList list(fault::collapse(nl).representatives());
+    api::Session session(make_s27());
     AtpgConfig cfg;
     cfg.backtrack_limit = 1000;
-    const AtpgOutcome out = run_atpg(nl, list, cfg);
-    const auto c = list.counts();
-    EXPECT_EQ(out.invalid_tests, 0u);
+    const api::AtpgReport& report = session.atpg(cfg);
+    const auto c = report.list.counts();
+    EXPECT_EQ(report.outcome.invalid_tests, 0u);
     EXPECT_GE(c.detected, c.total - c.untestable - 2);
-    EXPECT_GT(list.fault_coverage(), 0.9);
+    EXPECT_GT(report.list.fault_coverage(), 0.9);
     // Every test in the suite is validated and non-empty.
-    for (const auto& t : out.tests) EXPECT_FALSE(t.empty());
+    for (const auto& t : report.outcome.tests) EXPECT_FALSE(t.empty());
+    // The facade's independent validation agrees with the campaign.
+    const api::FaultSimReport check = session.fault_sim();
+    EXPECT_EQ(check.detected, c.detected);
+    EXPECT_EQ(check.total, c.total);
 }
 
 TEST(AtpgLoop, UntestableClaimsAreExhaustivelySound) {
@@ -207,13 +217,11 @@ TEST(AtpgLoop, UntestableClaimsAreExhaustivelySound) {
     // cross-checked against all binary sequences up to 4 frames.
     for (const std::uint64_t seed : {5ULL, 17ULL, 29ULL}) {
         const Netlist nl = testing::random_circuit(seed, 2, 3, 10);
-        fault::FaultList list(fault::collapse(nl).representatives());
-        const core::LearnResult learned = core::learn(nl);
+        api::Session session(nl);
         AtpgConfig cfg;
         cfg.backtrack_limit = 200;
-        cfg.learned = &learned;
         cfg.mode = LearnMode::ForbiddenValue;
-        run_atpg(nl, list, cfg);
+        const fault::FaultList& list = session.atpg(cfg).list;
         for (std::size_t i = 0; i < list.size(); ++i) {
             if (list.status(i) != FaultStatus::Untestable) continue;
             EXPECT_FALSE(exhaustively_detectable(nl, list.fault(i), 4))
@@ -233,15 +241,13 @@ TEST(AtpgLoop, TieDerivedUntestableFaults) {
     b.gate(GateType::And, "z", {"f", "c"});
     b.output("z");
     const Netlist nl = b.build();
-    const core::LearnResult learned = core::learn(nl);
-    ASSERT_TRUE(learned.ties.is_tied(nl.find("g")));
+    api::Session session(nl);
+    ASSERT_TRUE(session.learn().ties.is_tied(nl.find("g")));
 
-    fault::FaultList list(fault::collapse(nl).representatives());
     AtpgConfig cfg;
-    cfg.learned = &learned;
     cfg.mode = LearnMode::ForbiddenValue;
     cfg.backtrack_limit = 500;
-    const AtpgOutcome out = run_atpg(nl, list, cfg);
+    const AtpgOutcome& out = session.atpg(cfg).outcome;
     EXPECT_GE(out.untestable_by_tie, 1u);
     EXPECT_EQ(out.invalid_tests, 0u);
 }
@@ -257,6 +263,7 @@ TEST_P(AtpgModes, AllModesProduceValidatedTestsOnly) {
     const std::uint64_t seed = GetParam();
     const Netlist nl = testing::random_circuit(seed, 3, 4, 14);
     const core::LearnResult learned = core::learn(nl);
+    const netlist::Topology topo(nl);
     for (const LearnMode mode :
          {LearnMode::None, LearnMode::KnownValue, LearnMode::ForbiddenValue}) {
         fault::FaultList list(fault::collapse(nl).representatives());
@@ -264,12 +271,12 @@ TEST_P(AtpgModes, AllModesProduceValidatedTestsOnly) {
         cfg.backtrack_limit = 100;
         cfg.mode = mode;
         cfg.learned = mode == LearnMode::None ? nullptr : &learned;
-        const AtpgOutcome out = run_atpg(nl, list, cfg);
+        const AtpgOutcome out = run_atpg(topo, list, cfg);
         EXPECT_EQ(out.invalid_tests, 0u) << "seed " << seed;
         // Re-validate the entire suite end to end, with the same
         // (tie-augmented, when learning) expected-value model the campaign
         // used for its own validation.
-        fault::FaultSimulator fsim(nl);
+        fault::FaultSimulator fsim(topo);
         if (mode != LearnMode::None) {
             fsim.set_good_ties(&learned.ties.dense(), &learned.ties.dense_cycles());
         }
@@ -284,12 +291,13 @@ INSTANTIATE_TEST_SUITE_P(RandomCircuits, AtpgModes, ::testing::Values(3, 7, 13, 
 
 TEST(AtpgLoop, RandomBootstrapDropsEasyFaults) {
     const Netlist nl = make_s27();
+    const netlist::Topology topo(nl);
     fault::FaultList list(fault::collapse(nl).representatives());
     AtpgConfig cfg;
     cfg.backtrack_limit = 1;  // leave essentially everything to the bootstrap
     cfg.identify_untestable = false;
     cfg.random_sequences = 64;
-    const AtpgOutcome out = run_atpg(nl, list, cfg);
+    const AtpgOutcome out = run_atpg(topo, list, cfg);
     EXPECT_GT(out.detected_by_bootstrap, 20u);
     EXPECT_GE(list.counts().detected, out.detected_by_bootstrap);
     // Bootstrap sequences are part of the returned test set.
@@ -300,17 +308,18 @@ TEST(AtpgLoop, BacktrackLimitCausesAborts) {
     // A reconvergent circuit with a tiny limit should abort somewhere yet
     // never crash; with a large limit the aborted set may only shrink.
     const Netlist nl = make_s27();
+    const netlist::Topology topo(nl);
     fault::FaultList tight_list(fault::collapse(nl).representatives());
     AtpgConfig tight;
     tight.backtrack_limit = 1;
     tight.identify_untestable = false;
-    run_atpg(nl, tight_list, tight);
+    run_atpg(topo, tight_list, tight);
 
     fault::FaultList loose_list(fault::collapse(nl).representatives());
     AtpgConfig loose;
     loose.backtrack_limit = 2000;
     loose.identify_untestable = false;
-    run_atpg(nl, loose_list, loose);
+    run_atpg(topo, loose_list, loose);
 
     EXPECT_GE(loose_list.counts().detected, tight_list.counts().detected);
     EXPECT_LE(loose_list.counts().aborted, tight_list.counts().aborted + 1);

@@ -1,0 +1,116 @@
+// Round-trip tests for the learned-data persistence format (core::db_io)
+// and its Session-level entry points (save_db / load_db).
+
+#include "api/session.hpp"
+#include "core/db_io.hpp"
+#include "core/seq_learn.hpp"
+#include "test_helpers.hpp"
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace seqlearn::core {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+// Relations as canonical sorted (lhs, rhs, frame) triples for set equality.
+std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> canonical(
+    const ImplicationDB& db) {
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> out;
+    for (const Relation& r : db.relations())
+        out.emplace_back(lit_key(r.lhs), lit_key(r.rhs), r.frame);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(DbIo, SaveLoadRoundTripIsByteIdentical) {
+    for (const std::uint64_t seed : {21ULL, 55ULL}) {
+        const Netlist nl = testing::random_circuit(seed, 6, 5, 30);
+        const LearnResult learned = learn(nl);
+        ASSERT_GT(learned.db.size(), 0u) << "seed " << seed;
+
+        std::ostringstream first;
+        save_learned(first, nl, learned.db, learned.ties);
+
+        std::istringstream in(first.str());
+        const LoadedLearned loaded = load_learned(in, nl);
+        EXPECT_EQ(loaded.skipped_lines, 0u);
+
+        // Loading must reconstruct the exact relation set and tie set...
+        EXPECT_EQ(canonical(loaded.db), canonical(learned.db));
+        EXPECT_EQ(loaded.db.size(), learned.db.size());
+        EXPECT_EQ(loaded.ties.count(), learned.ties.count());
+        for (const GateId g : learned.ties.tied_gates()) {
+            EXPECT_EQ(loaded.ties.value(g), learned.ties.value(g));
+            EXPECT_EQ(loaded.ties.cycle(g), learned.ties.cycle(g));
+        }
+
+        // ...and re-saving must reproduce the file byte for byte.
+        std::ostringstream second;
+        save_learned(second, nl, loaded.db, loaded.ties);
+        EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+    }
+}
+
+TEST(DbIo, UnknownGateEntriesAreSkippedNotFatal) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    std::istringstream in(
+        "# seqlearn v1 other\n"
+        "rel nosuch 1 i0 0 2\n"
+        "tie alsomissing 0 1\n"
+        "rel i0 1 f0 1 1\n");
+    const LoadedLearned loaded = load_learned(in, nl);
+    EXPECT_EQ(loaded.skipped_lines, 2u);
+    EXPECT_EQ(loaded.db.size(), 1u);
+}
+
+TEST(DbIo, MalformedInputThrows) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    for (const char* bad : {"rel i0 1 f0\n", "tie i0 2 0\n", "bogus line here\n"}) {
+        std::istringstream in(bad);
+        EXPECT_THROW((void)load_learned(in, nl), std::runtime_error) << bad;
+    }
+}
+
+TEST(DbIo, SessionSaveLoadRoundTrip) {
+    const Netlist nl = workload::suite_circuit("rt510a");
+
+    api::Session writer(nl);
+    std::ostringstream saved;
+    writer.save_db(saved);  // learns on demand
+    ASSERT_TRUE(writer.has_learned());
+    ASSERT_FALSE(saved.str().empty());
+
+    api::Session reader(nl);
+    std::istringstream in(saved.str());
+    EXPECT_EQ(reader.load_db(in), 0u);
+    ASSERT_TRUE(reader.has_learned());
+    EXPECT_EQ(canonical(reader.learn().db), canonical(writer.learn().db));
+    EXPECT_EQ(reader.learn().ties.count(), writer.learn().ties.count());
+
+    // A re-save through the facade is byte-identical too.
+    std::ostringstream resaved;
+    reader.save_db(resaved);
+    EXPECT_EQ(saved.str(), resaved.str());
+
+    // Loaded data drives a campaign exactly like freshly learned data.
+    atpg::AtpgConfig cfg;
+    cfg.mode = atpg::LearnMode::ForbiddenValue;
+    cfg.backtrack_limit = 30;
+    const auto& from_loaded = reader.atpg(cfg).list.counts();
+    const auto& from_learned = writer.atpg(cfg).list.counts();
+    EXPECT_EQ(from_loaded.detected, from_learned.detected);
+    EXPECT_EQ(from_loaded.untestable, from_learned.untestable);
+}
+
+TEST(DbIo, SessionLoadDbBadPathThrows) {
+    api::Session session(testing::random_circuit(3, 2, 2, 6));
+    EXPECT_THROW(session.load_db("/nonexistent/path/db.learned"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace seqlearn::core

@@ -1,4 +1,4 @@
-// Learning determinism goldens.
+// Learning and ATPG determinism goldens.
 //
 // The CSR/zero-allocation refactor of the learning hot path is required to
 // be behaviour-preserving: learn() must produce exactly the relations, ties,
@@ -7,7 +7,14 @@
 // built with the same compiler) and pin both the summary counts and an
 // order-independent FNV-1a hash over the canonical relation set, so any
 // change to what is learned — not just how fast — fails here.
+//
+// The ATPG campaign digests below extend the same discipline to the
+// generation/fault-simulation side: they were recorded from the
+// Netlist-walking FaultSimulator and Engine immediately before the port onto
+// the shared Topology, so the port is provably bit-identical (statuses and
+// every generated test vector included).
 
+#include "api/session.hpp"
 #include "core/seq_learn.hpp"
 #include "test_helpers.hpp"
 #include "workload/paper_circuits.hpp"
@@ -85,6 +92,55 @@ TEST(LearnDeterminism, RandomCircuitSeeds) {
                   {40, 2, 13, 6, 2, 13, 5824401802024623481ULL});
     expect_golden(testing::random_circuit(99, 6, 5, 30),
                   {23, 2, 0, 2, 0, 0, 1161416052004708422ULL});
+}
+
+// FNV-1a digest of a full campaign run through the Session facade: every
+// fault status in list order, then every generated test vector. Sensitive to
+// any change in search order, windowing, validation, or simulation.
+std::uint64_t campaign_digest(const netlist::Netlist& nl, atpg::LearnMode mode,
+                              std::uint32_t backtrack_limit) {
+    api::Session session(nl);
+    session.learn();  // all modes share one learned result, as the paper does
+    atpg::AtpgConfig cfg;
+    cfg.mode = mode;
+    cfg.backtrack_limit = backtrack_limit;
+    const api::AtpgReport& report = session.atpg(cfg);
+
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ULL;
+    };
+    for (std::size_t i = 0; i < report.list.size(); ++i)
+        mix(static_cast<std::uint64_t>(report.list.status(i)));
+    for (const sim::InputSequence& t : report.outcome.tests) {
+        mix(t.size());
+        for (const sim::InputFrame& fr : t)
+            for (const logic::Val3 v : fr) mix(static_cast<std::uint64_t>(v));
+    }
+    return h;
+}
+
+TEST(AtpgDeterminism, CampaignDigestsMatchPrePortGoldens) {
+    struct Golden {
+        const char* circuit;
+        atpg::LearnMode mode;
+        std::uint32_t backtrack_limit;
+        std::uint64_t digest;
+    };
+    // Recorded from the pre-Topology-port engines (see header comment).
+    const Golden goldens[] = {
+        {"s27", atpg::LearnMode::None, 100, 18111582773122034168ULL},
+        {"s27", atpg::LearnMode::ForbiddenValue, 100, 18111582773122034168ULL},
+        {"s27", atpg::LearnMode::KnownValue, 100, 18111582773122034168ULL},
+        {"fig1x", atpg::LearnMode::ForbiddenValue, 200, 10825201447926129470ULL},
+        {"rt510a", atpg::LearnMode::ForbiddenValue, 30, 8688592942972918127ULL},
+    };
+    for (const Golden& g : goldens) {
+        const netlist::Netlist nl = workload::suite_circuit(g.circuit);
+        EXPECT_EQ(campaign_digest(nl, g.mode, g.backtrack_limit), g.digest)
+            << g.circuit << " mode " << static_cast<int>(g.mode);
+    }
 }
 
 // Two learn() invocations on the same circuit must agree exactly (the

@@ -8,6 +8,7 @@
 #include "fault/fault_sim.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/builder.hpp"
+#include "netlist/topology.hpp"
 #include "sim/comb_engine.hpp"
 #include "util/rng.hpp"
 
@@ -188,7 +189,8 @@ TEST(Collapse, ClassMembersShareDetection) {
     const Netlist nl = make_s27();
     const CollapsedFaults cf = collapse(nl);
     const auto universe = fault_universe(nl);
-    FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    FaultSimulator fsim(topo);
     util::Rng rng(2024);
     for (int trial = 0; trial < 4; ++trial) {
         const InputSequence seq = random_sequence(nl, 6, rng);
@@ -224,7 +226,8 @@ TEST(FaultList, CountsAndCoverage) {
 TEST(FaultSim, AgreesWithSurgeryReferenceOnS27) {
     const Netlist nl = make_s27();
     const auto universe = fault_universe(nl);
-    FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    FaultSimulator fsim(topo);
     util::Rng rng(7);
     for (int trial = 0; trial < 3; ++trial) {
         const InputSequence seq = random_sequence(nl, 8, rng);
@@ -238,7 +241,8 @@ TEST(FaultSim, AgreesWithSurgeryReferenceOnS27) {
 TEST(FaultSim, ParallelPassMatchesSerialRuns) {
     const Netlist nl = make_s27();
     const auto universe = fault_universe(nl);
-    FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    FaultSimulator fsim(topo);
     util::Rng rng(15);
     const InputSequence seq = random_sequence(nl, 10, rng);
     // One big pass over the first 63 faults vs. per-fault runs.
@@ -254,7 +258,8 @@ TEST(FaultSim, XInputsNeverProduceFalseDetections) {
     // With all-X stimuli nothing is observable, so nothing may be detected.
     const Netlist nl = make_s27();
     const auto universe = fault_universe(nl);
-    FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    FaultSimulator fsim(topo);
     const InputSequence seq(5, InputFrame(nl.inputs().size(), Val3::X));
     for (const Fault& f : universe) {
         EXPECT_FALSE(fsim.detects(seq, f)) << to_string(nl, f);
@@ -265,7 +270,8 @@ TEST(FaultSim, DropDetectedMatchesIndividualDetection) {
     const Netlist nl = make_s27();
     const CollapsedFaults cf = collapse(nl);
     FaultList list(cf.representatives());
-    FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    FaultSimulator fsim(topo);
     util::Rng rng(31);
     const InputSequence seq = random_sequence(nl, 12, rng);
     const std::size_t dropped = fsim.drop_detected(seq, list);
@@ -286,6 +292,8 @@ TEST(FaultSim, DetectsObviousFault) {
     b.gate(GateType::And, "y", {"a", "bb"});
     b.output("y");
     const Netlist nl = b.build();
+    // Deliberately the deprecated owning constructor: the one-release compat
+    // shim must keep building and behaving identically.
     FaultSimulator fsim(nl);
     const InputSequence seq{{Val3::One, Val3::One}};
     EXPECT_TRUE(fsim.detects(seq, Fault{nl.find("a"), kOutputPin, Val3::Zero}));
@@ -302,7 +310,8 @@ TEST(FaultSim, SequentialFaultNeedsPropagationFrames) {
     b.dff("f2", "f1");
     b.output("f2");
     const Netlist nl = b.build();
-    FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    FaultSimulator fsim(topo);
     const Fault f{nl.find("i"), kOutputPin, Val3::Zero};
     const InputSequence short_seq{{Val3::One}, {Val3::One}};
     EXPECT_FALSE(fsim.detects(short_seq, f));

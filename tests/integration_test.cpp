@@ -1,9 +1,8 @@
-// End-to-end integration: learn -> ATPG across modes on suite circuits,
-// checking the paper's qualitative claims hold on this implementation.
+// End-to-end integration: learn -> ATPG -> fault-sim through the Session
+// facade on suite circuits, checking the paper's qualitative claims hold on
+// this implementation.
 
-#include "atpg/atpg_loop.hpp"
-#include "core/seq_learn.hpp"
-#include "fault/collapse.hpp"
+#include "api/session.hpp"
 #include "workload/suite.hpp"
 
 #include <gtest/gtest.h>
@@ -22,26 +21,25 @@ struct CampaignResult {
     std::uint64_t backtracks = 0;
 };
 
-CampaignResult campaign(const Netlist& nl, LearnMode mode, const core::LearnResult* learned,
+CampaignResult campaign(api::Session& session, LearnMode mode,
                         std::uint32_t backtrack_limit) {
-    fault::FaultList list(fault::collapse(nl).representatives());
     AtpgConfig cfg;
     cfg.mode = mode;
-    cfg.learned = learned;
     cfg.backtrack_limit = backtrack_limit;
-    const atpg::AtpgOutcome out = run_atpg(nl, list, cfg);
-    EXPECT_EQ(out.invalid_tests, 0u);
-    return {list.counts(), out.cpu_seconds, out.total_backtracks};
+    const api::AtpgReport& report = session.atpg(cfg);
+    EXPECT_EQ(report.outcome.invalid_tests, 0u);
+    return {report.list.counts(), report.outcome.cpu_seconds,
+            report.outcome.total_backtracks};
 }
 
 TEST(Integration, LearningHelpsOnRetimedCircuit) {
-    const Netlist nl = workload::suite_circuit("rt510a");
-    const core::LearnResult learned = core::learn(nl);
+    api::Session session(workload::suite_circuit("rt510a"));
+    const core::LearnResult& learned = session.learn();
     EXPECT_GT(learned.stats.ff_ff_relations, 0u);
 
-    const CampaignResult none = campaign(nl, LearnMode::None, nullptr, 30);
-    const CampaignResult forb = campaign(nl, LearnMode::ForbiddenValue, &learned, 30);
-    const CampaignResult known = campaign(nl, LearnMode::KnownValue, &learned, 30);
+    const CampaignResult none = campaign(session, LearnMode::None, 30);
+    const CampaignResult forb = campaign(session, LearnMode::ForbiddenValue, 30);
+    const CampaignResult known = campaign(session, LearnMode::KnownValue, 30);
 
     // The paper's core claim, weakened to "not worse" for robustness across
     // seeds: with learning, detected + proven-untestable never drops.
@@ -52,29 +50,27 @@ TEST(Integration, LearningHelpsOnRetimedCircuit) {
 }
 
 TEST(Integration, FullFlowOnFig1) {
-    const Netlist nl = workload::suite_circuit("fig1x");
-    const core::LearnResult learned = core::learn(nl);
+    api::Session session(workload::suite_circuit("fig1x"));
     // The tie-derived untestable faults include the G3 stuck-at-0 class.
-    fault::FaultList list(fault::collapse(nl).representatives());
     AtpgConfig cfg;
     cfg.mode = LearnMode::ForbiddenValue;
-    cfg.learned = &learned;
     cfg.backtrack_limit = 1000;
-    const atpg::AtpgOutcome out = run_atpg(nl, list, cfg);
-    EXPECT_EQ(out.invalid_tests, 0u);
-    EXPECT_GT(out.untestable_by_tie, 0u);
-    const auto c = list.counts();
-    EXPECT_GT(list.fault_coverage(), 0.5);
-    EXPECT_EQ(c.total, fault::collapse(nl).size());
+    const api::AtpgReport& report = session.atpg(cfg);
+    EXPECT_EQ(report.outcome.invalid_tests, 0u);
+    EXPECT_GT(report.outcome.untestable_by_tie, 0u);
+    const auto c = report.list.counts();
+    EXPECT_GT(report.list.fault_coverage(), 0.5);
+    EXPECT_EQ(c.total, session.collapsed_faults().size());
+    // The facade's validation step reproduces the campaign's detections.
+    const api::FaultSimReport check = session.fault_sim();
+    EXPECT_EQ(check.detected, c.detected);
 }
 
 TEST(Integration, ModesAgreeOnTotalAccounting) {
-    const Netlist nl = workload::suite_circuit("fig2x");
-    const core::LearnResult learned = core::learn(nl);
+    api::Session session(workload::suite_circuit("fig2x"));
     for (const LearnMode mode :
          {LearnMode::None, LearnMode::KnownValue, LearnMode::ForbiddenValue}) {
-        const CampaignResult r =
-            campaign(nl, mode, mode == LearnMode::None ? nullptr : &learned, 1000);
+        const CampaignResult r = campaign(session, mode, 1000);
         EXPECT_EQ(r.counts.total,
                   r.counts.detected + r.counts.untestable + r.counts.aborted +
                       r.counts.undetected);
@@ -82,11 +78,32 @@ TEST(Integration, ModesAgreeOnTotalAccounting) {
 }
 
 TEST(Integration, LearningIsFastOnMidSizeCircuit) {
-    const Netlist nl = workload::suite_circuit("gen1423");
-    const core::LearnResult learned = core::learn(nl);
+    api::Session session(workload::suite_circuit("gen1423"));
+    const core::LearnResult& learned = session.learn();
     // ~650 gates must learn in well under a second even in debug-ish builds.
     EXPECT_LT(learned.stats.cpu_seconds, 5.0);
     EXPECT_GT(learned.stats.stems_processed, 0u);
+}
+
+TEST(Integration, StatsAggregateTheWholeFlow) {
+    api::Session session(workload::suite_circuit("fig1x"));
+    api::SessionStats before = session.stats();
+    EXPECT_FALSE(before.learned);
+    EXPECT_FALSE(before.atpg_run);
+    EXPECT_GT(before.gates, 0u);
+    EXPECT_GT(before.collapsed_faults, 0u);
+
+    session.learn();
+    AtpgConfig cfg;
+    cfg.mode = LearnMode::ForbiddenValue;
+    cfg.backtrack_limit = 200;
+    session.atpg(cfg);
+    const api::SessionStats after = session.stats();
+    EXPECT_TRUE(after.learned);
+    EXPECT_TRUE(after.atpg_run);
+    EXPECT_GT(after.relations, 0u);
+    EXPECT_EQ(after.faults.total, after.collapsed_faults);
+    EXPECT_GT(after.tests, 0u);
 }
 
 }  // namespace

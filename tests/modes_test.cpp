@@ -2,6 +2,7 @@
 // simulation, forbidden-value propagation inside the engine, frame-tagged
 // relation application, and the complete-search redundancy prover.
 
+#include "api/session.hpp"
 #include "atpg/atpg_loop.hpp"
 #include "atpg/engine.hpp"
 #include "atpg/redundancy.hpp"
@@ -44,12 +45,14 @@ TEST(TieAwareFaultSim, GoodLaneGainsTieValues) {
     ASSERT_EQ(learned.ties.value(nl.find("g")), Val3::Zero);
 
     // c s-a-1 with frames (c=0),(c=X): plain 3-valued good simulation leaves
-    // the PO unknown (y@0 = OR(X,0) = X), so detection needs the tie.
+    // the PO unknown (y@0 = OR(X,0) = X), so detection needs the tie. Both
+    // simulators share one CSR snapshot (the Session pattern).
     const Fault f{nl.find("c"), kOutputPin, Val3::One};
     const sim::InputSequence seq{{Val3::X, Val3::Zero}, {Val3::X, Val3::X}};
-    fault::FaultSimulator plain(nl);
+    const netlist::Topology topo(nl);
+    fault::FaultSimulator plain(topo);
     EXPECT_FALSE(plain.detects(seq, f));
-    fault::FaultSimulator aware(nl);
+    fault::FaultSimulator aware(topo);
     aware.set_good_ties(&learned.ties.dense(), &learned.ties.dense_cycles());
     EXPECT_TRUE(aware.detects(seq, f));
 }
@@ -59,7 +62,8 @@ TEST(TieAwareFaultSim, FaultyLaneInsideConeStaysUnseeded) {
     // faulty lane: g s-a-1 is exactly the broken tie and stays detectable.
     const Netlist nl = tie_circuit();
     const core::LearnResult learned = core::learn(nl);
-    fault::FaultSimulator aware(nl);
+    const netlist::Topology topo(nl);
+    fault::FaultSimulator aware(topo);
     aware.set_good_ties(&learned.ties.dense(), &learned.ties.dense_cycles());
     const Fault g1{nl.find("g"), kOutputPin, Val3::One};
     // Frame 0 (c=0): good y = OR(g_tie=0, 0) = 0 so f captures 0; faulty
@@ -68,7 +72,7 @@ TEST(TieAwareFaultSim, FaultyLaneInsideConeStaysUnseeded) {
     EXPECT_TRUE(aware.detects(seq, g1));
     // Without tie knowledge the good simulation stays X at the output —
     // this is exactly the pessimism gap the tie-aware model closes.
-    fault::FaultSimulator plain(nl);
+    fault::FaultSimulator plain(topo);
     EXPECT_FALSE(plain.detects(seq, g1));
 }
 
@@ -78,8 +82,9 @@ TEST(TieAwareFaultSim, NeverContradictsPlainSimulation) {
     for (const std::uint64_t seed : {3ULL, 14ULL, 59ULL}) {
         const Netlist nl = testing::random_circuit(seed, 3, 4, 14);
         const core::LearnResult learned = core::learn(nl);
-        fault::FaultSimulator plain(nl);
-        fault::FaultSimulator aware(nl);
+        const netlist::Topology topo(nl);
+        fault::FaultSimulator plain(topo);
+        fault::FaultSimulator aware(topo);
         aware.set_good_ties(&learned.ties.dense(), &learned.ties.dense_cycles());
         util::Rng rng(seed);
         const auto universe = fault::fault_universe(nl);
@@ -115,7 +120,8 @@ TEST(ForbiddenMode, ForbidPruningDetectsConflictEarly) {
     ASSERT_TRUE(
         learned.db.implies({nl.find("F1"), Val3::One}, {nl.find("F2"), Val3::One}));
 
-    Engine engine(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
     EngineConfig cfg;
     cfg.backtrack_limit = 10000;
     // bad s-a-0: excitation needs bad=1, i.e. the invalid state F1=1,F2=0.
@@ -135,15 +141,12 @@ TEST(ForbiddenMode, ForbidPruningDetectsConflictEarly) {
 TEST(KnownMode, ImpliedAssignmentsAreJustifiedInTests) {
     // Known-value mode creates justification obligations for implied
     // literals; the end-to-end result must still validate.
-    const Netlist nl = testing::random_circuit(31, 3, 5, 16);
-    const core::LearnResult learned = core::learn(nl);
-    fault::FaultList list(fault::collapse(nl).representatives());
+    api::Session session(testing::random_circuit(31, 3, 5, 16));
     AtpgConfig cfg;
-    cfg.mode = LearnMode::KnownValue;
-    cfg.learned = &learned;
+    cfg.mode = LearnMode::KnownValue;  // Session wires in its learn() result
     cfg.backtrack_limit = 200;
-    const AtpgOutcome out = run_atpg(nl, list, cfg);
-    EXPECT_EQ(out.invalid_tests, 0u);
+    const api::AtpgReport& report = session.atpg(cfg);
+    EXPECT_EQ(report.outcome.invalid_tests, 0u);
 }
 
 TEST(FrameTags, RelationsNotAppliedBeforeTheirFrame) {
@@ -167,6 +170,7 @@ TEST(FrameTags, RelationsNotAppliedBeforeTheirFrame) {
     // so the campaign must not report a test. The point: with frame tags
     // respected this is *proven* consistently across modes, with no invalid
     // tests generated at frame 0.
+    const netlist::Topology topo(nl);
     for (const LearnMode mode : {LearnMode::None, LearnMode::KnownValue,
                                  LearnMode::ForbiddenValue}) {
         fault::FaultList list(
@@ -175,7 +179,7 @@ TEST(FrameTags, RelationsNotAppliedBeforeTheirFrame) {
         cfg.mode = mode;
         cfg.learned = mode == LearnMode::None ? nullptr : &learned;
         cfg.backtrack_limit = 1000;
-        const AtpgOutcome out = run_atpg(nl, list, cfg);
+        const AtpgOutcome out = run_atpg(topo, list, cfg);
         EXPECT_EQ(out.invalid_tests, 0u);
         EXPECT_NE(list.status(0), fault::FaultStatus::Detected);
     }
@@ -184,8 +188,9 @@ TEST(FrameTags, RelationsNotAppliedBeforeTheirFrame) {
 TEST(CompleteSearch, ProverAgreesWithExhaustiveOracleOnTinyCircuits) {
     for (const std::uint64_t seed : {4ULL, 23ULL, 37ULL}) {
         const Netlist nl = testing::random_circuit(seed, 2, 3, 9);
-        Engine engine(nl);
-        fault::FaultSimulator fsim(nl);
+        const netlist::Topology topo(nl);
+        Engine engine(topo);
+        fault::FaultSimulator fsim(topo);
         const auto universe = fault::fault_universe(nl);
         for (const Fault& f : universe) {
             const RedundancyVerdict v = prove_redundancy(engine, f, {}, 1u << 20);
@@ -212,6 +217,8 @@ TEST(CompleteSearch, FindsTestsThatFrontierSearchMisses) {
     // single-frame problems: everything the frontier engine detects, the
     // complete prover also reaches (as CombinationallyTestable).
     const Netlist nl = testing::random_circuit(8, 3, 0, 12);
+    // Deliberately the deprecated owning constructor: the one-release compat
+    // shim must keep building and behaving identically.
     Engine engine(nl);
     EngineConfig frontier_cfg;
     frontier_cfg.backtrack_limit = 1000;

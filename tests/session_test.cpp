@@ -1,0 +1,166 @@
+// Tests for the api::Session facade: caching, shared-topology wiring,
+// progress observation at stem/fault/sequence granularity, cancellation,
+// and equivalence with the hand-wired flow it replaces.
+
+#include "api/session.hpp"
+#include "test_helpers.hpp"
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqlearn::api {
+namespace {
+
+using netlist::Netlist;
+
+TEST(Session, SharedTopologyBacksEveryEngine) {
+    Session session(workload::suite_circuit("s27"));
+    const netlist::Topology& topo = session.topology();
+    EXPECT_EQ(&session.fault_simulator().topology(), &topo);
+    EXPECT_EQ(&session.engine().topology(), &topo);
+    EXPECT_EQ(topo.size(), session.netlist().size());
+    // Repeated accessor calls return the same lazily-built instances.
+    EXPECT_EQ(&session.fault_simulator(), &session.fault_simulator());
+    EXPECT_EQ(&session.engine(), &session.engine());
+}
+
+TEST(Session, LearnMatchesFreeFunctionExactly) {
+    const Netlist nl = testing::random_circuit(55, 6, 5, 40);
+    const core::LearnResult direct = core::learn(nl);
+    Session session(nl);
+    const core::LearnResult& facade = session.learn();
+    EXPECT_EQ(facade.db.size(), direct.db.size());
+    EXPECT_EQ(facade.ties.count(), direct.ties.count());
+    EXPECT_EQ(facade.stats.ff_ff_relations, direct.stats.ff_ff_relations);
+    EXPECT_EQ(facade.stats.equiv_classes, direct.stats.equiv_classes);
+}
+
+TEST(Session, LearnIsCachedUntilReconfigured) {
+    Session session(workload::suite_circuit("s27"));
+    const core::LearnResult& first = session.learn();
+    EXPECT_EQ(&first, &session.learn());  // cached: same object
+    core::LearnConfig shallow;
+    shallow.max_frames = 2;
+    const core::LearnResult& second = session.learn(shallow);
+    EXPECT_TRUE(session.has_learned());
+    EXPECT_LE(second.db.size(), first.db.size());
+}
+
+TEST(Session, ViewSessionsBorrowTheNetlist) {
+    const Netlist nl = testing::random_circuit(7, 6, 5, 30);
+    Session session = Session::view(nl);
+    EXPECT_EQ(&session.netlist(), &nl);
+    EXPECT_GT(session.learn().db.size(), 0u);
+}
+
+TEST(Session, ProgressObserverSeesEveryStage) {
+    std::size_t learn_calls = 0, atpg_calls = 0, fsim_calls = 0;
+    std::size_t learn_total = 0, atpg_total = 0;
+    SessionConfig cfg;
+    cfg.atpg.mode = atpg::LearnMode::ForbiddenValue;
+    cfg.atpg.backtrack_limit = 100;
+    cfg.progress = [&](const Progress& p) {
+        switch (p.stage) {
+            case Stage::Learn: ++learn_calls; learn_total = p.total; break;
+            case Stage::Atpg: ++atpg_calls; atpg_total = p.total; break;
+            case Stage::FaultSim: ++fsim_calls; break;
+        }
+        return true;
+    };
+    Session session(workload::suite_circuit("s27"), std::move(cfg));
+    session.atpg();  // triggers learn() via the mode
+    session.fault_sim();
+    EXPECT_GT(learn_calls, 0u);
+    EXPECT_EQ(learn_total, session.netlist().stems().size());
+    EXPECT_GT(atpg_calls, 0u);
+    EXPECT_GT(atpg_total, 0u);
+    EXPECT_GT(fsim_calls, 0u);
+}
+
+TEST(Session, LearnCancellationKeepsPartialResults) {
+    SessionConfig cfg;
+    cfg.progress = [](const Progress& p) {
+        return !(p.stage == Stage::Learn && p.done >= 2);
+    };
+    Session session(workload::suite_circuit("rt510a"), std::move(cfg));
+    const core::LearnResult& r = session.learn();
+    EXPECT_TRUE(r.stats.cancelled);
+    // At most the two permitted stems were processed.
+    EXPECT_LE(r.stats.stems_processed, 2u);
+}
+
+TEST(Session, AtpgCancellationFlagsOutcome) {
+    SessionConfig cfg;
+    std::size_t seen = 0;
+    cfg.progress = [&](const Progress& p) {
+        if (p.stage != Stage::Atpg) return true;
+        return ++seen <= 3;  // allow three faults, then cancel
+    };
+    Session session(workload::suite_circuit("s27"), std::move(cfg));
+    atpg::AtpgConfig acfg;
+    acfg.backtrack_limit = 100;
+    const AtpgReport& report = session.atpg(acfg);
+    EXPECT_TRUE(report.outcome.cancelled);
+    EXPECT_LE(report.outcome.targeted_faults, 3u);
+    // Untouched faults keep their Undetected status.
+    EXPECT_GT(report.list.counts().undetected, 0u);
+}
+
+TEST(Session, FaultSimMatchesNoLearningCampaignDespiteLearnedData) {
+    // A LearnMode::None campaign validates with ties cleared even when the
+    // session holds learned data; fault_sim() must replay that exact model,
+    // not silently upgrade to the tie-augmented one.
+    Session session(workload::suite_circuit("fig1x"));
+    session.learn();
+    atpg::AtpgConfig cfg;
+    cfg.backtrack_limit = 1000;  // mode stays None
+    const AtpgReport& report = session.atpg(cfg);
+    EXPECT_FALSE(report.used_learned);
+    const FaultSimReport check = session.fault_sim();
+    EXPECT_EQ(check.detected, report.list.counts().detected);
+}
+
+TEST(Session, FaultSimCancellationIsFlagged) {
+    SessionConfig cfg;
+    cfg.progress = [](const Progress& p) {
+        return !(p.stage == Stage::FaultSim && p.done >= 1);
+    };
+    Session session(workload::suite_circuit("s27"), std::move(cfg));
+    atpg::AtpgConfig acfg;
+    acfg.backtrack_limit = 1000;
+    session.atpg(acfg);
+    const FaultSimReport report = session.fault_sim();
+    EXPECT_TRUE(report.cancelled);
+    EXPECT_EQ(report.sequences, 1u);
+}
+
+TEST(Session, FaultSimValidatesExplicitTestSets) {
+    Session session(workload::suite_circuit("s27"));
+    atpg::AtpgConfig cfg;
+    cfg.backtrack_limit = 1000;
+    const AtpgReport& report = session.atpg(cfg);
+    const FaultSimReport all = session.fault_sim(report.outcome.tests);
+    EXPECT_EQ(all.detected, report.list.counts().detected);
+    EXPECT_EQ(all.sequences, report.outcome.tests.size());
+    const FaultSimReport none = session.fault_sim({});
+    EXPECT_EQ(none.detected, 0u);
+    EXPECT_EQ(none.sequences, 0u);
+    EXPECT_EQ(none.total, all.total);
+}
+
+TEST(Session, MoveKeepsEnginePointersValid) {
+    Session a(workload::suite_circuit("s27"));
+    a.learn();
+    a.fault_simulator();
+    Session b(std::move(a));
+    // The moved-to session still runs the full flow over the same topology.
+    atpg::AtpgConfig cfg;
+    cfg.mode = atpg::LearnMode::ForbiddenValue;
+    cfg.backtrack_limit = 200;
+    const AtpgReport& report = b.atpg(cfg);
+    EXPECT_EQ(report.outcome.invalid_tests, 0u);
+    EXPECT_EQ(&b.fault_simulator().topology(), &b.topology());
+}
+
+}  // namespace
+}  // namespace seqlearn::api

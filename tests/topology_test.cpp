@@ -3,6 +3,7 @@
 // the zero-allocation run_into() contract of the frame simulator.
 
 #include "netlist/levelize.hpp"
+#include "netlist/structure.hpp"
 #include "netlist/topology.hpp"
 #include "sim/frame_sim.hpp"
 #include "test_helpers.hpp"
@@ -57,7 +58,28 @@ void expect_adjacency_equivalent(const Netlist& nl) {
         EXPECT_EQ(topo.is_const(g), is_const);
         if (topo.is_comb(g) || is_const) EXPECT_EQ(topo.op(g), to_op(nl.type(g)));
         EXPECT_EQ(topo.level(g), lv.level[g]);
+
+        // Flat fanin-edge numbering: pin i of g is edge fanin_offset(g) + i.
+        EXPECT_EQ(topo.fanins(g).data(), topo.fanins(0).data() + topo.fanin_offset(g));
     }
+    EXPECT_EQ(topo.fanin_offset(0), 0u);
+
+    // The interface lists mirror the Netlist's exactly, in the same order.
+    const auto expect_list_equal = [](std::span<const GateId> a,
+                                      std::span<const GateId> b) {
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    };
+    expect_list_equal(topo.inputs(), nl.inputs());
+    expect_list_equal(topo.outputs(), nl.outputs());
+    expect_list_equal(topo.seq_elements(), nl.seq_elements());
+    std::size_t edges = 0;
+    for (GateId g = 0; g < nl.size(); ++g) edges += nl.fanins(g).size();
+    EXPECT_EQ(topo.num_fanin_edges(), edges);
+
+    // The CSR-walking sequential_depth agrees with the Netlist walker.
+    for (const std::size_t cap : {4u, 16u, 64u})
+        EXPECT_EQ(sequential_depth(topo, cap), sequential_depth(nl, cap));
     EXPECT_EQ(topo.max_level(), lv.max_level);
     const auto sched = topo.schedule();
     ASSERT_TRUE(std::equal(lv.topo_order.begin(), lv.topo_order.end(), sched.begin(),
