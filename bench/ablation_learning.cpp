@@ -4,6 +4,7 @@
 //   2. learning stages: single-node / + multiple-node / + gate equivalence;
 //   3. the state-repeat early stop: learning cost with and without it.
 
+#include "api/session.hpp"
 #include "core/seq_learn.hpp"
 #include "workload/suite.hpp"
 
@@ -24,7 +25,7 @@ void frame_depth_sweep(const char* name) {
     for (const std::uint32_t frames : {1u, 2u, 5u, 10u, 20u, 50u}) {
         core::LearnConfig cfg;
         cfg.max_frames = frames;
-        const core::LearnResult r = core::learn(nl, cfg);
+        const core::LearnResult r = api::Session::view(nl).learn(cfg);
         std::printf("%8u | %10zu %10zu %8zu %8zu | %8.3f\n", frames,
                     r.stats.ff_ff_relations, r.stats.gate_ff_relations, r.ties.count(),
                     r.stats.multi_relations, r.stats.cpu_seconds);
@@ -48,7 +49,7 @@ void stage_sweep(const char* name) {
         cfg.max_frames = 50;
         cfg.multiple_node = s.multi;
         cfg.use_equivalences = s.equiv;
-        const core::LearnResult r = core::learn(nl, cfg);
+        const core::LearnResult r = api::Session::view(nl).learn(cfg);
         std::printf("%-22s | %10zu %10zu %8zu | %8.3f\n", s.label,
                     r.stats.ff_ff_relations, r.stats.gate_ff_relations, r.ties.count(),
                     r.stats.cpu_seconds);
@@ -62,7 +63,7 @@ void repeat_stop_sweep(const char* name) {
         core::LearnConfig cfg;
         cfg.max_frames = 50;
         cfg.stop_on_state_repeat = stop;
-        const core::LearnResult r = core::learn(nl, cfg);
+        const core::LearnResult r = api::Session::view(nl).learn(cfg);
         std::printf("stop=%-5s -> FF-FF %zu, Gate-FF %zu, CPU %.3f s\n",
                     stop ? "on" : "off", r.stats.ff_ff_relations,
                     r.stats.gate_ff_relations, r.stats.cpu_seconds);
@@ -74,7 +75,7 @@ void BM_LearnDepth(benchmark::State& state) {
     core::LearnConfig cfg;
     cfg.max_frames = static_cast<std::uint32_t>(state.range(0));
     for (auto _ : state) {
-        const core::LearnResult r = core::learn(nl, cfg);
+        const core::LearnResult r = api::Session::view(nl).learn(cfg);
         benchmark::DoNotOptimize(r.stats.ff_ff_relations);
     }
 }

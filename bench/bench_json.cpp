@@ -5,12 +5,18 @@
 //
 //   { "circuit": "gen5378",
 //     "benchmarks": [ {"name": ..., "items_per_sec": ..., "seconds": ...,
-//                      "items": ...}, ... ] }
+//                      "items": ..., "threads": ...}, ... ] }
+//
+// The *_mt rows run the same work as their serial twins on one worker per
+// hardware thread through the exec subsystem ("threads" records the actual
+// worker count — on a 1-core machine they measure the speculation overhead,
+// not a speedup); results are bit-identical to the serial rows by design.
 //
 // Usage: bench_bench_json [output.json]   (default: BENCH_sim.json in cwd;
 // "-" writes the JSON to stdout only).
 
 #include "core/seq_learn.hpp"
+#include "exec/pool.hpp"
 #include "fault/collapse.hpp"
 #include "fault/fault_sim.hpp"
 #include "logic/pattern.hpp"
@@ -36,6 +42,7 @@ struct Row {
     double items_per_sec = 0;
     double seconds = 0;
     std::size_t items = 0;
+    unsigned threads = 1;
 };
 
 // Repeat `body(items_per_rep)` until `min_seconds` of wall time accumulates.
@@ -74,31 +81,46 @@ Row bench_parallel_patterns(const Netlist& nl) {
     return measure("parallel_pattern_eval", 64, 2.0, [&] { psim.eval_random(pats, rng); });
 }
 
-Row bench_learn(const Netlist& nl) {
-    // One full learn() pass per rep; items = stems processed per pass.
+Row bench_learn(const Netlist& nl, const netlist::Topology& topo, exec::Pool* pool,
+                unsigned threads, bool mt) {
+    // One full learn() pass per rep over the shared CSR snapshot (the
+    // Session pattern); items = stems processed per pass.
+    core::LearnConfig cfg;
+    cfg.threads = threads;
+    cfg.executor = pool;
     const std::size_t stems = nl.stems().size();
-    return measure("learn_full_pass", stems, 2.0, [&] {
-        const core::LearnResult r = core::learn(nl);
-        if (r.stats.stems_processed == 0) std::fprintf(stderr, "learn: empty pass?\n");
-    });
+    Row row = measure(mt ? "learn_full_pass_mt" : "learn_full_pass", stems, 2.0,
+                      [&] {
+                          const core::LearnResult r = core::learn(nl, topo, cfg);
+                          if (r.stats.stems_processed == 0)
+                              std::fprintf(stderr, "learn: empty pass?\n");
+                      });
+    row.threads = threads;
+    return row;
 }
 
-Row bench_fault_sim(const Netlist& nl) {
+Row bench_fault_sim(const Netlist& nl, const netlist::Topology& topo, exec::Pool* pool,
+                    unsigned threads, bool mt) {
     // drop_detected over the full collapsed list with 24-frame random
     // sequences — the validation hot path of every ATPG campaign; items =
     // faults simulated per pass. The simulator shares one CSR snapshot, the
-    // Session pattern.
-    const netlist::Topology topo(nl);
+    // Session pattern; the mt row fans the 63-fault passes over the pool.
     fault::FaultSimulator fsim(topo);
+    if (pool != nullptr) fsim.set_executor(pool, threads);
     const fault::CollapsedFaults collapsed = fault::collapse(nl);
     util::Rng rng(1);
     sim::InputSequence seq(24, sim::InputFrame(nl.inputs().size(), logic::Val3::X));
-    return measure("fault_sim_drop_detected", collapsed.size(), 2.0, [&] {
-        for (auto& frame : seq)
-            for (auto& v : frame) v = rng.chance(0.5) ? logic::Val3::One : logic::Val3::Zero;
-        fault::FaultList list(collapsed.representatives());
-        fsim.drop_detected(seq, list);
-    });
+    Row row = measure(
+        mt ? "fault_sim_drop_detected_mt" : "fault_sim_drop_detected",
+        collapsed.size(), 2.0, [&] {
+            for (auto& frame : seq)
+                for (auto& v : frame)
+                    v = rng.chance(0.5) ? logic::Val3::One : logic::Val3::Zero;
+            fault::FaultList list(collapsed.representatives());
+            fsim.drop_detected(seq, list);
+        });
+    row.threads = threads;
+    return row;
 }
 
 }  // namespace
@@ -106,21 +128,26 @@ Row bench_fault_sim(const Netlist& nl) {
 int main(int argc, char** argv) {
     const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
     const Netlist nl = workload::suite_circuit("gen5378");
+    const netlist::Topology topo(nl);
+    const unsigned hw = exec::Pool::hardware_threads();
+    exec::Pool pool(hw);
 
     std::vector<Row> rows;
     rows.push_back(bench_frame_sim(nl));
     rows.push_back(bench_parallel_patterns(nl));
-    rows.push_back(bench_learn(nl));
-    rows.push_back(bench_fault_sim(nl));
+    rows.push_back(bench_learn(nl, topo, nullptr, 1, /*mt=*/false));
+    rows.push_back(bench_fault_sim(nl, topo, nullptr, 1, /*mt=*/false));
+    rows.push_back(bench_learn(nl, topo, &pool, hw, /*mt=*/true));
+    rows.push_back(bench_fault_sim(nl, topo, &pool, hw, /*mt=*/true));
 
     std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         char buf[256];
         std::snprintf(buf, sizeof buf,
                       "    {\"name\": \"%s\", \"items_per_sec\": %.1f, "
-                      "\"seconds\": %.3f, \"items\": %zu}%s\n",
+                      "\"seconds\": %.3f, \"items\": %zu, \"threads\": %u}%s\n",
                       rows[i].name.c_str(), rows[i].items_per_sec, rows[i].seconds,
-                      rows[i].items, i + 1 < rows.size() ? "," : "");
+                      rows[i].items, rows[i].threads, i + 1 < rows.size() ? "," : "");
         json += buf;
     }
     json += "  ]\n}\n";

@@ -5,6 +5,7 @@
 
 #include "fault/collapse.hpp"
 #include "fault/fault_sim.hpp"
+#include "netlist/topology.hpp"
 #include "sim/frame_sim.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/rng.hpp"
@@ -66,7 +67,8 @@ sim::InputSequence random_sequence(const Netlist& nl, std::size_t len, util::Rng
 
 void BM_FaultSimParallel63(benchmark::State& state) {
     const Netlist& nl = bench_circuit();
-    fault::FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    fault::FaultSimulator fsim(topo);
     const auto reps = fault::collapse(nl).representatives();
     util::Rng rng(2);
     const auto seq = random_sequence(nl, 20, rng);
@@ -83,7 +85,8 @@ BENCHMARK(BM_FaultSimParallel63);
 
 void BM_FaultSimSerial(benchmark::State& state) {
     const Netlist& nl = bench_circuit();
-    fault::FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    fault::FaultSimulator fsim(topo);
     const auto reps = fault::collapse(nl).representatives();
     util::Rng rng(2);
     const auto seq = random_sequence(nl, 20, rng);

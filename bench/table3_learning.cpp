@@ -9,6 +9,7 @@
 // unattended but take tens of minutes; learning cost scales linearly, and
 // the default run already prints the aggregate gates/second.
 
+#include "api/session.hpp"
 #include "core/seq_learn.hpp"
 #include "workload/suite.hpp"
 
@@ -41,7 +42,7 @@ void run_table3() {
         const auto c = nl.counts();
         core::LearnConfig cfg;
         cfg.max_frames = 50;
-        const core::LearnResult r = core::learn(nl, cfg);
+        const core::LearnResult r = api::Session::view(nl).learn(cfg);
         std::printf("%-10s %8zu %8zu | %10zu %10zu | %8.2f\n", name.c_str(),
                     c.flip_flops + c.latches, c.combinational, r.stats.ff_ff_relations,
                     r.stats.gate_ff_relations, r.stats.cpu_seconds);
@@ -58,7 +59,7 @@ void BM_Learn(benchmark::State& state, const std::string& name) {
     core::LearnConfig cfg;
     cfg.max_frames = 50;
     for (auto _ : state) {
-        const core::LearnResult r = core::learn(nl, cfg);
+        const core::LearnResult r = api::Session::view(nl).learn(cfg);
         benchmark::DoNotOptimize(r.stats.ff_ff_relations);
         state.counters["ff_ff"] = static_cast<double>(r.stats.ff_ff_relations);
         state.counters["gate_ff"] = static_cast<double>(r.stats.gate_ff_relations);

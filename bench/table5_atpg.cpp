@@ -12,6 +12,7 @@
 //
 // Set SEQLEARN_BENCH_SMALL=1 to run only the retimed family.
 
+#include "api/session.hpp"
 #include "atpg/atpg_loop.hpp"
 #include "core/seq_learn.hpp"
 #include "fault/collapse.hpp"
@@ -44,6 +45,7 @@ struct Row {
 
 Row campaign(const Netlist& nl, LearnMode mode, const core::LearnResult* learned,
              std::uint32_t backtrack_limit) {
+    const netlist::Topology topo(nl);
     fault::FaultList list(fault::collapse(nl).representatives());
     AtpgConfig cfg;
     cfg.mode = mode;
@@ -52,7 +54,7 @@ Row campaign(const Netlist& nl, LearnMode mode, const core::LearnResult* learned
     cfg.count_c_cycle_redundant = learned != nullptr;
     cfg.redundancy_effort = 500;
     cfg.windows = {1, 2, 3, 4, 6, 8};
-    const atpg::AtpgOutcome out = run_atpg(nl, list, cfg);
+    const atpg::AtpgOutcome out = run_atpg(topo, list, cfg);
     const auto c = list.counts();
     return {c.detected, c.untestable, out.cpu_seconds};
 }
@@ -69,7 +71,7 @@ void run_table5() {
         const Netlist nl = workload::suite_circuit(name);
         core::LearnConfig lcfg;
         lcfg.max_frames = 50;
-        const core::LearnResult learned = core::learn(nl, lcfg);
+        const core::LearnResult learned = api::Session::view(nl).learn(lcfg);
         const std::size_t total = fault::collapse(nl).size();
         for (const std::uint32_t bt : {30u, 1000u}) {
             const Row none = campaign(nl, LearnMode::None, nullptr, bt);
@@ -87,7 +89,7 @@ void run_table5() {
 
 void BM_AtpgRetimed(benchmark::State& state) {
     const Netlist nl = workload::suite_circuit("rt510a");
-    const core::LearnResult learned = core::learn(nl);
+    const core::LearnResult learned = api::Session::view(nl).learn();
     const LearnMode mode = static_cast<LearnMode>(state.range(0));
     for (auto _ : state) {
         const Row r = campaign(nl, mode, mode == LearnMode::None ? nullptr : &learned, 30);

@@ -1,17 +1,21 @@
 // seqlearn_cli — drive the library from the command line on .bench files.
 //
 //   seqlearn_cli stats  <circuit.bench | suite:NAME>
-//   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N]
+//   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--threads N]
 //                       [--save-db FILE] [--out FILE]
 //   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
 //                       [--backtracks N] [--load-db FILE] [--save-db FILE]
-//                       [--random N] [--progress]
+//                       [--random N] [--progress] [--threads N]
 //
 // "suite:NAME" loads one of the built-in experiment circuits (e.g.
 // suite:rt510a); anything else is parsed as an ISCAS-89 .bench file. All
 // commands run through an api::Session, so the circuit is levelized once
 // and learned data moves through Session::save_db / load_db. (--out and
 // --learned are deprecated aliases of --save-db and --load-db.)
+//
+// --threads N runs every stage on N workers (default: one per hardware
+// thread; results are bit-identical at any thread count). --threads 1
+// forces the serial paths.
 
 #include "api/session.hpp"
 #include "netlist/bench_io.hpp"
@@ -146,6 +150,8 @@ int main(int argc, char** argv) {
     }
     try {
         api::SessionConfig scfg;
+        if (const char* t = flag_value(argc, argv, "--threads"))
+            scfg.threads = static_cast<unsigned>(std::atoi(t));
         const bool progress = flag_present(argc, argv, "--progress");
         if (progress) {
             // One \r-rewritten line per stage; the line is terminated on a

@@ -19,7 +19,23 @@ Session::Session(std::unique_ptr<netlist::Netlist> owned, const netlist::Netlist
     : cfg_(std::move(cfg)),
       owned_nl_(std::move(owned)),
       nl_(owned_nl_ ? owned_nl_.get() : borrowed),
-      topo_(std::make_unique<const netlist::Topology>(*nl_)) {}
+      topo_(std::make_unique<const netlist::Topology>(*nl_)),
+      cancel_(std::make_unique<exec::CancelFlag>()) {}
+
+unsigned Session::resolve_threads(unsigned stage_threads) const noexcept {
+    if (stage_threads != 0) return stage_threads;
+    if (cfg_.threads != 0) return cfg_.threads;
+    return exec::Pool::hardware_threads();
+}
+
+exec::Pool& Session::executor(unsigned workers) {
+    if (!pool_ || pool_->size() < workers) {
+        pool_ = std::make_unique<exec::Pool>(workers);
+        // The fault simulator keeps a pool pointer; re-wire it after growth.
+        if (fsim_) fsim_->set_executor(pool_.get(), resolve_threads(0));
+    }
+    return *pool_;
+}
 
 const std::vector<netlist::ClockClass>& Session::clock_classes() {
     if (!classes_) classes_.emplace(netlist::clock_classes(*nl_));
@@ -32,7 +48,11 @@ const fault::CollapsedFaults& Session::collapsed_faults() {
 }
 
 fault::FaultSimulator& Session::fault_simulator() {
-    if (!fsim_) fsim_.emplace(*topo_);
+    if (!fsim_) {
+        fsim_.emplace(*topo_);
+        const unsigned workers = resolve_threads(0);
+        if (workers > 1) fsim_->set_executor(&executor(workers), workers);
+    }
     return *fsim_;
 }
 
@@ -50,9 +70,16 @@ const core::LearnResult& Session::learn(const core::LearnConfig& lcfg) {
     core::LearnConfig cfg = lcfg;
     if (cfg_.progress && !cfg.on_stem) {
         cfg.on_stem = [this](std::size_t done, std::size_t total) {
-            return cfg_.progress({Stage::Learn, done, total});
+            const bool keep_going = cfg_.progress({Stage::Learn, done, total});
+            if (!keep_going) cancel_->request();
+            return keep_going;
         };
     }
+    cancel_->reset();
+    cfg.cancel = cancel_.get();
+    const unsigned workers = resolve_threads(lcfg.threads);
+    cfg.threads = workers;
+    if (workers > 1) cfg.executor = &executor(workers);
     replace_learned(std::make_unique<core::LearnResult>(core::learn(*nl_, *topo_, cfg)));
     return *learned_;
 }
@@ -80,11 +107,23 @@ const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
     }
     if (cfg_.progress && !acfg.on_fault) {
         acfg.on_fault = [this](std::size_t done, std::size_t total) {
-            return cfg_.progress({Stage::Atpg, done, total});
+            const bool keep_going = cfg_.progress({Stage::Atpg, done, total});
+            if (!keep_going) cancel_->request();
+            return keep_going;
         };
     }
+    cancel_->reset();
+    acfg.cancel = cancel_.get();
+    // Build the lazy engines BEFORE capturing the pool pointer: creating the
+    // fault simulator may grow (i.e. replace) the pool for the session-wide
+    // default worker count, which would dangle an earlier-captured executor.
+    atpg::Engine& eng = engine();
+    fault::FaultSimulator& fsim = fault_simulator();
+    const unsigned workers = resolve_threads(acfg.threads);
+    acfg.threads = workers;
+    if (workers > 1) acfg.executor = &executor(workers);
     fault::FaultList list(collapsed_faults().representatives());
-    atpg::AtpgOutcome outcome = run_atpg(engine(), fault_simulator(), list, acfg);
+    atpg::AtpgOutcome outcome = run_atpg(eng, fsim, list, acfg);
     atpg_.emplace(
         AtpgReport{std::move(list), std::move(outcome), acfg.learned != nullptr});
     return *atpg_;
@@ -113,10 +152,16 @@ FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests,
         fsim.set_good_ties(nullptr, nullptr);
     }
     fault::FaultList list(collapsed_faults().representatives());
+    cancel_->reset();
     FaultSimReport report;
     for (const sim::InputSequence& t : tests) {
+        if (cancel_->requested()) {
+            report.cancelled = true;
+            break;
+        }
         if (cfg_.progress &&
             !cfg_.progress({Stage::FaultSim, report.sequences, tests.size()})) {
+            cancel_->request();
             report.cancelled = true;
             break;
         }

@@ -22,6 +22,8 @@
 
 #include "atpg/atpg_loop.hpp"
 #include "core/seq_learn.hpp"
+#include "exec/cancel.hpp"
+#include "exec/pool.hpp"
 #include "fault/collapse.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -51,16 +53,28 @@ struct Progress {
 };
 
 /// Stage observer; return false to cancel the running stage (partial
-/// results are kept; learn/ATPG outcomes carry a cancelled flag).
+/// results are kept; learn/ATPG outcomes carry a cancelled flag). Whatever
+/// the stage's thread count, callbacks are delivered serialized on the
+/// thread that called the stage method, in canonical unit order — an
+/// observer needs no locking of its own. A false return raises the
+/// Session's atomic cancel flag, which parallel workers observe at their
+/// next chunk boundary.
 using ProgressObserver = std::function<bool(const Progress&)>;
 
 /// One configuration for the whole flow. The nested atpg config's `learned`
 /// and `on_fault` fields are managed by the Session (learned data is wired
-/// in automatically for modes that use it); everything else passes through.
+/// in automatically for modes that use it), as are both stage configs'
+/// `executor`/`cancel` fields (the Session's shared pool and cancel flag);
+/// everything else passes through.
 struct SessionConfig {
     core::LearnConfig learn;
     atpg::AtpgConfig atpg;
     ProgressObserver progress;
+    /// Session-wide default worker count (0 = hardware_concurrency). A
+    /// stage config's own `threads` field, when nonzero, wins for that
+    /// stage. All stages share one exec::Pool sized to the largest request;
+    /// N-thread results are bit-identical to 1-thread results.
+    unsigned threads = 0;
 };
 
 /// Campaign result: the fault list with final statuses plus the outcome
@@ -109,8 +123,9 @@ public:
     /// (levelizing once); engines and analyses are built on first use.
     explicit Session(netlist::Netlist nl, SessionConfig cfg = {});
 
-    /// Borrow `nl` instead of owning it (must outlive the Session). Used by
-    /// the deprecated free-function shims; prefer the owning constructor.
+    /// Borrow `nl` instead of owning it (must outlive the Session) — for
+    /// one-shot flows over a netlist the caller keeps using; prefer the
+    /// owning constructor for long-lived sessions.
     static Session view(const netlist::Netlist& nl, SessionConfig cfg = {});
 
     Session(Session&&) noexcept = default;
@@ -151,6 +166,13 @@ public:
 
     SessionStats stats();
 
+    /// Ask the running stage to stop at its next work-item boundary. Safe
+    /// from any thread (the one place a Session may be touched concurrently
+    /// with a running stage). The flag re-arms when the next stage starts;
+    /// a cancelled stage keeps its partial results, exactly as if the
+    /// progress observer had returned false.
+    void request_cancel() noexcept { cancel_->request(); }
+
     // --- learned-data persistence (core::db_io text format) ---------------
     /// Save the learned implication DB and ties (learning first if needed).
     void save_db(std::ostream& out);
@@ -166,6 +188,8 @@ private:
             SessionConfig cfg);
     FaultSimReport fault_sim(std::span<const sim::InputSequence> tests, bool with_ties);
     void replace_learned(std::unique_ptr<core::LearnResult> next);
+    unsigned resolve_threads(unsigned stage_threads) const noexcept;
+    exec::Pool& executor(unsigned workers);
 
     SessionConfig cfg_;
     std::unique_ptr<netlist::Netlist> owned_nl_;  // null for view sessions
@@ -179,6 +203,11 @@ private:
     // keep a stable address across Session moves.
     std::unique_ptr<core::LearnResult> learned_;
     std::optional<AtpgReport> atpg_;
+    // The shared thread pool (lazily built, grown if a stage asks for more
+    // workers) and the stage cancel flag; both heap-allocated so pointers
+    // handed to stage engines stay stable across Session moves.
+    std::unique_ptr<exec::Pool> pool_;
+    std::unique_ptr<exec::CancelFlag> cancel_;
 };
 
 }  // namespace seqlearn::api

@@ -1,6 +1,8 @@
 #include "atpg/atpg_loop.hpp"
 
 #include "atpg/redundancy.hpp"
+#include "exec/speculate.hpp"
+#include "exec/worker_set.hpp"
 #include "netlist/structure.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -21,6 +23,82 @@ std::vector<std::uint32_t> default_windows(const netlist::Topology& topo) {
     for (std::uint32_t w = 1; w < max_w; w = w < 4 ? w + 1 : w + (w / 2)) out.push_back(w);
     out.push_back(max_w);
     return out;
+}
+
+// Outcome of one deterministic target: everything the solve attempt decided
+// plus the counters it accumulated. Computing this touches only the engine,
+// the validating simulator, and the fault itself — never the fault list —
+// which is what makes targets safe to solve speculatively in parallel.
+struct TargetVerdict {
+    enum class Kind : std::uint8_t { Skipped, Untestable, Test, Aborted, Exhausted };
+    Kind kind = Kind::Skipped;
+    sim::InputSequence test;
+    std::uint64_t backtracks = 0;
+    std::size_t gen_calls = 0;
+    std::size_t invalid_tests = 0;
+};
+
+TargetVerdict solve_target(Engine& engine, fault::FaultSimulator& fsim,
+                           const fault::Fault& f, const EngineConfig& ecfg,
+                           const AtpgConfig& cfg,
+                           std::span<const std::uint32_t> windows) {
+    TargetVerdict v;
+    if (cfg.identify_untestable) {
+        const RedundancyVerdict verdict =
+            prove_redundancy(engine, f, ecfg, cfg.redundancy_effort);
+        if (verdict == RedundancyVerdict::Untestable) {
+            v.kind = TargetVerdict::Kind::Untestable;
+            return v;
+        }
+    }
+    for (const std::uint32_t w : windows) {
+        ++v.gen_calls;
+        const EngineResult r = engine.solve(f, w, ecfg);
+        v.backtracks += r.backtracks;
+        if (r.status == EngineResult::Status::Aborted) {
+            v.kind = TargetVerdict::Kind::Aborted;
+            return v;  // larger windows only search more
+        }
+        if (r.status != EngineResult::Status::TestFound) continue;
+        if (!fsim.detects(r.test, f)) {
+            ++v.invalid_tests;
+            continue;
+        }
+        v.kind = TargetVerdict::Kind::Test;
+        v.test = r.test;
+        return v;
+    }
+    v.kind = TargetVerdict::Kind::Exhausted;
+    return v;
+}
+
+// Apply a verdict to the shared campaign state — always on the calling
+// thread, always in fault-index order. `fsim` is the campaign's primary
+// simulator (its drop_detected may itself fan out over the pool).
+void apply_verdict(TargetVerdict&& v, std::size_t fault_index, fault::FaultList& list,
+                   fault::FaultSimulator& fsim, AtpgOutcome& out) {
+    out.gen_calls += v.gen_calls;
+    out.total_backtracks += v.backtracks;
+    out.invalid_tests += v.invalid_tests;
+    switch (v.kind) {
+        case TargetVerdict::Kind::Untestable:
+            list.set_status(fault_index, FaultStatus::Untestable);
+            ++out.untestable_by_proof;
+            break;
+        case TargetVerdict::Kind::Test:
+            // First-detection credit: the test drops every fault it detects
+            // (this one included) before any later target commits.
+            fsim.drop_detected(v.test, list);
+            out.tests.push_back(std::move(v.test));
+            break;
+        case TargetVerdict::Kind::Aborted:
+            if (list.status(fault_index) == FaultStatus::Undetected)
+                list.set_status(fault_index, FaultStatus::Aborted);
+            break;
+        case TargetVerdict::Kind::Exhausted:
+        case TargetVerdict::Kind::Skipped:
+            break;
+    }
 }
 
 }  // namespace
@@ -83,49 +161,85 @@ AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultLi
 
     const std::vector<std::uint32_t> windows =
         cfg.windows.empty() ? default_windows(topo) : cfg.windows;
-    const std::size_t total_targets = list.undetected().size();
+    const std::vector<std::size_t> targets = list.undetected();
+    const std::size_t total_targets = targets.size();
 
-    for (std::size_t i = 0; i < list.size(); ++i) {
-        if (list.status(i) != FaultStatus::Undetected) continue;
+    // Resolve the execution environment (shared executor, private pool, or
+    // serial) with the rule every stage shares.
+    const exec::StageExec ex = exec::resolve_stage_exec(cfg.executor, cfg.threads);
+    const unsigned workers = ex.workers;
+    if (workers <= 1 || targets.size() < 2) {
+        // Serial campaign: target, apply, move on.
+        for (const std::size_t i : targets) {
+            if (list.status(i) != FaultStatus::Undetected) continue;
+            if (cfg.cancel != nullptr && cfg.cancel->requested()) {
+                out.cancelled = true;
+                break;
+            }
+            if (cfg.on_fault && !cfg.on_fault(out.targeted_faults, total_targets)) {
+                out.cancelled = true;
+                break;
+            }
+            ++out.targeted_faults;
+            apply_verdict(solve_target(engine, fsim, list.fault(i), ecfg, cfg, windows), i,
+                          list, fsim, out);
+        }
+        out.cpu_seconds = timer.seconds();
+        return out;
+    }
+
+    // Parallel campaign: speculative target solves on per-worker clones,
+    // committed in fault-index order. A solve depends only on the fault —
+    // never on the list — so speculation is never stale; the only wasted
+    // work is solving a target that a test committed just before it drops.
+    struct WorkerCtx {
+        Engine engine;
+        fault::FaultSimulator fsim;
+    };
+    exec::WorkerSet<WorkerCtx> ctxs(workers - 1, [&](unsigned) {
+        WorkerCtx ctx{Engine(topo), fault::FaultSimulator(topo)};
+        if (cfg.learned != nullptr) {
+            ctx.fsim.set_good_ties(&cfg.learned->ties.dense(),
+                                   &cfg.learned->ties.dense_cycles());
+        }
+        return ctx;
+    });
+
+    const exec::SpeculateOptions sopt{/*min_window=*/workers,
+                                      /*max_window=*/2 * static_cast<std::size_t>(workers)};
+    std::vector<TargetVerdict> slots(exec::resolved_max_window(sopt, workers));
+
+    auto prepare = [](std::size_t, std::size_t) {};
+    auto compute = [&](unsigned worker, std::size_t item, std::size_t slot) {
+        TargetVerdict& v = slots[slot];
+        const std::size_t i = targets[item];
+        if (list.status(i) != FaultStatus::Undetected) {
+            // Dropped by a test committed before this window was dispatched;
+            // statuses never return to Undetected, so the commit will skip
+            // it too.
+            v = TargetVerdict{};
+            return;
+        }
+        Engine& eng = worker == 0 ? engine : ctxs[worker - 1].engine;
+        fault::FaultSimulator& fs = worker == 0 ? fsim : ctxs[worker - 1].fsim;
+        v = solve_target(eng, fs, list.fault(i), ecfg, cfg, windows);
+    };
+    auto commit = [&](std::size_t item, std::size_t slot) -> exec::Commit {
+        const std::size_t i = targets[item];
+        if (list.status(i) != FaultStatus::Undetected) return exec::Commit::Done;
+        if (cfg.cancel != nullptr && cfg.cancel->requested()) {
+            out.cancelled = true;
+            return exec::Commit::Stop;
+        }
         if (cfg.on_fault && !cfg.on_fault(out.targeted_faults, total_targets)) {
             out.cancelled = true;
-            break;
+            return exec::Commit::Stop;
         }
-        const fault::Fault& f = list.fault(i);
         ++out.targeted_faults;
-
-        if (cfg.identify_untestable) {
-            const RedundancyVerdict verdict =
-                prove_redundancy(engine, f, ecfg, cfg.redundancy_effort);
-            if (verdict == RedundancyVerdict::Untestable) {
-                list.set_status(i, FaultStatus::Untestable);
-                ++out.untestable_by_proof;
-                continue;
-            }
-        }
-
-        bool aborted = false;
-        for (const std::uint32_t w : windows) {
-            ++out.gen_calls;
-            const EngineResult r = engine.solve(f, w, ecfg);
-            out.total_backtracks += r.backtracks;
-            if (r.status == EngineResult::Status::Aborted) {
-                aborted = true;
-                break;  // larger windows only search more
-            }
-            if (r.status != EngineResult::Status::TestFound) continue;
-            if (!fsim.detects(r.test, f)) {
-                ++out.invalid_tests;
-                continue;
-            }
-            fsim.drop_detected(r.test, list);
-            out.tests.push_back(r.test);
-            break;
-        }
-        if (list.status(i) == FaultStatus::Undetected && aborted) {
-            list.set_status(i, FaultStatus::Aborted);
-        }
-    }
+        apply_verdict(std::move(slots[slot]), i, list, fsim, out);
+        return exec::Commit::Done;
+    };
+    exec::speculate_ordered(ex.pool, targets.size(), sopt, prepare, compute, commit, workers);
 
     out.cpu_seconds = timer.seconds();
     return out;
@@ -136,11 +250,6 @@ AtpgOutcome run_atpg(const netlist::Topology& topo, fault::FaultList& list,
     Engine engine(topo);
     fault::FaultSimulator fsim(topo);
     return run_atpg(engine, fsim, list, cfg);
-}
-
-AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig& cfg) {
-    const netlist::Topology topo(nl);
-    return run_atpg(topo, list, cfg);
 }
 
 }  // namespace seqlearn::atpg

@@ -11,6 +11,8 @@
 
 #include "atpg/engine.hpp"
 #include "core/seq_learn.hpp"
+#include "exec/cancel.hpp"
+#include "exec/pool.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
 
@@ -20,6 +22,18 @@
 namespace seqlearn::atpg {
 
 struct AtpgConfig {
+    /// Worker threads for the campaign (0 = hardware_concurrency). Targets
+    /// fan out over per-worker Engine/FaultSimulator clones; solves are
+    /// stateless per (fault, window), and results commit in fault-index
+    /// order with first-detection credit, so N-thread campaigns are
+    /// bit-identical to 1-thread ones.
+    unsigned threads = 0;
+    /// Run on this pool instead of a private one (a Session shares its pool
+    /// across stages); effective workers = min(pool size, threads).
+    exec::Pool* executor = nullptr;
+    /// Optional cooperative stop switch, polled at target boundaries on the
+    /// calling thread; request() is safe from any thread.
+    exec::CancelFlag* cancel = nullptr;
     /// How learned data is used (paper Table 5's three columns).
     LearnMode mode = LearnMode::None;
     /// Learned data; must be non-null for modes other than None, and is
@@ -84,9 +98,5 @@ AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultLi
 /// Convenience: build the engine and fault simulator over `topo` and run.
 AtpgOutcome run_atpg(const netlist::Topology& topo, fault::FaultList& list,
                      const AtpgConfig& cfg);
-
-/// Deprecated: levelizes `nl` privately per call. Prefer the Topology
-/// overload (or api::Session) so the snapshot is shared across stages.
-AtpgOutcome run_atpg(const Netlist& nl, fault::FaultList& list, const AtpgConfig& cfg);
 
 }  // namespace seqlearn::atpg

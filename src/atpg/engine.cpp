@@ -815,13 +815,6 @@ struct Engine::Search {
 
 Engine::Engine(const netlist::Topology& topo) : topo_(&topo) {}
 
-Engine::Engine(const Netlist& nl)
-    : Engine(std::make_unique<const netlist::Topology>(nl)) {}
-
-Engine::Engine(std::unique_ptr<const netlist::Topology> topo) : topo_(topo.get()) {
-    owned_topo_ = std::move(topo);
-}
-
 EngineResult Engine::solve(const fault::Fault& f, std::uint32_t frames,
                            const EngineConfig& cfg) {
     Search search(*topo_, f, frames, cfg);

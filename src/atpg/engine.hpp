@@ -72,19 +72,19 @@ struct EngineResult {
     std::uint32_t decisions = 0;
 };
 
-/// One engine instance per circuit; solve() may be called repeatedly. All
-/// structural walks (frontier expansion, cone tracing, implication hooks)
-/// read the flat CSR Topology.
+/// One engine instance per circuit; solve() may be called repeatedly and
+/// carries no state between calls — a given (fault, window, config) solves
+/// identically on any instance over the same Topology, which is what lets
+/// the parallel ATPG campaign fan targets out over per-worker clones.
+/// All structural walks (frontier expansion, cone tracing, implication
+/// hooks) read the flat CSR Topology.
 class Engine {
 public:
-    /// Share an existing CSR snapshot (must outlive the engine). This is the
-    /// primary constructor — a Session hands every engine the same Topology
-    /// so the circuit is levelized exactly once.
+    /// Share an existing CSR snapshot (must outlive the engine) — a Session
+    /// hands every engine the same Topology so the circuit is levelized
+    /// exactly once. To solve straight from a Netlist, build a Topology
+    /// first (or go through api::Session).
     explicit Engine(const netlist::Topology& topo);
-
-    /// Deprecated: build (and own) a private snapshot from `nl`. Prefer the
-    /// Topology overload (or api::Session) so the snapshot is shared.
-    explicit Engine(const Netlist& nl);
 
     /// Try to generate a test for `f` within a `frames`-frame window.
     EngineResult solve(const fault::Fault& f, std::uint32_t frames, const EngineConfig& cfg);
@@ -92,9 +92,7 @@ public:
     const netlist::Topology& topology() const noexcept { return *topo_; }
 
 private:
-    explicit Engine(std::unique_ptr<const netlist::Topology> topo);
     struct Search;  // defined in engine.cpp
-    std::unique_ptr<const netlist::Topology> owned_topo_;  // null when sharing
     const netlist::Topology* topo_;
 };
 

@@ -90,7 +90,8 @@ bool prove_equivalence(const Netlist& nl, const netlist::Levelization& lv, GateI
 
 }  // namespace
 
-EquivResult find_equivalences(const Netlist& nl, const EquivOptions& opt) {
+EquivResult find_equivalences(const Netlist& nl, const EquivOptions& opt, exec::Pool* pool,
+                              unsigned max_workers) {
     EquivResult out;
     out.map.assign(nl.size(), {});
     out.rep.assign(nl.size(), netlist::kNoGate);
@@ -116,6 +117,35 @@ EquivResult find_equivalences(const Netlist& nl, const EquivOptions& opt) {
         buckets[std::move(key)].push_back({g, flip});
     }
 
+    // Flatten the candidate proofs (each independent, read-only over nl/lv)
+    // so they can fan out over the pool; verdicts are merged in bucket order
+    // below, making the result identical at any thread count.
+    struct Proof {
+        GateId rep;
+        GateId member;
+        bool inverted;
+    };
+    std::vector<Proof> proofs;
+    for (const auto& [key, entries] : buckets) {
+        if (entries.size() < 2 || entries.size() > opt.max_bucket) continue;
+        const Entry rep = entries[0];
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            proofs.push_back({rep.gate, entries[i].gate, entries[i].flipped != rep.flipped});
+        }
+    }
+    std::vector<std::uint8_t> proven_flags(proofs.size(), 0);
+    auto prove_one = [&](unsigned, std::size_t i) {
+        const Proof& p = proofs[i];
+        proven_flags[i] =
+            prove_equivalence(nl, lv, p.rep, p.member, p.inverted, opt.support_cap) ? 1 : 0;
+    };
+    if (pool != nullptr && !proofs.empty()) {
+        pool->run(proofs.size(), exec::TaskView(prove_one), max_workers);
+    } else {
+        for (std::size_t i = 0; i < proofs.size(); ++i) prove_one(0, i);
+    }
+
+    std::size_t next_proof = 0;
     for (const auto& [key, entries] : buckets) {
         if (entries.size() < 2) continue;
         if (entries.size() > opt.max_bucket) {
@@ -125,10 +155,8 @@ EquivResult find_equivalences(const Netlist& nl, const EquivOptions& opt) {
         const Entry rep = entries[0];
         std::vector<Entry> proven{rep};
         for (std::size_t i = 1; i < entries.size(); ++i) {
-            const Entry& m = entries[i];
-            const bool inverted = m.flipped != rep.flipped;
-            if (prove_equivalence(nl, lv, rep.gate, m.gate, inverted, opt.support_cap)) {
-                proven.push_back(m);
+            if (proven_flags[next_proof++]) {
+                proven.push_back(entries[i]);
             } else {
                 ++out.dropped;
             }

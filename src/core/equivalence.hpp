@@ -10,6 +10,7 @@
 // during 3-valued simulation: if the gates agree on every binary assignment
 // they agree on every completion of a partial assignment.
 
+#include "exec/pool.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/frame_sim.hpp"
 
@@ -46,7 +47,11 @@ struct EquivResult {
     std::vector<bool> inverted;
 };
 
-/// Find proven combinational equivalences in `nl`.
-EquivResult find_equivalences(const netlist::Netlist& nl, const EquivOptions& opt = {});
+/// Find proven combinational equivalences in `nl`. The candidate proofs are
+/// independent of each other, so with a pool they run in parallel (capped at
+/// `max_workers` slots; 0 = all); class construction merges the verdicts in
+/// canonical bucket order, so the result is identical at any thread count.
+EquivResult find_equivalences(const netlist::Netlist& nl, const EquivOptions& opt = {},
+                              exec::Pool* pool = nullptr, unsigned max_workers = 0);
 
 }  // namespace seqlearn::core

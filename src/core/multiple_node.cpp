@@ -1,5 +1,7 @@
 #include "core/multiple_node.hpp"
 
+#include "exec/speculate.hpp"
+
 #include <algorithm>
 
 namespace seqlearn::core {
@@ -15,79 +17,206 @@ bool is_constant(const Netlist& nl, GateId g) {
     return t == GateType::Const0 || t == GateType::Const1;
 }
 
+struct TargetScratch {
+    std::vector<sim::Injection> inj;
+    sim::FrameSimResult res;
+};
+
+// Mutations one target wants to apply; at most one tie (the target itself).
+struct TargetDelta {
+    bool processed = false;
+    bool contradiction = false;
+    bool tie = false;
+    GateId tie_gate = netlist::kNoGate;
+    Val3 tie_value = Val3::X;
+    std::uint32_t tie_cycle = 0;
+    struct Rel {
+        Literal lhs;
+        Literal rhs;
+        std::uint32_t frame;
+    };
+    std::vector<Rel> relations;
+
+    void clear() {
+        processed = contradiction = tie = false;
+        relations.clear();
+    }
+};
+
+struct DirectCtx {
+    TieSet& ties;
+    ImplicationDB& db;
+    MultipleNodeOutcome& out;
+
+    bool tied(GateId g) const { return ties.is_tied(g); }
+    void set_tie(GateId g, Val3 v, std::uint32_t cycle) {
+        ties.set(g, v, cycle);
+        ++out.ties_found;
+    }
+    void mark_contradiction() { ++out.contradiction_ties; }
+    void add_relation(Literal lhs, Literal rhs, std::uint32_t frame) {
+        if (db.add(lhs, rhs, frame)) ++out.relations_added;
+    }
+};
+
+struct SpecCtx {
+    const TieSet& live;
+    TargetDelta& delta;
+
+    // Unlike the single-node pass, a target never reads a tie it set itself
+    // (the tie paths return immediately), so no overlay is needed.
+    bool tied(GateId g) const { return live.is_tied(g); }
+    void set_tie(GateId g, Val3 v, std::uint32_t cycle) {
+        delta.tie = true;
+        delta.tie_gate = g;
+        delta.tie_value = v;
+        delta.tie_cycle = cycle;
+    }
+    void mark_contradiction() { delta.contradiction = true; }
+    void add_relation(Literal lhs, Literal rhs, std::uint32_t frame) {
+        delta.relations.push_back({lhs, rhs, frame});
+    }
+};
+
+// One target, start to finish — shared by the serial, speculative, and
+// recompute paths. Returns whether the target was processed.
+template <typename Ctx>
+bool process_target(const Netlist& nl, sim::FrameSimulator& sim, const StemRecords& records,
+                    const MultipleNodeConfig& cfg, Literal target, TargetScratch& s,
+                    Ctx& ctx) {
+    if (ctx.tied(target.gate) || is_constant(nl, target.gate)) return false;
+    const std::vector<StemRecord>& recs = records.records_for(target);
+
+    std::uint32_t max_offset = 0;
+    for (const StemRecord& r : recs)
+        if (r.offset < cfg.max_frames) max_offset = std::max(max_offset, r.offset);
+    const std::uint32_t T = max_offset;
+
+    // Contrapositive injections: target=!v at T, stems=!sv at T-offset.
+    s.inj.clear();
+    const Literal premise = negate(target);
+    s.inj.push_back({T, premise.gate, premise.value});
+    bool contradictory = false;
+    for (const StemRecord& r : recs) {
+        if (r.offset > T) continue;
+        // Tied stems are not skipped: if a record contraposes against
+        // the tied value, the simulator's tie seeding produces the
+        // conflict that proves the target tie.
+        const Literal st = negate(r.stem);
+        const std::uint32_t frame = T - r.offset;
+        bool duplicate = false;
+        for (const sim::Injection& x : s.inj) {
+            if (x.frame == frame && x.gate == st.gate) {
+                if (x.value != st.value) contradictory = true;
+                duplicate = true;
+                break;
+            }
+        }
+        if (!duplicate) s.inj.push_back({frame, st.gate, st.value});
+    }
+
+    if (contradictory) {
+        // Two records contrapose to opposite values on the same stem at
+        // the same frame: the premise n=!v is impossible outright.
+        ctx.set_tie(target.gate, target.value, T);
+        ctx.mark_contradiction();
+        return true;
+    }
+
+    sim::FrameSimOptions opt;
+    opt.max_frames = T + 1;
+    opt.stop_on_state_repeat = false;  // the window is already exact
+    sim.run_into(s.inj, opt, s.res);
+
+    if (s.res.conflict) {
+        ctx.set_tie(target.gate, target.value, T);
+        return true;
+    }
+
+    const bool premise_seq = netlist::is_sequential(nl.type(premise.gate));
+    for (const sim::ImpliedValue& iv : s.res.implied) {
+        if (iv.frame != T) continue;
+        if (iv.gate == premise.gate) continue;
+        if (is_constant(nl, iv.gate) || ctx.tied(iv.gate)) continue;
+        if (!premise_seq && !netlist::is_sequential(nl.type(iv.gate))) continue;
+        ctx.add_relation(premise, {iv.gate, iv.value}, T);
+    }
+    return true;
+}
+
+MultipleNodeOutcome run_serial(const Netlist& nl, sim::FrameSimulator& sim,
+                               const StemRecords& records, const MultipleNodeConfig& cfg,
+                               std::span<const Literal> targets, TieSet& ties,
+                               ImplicationDB& db, exec::CancelFlag* cancel) {
+    MultipleNodeOutcome out;
+    TargetScratch scratch;
+    DirectCtx ctx{ties, db, out};
+    for (const Literal target : targets) {
+        if (cancel != nullptr && cancel->requested()) {
+            out.cancelled = true;
+            break;
+        }
+        if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets) break;
+        if (process_target(nl, sim, records, cfg, target, scratch, ctx))
+            ++out.targets_processed;
+    }
+    return out;
+}
+
 }  // namespace
 
-MultipleNodeOutcome multiple_node_learning(const Netlist& nl, sim::FrameSimulator& sim,
+MultipleNodeOutcome multiple_node_learning(const Netlist& nl,
+                                           std::span<sim::FrameSimulator> sims,
                                            const StemRecords& records,
                                            const MultipleNodeConfig& cfg, TieSet& ties,
-                                           ImplicationDB& db) {
-    MultipleNodeOutcome out;
-    std::vector<sim::Injection> inj;
-    sim::FrameSimResult res;  // reused across targets
+                                           ImplicationDB& db, const LearnExecEnv& env) {
+    const std::vector<Literal> targets = records.targets(cfg.min_records);
 
-    for (const Literal target : records.targets(cfg.min_records)) {
-        if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets) break;
-        if (ties.is_tied(target.gate) || is_constant(nl, target.gate)) continue;
-        const std::vector<StemRecord>& recs = records.records_for(target);
-
-        std::uint32_t max_offset = 0;
-        for (const StemRecord& r : recs)
-            if (r.offset < cfg.max_frames) max_offset = std::max(max_offset, r.offset);
-        const std::uint32_t T = max_offset;
-
-        // Contrapositive injections: target=!v at T, stems=!sv at T-offset.
-        inj.clear();
-        const Literal premise = negate(target);
-        inj.push_back({T, premise.gate, premise.value});
-        bool contradictory = false;
-        for (const StemRecord& r : recs) {
-            if (r.offset > T) continue;
-            // Tied stems are not skipped: if a record contraposes against
-            // the tied value, the simulator's tie seeding produces the
-            // conflict that proves the target tie.
-            const Literal s = negate(r.stem);
-            const std::uint32_t frame = T - r.offset;
-            bool duplicate = false;
-            for (const sim::Injection& x : inj) {
-                if (x.frame == frame && x.gate == s.gate) {
-                    if (x.value != s.value) contradictory = true;
-                    duplicate = true;
-                    break;
-                }
-            }
-            if (!duplicate) inj.push_back({frame, s.gate, s.value});
-        }
-        ++out.targets_processed;
-
-        if (contradictory) {
-            // Two records contrapose to opposite values on the same stem at
-            // the same frame: the premise n=!v is impossible outright.
-            ties.set(target.gate, target.value, T);
-            ++out.ties_found;
-            ++out.contradiction_ties;
-            continue;
-        }
-
-        sim::FrameSimOptions opt;
-        opt.max_frames = T + 1;
-        opt.stop_on_state_repeat = false;  // the window is already exact
-        sim.run_into(inj, opt, res);
-
-        if (res.conflict) {
-            ties.set(target.gate, target.value, T);
-            ++out.ties_found;
-            continue;
-        }
-
-        const bool premise_seq = netlist::is_sequential(nl.type(premise.gate));
-        for (const sim::ImpliedValue& iv : res.implied) {
-            if (iv.frame != T) continue;
-            if (iv.gate == premise.gate) continue;
-            if (is_constant(nl, iv.gate) || ties.is_tied(iv.gate)) continue;
-            if (!premise_seq && !netlist::is_sequential(nl.type(iv.gate))) continue;
-            if (db.add(premise, {iv.gate, iv.value}, T)) ++out.relations_added;
-        }
+    unsigned workers = env.pool != nullptr ? env.pool->size() : 1;
+    if (env.max_workers != 0) workers = std::min(workers, env.max_workers);
+    workers = std::min<unsigned>(workers, static_cast<unsigned>(sims.size()));
+    if (workers <= 1 || targets.size() < 2) {
+        return run_serial(nl, sims[0], records, cfg, targets, ties, db, env.cancel);
     }
+
+    MultipleNodeOutcome out;
+    const exec::SpeculateOptions sopt;
+    std::vector<TargetScratch> ws(workers);
+    std::vector<TargetDelta> slots(exec::resolved_max_window(sopt, workers));
+    std::uint64_t dispatch_version = 0;
+
+    auto prepare = [&](std::size_t, std::size_t) { dispatch_version = ties.version(); };
+    auto compute = [&](unsigned worker, std::size_t item, std::size_t slot) {
+        TargetDelta& d = slots[slot];
+        d.clear();
+        SpecCtx ctx{ties, d};
+        d.processed =
+            process_target(nl, sims[worker], records, cfg, targets[item], ws[worker], ctx);
+    };
+    auto commit = [&](std::size_t item, std::size_t slot) -> exec::Commit {
+        (void)item;
+        if (env.cancel != nullptr && env.cancel->requested()) {
+            out.cancelled = true;
+            return exec::Commit::Stop;
+        }
+        if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets)
+            return exec::Commit::Stop;
+        if (ties.version() != dispatch_version) return exec::Commit::Retry;
+        const TargetDelta& d = slots[slot];
+        if (!d.processed) return exec::Commit::Done;
+        ++out.targets_processed;
+        if (d.tie) {
+            ties.set(d.tie_gate, d.tie_value, d.tie_cycle);
+            ++out.ties_found;
+        }
+        if (d.contradiction) ++out.contradiction_ties;
+        for (const TargetDelta::Rel& r : d.relations) {
+            if (db.add(r.lhs, r.rhs, r.frame)) ++out.relations_added;
+        }
+        return exec::Commit::Done;
+    };
+    exec::speculate_ordered(env.pool, targets.size(), sopt, prepare, compute, commit,
+                            workers);
     return out;
 }
 

@@ -6,11 +6,19 @@
 // for every record, plus n=!v itself at frame T. Injecting all of these and
 // forward-simulating extracts relations single-node learning misses; a
 // conflict during the run proves n is tied to v from frame T on.
+//
+// Targets are processed in deterministic key order with the same serial
+// semantics as the single-node pass (a tie learned at target k seeds the
+// simulation of target k+1); the parallel path uses the same ordered
+// speculation, recomputing any target whose commit finds the tie set moved.
 
 #include "core/impl_db.hpp"
+#include "core/single_node.hpp"
 #include "core/stem_records.hpp"
 #include "core/tie.hpp"
 #include "sim/frame_sim.hpp"
+
+#include <span>
 
 namespace seqlearn::core {
 
@@ -32,14 +40,19 @@ struct MultipleNodeOutcome {
     std::size_t ties_found = 0;
     /// Ties proven by an outright contradiction among the injections.
     std::size_t contradiction_ties = 0;
+    /// True when the cancel flag stopped the pass early.
+    bool cancelled = false;
 };
 
-/// Run multiple-node learning over every record key. New relations land in
+/// Run multiple-node learning over every record key using the per-worker
+/// simulators `sims` (identically configured over one Topology, tie vectors
+/// aliasing `ties`; sims[0] drives the serial path). New relations land in
 /// `db`, ties in `ties` (visible to later targets through the simulator).
 MultipleNodeOutcome multiple_node_learning(const netlist::Netlist& nl,
-                                           sim::FrameSimulator& sim,
+                                           std::span<sim::FrameSimulator> sims,
                                            const StemRecords& records,
                                            const MultipleNodeConfig& cfg, TieSet& ties,
-                                           ImplicationDB& db);
+                                           ImplicationDB& db,
+                                           const LearnExecEnv& env = {});
 
 }  // namespace seqlearn::core

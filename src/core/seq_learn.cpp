@@ -1,8 +1,9 @@
 #include "core/seq_learn.hpp"
 
-#include "api/session.hpp"
 #include "netlist/clock_class.hpp"
 #include "util/timer.hpp"
+
+#include <algorithm>
 
 namespace seqlearn::core {
 
@@ -13,8 +14,15 @@ LearnResult learn(const Netlist& nl, const netlist::Topology& topo, const LearnC
     const util::Timer timer;
     LearnResult result(nl.size());
 
+    // Resolve the execution environment once: a shared executor when the
+    // caller (typically a Session) provides one, a private pool when more
+    // than one thread is requested, pure serial otherwise. The serial path
+    // never touches the pool machinery.
+    const exec::StageExec ex = exec::resolve_stage_exec(cfg.executor, cfg.threads);
+    const LearnExecEnv env{ex.pool, ex.workers, cfg.cancel};
+
     if (cfg.use_equivalences) {
-        result.equivalences = find_equivalences(nl, cfg.equiv);
+        result.equivalences = find_equivalences(nl, cfg.equiv, ex.pool, ex.workers);
         result.stats.equiv_classes = result.equivalences.num_classes;
     }
 
@@ -44,16 +52,25 @@ LearnResult learn(const Netlist& nl, const netlist::Topology& topo, const LearnC
         };
     }
 
-    // Every per-class simulator shares the caller's CSR snapshot.
+    // Every per-class simulator — one per worker — shares the caller's CSR
+    // snapshot; only the cheap mutable scratch is cloned. All of them alias
+    // the result's tie vectors, so committed ties are simulation facts for
+    // every later stem regardless of which worker simulates it.
+    const unsigned num_sims = std::max(1u, ex.workers);
     for (const netlist::ClockClass& cls : classes) {
-        sim::FrameSimulator fsim(topo, sim::SeqGating::for_class(nl, cls.members));
-        if (cfg.use_equivalences) fsim.set_equivalences(&result.equivalences.map);
-        fsim.set_ties(&result.ties.dense(), &result.ties.dense_cycles());
+        const sim::SeqGating gating = sim::SeqGating::for_class(nl, cls.members);
+        std::vector<sim::FrameSimulator> sims;
+        sims.reserve(num_sims);
+        for (unsigned w = 0; w < num_sims; ++w) {
+            sims.emplace_back(topo, gating);
+            if (cfg.use_equivalences) sims.back().set_equivalences(&result.equivalences.map);
+            sims.back().set_ties(&result.ties.dense(), &result.ties.dense_cycles());
+        }
 
         StemRecords records(cfg.record_cap);
         const SingleNodeOutcome single =
-            single_node_learning(nl, fsim, stems, cfg.max_frames, result.ties, result.db,
-                                 records, progress ? &progress : nullptr);
+            single_node_learning(nl, sims, stems, cfg.max_frames, result.ties, result.db,
+                                 records, progress ? &progress : nullptr, env);
         stems_done_base += stems.size();
         result.stats.stems_processed += single.stems_processed;
         if (single.cancelled) {
@@ -65,10 +82,14 @@ LearnResult learn(const Netlist& nl, const netlist::Topology& topo, const LearnC
             MultipleNodeConfig mcfg = cfg.multi;
             mcfg.max_frames = cfg.max_frames;
             const MultipleNodeOutcome multi = multiple_node_learning(
-                nl, fsim, records, mcfg, result.ties, result.db);
+                nl, sims, records, mcfg, result.ties, result.db, env);
             result.stats.multi_targets += multi.targets_processed;
             result.stats.multi_relations += multi.relations_added;
             result.stats.multi_ties += multi.ties_found;
+            if (multi.cancelled) {
+                result.stats.cancelled = true;
+                break;
+            }
         }
     }
 
@@ -83,12 +104,6 @@ LearnResult learn(const Netlist& nl, const netlist::Topology& topo, const LearnC
     result.stats.ties_sequential = result.ties.count_sequential();
     result.stats.cpu_seconds = timer.seconds();
     return result;
-}
-
-LearnResult learn(const Netlist& nl, const LearnConfig& cfg) {
-    // Deprecated shim: a temporary non-owning Session supplies the Topology
-    // (and any future cross-stage caching) exactly like the facade flow.
-    return api::Session::view(nl).learn(cfg);
 }
 
 }  // namespace seqlearn::core

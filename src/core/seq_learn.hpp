@@ -29,6 +29,17 @@ namespace seqlearn::core {
 using ProgressFn = std::function<bool(std::size_t done, std::size_t total)>;
 
 struct LearnConfig {
+    /// Worker threads for the pass (0 = hardware_concurrency). N-thread
+    /// results are bit-identical to 1-thread results: stems, multiple-node
+    /// targets, and equivalence proofs run speculatively in parallel and
+    /// commit in canonical order (see src/exec/).
+    unsigned threads = 0;
+    /// Run on this pool instead of a private one (a Session shares its pool
+    /// across stages); the effective worker count is min(pool size, threads).
+    exec::Pool* executor = nullptr;
+    /// Optional cooperative stop switch, polled at work-item boundaries from
+    /// the calling thread; request() is safe from any thread.
+    exec::CancelFlag* cancel = nullptr;
     /// Forward-simulation depth (the paper's experiments use 50).
     std::uint32_t max_frames = 50;
     /// Stop a stem simulation when the sequential state repeats.
@@ -85,10 +96,5 @@ struct LearnResult {
 /// so the circuit is levelized exactly once across learn/ATPG/fault-sim.
 LearnResult learn(const netlist::Netlist& nl, const netlist::Topology& topo,
                   const LearnConfig& cfg = {});
-
-/// Deprecated convenience: forwards through a temporary api::Session (which
-/// builds a private Topology). Prefer constructing a Session, or the
-/// Topology overload above, so the snapshot is shared.
-LearnResult learn(const netlist::Netlist& nl, const LearnConfig& cfg = {});
 
 }  // namespace seqlearn::core

@@ -1,5 +1,7 @@
 #include "core/single_node.hpp"
 
+#include "exec/speculate.hpp"
+
 #include <algorithm>
 
 namespace seqlearn::core {
@@ -30,112 +32,281 @@ void frame_starts(const sim::FrameSimResult& res, std::uint32_t max_frames,
     starts.push_back(static_cast<std::uint32_t>(i));
 }
 
-}  // namespace
-
-SingleNodeOutcome single_node_learning(const Netlist& nl, sim::FrameSimulator& sim,
-                                       std::span<const GateId> stems,
-                                       std::uint32_t max_frames, TieSet& ties,
-                                       ImplicationDB& db, StemRecords& records,
-                                       const std::function<bool(std::size_t, std::size_t)>* progress) {
-    SingleNodeOutcome out;
-    sim::FrameSimOptions opt;
-    opt.max_frames = max_frames;
-    std::size_t visited = 0;
-
-    // All scratch lives outside the stem loop; in steady state a stem costs
-    // zero heap allocations. `other` holds the "inject 1" run's value per
-    // gate at the frame being paired (X = absent), reset via touch list.
-    std::vector<Val3> other(nl.size(), Val3::X);
+// Per-stem scratch; all buffers reused so a stem in steady state costs zero
+// heap allocations. `other` holds the "inject 1" run's value per gate at the
+// frame being paired (X = absent), reset via touch list.
+struct ExtractScratch {
+    std::vector<Val3> other;
     std::vector<GateId> other_touched;
     sim::FrameSimResult res[2];
     std::vector<std::uint32_t> starts[2];
     std::vector<Literal> seq1;
 
+    void ensure(std::size_t num_gates) {
+        if (other.size() < num_gates) other.assign(num_gates, Val3::X);
+    }
+};
+
+// Everything a speculatively-processed stem wants to do to the shared
+// structures, in emission order per structure; committed later in stem order
+// so the final state is exactly the serial schedule's.
+struct StemDelta {
+    bool processed = false;      ///< passed the tied/constant skip
+    bool stem_conflict = false;  ///< stem tied by an injection conflict
+    struct Tie {
+        GateId gate;
+        Val3 value;
+        std::uint32_t cycle;
+    };
+    struct Rec {
+        Literal node;
+        Literal stem;
+        std::uint32_t offset;
+    };
+    struct Rel {
+        Literal lhs;
+        Literal rhs;
+        std::uint32_t frame;
+    };
+    std::vector<Tie> ties;
+    std::vector<Rec> records;
+    std::vector<Rel> relations;
+
+    void clear() {
+        processed = stem_conflict = false;
+        ties.clear();
+        records.clear();
+        relations.clear();
+    }
+};
+
+// The serial/commit-side context: mutates the real structures directly.
+struct DirectCtx {
+    TieSet& ties;
+    ImplicationDB& db;
+    StemRecords& records;
+    SingleNodeOutcome& out;
+
+    bool tied(GateId g) const { return ties.is_tied(g); }
+    void set_tie(GateId g, Val3 v, std::uint32_t cycle) {
+        ties.set(g, v, cycle);
+        ++out.ties_found;
+    }
+    void mark_stem_conflict() { ++out.stem_ties; }
+    void add_record(Literal node, Literal stem, std::uint32_t offset) {
+        records.add(node, stem, offset);
+    }
+    void add_relation(Literal lhs, Literal rhs, std::uint32_t frame) {
+        if (db.add(lhs, rhs, frame)) ++out.relations_added;
+    }
+};
+
+// The worker-side context: reads the live tie set (frozen during a window's
+// compute phase) through a per-stem overlay that replays this stem's own
+// discoveries, and writes all mutations into the stem's delta.
+struct SpecCtx {
+    const TieSet& live;
+    std::vector<std::uint8_t>& overlay;        // 1 = tied by this stem
+    std::vector<GateId>& overlay_touched;
+    StemDelta& delta;
+
+    bool tied(GateId g) const { return overlay[g] != 0 || live.is_tied(g); }
+    void set_tie(GateId g, Val3 v, std::uint32_t cycle) {
+        overlay[g] = 1;
+        overlay_touched.push_back(g);
+        delta.ties.push_back({g, v, cycle});
+    }
+    void mark_stem_conflict() { delta.stem_conflict = true; }
+    void add_record(Literal node, Literal stem, std::uint32_t offset) {
+        delta.records.push_back({node, stem, offset});
+    }
+    void add_relation(Literal lhs, Literal rhs, std::uint32_t frame) {
+        delta.relations.push_back({lhs, rhs, frame});
+    }
+};
+
+// One stem, start to finish: skip check, both injections, record collection,
+// and same-frame pairing. Shared verbatim by the serial, speculative, and
+// recompute paths via the context, so the three cannot drift apart.
+// Returns whether the stem was processed (false = skipped tied/constant).
+template <typename Ctx>
+bool process_stem(const Netlist& nl, sim::FrameSimulator& sim, GateId stem,
+                  std::uint32_t max_frames, ExtractScratch& s, Ctx& ctx) {
+    if (ctx.tied(stem) || is_constant(nl, stem)) return false;
+    s.ensure(nl.size());
+
+    sim::FrameSimOptions opt;
+    opt.max_frames = max_frames;
+    for (const Val3 v : {Val3::Zero, Val3::One}) {
+        const sim::Injection inj{0, stem, v};
+        auto& r = s.res[v == Val3::One ? 1 : 0];
+        sim.run_into({&inj, 1}, opt, r);
+        if (r.conflict) {
+            // Injecting v contradicted established facts: the stem can
+            // never be v, i.e. it is tied to !v. The refuted premise sat
+            // at an arbitrary-state frame, so the tie holds from frame 0.
+            ctx.set_tie(stem, logic::v3_not(v), 0);
+            ctx.mark_stem_conflict();
+            return true;
+        }
+    }
+
+    // Observations feed the multiple-node pass.
+    for (int side = 0; side < 2; ++side) {
+        const Literal stem_lit{stem, side == 1 ? Val3::One : Val3::Zero};
+        for (const sim::ImpliedValue& iv : s.res[side].implied) {
+            if (is_constant(nl, iv.gate) || ctx.tied(iv.gate)) continue;
+            ctx.add_record({iv.gate, iv.value}, stem_lit, iv.frame);
+        }
+    }
+
+    frame_starts(s.res[0], max_frames, s.starts[0]);
+    frame_starts(s.res[1], max_frames, s.starts[1]);
+    const std::size_t frames = std::min(s.starts[0].size(), s.starts[1].size()) - 1;
+    for (std::size_t t = 0; t < frames; ++t) {
+        const std::span<const sim::ImpliedValue> f0{
+            s.res[0].implied.data() + s.starts[0][t],
+            s.res[0].implied.data() + s.starts[0][t + 1]};
+        const std::span<const sim::ImpliedValue> f1{
+            s.res[1].implied.data() + s.starts[1][t],
+            s.res[1].implied.data() + s.starts[1][t + 1]};
+
+        // Index the inject-1 run's frame-t values; collect its FF subset.
+        for (const GateId g : s.other_touched) s.other[g] = Val3::X;
+        s.other_touched.clear();
+        s.seq1.clear();
+        for (const sim::ImpliedValue& b : f1) {
+            if (is_constant(nl, b.gate) || ctx.tied(b.gate)) continue;
+            s.other[b.gate] = b.value;
+            s.other_touched.push_back(b.gate);
+            if (netlist::is_sequential(nl.type(b.gate))) s.seq1.push_back({b.gate, b.value});
+        }
+
+        for (const sim::ImpliedValue& iv : f0) {
+            const Literal a{iv.gate, iv.value};
+            if (is_constant(nl, a.gate) || ctx.tied(a.gate)) continue;
+            // Tie check: both stem values force the same value here.
+            if (s.other[a.gate] == a.value) {
+                ctx.set_tie(a.gate, a.value, static_cast<std::uint32_t>(t));
+                continue;
+            }
+            const bool a_seq = netlist::is_sequential(nl.type(a.gate));
+            // s=0 => a@t and s=1 => b@t give !a => b (same frame).
+            // Keep relations touching at least one sequential element.
+            for (const Literal& b : s.seq1) {
+                if (b.gate == a.gate || ctx.tied(b.gate)) continue;
+                ctx.add_relation(negate(a), b, static_cast<std::uint32_t>(t));
+            }
+            if (a_seq) {
+                for (const sim::ImpliedValue& b : f1) {
+                    if (b.gate == a.gate) continue;
+                    if (netlist::is_sequential(nl.type(b.gate))) continue;  // done above
+                    if (is_constant(nl, b.gate) || ctx.tied(b.gate)) continue;
+                    ctx.add_relation(negate(a), {b.gate, b.value},
+                                     static_cast<std::uint32_t>(t));
+                }
+            }
+        }
+    }
+    return true;
+}
+
+using ProgressFnPtr = const std::function<bool(std::size_t, std::size_t)>*;
+
+SingleNodeOutcome run_serial(const Netlist& nl, sim::FrameSimulator& sim,
+                             std::span<const GateId> stems, std::uint32_t max_frames,
+                             TieSet& ties, ImplicationDB& db, StemRecords& records,
+                             ProgressFnPtr progress, exec::CancelFlag* cancel) {
+    SingleNodeOutcome out;
+    ExtractScratch scratch;
+    DirectCtx ctx{ties, db, records, out};
+    std::size_t visited = 0;
     for (const GateId stem : stems) {
+        if (cancel != nullptr && cancel->requested()) {
+            out.cancelled = true;
+            break;
+        }
         if (progress != nullptr && *progress && !(*progress)(visited, stems.size())) {
             out.cancelled = true;
             break;
         }
         ++visited;
-        if (ties.is_tied(stem) || is_constant(nl, stem)) continue;
-        ++out.stems_processed;
-
-        bool conflicted = false;
-        for (const Val3 v : {Val3::Zero, Val3::One}) {
-            const sim::Injection inj{0, stem, v};
-            auto& r = res[v == Val3::One ? 1 : 0];
-            sim.run_into({&inj, 1}, opt, r);
-            if (r.conflict) {
-                // Injecting v contradicted established facts: the stem can
-                // never be v, i.e. it is tied to !v. The refuted premise sat
-                // at an arbitrary-state frame, so the tie holds from frame 0.
-                ties.set(stem, logic::v3_not(v), 0);
-                ++out.ties_found;
-                ++out.stem_ties;
-                conflicted = true;
-                break;
-            }
-        }
-        if (conflicted) continue;
-
-        // Observations feed the multiple-node pass.
-        for (int side = 0; side < 2; ++side) {
-            const Literal stem_lit{stem, side == 1 ? Val3::One : Val3::Zero};
-            for (const sim::ImpliedValue& iv : res[side].implied) {
-                if (is_constant(nl, iv.gate) || ties.is_tied(iv.gate)) continue;
-                records.add({iv.gate, iv.value}, stem_lit, iv.frame);
-            }
-        }
-
-        frame_starts(res[0], max_frames, starts[0]);
-        frame_starts(res[1], max_frames, starts[1]);
-        const std::size_t frames = std::min(starts[0].size(), starts[1].size()) - 1;
-        for (std::size_t t = 0; t < frames; ++t) {
-            const std::span<const sim::ImpliedValue> f0{
-                res[0].implied.data() + starts[0][t], res[0].implied.data() + starts[0][t + 1]};
-            const std::span<const sim::ImpliedValue> f1{
-                res[1].implied.data() + starts[1][t], res[1].implied.data() + starts[1][t + 1]};
-
-            // Index the inject-1 run's frame-t values; collect its FF subset.
-            for (const GateId g : other_touched) other[g] = Val3::X;
-            other_touched.clear();
-            seq1.clear();
-            for (const sim::ImpliedValue& b : f1) {
-                if (is_constant(nl, b.gate) || ties.is_tied(b.gate)) continue;
-                other[b.gate] = b.value;
-                other_touched.push_back(b.gate);
-                if (netlist::is_sequential(nl.type(b.gate))) seq1.push_back({b.gate, b.value});
-            }
-
-            for (const sim::ImpliedValue& iv : f0) {
-                const Literal a{iv.gate, iv.value};
-                if (is_constant(nl, a.gate) || ties.is_tied(a.gate)) continue;
-                // Tie check: both stem values force the same value here.
-                if (other[a.gate] == a.value) {
-                    ties.set(a.gate, a.value, static_cast<std::uint32_t>(t));
-                    ++out.ties_found;
-                    continue;
-                }
-                const bool a_seq = netlist::is_sequential(nl.type(a.gate));
-                // s=0 => a@t and s=1 => b@t give !a => b (same frame).
-                // Keep relations touching at least one sequential element.
-                for (const Literal& b : seq1) {
-                    if (b.gate == a.gate || ties.is_tied(b.gate)) continue;
-                    if (db.add(negate(a), b, static_cast<std::uint32_t>(t)))
-                        ++out.relations_added;
-                }
-                if (a_seq) {
-                    for (const sim::ImpliedValue& b : f1) {
-                        if (b.gate == a.gate) continue;
-                        if (netlist::is_sequential(nl.type(b.gate))) continue;  // done above
-                        if (is_constant(nl, b.gate) || ties.is_tied(b.gate)) continue;
-                        if (db.add(negate(a), {b.gate, b.value}, static_cast<std::uint32_t>(t)))
-                            ++out.relations_added;
-                    }
-                }
-            }
-        }
+        if (process_stem(nl, sim, stem, max_frames, scratch, ctx)) ++out.stems_processed;
     }
+    return out;
+}
+
+}  // namespace
+
+SingleNodeOutcome single_node_learning(const Netlist& nl,
+                                       std::span<sim::FrameSimulator> sims,
+                                       std::span<const GateId> stems,
+                                       std::uint32_t max_frames, TieSet& ties,
+                                       ImplicationDB& db, StemRecords& records,
+                                       ProgressFnPtr progress, const LearnExecEnv& env) {
+    unsigned workers = env.pool != nullptr ? env.pool->size() : 1;
+    if (env.max_workers != 0) workers = std::min(workers, env.max_workers);
+    workers = std::min<unsigned>(workers, static_cast<unsigned>(sims.size()));
+    if (workers <= 1 || stems.size() < 2) {
+        return run_serial(nl, sims[0], stems, max_frames, ties, db, records, progress,
+                          env.cancel);
+    }
+
+    SingleNodeOutcome out;
+    const exec::SpeculateOptions sopt;
+    struct WorkerScratch {
+        ExtractScratch scratch;
+        std::vector<std::uint8_t> overlay;
+        std::vector<GateId> overlay_touched;
+    };
+    std::vector<WorkerScratch> ws(workers);
+    for (WorkerScratch& w : ws) w.overlay.assign(nl.size(), 0);
+    std::vector<StemDelta> slots(exec::resolved_max_window(sopt, workers));
+
+    std::uint64_t dispatch_version = 0;
+    std::size_t next_progress = 0;
+
+    auto prepare = [&](std::size_t, std::size_t) { dispatch_version = ties.version(); };
+    auto compute = [&](unsigned worker, std::size_t item, std::size_t slot) {
+        StemDelta& d = slots[slot];
+        d.clear();
+        WorkerScratch& w = ws[worker];
+        SpecCtx ctx{ties, w.overlay, w.overlay_touched, d};
+        d.processed = process_stem(nl, sims[worker], stems[item], max_frames, w.scratch, ctx);
+        for (const GateId g : w.overlay_touched) w.overlay[g] = 0;
+        w.overlay_touched.clear();
+    };
+    auto commit = [&](std::size_t item, std::size_t slot) -> exec::Commit {
+        if (item >= next_progress) {
+            // First touch of this stem: the exact serial observation point
+            // (once per stem, in order, with all earlier stems committed).
+            if (env.cancel != nullptr && env.cancel->requested()) {
+                out.cancelled = true;
+                return exec::Commit::Stop;
+            }
+            if (progress != nullptr && *progress && !(*progress)(item, stems.size())) {
+                out.cancelled = true;
+                return exec::Commit::Stop;
+            }
+            next_progress = item + 1;
+        }
+        if (ties.version() != dispatch_version) return exec::Commit::Retry;
+        const StemDelta& d = slots[slot];
+        if (!d.processed) return exec::Commit::Done;
+        ++out.stems_processed;
+        for (const StemDelta::Tie& t : d.ties) {
+            ties.set(t.gate, t.value, t.cycle);
+            ++out.ties_found;
+        }
+        if (d.stem_conflict) ++out.stem_ties;
+        for (const StemDelta::Rec& r : d.records) records.add(r.node, r.stem, r.offset);
+        for (const StemDelta::Rel& r : d.relations) {
+            if (db.add(r.lhs, r.rhs, r.frame)) ++out.relations_added;
+        }
+        return exec::Commit::Done;
+    };
+    exec::speculate_ordered(env.pool, stems.size(), sopt, prepare, compute, commit,
+                            workers);
     return out;
 }
 

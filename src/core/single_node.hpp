@@ -7,10 +7,21 @@
 // frame with >= t predecessors). A node implied to the same value at the
 // same frame by both stem values is a tie. All observations are also stored
 // as stem records for the multiple-node pass.
+//
+// Execution model: the pass is serially defined — ties learned at stem k
+// are simulation facts for every stem after k — yet runs on N workers with
+// bit-identical results via ordered speculation (exec::speculate_ordered):
+// workers simulate and extract stems against the tie state frozen at window
+// dispatch, emitting per-stem result deltas; the calling thread commits the
+// deltas in stem order, and any stem whose commit finds the tie set moved
+// since its dispatch is recomputed against the fresh state. Tie discoveries
+// are rare (a few percent of stems), so almost all speculation commits.
 
 #include "core/impl_db.hpp"
 #include "core/stem_records.hpp"
 #include "core/tie.hpp"
+#include "exec/cancel.hpp"
+#include "exec/pool.hpp"
 #include "sim/frame_sim.hpp"
 
 #include <functional>
@@ -24,25 +35,39 @@ struct SingleNodeOutcome {
     std::size_t ties_found = 0;
     /// Stems proven tied because injecting one value conflicted outright.
     std::size_t stem_ties = 0;
-    /// True when the progress observer requested cancellation.
+    /// True when the progress observer (or the cancel flag) requested
+    /// cancellation.
     bool cancelled = false;
 };
 
-/// Run single-node learning over `stems` using `sim` (whose gating,
-/// equivalences, and ties configure the pass). New relations land in `db`,
-/// new ties in `ties` (and are available to later stems via the simulator's
-/// tie vector, which aliases `ties`), and observations in `records`.
+/// How a learning pass executes: serial when `pool` is null (or resolves to
+/// one worker), speculative-parallel otherwise. `cancel`, when non-null, is
+/// polled at stem boundaries — a cooperative, thread-safe stop switch in
+/// addition to the progress observer's return value.
+struct LearnExecEnv {
+    exec::Pool* pool = nullptr;
+    unsigned max_workers = 0;  ///< cap within the pool (0 = all slots)
+    exec::CancelFlag* cancel = nullptr;
+};
+
+/// Run single-node learning over `stems` using the per-worker simulators
+/// `sims` (all sharing one Topology, identically configured: gating,
+/// equivalences, and tie vectors aliasing `ties`). sims[0] drives the serial
+/// path; sims.size() must be >= the resolved worker count. New relations
+/// land in `db`, new ties in `ties` (and become simulation facts for later
+/// stems via the aliased tie vectors), and observations in `records`.
 ///
 /// Relations are stored when at least one side is a sequential element
 /// (gate-gate relations follow from these and are skipped, as in the
 /// paper). Constants and already-tied gates never form relations.
-/// `progress`, when non-null, is invoked before each stem with (stems
-/// visited so far, stems.size()); returning false cancels the pass (partial
-/// results are kept and the outcome flagged cancelled).
+/// `progress`, when non-null, is invoked on the calling thread before each
+/// stem with (stems visited so far, stems.size()); returning false cancels
+/// the pass (partial results are kept and the outcome flagged cancelled).
 SingleNodeOutcome single_node_learning(
-    const netlist::Netlist& nl, sim::FrameSimulator& sim,
+    const netlist::Netlist& nl, std::span<sim::FrameSimulator> sims,
     std::span<const netlist::GateId> stems, std::uint32_t max_frames, TieSet& ties,
     ImplicationDB& db, StemRecords& records,
-    const std::function<bool(std::size_t, std::size_t)>* progress = nullptr);
+    const std::function<bool(std::size_t, std::size_t)>* progress = nullptr,
+    const LearnExecEnv& env = {});
 
 }  // namespace seqlearn::core

@@ -10,11 +10,15 @@ void TieSet::set(GateId gate, Val3 v, std::uint32_t cycle) {
         value_[gate] = v;
         cycle_[gate] = cycle;
         ++count_;
+        ++version_;
         return;
     }
     if (value_[gate] != v)
         throw std::logic_error("TieSet::set: gate tied to both values");
-    cycle_[gate] = std::min(cycle_[gate], cycle);
+    if (cycle < cycle_[gate]) {
+        cycle_[gate] = cycle;
+        ++version_;
+    }
 }
 
 std::size_t TieSet::count_combinational() const {

@@ -29,6 +29,12 @@ public:
     /// values means the learning run was fed an inconsistent circuit).
     void set(GateId gate, Val3 v, std::uint32_t cycle);
 
+    /// Mutation counter: bumped by every set() that changes observable state
+    /// (a new tie, or a proof cycle lowered). Parallel learning dispatches
+    /// speculative work against a version snapshot and recomputes any item
+    /// whose commit finds the version moved.
+    std::uint64_t version() const noexcept { return version_; }
+
     /// Tied value of `gate`, or X when not tied.
     Val3 value(GateId gate) const noexcept { return value_[gate]; }
 
@@ -61,6 +67,7 @@ private:
     std::vector<Val3> value_;
     std::vector<std::uint32_t> cycle_;
     std::size_t count_ = 0;
+    std::uint64_t version_ = 0;
 };
 
 }  // namespace seqlearn::core

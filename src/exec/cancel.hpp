@@ -1,0 +1,36 @@
+#pragma once
+// Cooperative cancellation for parallel stages.
+//
+// A CancelFlag is a single atomic bit shared between the thread driving a
+// stage and anything that wants to stop it — a progress observer returning
+// false, another thread calling request(), a signal handler. Stage drivers
+// poll it at work-item boundaries (chunk dispatch and ordered commit), so a
+// request takes effect within one chunk; workers themselves never block on
+// it. Reads and writes are release/acquire so a requester's preceding
+// writes are visible to the stage that observes the request.
+
+#include <atomic>
+
+namespace seqlearn::exec {
+
+class CancelFlag {
+public:
+    CancelFlag() = default;
+    CancelFlag(const CancelFlag&) = delete;
+    CancelFlag& operator=(const CancelFlag&) = delete;
+
+    /// Ask the running stage to stop at its next cancellation point. Safe to
+    /// call from any thread, any number of times.
+    void request() noexcept { requested_.store(true, std::memory_order_release); }
+
+    /// Has a cancellation been requested (and not reset)?
+    bool requested() const noexcept { return requested_.load(std::memory_order_acquire); }
+
+    /// Re-arm the flag before starting a new stage.
+    void reset() noexcept { requested_.store(false, std::memory_order_release); }
+
+private:
+    std::atomic<bool> requested_{false};
+};
+
+}  // namespace seqlearn::exec

@@ -1,0 +1,38 @@
+#pragma once
+// Per-worker engine clones.
+//
+// Parallel stages need one stage engine per pool worker — a FrameSimulator,
+// a FaultSimulator, an atpg::Engine, or a bundle of them — each built over
+// the one shared read-only Topology so the expensive structure is never
+// duplicated, only the cheap mutable scratch. A WorkerSet owns those clones
+// and hands worker w its instance; because every clone is constructed by the
+// same factory, workers are interchangeable and the pool's arbitrary
+// worker-to-item assignment cannot affect results.
+
+#include <utility>
+#include <vector>
+
+namespace seqlearn::exec {
+
+template <typename T>
+class WorkerSet {
+public:
+    /// Build `workers` clones via make(worker_index). T must be movable.
+    template <typename Make>
+    WorkerSet(unsigned workers, Make&& make) {
+        items_.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) items_.push_back(make(w));
+    }
+
+    unsigned size() const noexcept { return static_cast<unsigned>(items_.size()); }
+    T& operator[](unsigned worker) noexcept { return items_[worker]; }
+    const T& operator[](unsigned worker) const noexcept { return items_[worker]; }
+
+    auto begin() noexcept { return items_.begin(); }
+    auto end() noexcept { return items_.end(); }
+
+private:
+    std::vector<T> items_;
+};
+
+}  // namespace seqlearn::exec

@@ -20,20 +20,22 @@ FaultSimulator::FaultSimulator(const Topology& topo)
       pats_(topo.size(), logic::kPatAllX),
       outside_cone_(topo.size(), ~0ULL) {}
 
-FaultSimulator::FaultSimulator(const Netlist& nl)
-    : FaultSimulator(std::make_unique<const Topology>(nl)) {}
-
-FaultSimulator::FaultSimulator(std::unique_ptr<const Topology> topo)
-    : FaultSimulator(*topo) {
-    owned_topo_ = std::move(topo);
-}
-
 void FaultSimulator::set_good_ties(const std::vector<Val3>* values,
                                    const std::vector<std::uint32_t>* cycles) noexcept {
     tie_values_ = values;
     tie_cycles_ = cycles;
     if (values != nullptr && tie_index_.size() != topo_->size())
         tie_index_.assign(topo_->size(), -1);
+    // Worker clones must simulate the same good machine.
+    for (const std::unique_ptr<FaultSimulator>& w : workers_) {
+        w->set_good_ties(values, cycles);
+    }
+}
+
+void FaultSimulator::set_executor(exec::Pool* pool, unsigned max_workers) {
+    executor_ = pool;
+    executor_max_workers_ = max_workers;
+    if (pool == nullptr) workers_.clear();
 }
 
 void FaultSimulator::clear_forces() {
@@ -215,6 +217,12 @@ bool FaultSimulator::detects(const sim::InputSequence& seq, const Fault& f) {
 std::size_t FaultSimulator::drop_detected(const sim::InputSequence& seq, FaultList& list) {
     std::size_t dropped = 0;
     const std::vector<std::size_t> todo = list.undetected();
+    const std::size_t passes = (todo.size() + kFaultsPerPass - 1) / kFaultsPerPass;
+    if (executor_ != nullptr && passes > 1) {
+        unsigned workers = executor_->size();
+        if (executor_max_workers_ != 0) workers = std::min(workers, executor_max_workers_);
+        if (workers > 1) return drop_detected_parallel(seq, list, todo, passes, workers);
+    }
     for (std::size_t pos = 0; pos < todo.size(); pos += kFaultsPerPass) {
         chunk_indices_.clear();
         chunk_.clear();
@@ -228,6 +236,54 @@ std::size_t FaultSimulator::drop_detected(const sim::InputSequence& seq, FaultLi
                 list.set_status(chunk_indices_[k], FaultStatus::Detected);
                 ++dropped;
             }
+        }
+    }
+    return dropped;
+}
+
+std::size_t FaultSimulator::drop_detected_parallel(const sim::InputSequence& seq,
+                                                   FaultList& list,
+                                                   std::span<const std::size_t> todo,
+                                                   std::size_t passes, unsigned workers) {
+    // Per-worker clones over the shared snapshot (worker 0 is this
+    // simulator); built once and reused across calls.
+    while (workers_.size() + 1 < workers) {
+        auto clone = std::make_unique<FaultSimulator>(*topo_);
+        clone->set_good_ties(tie_values_, tie_cycles_);
+        workers_.push_back(std::move(clone));
+    }
+
+    const std::size_t words = (todo.size() + 63) / 64;
+    if (detected_words_ < words) {
+        detected_bits_ = std::make_unique<std::atomic<std::uint64_t>[]>(words);
+        detected_words_ = words;
+    }
+    for (std::size_t w = 0; w < words; ++w)
+        detected_bits_[w].store(0, std::memory_order_relaxed);
+
+    auto task = [&](unsigned worker, std::size_t pass) {
+        FaultSimulator& fs = worker == 0 ? *this : *workers_[worker - 1];
+        const std::size_t begin = pass * kFaultsPerPass;
+        const std::size_t end = std::min(begin + kFaultsPerPass, todo.size());
+        fs.chunk_.clear();
+        for (std::size_t k = begin; k < end; ++k) fs.chunk_.push_back(list.fault(todo[k]));
+        const std::vector<bool> det = fs.run(seq, fs.chunk_);
+        for (std::size_t k = begin; k < end; ++k) {
+            if (det[k - begin]) {
+                detected_bits_[k / 64].fetch_or(1ULL << (k % 64),
+                                                std::memory_order_relaxed);
+            }
+        }
+    };
+    executor_->run(passes, exec::TaskView(task), workers);
+
+    // Merge in fault-index order (todo is index-ordered): identical statuses
+    // to the serial pass — detection is a union, credit order is canonical.
+    std::size_t dropped = 0;
+    for (std::size_t k = 0; k < todo.size(); ++k) {
+        if (detected_bits_[k / 64].load(std::memory_order_relaxed) & (1ULL << (k % 64))) {
+            list.set_status(todo[k], FaultStatus::Detected);
+            ++dropped;
         }
     }
     return dropped;

@@ -14,12 +14,14 @@
 // cleared entry-by-entry between passes, so a run() in steady state performs
 // no per-pass heap allocation.
 
+#include "exec/pool.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_list.hpp"
 #include "logic/pattern.hpp"
 #include "netlist/topology.hpp"
 #include "sim/comb_engine.hpp"
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -31,14 +33,17 @@ inline constexpr std::size_t kFaultsPerPass = 63;
 
 class FaultSimulator {
 public:
-    /// Share an existing CSR snapshot (must outlive the simulator). This is
-    /// the primary constructor — a Session hands every engine the same
-    /// Topology so the circuit is levelized exactly once.
+    /// Share an existing CSR snapshot (must outlive the simulator) — a
+    /// Session hands every engine the same Topology so the circuit is
+    /// levelized exactly once. To simulate straight from a Netlist, build a
+    /// Topology first (or go through api::Session).
     explicit FaultSimulator(const netlist::Topology& topo);
 
-    /// Deprecated: build (and own) a private snapshot from `nl`. Prefer the
-    /// Topology overload (or api::Session) so the snapshot is shared.
-    explicit FaultSimulator(const Netlist& nl);
+    /// Fan drop_detected() passes out over `pool` (must outlive the
+    /// simulator; null reverts to serial), using at most `max_workers` slots
+    /// (0 = all). Worker clones over the shared Topology are built lazily;
+    /// run() and detects() always execute on the calling thread.
+    void set_executor(exec::Pool* pool, unsigned max_workers = 0);
 
     /// Augment simulation with learned tie facts: gate -> tied value (X =
     /// untied) with per-gate proof cycles (frames before the cycle are not
@@ -61,16 +66,21 @@ public:
 
     /// Fault-simulate `seq` against every Undetected fault of `list`,
     /// marking newly detected ones Detected. Returns how many were dropped.
+    /// With an executor attached, the 63-fault passes run in parallel on
+    /// per-worker clones into a shared atomic detected-bitmap, merged into
+    /// `list` in fault-index order — statuses are bit-identical to the
+    /// serial pass at any thread count (detection is a pure union).
     std::size_t drop_detected(const sim::InputSequence& seq, FaultList& list);
 
     const netlist::Topology& topology() const noexcept { return *topo_; }
 
 private:
-    explicit FaultSimulator(std::unique_ptr<const netlist::Topology> topo);
     void clear_forces();
     void mark_cone(netlist::GateId root, std::uint64_t lane_bit);
+    std::size_t drop_detected_parallel(const sim::InputSequence& seq, FaultList& list,
+                                       std::span<const std::size_t> todo,
+                                       std::size_t passes, unsigned workers);
 
-    std::unique_ptr<const netlist::Topology> owned_topo_;  // null when sharing
     const netlist::Topology* topo_;
 
     // Per-gate force flags (bits below); flat force masks per gate (output
@@ -107,6 +117,15 @@ private:
     // Reused drop_detected() chunk buffers.
     std::vector<std::size_t> chunk_indices_;
     std::vector<Fault> chunk_;
+
+    // Parallel drop_detected: the pool, per-worker clones (lazily built,
+    // sharing *topo_), and the atomic detected-bitmap the passes merge into
+    // (1 bit per todo position; grown on demand, reused across calls).
+    exec::Pool* executor_ = nullptr;
+    unsigned executor_max_workers_ = 0;
+    std::vector<std::unique_ptr<FaultSimulator>> workers_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> detected_bits_;
+    std::size_t detected_words_ = 0;
 };
 
 }  // namespace seqlearn::fault

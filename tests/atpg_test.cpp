@@ -53,7 +53,8 @@ Netlist make_s27() { return netlist::read_bench_string(kS27, "s27"); }
 // Exhaustive oracle: does any binary input sequence up to `max_len` frames
 // detect `f`? Only for tiny circuits.
 bool exhaustively_detectable(const Netlist& nl, const Fault& f, std::size_t max_len) {
-    fault::FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    fault::FaultSimulator fsim(topo);
     const std::size_t m = nl.inputs().size();
     for (std::size_t len = 1; len <= max_len; ++len) {
         const std::uint64_t combos = 1ULL << (m * len);
@@ -262,7 +263,7 @@ class AtpgModes : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(AtpgModes, AllModesProduceValidatedTestsOnly) {
     const std::uint64_t seed = GetParam();
     const Netlist nl = testing::random_circuit(seed, 3, 4, 14);
-    const core::LearnResult learned = core::learn(nl);
+    const core::LearnResult learned = testing::learn(nl);
     const netlist::Topology topo(nl);
     for (const LearnMode mode :
          {LearnMode::None, LearnMode::KnownValue, LearnMode::ForbiddenValue}) {

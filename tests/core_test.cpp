@@ -213,7 +213,7 @@ TEST(Learning, SingleNodeFindsInvalidStateRelation) {
     b.gate(GateType::And, "use", {"F1", "F2"});
     b.output("use");
     const Netlist nl = b.build();
-    const LearnResult r = learn(nl);
+    const LearnResult r = testing::learn(nl);
     const Literal f1_1{nl.find("F1"), Val3::One};
     const Literal f2_1{nl.find("F2"), Val3::One};
     EXPECT_TRUE(r.db.implies(f1_1, f2_1));
@@ -233,7 +233,7 @@ TEST(Learning, CombinationalTieFromStem) {
     b.dff("F", "g");
     b.output("F");
     const Netlist nl = b.build();
-    const LearnResult r = learn(nl);
+    const LearnResult r = testing::learn(nl);
     EXPECT_EQ(r.ties.value(nl.find("g")), Val3::Zero);
     EXPECT_EQ(r.ties.cycle(nl.find("g")), 0u);
     // The downstream FF is sequentially tied (one frame later).
@@ -269,10 +269,10 @@ TEST(Learning, MultipleNodeFindsExtraRelation) {
 
     LearnConfig no_multi;
     no_multi.multiple_node = false;
-    const LearnResult base = learn(nl, no_multi);
+    const LearnResult base = testing::learn(nl, no_multi);
     EXPECT_FALSE(base.db.implies(g9_0, f2_0));
 
-    const LearnResult full = learn(nl);
+    const LearnResult full = testing::learn(nl);
     EXPECT_TRUE(full.db.implies(g9_0, f2_0));
     EXPECT_GE(full.stats.multi_relations, 1u);
     // F1 and F3 fall out of the same multiple-node run.
@@ -299,10 +299,10 @@ TEST(Learning, MultipleNodeConflictProvesSequentialTie) {
 
     LearnConfig no_multi;
     no_multi.multiple_node = false;
-    const LearnResult base = learn(nl, no_multi);
+    const LearnResult base = testing::learn(nl, no_multi);
     EXPECT_FALSE(base.ties.is_tied(nl.find("n")));
 
-    const LearnResult full = learn(nl);
+    const LearnResult full = testing::learn(nl);
     EXPECT_EQ(full.ties.value(nl.find("n")), Val3::Zero);
     EXPECT_GE(full.ties.cycle(nl.find("n")), 1u);
     EXPECT_GE(full.stats.multi_ties, 1u);
@@ -327,10 +327,10 @@ TEST(Learning, EquivalenceEnablesExtraRelations) {
 
     LearnConfig no_eq;
     no_eq.use_equivalences = false;
-    const LearnResult base = learn(nl, no_eq);
+    const LearnResult base = testing::learn(nl, no_eq);
     EXPECT_FALSE(base.db.implies(f1_1, f2_1));
 
-    const LearnResult full = learn(nl);
+    const LearnResult full = testing::learn(nl);
     EXPECT_TRUE(full.db.implies(f1_1, f2_1));
     EXPECT_TRUE(full.db.implies(f2_1, f1_1));
 }
@@ -347,7 +347,7 @@ TEST(Learning, NoCrossDomainRelations) {
     b.gate(GateType::And, "obs", {"F0", "F1"});
     b.output("obs");
     const Netlist nl = b.build();
-    const LearnResult r = learn(nl);
+    const LearnResult r = testing::learn(nl);
     for (const Relation& rel : r.db.relations()) {
         const bool lhs_seq = netlist::is_sequential(nl.type(rel.lhs.gate));
         const bool rhs_seq = netlist::is_sequential(nl.type(rel.rhs.gate));
@@ -365,7 +365,7 @@ TEST(Learning, NoCrossDomainRelations) {
     b2.gate(GateType::And, "obs", {"F0", "F1"});
     b2.output("obs");
     const Netlist nl2 = b2.build();
-    const LearnResult r2 = learn(nl2);
+    const LearnResult r2 = testing::learn(nl2);
     EXPECT_TRUE(r2.db.implies({nl2.find("F0"), Val3::One}, {nl2.find("F1"), Val3::One}));
 }
 
@@ -382,7 +382,7 @@ TEST(Learning, UnconstrainedResetRestrictsRelations) {
     b.gate(GateType::And, "obs", {"F0", "F1"});
     b.output("obs");
     const Netlist nl = b.build();
-    const LearnResult r = learn(nl);
+    const LearnResult r = testing::learn(nl);
     // F0=1 => F1=1 must NOT be learned (reset can knock F1 to 0), but
     // F0=0 => F1=0 is fine (0 crosses the element).
     EXPECT_FALSE(r.db.implies({nl.find("F0"), Val3::One}, {nl.find("F1"), Val3::One}));
@@ -400,7 +400,7 @@ TEST(InvalidStates, CheckerAndCounting) {
     b.gate(GateType::And, "obs", {"F1", "F2"});
     b.output("obs");
     const Netlist nl = b.build();
-    const LearnResult r = learn(nl);
+    const LearnResult r = testing::learn(nl);
     const InvalidStateChecker chk(nl, r.db);
     EXPECT_GE(chk.size(), 1u);
     // F1=1 & F2=0 is the invalid combination.
@@ -444,7 +444,7 @@ TEST_P(LearningSoundness, RelationsHoldInAllDeepEnoughStates) {
     const Netlist nl = testing::random_circuit(seed, 3, 5, 14);
     LearnConfig cfg;
     cfg.max_frames = 6;
-    const LearnResult r = learn(nl, cfg);
+    const LearnResult r = testing::learn(nl, cfg);
 
     const sim::CombEngine engine(nl);
     const auto inputs = nl.inputs();
@@ -480,7 +480,7 @@ TEST_P(LearningSoundness, TiesHoldInAllDeepEnoughStates) {
     const Netlist nl = testing::random_circuit(seed, 3, 5, 14);
     LearnConfig cfg;
     cfg.max_frames = 6;
-    const LearnResult r = learn(nl, cfg);
+    const LearnResult r = testing::learn(nl, cfg);
 
     const sim::CombEngine engine(nl);
     const auto inputs = nl.inputs();
@@ -532,7 +532,7 @@ INSTANTIATE_TEST_SUITE_P(RandomCircuits, LearningSoundness,
 
 TEST(DbIO, SaveLoadRoundTrip) {
     const Netlist nl = testing::random_circuit(55, 3, 5, 14);
-    const LearnResult r = learn(nl);
+    const LearnResult r = testing::learn(nl);
     std::ostringstream out;
     save_learned(out, nl, r.db, r.ties);
     std::istringstream in(out.str());
@@ -571,8 +571,8 @@ TEST(DbIO, MalformedInputThrows) {
 // Learning must be deterministic.
 TEST(Learning, Deterministic) {
     const Netlist nl = testing::random_circuit(123, 3, 4, 12);
-    const LearnResult a = learn(nl);
-    const LearnResult bb = learn(nl);
+    const LearnResult a = testing::learn(nl);
+    const LearnResult bb = testing::learn(nl);
     EXPECT_EQ(a.db.size(), bb.db.size());
     EXPECT_EQ(a.ties.count(), bb.ties.count());
     EXPECT_EQ(a.stats.ff_ff_relations, bb.stats.ff_ff_relations);
@@ -589,8 +589,8 @@ TEST(Learning, DeeperFramesSubsumeShallowKnowledge) {
     shallow.max_frames = 1;
     LearnConfig deep;
     deep.max_frames = 10;
-    const LearnResult a = learn(nl, shallow);
-    const LearnResult bb = learn(nl, deep);
+    const LearnResult a = testing::learn(nl, shallow);
+    const LearnResult bb = testing::learn(nl, deep);
     for (const Relation& rel : a.db.relations()) {
         EXPECT_TRUE(bb.db.implies(rel.lhs, rel.rhs) || bb.ties.is_tied(rel.lhs.gate) ||
                     bb.ties.is_tied(rel.rhs.gate))

@@ -30,7 +30,7 @@ std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> canonical(
 TEST(DbIo, SaveLoadRoundTripIsByteIdentical) {
     for (const std::uint64_t seed : {21ULL, 55ULL}) {
         const Netlist nl = testing::random_circuit(seed, 6, 5, 30);
-        const LearnResult learned = learn(nl);
+        const LearnResult learned = testing::learn(nl);
         ASSERT_GT(learned.db.size(), 0u) << "seed " << seed;
 
         std::ostringstream first;

@@ -13,6 +13,11 @@
 // Netlist-walking FaultSimulator and Engine immediately before the port onto
 // the shared Topology, so the port is provably bit-identical (statuses and
 // every generated test vector included).
+//
+// The same goldens are asserted at 1, 2, and 8 worker threads: the exec
+// subsystem's contract is that N-thread learning, fault simulation, and
+// ATPG are bit-identical to the serial schedule (ordered speculative
+// commit), so every digest below must be thread-count-invariant.
 
 #include "api/session.hpp"
 #include "core/seq_learn.hpp"
@@ -23,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <tuple>
 
 namespace seqlearn::core {
@@ -60,14 +66,18 @@ std::uint64_t relation_hash(const ImplicationDB& db) {
 }
 
 void expect_golden(const netlist::Netlist& nl, const Golden& want) {
-    const LearnResult r = learn(nl);
-    EXPECT_EQ(r.db.size(), want.relations);
-    EXPECT_EQ(r.stats.ties_combinational, want.ties_comb);
-    EXPECT_EQ(r.stats.ties_sequential, want.ties_seq);
-    EXPECT_EQ(r.stats.equiv_classes, want.equiv_classes);
-    EXPECT_EQ(r.stats.multi_relations, want.multi_relations);
-    EXPECT_EQ(r.stats.multi_ties, want.multi_ties);
-    EXPECT_EQ(relation_hash(r.db), want.relation_hash);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        LearnConfig cfg;
+        cfg.threads = threads;
+        const LearnResult r = testing::learn(nl, cfg);
+        EXPECT_EQ(r.db.size(), want.relations) << "threads=" << threads;
+        EXPECT_EQ(r.stats.ties_combinational, want.ties_comb) << "threads=" << threads;
+        EXPECT_EQ(r.stats.ties_sequential, want.ties_seq) << "threads=" << threads;
+        EXPECT_EQ(r.stats.equiv_classes, want.equiv_classes) << "threads=" << threads;
+        EXPECT_EQ(r.stats.multi_relations, want.multi_relations) << "threads=" << threads;
+        EXPECT_EQ(r.stats.multi_ties, want.multi_ties) << "threads=" << threads;
+        EXPECT_EQ(relation_hash(r.db), want.relation_hash) << "threads=" << threads;
+    }
 }
 
 TEST(LearnDeterminism, PaperFigure1Analog) {
@@ -98,8 +108,10 @@ TEST(LearnDeterminism, RandomCircuitSeeds) {
 // fault status in list order, then every generated test vector. Sensitive to
 // any change in search order, windowing, validation, or simulation.
 std::uint64_t campaign_digest(const netlist::Netlist& nl, atpg::LearnMode mode,
-                              std::uint32_t backtrack_limit) {
-    api::Session session(nl);
+                              std::uint32_t backtrack_limit, unsigned threads) {
+    api::SessionConfig scfg;
+    scfg.threads = threads;
+    api::Session session(nl, std::move(scfg));
     session.learn();  // all modes share one learned result, as the paper does
     atpg::AtpgConfig cfg;
     cfg.mode = mode;
@@ -138,8 +150,37 @@ TEST(AtpgDeterminism, CampaignDigestsMatchPrePortGoldens) {
     };
     for (const Golden& g : goldens) {
         const netlist::Netlist nl = workload::suite_circuit(g.circuit);
-        EXPECT_EQ(campaign_digest(nl, g.mode, g.backtrack_limit), g.digest)
-            << g.circuit << " mode " << static_cast<int>(g.mode);
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            EXPECT_EQ(campaign_digest(nl, g.mode, g.backtrack_limit, threads), g.digest)
+                << g.circuit << " mode " << static_cast<int>(g.mode)
+                << " threads " << threads;
+        }
+    }
+}
+
+// Fault-simulation validation through the Session must report identical
+// coverage at every thread count (drop_detected statuses are a pure union
+// merged in fault-index order).
+TEST(FaultSimDeterminism, ValidationMatchesAcrossThreadCounts) {
+    const netlist::Netlist nl = workload::suite_circuit("rt510a");
+    std::optional<api::FaultSimReport> serial;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        api::SessionConfig scfg;
+        scfg.threads = threads;
+        api::Session session(nl, std::move(scfg));
+        atpg::AtpgConfig acfg;
+        acfg.mode = atpg::LearnMode::ForbiddenValue;
+        acfg.backtrack_limit = 30;
+        session.atpg(acfg);
+        const api::FaultSimReport report = session.fault_sim();
+        if (!serial) {
+            serial = report;
+            continue;
+        }
+        EXPECT_EQ(report.total, serial->total) << "threads=" << threads;
+        EXPECT_EQ(report.detected, serial->detected) << "threads=" << threads;
+        EXPECT_EQ(report.sequences, serial->sequences) << "threads=" << threads;
+        EXPECT_EQ(report.fault_coverage, serial->fault_coverage) << "threads=" << threads;
     }
 }
 
@@ -147,8 +188,8 @@ TEST(AtpgDeterminism, CampaignDigestsMatchPrePortGoldens) {
 // scratch-buffer reuse inside the passes carries no state across runs).
 TEST(LearnDeterminism, RepeatedRunsIdentical) {
     const netlist::Netlist nl = testing::random_circuit(55, 6, 5, 40);
-    const LearnResult a = learn(nl);
-    const LearnResult b = learn(nl);
+    const LearnResult a = testing::learn(nl);
+    const LearnResult b = testing::learn(nl);
     EXPECT_EQ(a.db.size(), b.db.size());
     EXPECT_EQ(relation_hash(a.db), relation_hash(b.db));
     EXPECT_EQ(a.ties.count(), b.ties.count());

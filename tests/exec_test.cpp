@@ -1,0 +1,187 @@
+// Tests for the exec subsystem: pool scheduling (every item exactly once,
+// worker ids in range, caller participation, caps, exceptions), the cancel
+// flag, and the ordered-speculation driver's bit-identical replay of a
+// serial schedule with rare state mutations.
+
+#include "exec/cancel.hpp"
+#include "exec/pool.hpp"
+#include "exec/speculate.hpp"
+#include "exec/worker_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace seqlearn::exec {
+namespace {
+
+TEST(Pool, RunsEveryItemExactlyOnce) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        Pool pool(threads);
+        EXPECT_EQ(pool.size(), threads);
+        constexpr std::size_t kItems = 10000;
+        std::vector<std::atomic<int>> hits(kItems);
+        std::atomic<bool> bad_worker{false};
+        auto task = [&](unsigned worker, std::size_t item) {
+            if (worker >= pool.size()) bad_worker = true;
+            hits[item].fetch_add(1, std::memory_order_relaxed);
+        };
+        pool.run(kItems, TaskView(task));
+        EXPECT_FALSE(bad_worker);
+        for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(Pool, ReusableAcrossManyRuns) {
+    Pool pool(4);
+    std::atomic<std::size_t> total{0};
+    auto task = [&](unsigned, std::size_t) { total.fetch_add(1); };
+    for (int round = 0; round < 100; ++round) pool.run(17, TaskView(task));
+    EXPECT_EQ(total.load(), 1700u);
+}
+
+TEST(Pool, MaxWorkersCapsParticipation) {
+    Pool pool(8);
+    std::atomic<unsigned> max_seen{0};
+    auto task = [&](unsigned worker, std::size_t) {
+        unsigned cur = max_seen.load();
+        while (worker > cur && !max_seen.compare_exchange_weak(cur, worker)) {
+        }
+        std::this_thread::yield();
+    };
+    pool.run(500, TaskView(task), /*max_workers=*/2);
+    EXPECT_LT(max_seen.load(), 2u);
+}
+
+TEST(Pool, SingleItemRunsInlineOnCaller) {
+    Pool pool(8);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen;
+    unsigned seen_worker = 99;
+    auto task = [&](unsigned worker, std::size_t) {
+        seen = std::this_thread::get_id();
+        seen_worker = worker;
+    };
+    pool.run(1, TaskView(task));
+    EXPECT_EQ(seen, caller);
+    EXPECT_EQ(seen_worker, 0u);
+}
+
+TEST(Pool, ExceptionsPropagateToCaller) {
+    for (const unsigned threads : {1u, 4u}) {
+        Pool pool(threads);
+        auto task = [&](unsigned, std::size_t item) {
+            if (item == 37) throw std::runtime_error("boom");
+        };
+        EXPECT_THROW(pool.run(1000, TaskView(task)), std::runtime_error);
+        // The pool survives a failed run.
+        std::atomic<std::size_t> count{0};
+        auto ok = [&](unsigned, std::size_t) { count.fetch_add(1); };
+        pool.run(10, TaskView(ok));
+        EXPECT_EQ(count.load(), 10u);
+    }
+}
+
+TEST(CancelFlag, RequestResetRoundTrip) {
+    CancelFlag flag;
+    EXPECT_FALSE(flag.requested());
+    flag.request();
+    EXPECT_TRUE(flag.requested());
+    flag.request();  // idempotent
+    EXPECT_TRUE(flag.requested());
+    flag.reset();
+    EXPECT_FALSE(flag.requested());
+}
+
+TEST(WorkerSet, BuildsOneClonePerWorker) {
+    WorkerSet<std::vector<int>> set(4, [](unsigned w) {
+        return std::vector<int>(3, static_cast<int>(w));
+    });
+    EXPECT_EQ(set.size(), 4u);
+    for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(set[w][0], static_cast<int>(w));
+}
+
+// A miniature of the learning pass: items are processed in order against a
+// shared "tie count"; every item whose index is divisible by `mutate_every`
+// mutates the state, and each item's result depends on the state it saw.
+// The serial schedule defines the expected observation sequence; the
+// speculative run must reproduce it exactly at any worker count.
+struct ToyRun {
+    std::vector<std::uint64_t> observed;  // state version each item recorded
+    std::uint64_t version = 0;
+};
+
+ToyRun toy_run(Pool* pool, unsigned workers, std::size_t n, std::size_t mutate_every) {
+    ToyRun run;
+    const SpeculateOptions opt;
+    std::vector<std::uint64_t> slots(resolved_max_window(opt, workers == 0 ? 8 : workers));
+    std::uint64_t dispatch_version = 0;
+    auto prepare = [&](std::size_t, std::size_t) { dispatch_version = run.version; };
+    auto compute = [&](unsigned, std::size_t item, std::size_t slot) {
+        // Simulated work whose answer depends on the shared state.
+        slots[slot] = run.version * 1000003u + item;
+    };
+    auto commit = [&](std::size_t item, std::size_t slot) -> Commit {
+        if (run.version != dispatch_version) return Commit::Retry;
+        run.observed.push_back(slots[slot]);
+        if (mutate_every != 0 && item % mutate_every == 0) ++run.version;
+        return Commit::Done;
+    };
+    speculate_ordered(pool, n, opt, prepare, compute, commit, workers);
+    return run;
+}
+
+TEST(Speculate, MatchesSerialScheduleUnderMutation) {
+    const ToyRun serial = toy_run(nullptr, 1, 500, 7);
+    for (const unsigned workers : {2u, 8u}) {
+        Pool pool(workers);
+        const ToyRun parallel = toy_run(&pool, workers, 500, 7);
+        EXPECT_EQ(parallel.version, serial.version) << workers;
+        EXPECT_EQ(parallel.observed, serial.observed) << workers;
+    }
+}
+
+TEST(Speculate, NoMutationNeverRetries) {
+    Pool pool(4);
+    std::atomic<std::size_t> computed{0};
+    const SpeculateOptions opt;
+    std::vector<std::size_t> slots(resolved_max_window(opt, 4));
+    auto prepare = [](std::size_t, std::size_t) {};
+    auto compute = [&](unsigned, std::size_t item, std::size_t slot) {
+        slots[slot] = item;
+        computed.fetch_add(1, std::memory_order_relaxed);
+    };
+    std::size_t committed = 0;
+    auto commit = [&](std::size_t item, std::size_t slot) -> Commit {
+        EXPECT_EQ(slots[slot], item);
+        ++committed;
+        return Commit::Done;
+    };
+    speculate_ordered(&pool, 300, opt, prepare, compute, commit, 4);
+    EXPECT_EQ(committed, 300u);
+    // Without retries every item is computed exactly once.
+    EXPECT_EQ(computed.load(), 300u);
+}
+
+TEST(Speculate, StopAbandonsTheRest) {
+    Pool pool(4);
+    const SpeculateOptions opt;
+    std::vector<std::size_t> slots(resolved_max_window(opt, 4));
+    auto prepare = [](std::size_t, std::size_t) {};
+    auto compute = [&](unsigned, std::size_t item, std::size_t slot) { slots[slot] = item; };
+    std::size_t committed = 0;
+    auto commit = [&](std::size_t, std::size_t) -> Commit {
+        if (committed == 10) return Commit::Stop;
+        ++committed;
+        return Commit::Done;
+    };
+    speculate_ordered(&pool, 1000, opt, prepare, compute, commit, 4);
+    EXPECT_EQ(committed, 10u);
+}
+
+}  // namespace
+}  // namespace seqlearn::exec

@@ -10,6 +10,7 @@
 #include "netlist/builder.hpp"
 #include "netlist/topology.hpp"
 #include "sim/comb_engine.hpp"
+#include "test_helpers.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
@@ -292,9 +293,8 @@ TEST(FaultSim, DetectsObviousFault) {
     b.gate(GateType::And, "y", {"a", "bb"});
     b.output("y");
     const Netlist nl = b.build();
-    // Deliberately the deprecated owning constructor: the one-release compat
-    // shim must keep building and behaving identically.
-    FaultSimulator fsim(nl);
+    const netlist::Topology topo(nl);
+    FaultSimulator fsim(topo);
     const InputSequence seq{{Val3::One, Val3::One}};
     EXPECT_TRUE(fsim.detects(seq, Fault{nl.find("a"), kOutputPin, Val3::Zero}));
     EXPECT_FALSE(fsim.detects(seq, Fault{nl.find("a"), kOutputPin, Val3::One}));
@@ -317,6 +317,79 @@ TEST(FaultSim, SequentialFaultNeedsPropagationFrames) {
     EXPECT_FALSE(fsim.detects(short_seq, f));
     const InputSequence long_seq{{Val3::One}, {Val3::One}, {Val3::One}};
     EXPECT_TRUE(fsim.detects(long_seq, f));
+}
+
+TEST(FaultSim, ParallelDropDetectedMatchesSerial) {
+    // More than one 63-fault pass, random sequences, serial vs pooled
+    // drop_detected over per-worker clones: every status and drop count
+    // must agree (detection is a union merged in fault-index order).
+    const Netlist nl = testing::random_circuit(77, 8, 6, 60);
+    const netlist::Topology topo(nl);
+    const CollapsedFaults collapsed = collapse(nl);
+    ASSERT_GT(collapsed.size(), kFaultsPerPass);  // at least two passes
+
+    FaultSimulator serial(topo);
+    exec::Pool pool(4);
+    FaultSimulator parallel(topo);
+    parallel.set_executor(&pool);
+
+    FaultList serial_list(collapsed.representatives());
+    FaultList parallel_list(collapsed.representatives());
+    util::Rng rng(1234);
+    for (int round = 0; round < 6; ++round) {
+        InputSequence seq(8, InputFrame(nl.inputs().size(), Val3::X));
+        for (auto& frame : seq)
+            for (auto& v : frame) v = rng.chance(0.5) ? Val3::One : Val3::Zero;
+        const std::size_t a = serial.drop_detected(seq, serial_list);
+        const std::size_t b = parallel.drop_detected(seq, parallel_list);
+        EXPECT_EQ(a, b) << "round " << round;
+    }
+    EXPECT_GT(serial_list.counts().detected, 0u);
+    for (std::size_t i = 0; i < serial_list.size(); ++i) {
+        EXPECT_EQ(serial_list.status(i), parallel_list.status(i)) << i;
+    }
+}
+
+TEST(FaultSim, ParallelDropForwardsGoodTiesToClones) {
+    // set_good_ties after clones exist must reconfigure every worker: tie a
+    // gate and check parallel statuses still match a serial simulator with
+    // the same ties.
+    const Netlist nl = testing::random_circuit(31, 7, 5, 50);
+    const netlist::Topology topo(nl);
+    const CollapsedFaults collapsed = collapse(nl);
+    if (collapsed.size() <= kFaultsPerPass) GTEST_SKIP();
+
+    std::vector<Val3> ties(nl.size(), Val3::X);
+    std::vector<std::uint32_t> cycles(nl.size(), 0);
+    ties[nl.seq_elements()[0]] = Val3::Zero;
+
+    exec::Pool pool(4);
+    FaultSimulator parallel(topo);
+    parallel.set_executor(&pool);
+    {
+        // Force clone creation with tie-free state first.
+        FaultList warmup(collapsed.representatives());
+        InputSequence seq(4, InputFrame(nl.inputs().size(), Val3::One));
+        parallel.drop_detected(seq, warmup);
+    }
+    parallel.set_good_ties(&ties, &cycles);
+
+    FaultSimulator serial(topo);
+    serial.set_good_ties(&ties, &cycles);
+
+    FaultList serial_list(collapsed.representatives());
+    FaultList parallel_list(collapsed.representatives());
+    util::Rng rng(77);
+    for (int round = 0; round < 4; ++round) {
+        InputSequence seq(8, InputFrame(nl.inputs().size(), Val3::X));
+        for (auto& frame : seq)
+            for (auto& v : frame) v = rng.chance(0.5) ? Val3::One : Val3::Zero;
+        EXPECT_EQ(serial.drop_detected(seq, serial_list),
+                  parallel.drop_detected(seq, parallel_list));
+    }
+    for (std::size_t i = 0; i < serial_list.size(); ++i) {
+        EXPECT_EQ(serial_list.status(i), parallel_list.status(i)) << i;
+    }
 }
 
 }  // namespace

@@ -41,7 +41,7 @@ Netlist tie_circuit() {
 
 TEST(TieAwareFaultSim, GoodLaneGainsTieValues) {
     const Netlist nl = tie_circuit();
-    const core::LearnResult learned = core::learn(nl);
+    const core::LearnResult learned = testing::learn(nl);
     ASSERT_EQ(learned.ties.value(nl.find("g")), Val3::Zero);
 
     // c s-a-1 with frames (c=0),(c=X): plain 3-valued good simulation leaves
@@ -61,7 +61,7 @@ TEST(TieAwareFaultSim, FaultyLaneInsideConeStaysUnseeded) {
     // A fault on the tied gate itself must not have the tie forced into its
     // faulty lane: g s-a-1 is exactly the broken tie and stays detectable.
     const Netlist nl = tie_circuit();
-    const core::LearnResult learned = core::learn(nl);
+    const core::LearnResult learned = testing::learn(nl);
     const netlist::Topology topo(nl);
     fault::FaultSimulator aware(topo);
     aware.set_good_ties(&learned.ties.dense(), &learned.ties.dense_cycles());
@@ -81,7 +81,7 @@ TEST(TieAwareFaultSim, NeverContradictsPlainSimulation) {
     // fault detected by the plain simulator stays detected by the aware one.
     for (const std::uint64_t seed : {3ULL, 14ULL, 59ULL}) {
         const Netlist nl = testing::random_circuit(seed, 3, 4, 14);
-        const core::LearnResult learned = core::learn(nl);
+        const core::LearnResult learned = testing::learn(nl);
         const netlist::Topology topo(nl);
         fault::FaultSimulator plain(topo);
         fault::FaultSimulator aware(topo);
@@ -116,7 +116,7 @@ TEST(ForbiddenMode, ForbidPruningDetectsConflictEarly) {
     b.gate(GateType::Or, "y", {"bad", "c"});
     b.output("y");
     const Netlist nl = b.build();
-    const core::LearnResult learned = core::learn(nl);
+    const core::LearnResult learned = testing::learn(nl);
     ASSERT_TRUE(
         learned.db.implies({nl.find("F1"), Val3::One}, {nl.find("F2"), Val3::One}));
 
@@ -160,7 +160,7 @@ TEST(FrameTags, RelationsNotAppliedBeforeTheirFrame) {
     b.gate(GateType::Xor, "y", {"F1", "F2"});  // 0 in every *valid* state
     b.output("y");
     const Netlist nl = b.build();
-    const core::LearnResult learned = core::learn(nl);
+    const core::LearnResult learned = testing::learn(nl);
     const core::Literal f1{nl.find("F1"), Val3::One};
     const core::Literal f2{nl.find("F2"), Val3::One};
     ASSERT_TRUE(learned.db.implies(f1, f2));
@@ -217,9 +217,8 @@ TEST(CompleteSearch, FindsTestsThatFrontierSearchMisses) {
     // single-frame problems: everything the frontier engine detects, the
     // complete prover also reaches (as CombinationallyTestable).
     const Netlist nl = testing::random_circuit(8, 3, 0, 12);
-    // Deliberately the deprecated owning constructor: the one-release compat
-    // shim must keep building and behaving identically.
-    Engine engine(nl);
+    const netlist::Topology topo(nl);
+    Engine engine(topo);
     EngineConfig frontier_cfg;
     frontier_cfg.backtrack_limit = 1000;
     const fault::CollapsedFaults collapsed = fault::collapse(nl);

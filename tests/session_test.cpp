@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace seqlearn::api {
 namespace {
 
@@ -26,7 +28,7 @@ TEST(Session, SharedTopologyBacksEveryEngine) {
 
 TEST(Session, LearnMatchesFreeFunctionExactly) {
     const Netlist nl = testing::random_circuit(55, 6, 5, 40);
-    const core::LearnResult direct = core::learn(nl);
+    const core::LearnResult direct = testing::learn(nl);
     Session session(nl);
     const core::LearnResult& facade = session.learn();
     EXPECT_EQ(facade.db.size(), direct.db.size());
@@ -39,11 +41,14 @@ TEST(Session, LearnIsCachedUntilReconfigured) {
     Session session(workload::suite_circuit("s27"));
     const core::LearnResult& first = session.learn();
     EXPECT_EQ(&first, &session.learn());  // cached: same object
+    // Snapshot before reconfiguring: learn(shallow) replaces the cached
+    // result, invalidating `first`.
+    const std::size_t first_relations = first.db.size();
     core::LearnConfig shallow;
     shallow.max_frames = 2;
     const core::LearnResult& second = session.learn(shallow);
     EXPECT_TRUE(session.has_learned());
-    EXPECT_LE(second.db.size(), first.db.size());
+    EXPECT_LE(second.db.size(), first_relations);
 }
 
 TEST(Session, ViewSessionsBorrowTheNetlist) {
@@ -87,6 +92,59 @@ TEST(Session, LearnCancellationKeepsPartialResults) {
     EXPECT_TRUE(r.stats.cancelled);
     // At most the two permitted stems were processed.
     EXPECT_LE(r.stats.stems_processed, 2u);
+}
+
+TEST(Session, CancelMidParallelLearnKeepsPartialResults) {
+    // Same contract as the serial cancellation test, but with eight workers
+    // speculating ahead: the observer's false return raises the atomic
+    // cancel flag, uncommitted speculative stems are discarded, and only
+    // the stems committed before the cut survive.
+    SessionConfig cfg;
+    cfg.threads = 8;
+    cfg.progress = [](const Progress& p) {
+        return !(p.stage == Stage::Learn && p.done >= 5);
+    };
+    Session session(workload::suite_circuit("rt510a"), std::move(cfg));
+    const core::LearnResult& r = session.learn();
+    EXPECT_TRUE(r.stats.cancelled);
+    EXPECT_LE(r.stats.stems_processed, 5u);
+}
+
+TEST(Session, RequestCancelFromAnotherThreadStopsTheStage) {
+    // The observer lets a helper thread call request_cancel() and joins it
+    // before returning true, so the flag is provably raised concurrently
+    // with the running parallel stage — the next stem boundary must stop.
+    SessionConfig cfg;
+    cfg.threads = 4;
+    Session* session_ptr = nullptr;
+    std::size_t calls = 0;
+    cfg.progress = [&](const Progress& p) {
+        if (p.stage == Stage::Learn && ++calls == 3) {
+            std::thread canceller([&] { session_ptr->request_cancel(); });
+            canceller.join();
+        }
+        return true;  // cancellation arrives via the flag, not the return
+    };
+    Session session(workload::suite_circuit("rt510a"), std::move(cfg));
+    session_ptr = &session;
+    const core::LearnResult& r = session.learn();
+    EXPECT_TRUE(r.stats.cancelled);
+    EXPECT_LE(r.stats.stems_processed, 3u);
+}
+
+TEST(Session, ExplicitThreadCountsAgreeWithSerial) {
+    const Netlist nl = testing::random_circuit(55, 6, 5, 40);
+    SessionConfig serial_cfg;
+    serial_cfg.threads = 1;
+    Session serial(nl, std::move(serial_cfg));
+    SessionConfig mt_cfg;
+    mt_cfg.threads = 4;
+    Session mt(nl, std::move(mt_cfg));
+    const core::LearnResult& a = serial.learn();
+    const core::LearnResult& b = mt.learn();
+    EXPECT_EQ(a.db.size(), b.db.size());
+    EXPECT_EQ(a.ties.count(), b.ties.count());
+    EXPECT_EQ(a.stats.multi_relations, b.stats.multi_relations);
 }
 
 TEST(Session, AtpgCancellationFlagsOutcome) {

@@ -1,8 +1,10 @@
 #pragma once
-// Shared helpers for the test suites: a small random sequential circuit
-// generator and exhaustive image-set computation used as the soundness
-// oracle for learned relations and ties.
+// Shared helpers for the test suites: a one-shot learn() through the
+// supported facade, a small random sequential circuit generator, and
+// exhaustive image-set computation used as the soundness oracle for learned
+// relations and ties.
 
+#include "api/session.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/comb_engine.hpp"
@@ -18,6 +20,13 @@ using logic::Val3;
 using netlist::GateId;
 using netlist::GateType;
 using netlist::Netlist;
+
+/// One-shot learning for tests: run the full pipeline on a borrowed netlist
+/// through api::Session (the supported entry point now that the free-
+/// function shim is gone) and return the result by value.
+inline core::LearnResult learn(const Netlist& nl, const core::LearnConfig& cfg = {}) {
+    return api::Session::view(nl).learn(cfg);
+}
 
 /// Build a random sequential circuit: `n_in` inputs, `n_ff` flip-flops,
 /// `n_gate` combinational gates wired to random earlier signals; every FF's

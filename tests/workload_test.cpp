@@ -6,6 +6,7 @@
 #include "core/invalid_state.hpp"
 #include "core/seq_learn.hpp"
 #include "fault/fault_sim.hpp"
+#include "netlist/topology.hpp"
 #include "netlist/builder.hpp"
 #include "sim/comb_engine.hpp"
 #include "workload/circuit_gen.hpp"
@@ -14,6 +15,7 @@
 #include "workload/reachability.hpp"
 #include "workload/retime.hpp"
 #include "workload/suite.hpp"
+#include "test_helpers.hpp"
 
 #include <gtest/gtest.h>
 
@@ -86,7 +88,7 @@ TEST(Generator, ShadowRegistersCreateLearnableRelations) {
     p.n_gates = 40;
     p.shadow_ff_fraction = 0.5;
     const Netlist nl = generate(p);
-    const core::LearnResult r = core::learn(nl);
+    const core::LearnResult r = testing::learn(nl);
     EXPECT_GT(r.stats.ff_ff_relations, 0u);
 }
 
@@ -103,7 +105,7 @@ TEST(PaperCircuits, S27Shape) {
 
 TEST(PaperCircuits, Fig1TieGateG3) {
     const Netlist nl = fig1_analog();
-    const core::LearnResult r = core::learn(nl);
+    const core::LearnResult r = testing::learn(nl);
     EXPECT_EQ(r.ties.value(nl.find("G3")), Val3::Zero);
     EXPECT_EQ(r.ties.cycle(nl.find("G3")), 0u);
 }
@@ -112,8 +114,8 @@ TEST(PaperCircuits, Fig1SequentialTieG15ByMultipleNode) {
     const Netlist nl = fig1_analog();
     core::LearnConfig no_multi;
     no_multi.multiple_node = false;
-    EXPECT_FALSE(core::learn(nl, no_multi).ties.is_tied(nl.find("G15")));
-    const core::LearnResult full = core::learn(nl);
+    EXPECT_FALSE(testing::learn(nl, no_multi).ties.is_tied(nl.find("G15")));
+    const core::LearnResult full = testing::learn(nl);
     EXPECT_EQ(full.ties.value(nl.find("G15")), Val3::Zero);
     EXPECT_GE(full.ties.cycle(nl.find("G15")), 1u);
 }
@@ -123,7 +125,7 @@ TEST(PaperCircuits, Fig1SingleNodeInvalidStateRelation) {
     core::LearnConfig no_multi;
     no_multi.multiple_node = false;
     no_multi.use_equivalences = false;
-    const core::LearnResult r = core::learn(nl, no_multi);
+    const core::LearnResult r = testing::learn(nl, no_multi);
     EXPECT_TRUE(r.db.implies({nl.find("F4"), Val3::One}, {nl.find("F6"), Val3::One}));
 }
 
@@ -133,8 +135,8 @@ TEST(PaperCircuits, Fig1EquivalenceOnlyRelations) {
     const core::Literal f5{nl.find("F5"), Val3::One};
     core::LearnConfig no_eq;
     no_eq.use_equivalences = false;
-    EXPECT_FALSE(core::learn(nl, no_eq).db.implies(f4, f5));
-    EXPECT_TRUE(core::learn(nl).db.implies(f4, f5));
+    EXPECT_FALSE(testing::learn(nl, no_eq).db.implies(f4, f5));
+    EXPECT_TRUE(testing::learn(nl).db.implies(f4, f5));
 }
 
 TEST(PaperCircuits, Fig2MultipleNodeRelation) {
@@ -143,8 +145,8 @@ TEST(PaperCircuits, Fig2MultipleNodeRelation) {
     const core::Literal f2_0{nl.find("F2"), Val3::Zero};
     core::LearnConfig no_multi;
     no_multi.multiple_node = false;
-    EXPECT_FALSE(core::learn(nl, no_multi).db.implies(g9_0, f2_0));
-    EXPECT_TRUE(core::learn(nl).db.implies(g9_0, f2_0));
+    EXPECT_FALSE(testing::learn(nl, no_multi).db.implies(g9_0, f2_0));
+    EXPECT_TRUE(testing::learn(nl).db.implies(g9_0, f2_0));
 }
 
 // Every learned same-frame relation on fig1/fig2 must hold exhaustively.
@@ -153,7 +155,7 @@ TEST(PaperCircuits, LearnedRelationsExhaustivelySound) {
         const Netlist nl = suite_circuit(name);
         core::LearnConfig cfg;
         cfg.max_frames = 6;
-        const core::LearnResult r = core::learn(nl, cfg);
+        const core::LearnResult r = testing::learn(nl, cfg);
         const sim::CombEngine engine(nl);
         const auto seq = nl.seq_elements();
         const auto inputs = nl.inputs();
@@ -229,7 +231,7 @@ TEST(Retime, LowersDensityOfEncoding) {
 
 TEST(Retime, LearningFindsTheInvalidStates) {
     const Netlist rt = suite_circuit("rt510a");
-    const core::LearnResult r = core::learn(rt);
+    const core::LearnResult r = testing::learn(rt);
     EXPECT_GT(r.stats.ff_ff_relations, 0u);
     const core::InvalidStateChecker chk(rt, r.db);
     EXPECT_GT(chk.size(), 0u);
@@ -267,7 +269,8 @@ TEST(Fires, ClaimsAreExhaustivelySound) {
         const Netlist nl = generate(p);
         const auto universe = fault::fault_universe(nl);
         const FiresResult res = fires_untestable(nl, universe);
-        fault::FaultSimulator fsim(nl);
+        const netlist::Topology topo(nl);
+        fault::FaultSimulator fsim(topo);
         for (const fault::Fault& f : res.untestable) {
             bool detectable = false;
             const std::size_t m = nl.inputs().size();
