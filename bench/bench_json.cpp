@@ -11,9 +11,15 @@
 // hardware thread through the exec subsystem ("threads" records the actual
 // worker count — on a 1-core machine they measure the speculation overhead,
 // not a speedup); results are bit-identical to the serial rows by design.
+// The *_batch rows run the same work through the 64-lane bit-parallel
+// BatchFrameSimulator (learn_full_pass keeps batch_lanes = 0 so its row
+// stays comparable across PRs); results are bit-identical to the serial
+// rows by design.
 //
-// Usage: bench_bench_json [output.json]   (default: BENCH_sim.json in cwd;
-// "-" writes the JSON to stdout only).
+// Usage: bench_bench_json [--min-seconds S] [output.json]
+// (default: 2.0-second budget per row, BENCH_sim.json in cwd; "-" writes
+// the JSON to stdout only; CI uses a small --min-seconds as a smoke check
+// that every row still runs and emits well-formed JSON).
 
 #include "core/seq_learn.hpp"
 #include "exec/pool.hpp"
@@ -21,6 +27,7 @@
 #include "fault/fault_sim.hpp"
 #include "logic/pattern.hpp"
 #include "netlist/topology.hpp"
+#include "sim/batch_frame_sim.hpp"
 #include "sim/frame_sim.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/rng.hpp"
@@ -28,6 +35,8 @@
 #include "workload/suite.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -60,6 +69,8 @@ Row measure(std::string name, std::size_t items_per_rep, double min_seconds, Bod
     return row;
 }
 
+double g_min_seconds = 2.0;
+
 Row bench_frame_sim(const Netlist& nl) {
     sim::FrameSimulator fsim(nl, sim::SeqGating::all_open(nl));
     const auto stems = nl.stems();
@@ -67,9 +78,32 @@ Row bench_frame_sim(const Netlist& nl) {
     opt.max_frames = 50;
     sim::FrameSimResult res;  // reused: the zero-allocation steady state
     std::size_t i = 0;
-    return measure("frame_sim_stem_injection", 1, 2.0, [&] {
+    return measure("frame_sim_stem_injection", 1, g_min_seconds, [&] {
         const sim::Injection inj{0, stems[i++ % stems.size()], Val3::One};
         fsim.run_into({&inj, 1}, opt, res);
+    });
+}
+
+Row bench_frame_sim_batch(const Netlist& nl, const netlist::Topology& topo) {
+    // The same stem-injection workload as frame_sim_stem_injection, 64
+    // scenarios per event sweep: one batched run plus full per-lane
+    // extraction; items = scenarios, so the row is directly comparable.
+    sim::BatchFrameSimulator bsim(topo, sim::SeqGating::all_open(nl));
+    const auto stems = nl.stems();
+    sim::FrameSimOptions opt;
+    opt.max_frames = 50;
+    std::vector<sim::Injection> inj(64);
+    std::vector<sim::BatchLane> lanes(64);
+    std::vector<sim::FrameSimResult> outs(64);
+    sim::BatchFrameResult res;
+    std::size_t i = 0;
+    return measure("frame_sim_batch_injection", 64, g_min_seconds, [&] {
+        for (int l = 0; l < 64; ++l) {
+            inj[l] = {0, stems[i++ % stems.size()], Val3::One};
+            lanes[l] = {{&inj[l], 1}, 0};
+        }
+        bsim.run_batch(lanes, opt, res);
+        res.extract_all(outs);
     });
 }
 
@@ -78,23 +112,25 @@ Row bench_parallel_patterns(const Netlist& nl) {
     util::Rng rng(1);
     std::vector<logic::Pattern> pats(nl.size());
     // 64 patterns per evaluation.
-    return measure("parallel_pattern_eval", 64, 2.0, [&] { psim.eval_random(pats, rng); });
+    return measure("parallel_pattern_eval", 64, g_min_seconds,
+                   [&] { psim.eval_random(pats, rng); });
 }
 
 Row bench_learn(const Netlist& nl, const netlist::Topology& topo, exec::Pool* pool,
-                unsigned threads, bool mt) {
+                unsigned threads, const char* name, std::size_t batch_lanes) {
     // One full learn() pass per rep over the shared CSR snapshot (the
-    // Session pattern); items = stems processed per pass.
+    // Session pattern); items = stems processed per pass. batch_lanes = 0
+    // keeps the serial rows on the one-run-per-injection path so they stay
+    // comparable across PRs; the _batch row turns the 64-lane engine on.
     core::LearnConfig cfg;
     cfg.threads = threads;
     cfg.executor = pool;
+    cfg.batch_lanes = batch_lanes;
     const std::size_t stems = nl.stems().size();
-    Row row = measure(mt ? "learn_full_pass_mt" : "learn_full_pass", stems, 2.0,
-                      [&] {
-                          const core::LearnResult r = core::learn(nl, topo, cfg);
-                          if (r.stats.stems_processed == 0)
-                              std::fprintf(stderr, "learn: empty pass?\n");
-                      });
+    Row row = measure(name, stems, g_min_seconds, [&] {
+        const core::LearnResult r = core::learn(nl, topo, cfg);
+        if (r.stats.stems_processed == 0) std::fprintf(stderr, "learn: empty pass?\n");
+    });
     row.threads = threads;
     return row;
 }
@@ -112,7 +148,7 @@ Row bench_fault_sim(const Netlist& nl, const netlist::Topology& topo, exec::Pool
     sim::InputSequence seq(24, sim::InputFrame(nl.inputs().size(), logic::Val3::X));
     Row row = measure(
         mt ? "fault_sim_drop_detected_mt" : "fault_sim_drop_detected",
-        collapsed.size(), 2.0, [&] {
+        collapsed.size(), g_min_seconds, [&] {
             for (auto& frame : seq)
                 for (auto& v : frame)
                     v = rng.chance(0.5) ? logic::Val3::One : logic::Val3::Zero;
@@ -126,7 +162,28 @@ Row bench_fault_sim(const Netlist& nl, const netlist::Topology& topo, exec::Pool
 }  // namespace
 
 int main(int argc, char** argv) {
-    const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+    std::string out_path = "BENCH_sim.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--min-seconds") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "usage: %s [--min-seconds S] [output.json]\n", argv[0]);
+                return 2;
+            }
+            g_min_seconds = std::atof(argv[++i]);
+            if (g_min_seconds <= 0) {
+                std::fprintf(stderr, "--min-seconds wants a positive number, got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+            // "-" (stdout only) is a valid path; unknown --flags are not.
+            std::fprintf(stderr, "unknown flag %s\nusage: %s [--min-seconds S] [output.json]\n",
+                         argv[i], argv[0]);
+            return 2;
+        } else {
+            out_path = argv[i];
+        }
+    }
     const Netlist nl = workload::suite_circuit("gen5378");
     const netlist::Topology topo(nl);
     const unsigned hw = exec::Pool::hardware_threads();
@@ -134,10 +191,12 @@ int main(int argc, char** argv) {
 
     std::vector<Row> rows;
     rows.push_back(bench_frame_sim(nl));
+    rows.push_back(bench_frame_sim_batch(nl, topo));
     rows.push_back(bench_parallel_patterns(nl));
-    rows.push_back(bench_learn(nl, topo, nullptr, 1, /*mt=*/false));
+    rows.push_back(bench_learn(nl, topo, nullptr, 1, "learn_full_pass", 0));
+    rows.push_back(bench_learn(nl, topo, nullptr, 1, "learn_full_pass_batch", 64));
     rows.push_back(bench_fault_sim(nl, topo, nullptr, 1, /*mt=*/false));
-    rows.push_back(bench_learn(nl, topo, &pool, hw, /*mt=*/true));
+    rows.push_back(bench_learn(nl, topo, &pool, hw, "learn_full_pass_mt", 0));
     rows.push_back(bench_fault_sim(nl, topo, &pool, hw, /*mt=*/true));
 
     std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";

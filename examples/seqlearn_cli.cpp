@@ -2,7 +2,7 @@
 //
 //   seqlearn_cli stats  <circuit.bench | suite:NAME>
 //   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--threads N]
-//                       [--save-db FILE] [--out FILE]
+//                       [--batch-lanes N] [--save-db FILE] [--out FILE]
 //   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
 //                       [--backtracks N] [--load-db FILE] [--save-db FILE]
 //                       [--random N] [--progress] [--threads N]
@@ -15,7 +15,9 @@
 //
 // --threads N runs every stage on N workers (default: one per hardware
 // thread; results are bit-identical at any thread count). --threads 1
-// forces the serial paths.
+// forces the serial paths. --batch-lanes N sets the 64-lane bit-parallel
+// stem batching of the learning pass (default 64; 0 forces the scalar
+// one-run-per-injection path; results are bit-identical at any setting).
 
 #include "api/session.hpp"
 #include "netlist/bench_io.hpp"
@@ -75,6 +77,8 @@ int cmd_learn(api::Session& session, int argc, char** argv) {
     core::LearnConfig cfg;
     if (const char* f = flag_value(argc, argv, "--frames"))
         cfg.max_frames = static_cast<std::uint32_t>(std::atoi(f));
+    if (const char* b = flag_value(argc, argv, "--batch-lanes"))
+        cfg.batch_lanes = static_cast<std::size_t>(std::atoi(b));
     const core::LearnResult& r = session.learn(cfg);
     std::printf("learned in %.3f s over %zu stems:\n", r.stats.cpu_seconds,
                 r.stats.stems_processed);

@@ -3,6 +3,7 @@
 #include "exec/speculate.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace seqlearn::core {
 
@@ -11,6 +12,9 @@ namespace {
 using netlist::GateId;
 using netlist::GateType;
 using netlist::Netlist;
+
+/// Targets per 64-lane batch: one injection-schedule lane per target.
+constexpr std::size_t kMaxBatchTargets = 64;
 
 bool is_constant(const Netlist& nl, GateId g) {
     const GateType t = nl.type(g);
@@ -78,69 +82,93 @@ struct SpecCtx {
     }
 };
 
-// One target, start to finish — shared by the serial, speculative, and
-// recompute paths. Returns whether the target was processed.
-template <typename Ctx>
-bool process_target(const Netlist& nl, sim::FrameSimulator& sim, const StemRecords& records,
-                    const MultipleNodeConfig& cfg, Literal target, TargetScratch& s,
-                    Ctx& ctx) {
-    if (ctx.tied(target.gate) || is_constant(nl, target.gate)) return false;
-    const std::vector<StemRecord>& recs = records.records_for(target);
+// The structural half of a target: the contrapositive injection schedule
+// and its exact frame window. Independent of the tie set (tied stems stay
+// in the schedule on purpose — their seeded facts produce the proving
+// conflict), so plans can be built once per batch.
+struct TargetPlan {
+    bool contradictory = false;
+    std::uint32_t T = 0;
+};
 
+// Append the injections of `target` to `inj` and return the plan.
+TargetPlan plan_target(const StemRecords& records, const MultipleNodeConfig& cfg,
+                       Literal target, std::vector<sim::Injection>& inj) {
+    TargetPlan plan;
+    const std::vector<StemRecord>& recs = records.records_for(target);
     std::uint32_t max_offset = 0;
     for (const StemRecord& r : recs)
         if (r.offset < cfg.max_frames) max_offset = std::max(max_offset, r.offset);
-    const std::uint32_t T = max_offset;
+    plan.T = max_offset;
 
     // Contrapositive injections: target=!v at T, stems=!sv at T-offset.
-    s.inj.clear();
+    const std::size_t first = inj.size();
     const Literal premise = negate(target);
-    s.inj.push_back({T, premise.gate, premise.value});
-    bool contradictory = false;
+    inj.push_back({plan.T, premise.gate, premise.value});
     for (const StemRecord& r : recs) {
-        if (r.offset > T) continue;
+        if (r.offset > plan.T) continue;
         // Tied stems are not skipped: if a record contraposes against
         // the tied value, the simulator's tie seeding produces the
         // conflict that proves the target tie.
         const Literal st = negate(r.stem);
-        const std::uint32_t frame = T - r.offset;
+        const std::uint32_t frame = plan.T - r.offset;
         bool duplicate = false;
-        for (const sim::Injection& x : s.inj) {
-            if (x.frame == frame && x.gate == st.gate) {
-                if (x.value != st.value) contradictory = true;
+        for (std::size_t i = first; i < inj.size(); ++i) {
+            if (inj[i].frame == frame && inj[i].gate == st.gate) {
+                if (inj[i].value != st.value) plan.contradictory = true;
                 duplicate = true;
                 break;
             }
         }
-        if (!duplicate) s.inj.push_back({frame, st.gate, st.value});
+        if (!duplicate) inj.push_back({frame, st.gate, st.value});
     }
+    return plan;
+}
 
-    if (contradictory) {
-        // Two records contrapose to opposite values on the same stem at
-        // the same frame: the premise n=!v is impossible outright.
+// Extraction over a completed run (order-insensitive: the relation set is a
+// function of the frame-T implied set alone). Shared by every path.
+template <typename Ctx>
+void extract_target(const Netlist& nl, Literal target, std::uint32_t T,
+                    const sim::FrameSimResult& res, Ctx& ctx) {
+    if (res.conflict) {
         ctx.set_tie(target.gate, target.value, T);
-        ctx.mark_contradiction();
-        return true;
+        return;
     }
-
-    sim::FrameSimOptions opt;
-    opt.max_frames = T + 1;
-    opt.stop_on_state_repeat = false;  // the window is already exact
-    sim.run_into(s.inj, opt, s.res);
-
-    if (s.res.conflict) {
-        ctx.set_tie(target.gate, target.value, T);
-        return true;
-    }
-
+    const Literal premise = negate(target);
     const bool premise_seq = netlist::is_sequential(nl.type(premise.gate));
-    for (const sim::ImpliedValue& iv : s.res.implied) {
+    for (const sim::ImpliedValue& iv : res.implied) {
         if (iv.frame != T) continue;
         if (iv.gate == premise.gate) continue;
         if (is_constant(nl, iv.gate) || ctx.tied(iv.gate)) continue;
         if (!premise_seq && !netlist::is_sequential(nl.type(iv.gate))) continue;
         ctx.add_relation(premise, {iv.gate, iv.value}, T);
     }
+}
+
+// One target, start to finish, on the scalar simulator — shared by the
+// serial, speculative, and recompute paths. Returns whether the target was
+// processed.
+template <typename Ctx>
+bool process_target(const Netlist& nl, sim::FrameSimulator& sim, const StemRecords& records,
+                    const MultipleNodeConfig& cfg, Literal target, TargetScratch& s,
+                    Ctx& ctx) {
+    if (ctx.tied(target.gate) || is_constant(nl, target.gate)) return false;
+    s.inj.clear();
+    const TargetPlan plan = plan_target(records, cfg, target, s.inj);
+
+    if (plan.contradictory) {
+        // Two records contrapose to opposite values on the same stem at
+        // the same frame: the premise n=!v is impossible outright.
+        ctx.set_tie(target.gate, target.value, plan.T);
+        ctx.mark_contradiction();
+        return true;
+    }
+
+    sim::FrameSimOptions opt;
+    opt.max_frames = plan.T + 1;
+    opt.stop_on_state_repeat = false;  // the window is already exact
+    sim.run_into(s.inj, opt, s.res);
+    extract_target(nl, target, plan.T, s.res, ctx);
     return true;
 }
 
@@ -163,18 +191,217 @@ MultipleNodeOutcome run_serial(const Netlist& nl, sim::FrameSimulator& sim,
     return out;
 }
 
+// ------------------------------------------------------------------ batched
+
+// Per-worker scratch for the batched path. Lane spans point into the flat
+// `inj` buffer, which is fully built before the spans are taken.
+struct MultiBatchScratch {
+    std::vector<sim::Injection> inj;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> inj_span;  // per lane
+    std::vector<sim::BatchLane> lanes;
+    sim::BatchFrameResult bres;
+    std::array<sim::FrameSimResult, kMaxBatchTargets> lane_res;
+};
+
+// Plan and simulate targets [base, base+count) as one batch against the
+// current tie view. lane_of[p] >= 0 indexes the target's lane; -1 = no lane
+// (skipped or contradictory — see plans[p]).
+struct BatchPlanEntry {
+    int lane = -1;
+    bool skipped = true;
+    TargetPlan plan;
+};
+
+template <typename TiedFn>
+void simulate_target_batch(sim::BatchFrameSimulator& bsim, std::span<const Literal> targets,
+                           std::size_t base, std::size_t count, const StemRecords& records,
+                           const MultipleNodeConfig& cfg, const Netlist& nl, TiedFn&& tied,
+                           MultiBatchScratch& w,
+                           std::array<BatchPlanEntry, kMaxBatchTargets>& entries) {
+    w.inj.clear();
+    w.inj_span.clear();
+    w.lanes.clear();
+    int n_lanes = 0;
+    for (std::size_t p = 0; p < count; ++p) {
+        BatchPlanEntry& e = entries[p];
+        e = {};
+        const Literal target = targets[base + p];
+        if (tied(target.gate) || is_constant(nl, target.gate)) continue;
+        e.skipped = false;
+        const std::size_t first = w.inj.size();
+        e.plan = plan_target(records, cfg, target, w.inj);
+        if (e.plan.contradictory) {
+            w.inj.resize(first);  // no simulation needed
+            continue;
+        }
+        e.lane = n_lanes++;
+        w.inj_span.push_back({static_cast<std::uint32_t>(first),
+                              static_cast<std::uint32_t>(w.inj.size() - first)});
+    }
+    if (n_lanes == 0) return;
+    std::uint32_t max_T = 0;
+    int lane = 0;
+    for (std::size_t p = 0; p < count; ++p) {
+        if (entries[p].lane < 0) continue;
+        const auto [off, len] = w.inj_span[static_cast<std::size_t>(lane)];
+        w.lanes.push_back({{w.inj.data() + off, len}, entries[p].plan.T + 1});
+        max_T = std::max(max_T, entries[p].plan.T);
+        ++lane;
+    }
+    sim::FrameSimOptions opt;
+    opt.max_frames = max_T + 1;
+    opt.stop_on_state_repeat = false;  // every lane's window is exact
+    bsim.run_batch(w.lanes, opt, w.bres);
+    w.bres.extract_all({w.lane_res.data(), static_cast<std::size_t>(n_lanes)});
+}
+
+// NOTE: structural twin of single_node.cpp's run_batched — the commit
+// skeleton is shared via exec::speculate_batches; keep the client
+// scaffolding (slot sizing, version snapshot, re-batch-after-tie recompute
+// loop) in lockstep with that file.
+MultipleNodeOutcome run_batched(const Netlist& nl,
+                                std::span<sim::BatchFrameSimulator> batch_sims,
+                                const StemRecords& records, const MultipleNodeConfig& cfg,
+                                std::span<const Literal> targets, std::size_t batch_targets,
+                                TieSet& ties, ImplicationDB& db, const LearnExecEnv& env,
+                                unsigned workers) {
+    MultipleNodeOutcome out;
+    const std::size_t n = targets.size();
+    const std::size_t bs = std::min(batch_targets, kMaxBatchTargets);
+
+    const exec::SpeculateOptions sopt;
+    std::vector<MultiBatchScratch> ws(workers);
+
+    struct BatchDelta {
+        std::vector<TargetDelta> deltas;
+        std::vector<std::uint8_t> processed;
+        std::size_t computed = 0;
+    };
+    std::vector<BatchDelta> slots(exec::resolved_max_window(sopt, workers));
+
+    std::uint64_t dispatch_version = 0;
+
+    // The serial observation point of a target: cancellation and the
+    // max-targets cap, polled before every target in commit order.
+    auto observe_target = [&](std::size_t) -> bool {
+        if (env.cancel != nullptr && env.cancel->requested()) {
+            out.cancelled = true;
+            return false;
+        }
+        return cfg.max_targets == 0 || out.targets_processed < cfg.max_targets;
+    };
+
+    // Re-derive targets [i, end) on the calling thread against the live tie
+    // set, re-batching after every target that lands a tie. Returns false
+    // when cancelled (the cancel flag is the only cancellation source of
+    // this pass; hitting the target cap just ends the work).
+    auto recompute_rest = [&](std::size_t i, std::size_t end) -> bool {
+        DirectCtx ctx{ties, db, out};
+        MultiBatchScratch& w = ws[0];
+        std::array<BatchPlanEntry, kMaxBatchTargets> entries;
+        while (i < end) {
+            const std::size_t count = std::min(bs, end - i);
+            simulate_target_batch(batch_sims[0], targets, i, count, records, cfg, nl,
+                                  [&](GateId g) { return ties.is_tied(g); }, w, entries);
+            std::size_t done = count;
+            for (std::size_t p = 0; p < count; ++p) {
+                if (!observe_target(i + p)) return !out.cancelled;
+                const BatchPlanEntry& e = entries[p];
+                if (e.skipped) continue;
+                ++out.targets_processed;
+                const std::uint64_t v0 = ties.version();
+                if (e.plan.contradictory) {
+                    ctx.set_tie(targets[i + p].gate, targets[i + p].value, e.plan.T);
+                    ctx.mark_contradiction();
+                } else {
+                    extract_target(nl, targets[i + p], e.plan.T,
+                                   w.lane_res[static_cast<std::size_t>(e.lane)], ctx);
+                }
+                if (ties.version() != v0) {
+                    done = p + 1;  // successors were simulated pre-tie
+                    break;
+                }
+            }
+            i += done;
+        }
+        return true;
+    };
+
+    auto prepare = [&](std::size_t, std::size_t) { dispatch_version = ties.version(); };
+    auto compute = [&](unsigned worker, std::size_t item, std::size_t slot) {
+        BatchDelta& d = slots[slot];
+        const std::size_t base = item * bs;
+        const std::size_t count = std::min(bs, n - base);
+        d.deltas.resize(std::max(d.deltas.size(), count));
+        d.processed.assign(count, 0);
+        d.computed = 0;
+        MultiBatchScratch& w = ws[worker];
+        std::array<BatchPlanEntry, kMaxBatchTargets> entries;
+        simulate_target_batch(batch_sims[worker], targets, base, count, records, cfg, nl,
+                              [&](GateId g) { return ties.is_tied(g); }, w, entries);
+        for (std::size_t p = 0; p < count; ++p) {
+            TargetDelta& delta = d.deltas[p];
+            delta.clear();
+            d.computed = p + 1;
+            const BatchPlanEntry& e = entries[p];
+            if (e.skipped) continue;
+            SpecCtx ctx{ties, delta};
+            if (e.plan.contradictory) {
+                ctx.set_tie(targets[base + p].gate, targets[base + p].value, e.plan.T);
+                ctx.mark_contradiction();
+            } else {
+                extract_target(nl, targets[base + p], e.plan.T,
+                               w.lane_res[static_cast<std::size_t>(e.lane)], ctx);
+            }
+            d.processed[p] = 1;
+            // A tie makes every later target's simulation stale; the commit
+            // side re-derives the remainder.
+            if (delta.tie) break;
+        }
+    };
+    auto stale = [&](std::size_t pos, std::size_t slot) {
+        return ties.version() != dispatch_version || pos >= slots[slot].computed;
+    };
+    auto apply = [&](std::size_t, std::size_t slot, std::size_t pos) {
+        const BatchDelta& d = slots[slot];
+        if (!d.processed[pos]) return;
+        const TargetDelta& delta = d.deltas[pos];
+        ++out.targets_processed;
+        if (delta.tie) {
+            ties.set(delta.tie_gate, delta.tie_value, delta.tie_cycle);
+            ++out.ties_found;
+        }
+        if (delta.contradiction) ++out.contradiction_ties;
+        for (const TargetDelta::Rel& r : delta.relations) {
+            if (db.add(r.lhs, r.rhs, r.frame)) ++out.relations_added;
+        }
+    };
+    exec::speculate_batches(workers > 1 ? env.pool : nullptr, n, bs, sopt, prepare,
+                            compute, observe_target, stale, apply, recompute_rest, workers);
+    return out;
+}
+
 }  // namespace
 
 MultipleNodeOutcome multiple_node_learning(const Netlist& nl,
                                            std::span<sim::FrameSimulator> sims,
                                            const StemRecords& records,
                                            const MultipleNodeConfig& cfg, TieSet& ties,
-                                           ImplicationDB& db, const LearnExecEnv& env) {
+                                           ImplicationDB& db, const LearnExecEnv& env,
+                                           std::span<sim::BatchFrameSimulator> batch_sims,
+                                           std::size_t batch_targets) {
     const std::vector<Literal> targets = records.targets(cfg.min_records);
 
     unsigned workers = env.pool != nullptr ? env.pool->size() : 1;
     if (env.max_workers != 0) workers = std::min(workers, env.max_workers);
     workers = std::min<unsigned>(workers, static_cast<unsigned>(sims.size()));
+
+    if (batch_targets != 0 && !batch_sims.empty() && !targets.empty()) {
+        workers = std::min<unsigned>(workers, static_cast<unsigned>(batch_sims.size()));
+        return run_batched(nl, batch_sims, records, cfg, targets, batch_targets, ties, db,
+                           env, std::max(1u, workers));
+    }
+
     if (workers <= 1 || targets.size() < 2) {
         return run_serial(nl, sims[0], records, cfg, targets, ties, db, env.cancel);
     }

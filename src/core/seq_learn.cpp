@@ -57,20 +57,30 @@ LearnResult learn(const Netlist& nl, const netlist::Topology& topo, const LearnC
     // the result's tie vectors, so committed ties are simulation facts for
     // every later stem regardless of which worker simulates it.
     const unsigned num_sims = std::max(1u, ex.workers);
+    const std::size_t batch_stems = cfg.batch_lanes / 2;  // 0 or 1 lane = scalar path
     for (const netlist::ClockClass& cls : classes) {
         const sim::SeqGating gating = sim::SeqGating::for_class(nl, cls.members);
         std::vector<sim::FrameSimulator> sims;
+        std::vector<sim::BatchFrameSimulator> batch_sims;
         sims.reserve(num_sims);
+        batch_sims.reserve(batch_stems != 0 ? num_sims : 0);
         for (unsigned w = 0; w < num_sims; ++w) {
             sims.emplace_back(topo, gating);
             if (cfg.use_equivalences) sims.back().set_equivalences(&result.equivalences.map);
             sims.back().set_ties(&result.ties.dense(), &result.ties.dense_cycles());
+            if (batch_stems != 0) {
+                batch_sims.emplace_back(topo, gating);
+                if (cfg.use_equivalences)
+                    batch_sims.back().set_equivalences(&result.equivalences.map);
+                batch_sims.back().set_ties(&result.ties.dense(), &result.ties.dense_cycles());
+            }
         }
 
         StemRecords records(cfg.record_cap);
         const SingleNodeOutcome single =
             single_node_learning(nl, sims, stems, cfg.max_frames, result.ties, result.db,
-                                 records, progress ? &progress : nullptr, env);
+                                 records, progress ? &progress : nullptr, env, batch_sims,
+                                 batch_stems);
         stems_done_base += stems.size();
         result.stats.stems_processed += single.stems_processed;
         if (single.cancelled) {
@@ -82,7 +92,8 @@ LearnResult learn(const Netlist& nl, const netlist::Topology& topo, const LearnC
             MultipleNodeConfig mcfg = cfg.multi;
             mcfg.max_frames = cfg.max_frames;
             const MultipleNodeOutcome multi = multiple_node_learning(
-                nl, sims, records, mcfg, result.ties, result.db, env);
+                nl, sims, records, mcfg, result.ties, result.db, env, batch_sims,
+                cfg.batch_lanes);
             result.stats.multi_targets += multi.targets_processed;
             result.stats.multi_relations += multi.relations_added;
             result.stats.multi_ties += multi.ties_found;

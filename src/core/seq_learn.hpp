@@ -40,6 +40,12 @@ struct LearnConfig {
     /// Optional cooperative stop switch, polled at work-item boundaries from
     /// the calling thread; request() is safe from any thread.
     exec::CancelFlag* cancel = nullptr;
+    /// Lanes per bit-parallel batch in the single-node pass (two lanes — the
+    /// inject-0 and inject-1 runs — per stem, so 64 lanes = 32 stems per
+    /// batch). 0 and 1 disable batching and simulate one scenario per
+    /// event-driven run. Results are bit-identical at every setting; the
+    /// batched path is the fast one (see sim::BatchFrameSimulator).
+    std::size_t batch_lanes = 64;
     /// Forward-simulation depth (the paper's experiments use 50).
     std::uint32_t max_frames = 50;
     /// Stop a stem simulation when the sequential state repeats.

@@ -16,12 +16,26 @@
 // deltas in stem order, and any stem whose commit finds the tie set moved
 // since its dispatch is recomputed against the fresh state. Tie discoveries
 // are rare (a few percent of stems), so almost all speculation commits.
+//
+// Batching: when the caller supplies BatchFrameSimulators, stems are packed
+// `batch_stems` at a time — each stem's {inject 0, inject 1} pair occupying
+// two lanes — and a whole batch becomes one 64-lane bit-parallel run and one
+// speculation item, shrinking both the simulation cost (constants, learned
+// ties, and shared cone gates are evaluated once per batch instead of once
+// per run) and the ordered-commit traffic by the batch factor. The shared
+// extraction body is order-insensitive within a frame (per-frame ties are
+// established before relations are emitted), so the batched and scalar
+// schedules produce bit-identical learning results even though their event
+// orders differ; a batch whose commit lands a new tie re-derives its
+// remaining stems against the fresh tie state, preserving the exact serial
+// semantics.
 
 #include "core/impl_db.hpp"
 #include "core/stem_records.hpp"
 #include "core/tie.hpp"
 #include "exec/cancel.hpp"
 #include "exec/pool.hpp"
+#include "sim/batch_frame_sim.hpp"
 #include "sim/frame_sim.hpp"
 
 #include <functional>
@@ -63,11 +77,18 @@ struct LearnExecEnv {
 /// `progress`, when non-null, is invoked on the calling thread before each
 /// stem with (stems visited so far, stems.size()); returning false cancels
 /// the pass (partial results are kept and the outcome flagged cancelled).
+///
+/// `batch_sims` (same count and configuration discipline as `sims`) enables
+/// 64-lane batched simulation: stems are packed `batch_stems` per batch
+/// (clamped to 32 = 64 lanes / 2 injections). Empty `batch_sims` or
+/// `batch_stems` == 0 selects the one-run-per-injection path. Results are
+/// bit-identical either way.
 SingleNodeOutcome single_node_learning(
     const netlist::Netlist& nl, std::span<sim::FrameSimulator> sims,
     std::span<const netlist::GateId> stems, std::uint32_t max_frames, TieSet& ties,
     ImplicationDB& db, StemRecords& records,
     const std::function<bool(std::size_t, std::size_t)>* progress = nullptr,
-    const LearnExecEnv& env = {});
+    const LearnExecEnv& env = {}, std::span<sim::BatchFrameSimulator> batch_sims = {},
+    std::size_t batch_stems = 0);
 
 }  // namespace seqlearn::core

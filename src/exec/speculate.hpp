@@ -116,4 +116,42 @@ void speculate_ordered(Pool* pool, std::size_t n, const SpeculateOptions& opt,
     }
 }
 
+/// Ordered speculation over fixed-size *batches* of serially-dependent
+/// units (the 64-lane learning passes: one batch of stems/targets = one
+/// speculation item = one bit-parallel simulation). The batch commit walks
+/// its units in order with one shared skeleton:
+///  - observe(unit) is the serial observation point (cancel/progress/cap
+///    polling); returning false stops the whole pass;
+///  - stale(pos, slot) reports that the shared state moved under the
+///    speculation (version mismatch, or the worker stopped computing at a
+///    mutation). A stale unit at position 0 retries the window — nothing of
+///    the batch was applied; a later one hands the batch remainder to
+///    recompute(unit, end), which re-derives it against the fresh state on
+///    the calling thread (returning false = cancelled);
+///  - apply(unit, slot, pos) commits one computed unit.
+/// Keeping this loop in one place is what guarantees the single-node and
+/// multiple-node passes share one staleness rule.
+template <typename PrepareFn, typename ComputeFn, typename ObserveFn, typename StaleFn,
+          typename ApplyFn, typename RecomputeFn>
+void speculate_batches(Pool* pool, std::size_t n_units, std::size_t batch,
+                       const SpeculateOptions& sopt, PrepareFn&& prepare,
+                       ComputeFn&& compute, ObserveFn&& observe, StaleFn&& stale,
+                       ApplyFn&& apply, RecomputeFn&& recompute, unsigned workers) {
+    const std::size_t n_items = (n_units + batch - 1) / batch;
+    auto commit = [&](std::size_t item, std::size_t slot) -> Commit {
+        const std::size_t base = item * batch;
+        const std::size_t count = std::min(batch, n_units - base);
+        for (std::size_t p = 0; p < count; ++p) {
+            if (!observe(base + p)) return Commit::Stop;
+            if (stale(p, slot)) {
+                if (p == 0) return Commit::Retry;
+                return recompute(base + p, base + count) ? Commit::Done : Commit::Stop;
+            }
+            apply(base + p, slot, p);
+        }
+        return Commit::Done;
+    };
+    speculate_ordered(pool, n_items, sopt, prepare, compute, commit, workers);
+}
+
 }  // namespace seqlearn::exec

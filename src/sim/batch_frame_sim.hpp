@@ -1,0 +1,188 @@
+#pragma once
+// 64-lane bit-parallel multi-frame event-driven simulation.
+//
+// The scalar FrameSimulator evaluates one injection scenario per run; the
+// learning passes need two runs per stem (inject 0, inject 1), and every run
+// re-seeds the same constants, learned ties, and equivalence forcings before
+// propagating a usually-small divergent cone. BatchFrameSimulator runs up to
+// 64 independent scenarios through ONE occupied-level-band event sweep per
+// frame: each gate holds a logic::Pattern (two 64-bit planes: ones, zeros;
+// both clear = X) instead of a Val3, every seed that is common to all lanes
+// (constants, ties, tie-driven state) is paid once per frame instead of once
+// per frame per scenario, and a gate shared by several lanes' cones is
+// evaluated once for all of them.
+//
+// Lane semantics are exactly the scalar simulator's, lane-wise:
+//  - the event queue is driven by the lane-divergence mask — a gate is
+//    (re)queued when any live lane assigns one of its fanins, and an
+//    evaluation assigns only the lanes where the result is binary, new, and
+//    the lane is still live;
+//  - per-lane stop rules (state repeat, empty next state, max_frames) retire
+//    lanes individually; retired lanes stop seeding and stop recording;
+//  - a lane whose closure turns contradictory (a gate acquiring both binary
+//    values) is flagged in `fallback` and retired: its batched events are
+//    not usable because the scalar run aborts mid-propagation at a
+//    schedule-dependent point. run_lanes() re-runs such lanes on an internal
+//    scalar FrameSimulator, so callers always observe bit-identical
+//    per-lane semantics; callers that only need the conflict *verdict* (the
+//    single-node learner: an injection that conflicts proves a stem tie)
+//    can consume the flag directly and skip the re-run.
+//
+// Within a frame the batch sweep interleaves all lanes' event schedules, so
+// per-lane discovery order differs from a scalar run's; the per-frame
+// fixpoint does not (3-valued propagation is monotone, so the closure is
+// schedule-independent). Raw extraction keeps the batch order — consumers
+// are expected to be order-insensitive within a frame (the learning
+// extraction is) or to apply sim::canonicalize to both sides before
+// comparing, which run_lanes() does for its callers.
+
+#include "logic/pattern.hpp"
+#include "sim/frame_sim.hpp"
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace seqlearn::sim {
+
+using logic::Pattern;
+
+/// One scenario: the injection schedule a scalar run would receive, plus an
+/// optional per-lane frame limit (0 = the batch-wide opt.max_frames). A
+/// lane with limit L behaves exactly like a scalar run with max_frames = L
+/// — the multiple-node learner batches targets whose windows differ.
+struct BatchLane {
+    std::span<const Injection> injections;
+    std::uint32_t max_frames = 0;
+};
+
+/// Raw result of a batched run: a flat event stream (frame-major; each event
+/// carries the planes of the lanes assigned at that point) plus per-lane
+/// outcome summaries.
+struct BatchFrameResult {
+    struct Event {
+        std::uint32_t frame;
+        netlist::GateId gate;
+        std::uint64_t ones;   ///< lanes newly assigned 1 by this event
+        std::uint64_t zeros;  ///< lanes newly assigned 0 by this event
+    };
+    std::vector<Event> events;
+    /// Lanes that were simulated (bit i = lane i of the input span).
+    std::uint64_t used = 0;
+    /// Lanes that hit a contradiction: their events are invalid from an
+    /// unspecified point on — re-run them on a scalar FrameSimulator (or
+    /// consume the conflict verdict directly).
+    std::uint64_t fallback = 0;
+    /// Lanes that ended on the state-repeat rule.
+    std::uint64_t stopped_on_repeat = 0;
+    std::array<std::uint32_t, 64> frames_run{};
+
+    /// Extract one non-fallback lane into `out` (buffers reused). The
+    /// implied list is grouped by frame (frames simulate in order); within a
+    /// frame it carries the batch sweep's discovery order — the *set* per
+    /// frame equals a scalar run's (the fixpoint is schedule-independent),
+    /// the order does not; apply sim::canonicalize for a total order.
+    /// Returns `out` for chaining.
+    FrameSimResult& extract_lane(int lane, FrameSimResult& out) const;
+
+    /// Extract every used lane in one pass over the event stream (total cost
+    /// = the sum of per-lane implied sizes, not 64 * events); same ordering
+    /// contract as extract_lane. Fallback lanes get conflict=true and an
+    /// empty implied list — callers wanting their full scalar result must
+    /// re-run them (see run_lanes). `outs` must hold at least as many
+    /// results as lanes were simulated.
+    void extract_all(std::span<FrameSimResult> outs) const;
+
+private:
+    void finish_lane(int lane, FrameSimResult& out) const;
+};
+
+/// Reusable 64-lane simulator; shares the caller's CSR topology and is
+/// configured exactly like a FrameSimulator (gating, equivalences, ties).
+class BatchFrameSimulator {
+public:
+    /// Share an existing topology (must outlive the simulator).
+    BatchFrameSimulator(const Topology& topo, SeqGating gating);
+
+    /// Force known equivalence classes during simulation (may be null; must
+    /// outlive the simulator).
+    void set_equivalences(const EquivMap* equiv) noexcept {
+        equiv_ = equiv;
+        scalar_.set_equivalences(equiv);
+    }
+
+    /// Seed established tie facts in every frame at or after their proof
+    /// cycle — same contract as FrameSimulator::set_ties.
+    void set_ties(const std::vector<Val3>* ties,
+                  const std::vector<std::uint32_t>* cycles = nullptr) noexcept {
+        ties_ = ties;
+        tie_cycles_ = cycles;
+        scalar_.set_ties(ties, cycles);
+    }
+
+    /// Run up to 64 scenarios through one batched event sweep into a
+    /// caller-owned result whose buffers are reused across calls. Returns
+    /// `out` for chaining.
+    BatchFrameResult& run_batch(std::span<const BatchLane> lanes, const FrameSimOptions& opt,
+                                BatchFrameResult& out);
+
+    /// Convenience: run the batch and materialize every lane as a
+    /// FrameSimResult equal to canonicalize(scalar run of the same
+    /// scenario) — fallback lanes are re-run on the internal scalar
+    /// simulator, and every lane is canonicalized, so the output is a pure
+    /// function of the scenario. More than 64 lanes are processed in
+    /// 64-wide chunks. `outs.size()` must be >= `lanes.size()`.
+    void run_lanes(std::span<const BatchLane> lanes, const FrameSimOptions& opt,
+                   std::span<FrameSimResult> outs);
+
+    const Topology& topology() const noexcept { return *topo_; }
+
+private:
+    struct StateEntry {
+        netlist::GateId gate;
+        Pattern pat;
+    };
+
+    void assign(netlist::GateId g, Pattern p, std::uint64_t mask, std::uint32_t frame,
+                BatchFrameResult& res);
+    void propagate(std::uint32_t frame, BatchFrameResult& res);
+    void reset_frame_scratch();
+
+    const Topology* topo_;
+    SeqGating gating_;
+    const EquivMap* equiv_ = nullptr;
+    const std::vector<Val3>* ties_ = nullptr;
+    const std::vector<std::uint32_t>* tie_cycles_ = nullptr;
+
+    std::vector<Pattern> val_;
+    std::vector<netlist::GateId> touched_;
+    std::vector<std::vector<netlist::GateId>> buckets_;
+    std::vector<std::uint8_t> queued_;
+    std::size_t pending_ = 0;
+    std::uint32_t evt_lo_ = UINT32_MAX;
+    std::uint32_t evt_hi_ = 0;
+    std::uint64_t live_ = 0;
+
+    // Flattened injection schedule, frame-major with per-lane tags, plus the
+    // frame after which each lane's seeding is complete.
+    struct LaneInjection {
+        std::uint32_t frame;
+        netlist::GateId gate;
+        Val3 value;
+        std::uint8_t lane;
+    };
+    std::vector<LaneInjection> inj_;
+    std::array<std::uint32_t, 64> lane_seed_done_{};
+    std::array<std::uint32_t, 64> lane_limit_{};
+    std::vector<std::uint32_t> tie_cycles_scratch_;
+
+    std::vector<StateEntry> state_;
+    std::vector<StateEntry> next_state_;
+
+    // Scalar twin for fallback lanes (kept configured in lockstep).
+    FrameSimulator scalar_;
+    BatchFrameResult lanes_scratch_;  // run_lanes() working storage
+};
+
+}  // namespace seqlearn::sim

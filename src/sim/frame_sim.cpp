@@ -32,6 +32,13 @@ SeqGating SeqGating::for_class(const Netlist& nl, std::span<const GateId> class_
     return g;
 }
 
+void canonicalize(FrameSimResult& res) {
+    std::sort(res.implied.begin(), res.implied.end(),
+              [](const ImpliedValue& a, const ImpliedValue& b) {
+                  return a.frame != b.frame ? a.frame < b.frame : a.gate < b.gate;
+              });
+}
+
 FrameSimulator::FrameSimulator(const Netlist& nl, SeqGating gating)
     : owned_topo_(std::make_unique<Topology>(nl)),
       topo_(owned_topo_.get()),
@@ -145,7 +152,13 @@ FrameSimResult& FrameSimulator::run_into(std::span<const Injection> injections,
 
     // Injections are applied in frame order. The universal caller — learning
     // passing one frame-0 injection per run — is already sorted, so the copy
-    // + sort happens only for genuinely out-of-order schedules.
+    // + sort happens only for genuinely out-of-order schedules. Equal
+    // (frame, gate) keys are in order by definition, so the paired
+    // stem=0/stem=1 probes and tie-seeded multi-injection schedules stay on
+    // the fast path; the slow path uses a stable sort so equal-frame
+    // injections keep their given order (matching what the fast path does —
+    // an unstable sort would make the conflict outcome of same-frame
+    // schedules depend on std::sort internals).
     std::span<const Injection> inj = injections;
     bool sorted = true;
     for (std::size_t i = 1; i < injections.size(); ++i) {
@@ -156,8 +169,8 @@ FrameSimResult& FrameSimulator::run_into(std::span<const Injection> injections,
     }
     if (!sorted) {
         inj_scratch_.assign(injections.begin(), injections.end());
-        std::sort(inj_scratch_.begin(), inj_scratch_.end(),
-                  [](const Injection& a, const Injection& b) { return a.frame < b.frame; });
+        std::stable_sort(inj_scratch_.begin(), inj_scratch_.end(),
+                         [](const Injection& a, const Injection& b) { return a.frame < b.frame; });
         inj = inj_scratch_;
     }
     std::uint32_t last_seed_frame = 0;

@@ -83,6 +83,8 @@ struct ImpliedValue {
     std::uint32_t frame = 0;
     GateId gate = netlist::kNoGate;
     Val3 value = Val3::X;
+
+    friend bool operator==(const ImpliedValue&, const ImpliedValue&) = default;
 };
 
 struct FrameSimOptions {
@@ -106,6 +108,15 @@ struct FrameSimResult {
     /// True when the run ended on the state-repeat rule.
     bool stopped_on_repeat = false;
 };
+
+/// Re-order `res.implied` into canonical (frame, gate) order. Within a frame
+/// the fixpoint a run computes is unique, but the *discovery* order depends
+/// on the event schedule — and the 64-lane BatchFrameSimulator interleaves
+/// the schedules of all its lanes. Consumers that must produce identical
+/// results from a scalar run and from an extracted batch lane (the learning
+/// extraction) canonicalize both first. Keys are unique (a gate acquires at
+/// most one value per frame), so the order is total.
+void canonicalize(FrameSimResult& res);
 
 /// Reusable event-driven simulator; one instance per (topology, gating) pair
 /// amortizes the CSR build and scratch buffers across many runs.

@@ -5,14 +5,19 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/clock_class.hpp"
+#include "netlist/topology.hpp"
+#include "sim/batch_frame_sim.hpp"
 #include "sim/comb_engine.hpp"
 #include "sim/frame_sim.hpp"
 #include "sim/parallel_sim.hpp"
+#include "util/rng.hpp"
+#include "workload/circuit_gen.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
 namespace seqlearn::sim {
 namespace {
@@ -545,6 +550,237 @@ TEST(ParallelSim, SignaturesDeterministicAndEquivalenceRevealing) {
     // g3 is the complement in every lane.
     for (std::size_t r = 0; r < s1.rounds; ++r) {
         EXPECT_EQ(s1.of(nl.find("g1"))[r], ~s1.of(nl.find("g3"))[r]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Injection-schedule regressions: equal (frame, gate) keys are "sorted" (the
+// paired stem=0/stem=1 probes and tie-seeded multi-injection schedules stay
+// on the no-copy fast path), and the out-of-order slow path must keep
+// equal-frame injections in their given order (stable sort) so conflict
+// outcomes don't depend on std::sort internals.
+
+TEST(FrameSim, EqualFrameInjectionsKeepGivenOrder) {
+    NetlistBuilder b("stab");
+    b.input("a").input("b").input("c");
+    b.gate(GateType::Buf, "g1", {"a"});
+    b.gate(GateType::Buf, "g2", {"b"});
+    b.output("g1");
+    const Netlist nl = b.build();
+    FrameSimulator sim(nl, SeqGating::all_open(nl));
+    FrameSimOptions opt;
+    opt.max_frames = 4;
+
+    // Out-of-order schedule (frame 1 first) forces the sorting slow path;
+    // within frame 0 the injections contradict on both g1 and g2, and the
+    // first pair in the *given* order must produce the conflict.
+    const std::vector<Injection> unsorted{
+        {1, nl.find("c"), Val3::One},      {0, nl.find("g1"), Val3::Zero},
+        {0, nl.find("g1"), Val3::One},     {0, nl.find("g2"), Val3::Zero},
+        {0, nl.find("g2"), Val3::One},
+    };
+    const FrameSimResult res = sim.run(unsorted, opt);
+    EXPECT_TRUE(res.conflict);
+    EXPECT_EQ(res.conflict_gate, nl.find("g1"));
+    EXPECT_EQ(res.conflict_frame, 0u);
+
+    // A frame-sorted schedule with duplicate frames is already "sorted": the
+    // result must match the slow path's exactly.
+    const std::vector<Injection> sorted{
+        {0, nl.find("g1"), Val3::Zero}, {0, nl.find("g2"), Val3::One},
+        {1, nl.find("c"), Val3::One},
+    };
+    const std::vector<Injection> shuffled{
+        {1, nl.find("c"), Val3::One},  {0, nl.find("g1"), Val3::Zero},
+        {0, nl.find("g2"), Val3::One},
+    };
+    const FrameSimResult fast = sim.run(sorted, opt);
+    const FrameSimResult slow = sim.run(shuffled, opt);
+    EXPECT_EQ(fast.implied, slow.implied);
+    EXPECT_EQ(fast.conflict, slow.conflict);
+    EXPECT_EQ(fast.frames_run, slow.frames_run);
+}
+
+// ---------------------------------------------------------------------------
+// Lane parity: every BatchFrameSimulator lane must be bit-identical (after
+// canonicalize) to a scalar FrameSimulator run of the same scenario —
+// including lanes that conflict (scalar fallback), lanes with multi-frame
+// injection schedules, per-lane frame limits, tie seeding, equivalence
+// forcing, and clock-class gating.
+
+// Compare one lane against its scalar run. `limit` = the lane's effective
+// max_frames.
+void expect_lane_matches_scalar(FrameSimulator& scalar, const FrameSimResult& got,
+                                std::span<const Injection> injections, std::uint32_t limit,
+                                bool stop_on_repeat, int lane) {
+    FrameSimOptions opt;
+    opt.max_frames = limit;
+    opt.stop_on_state_repeat = stop_on_repeat;
+    FrameSimResult want = scalar.run(injections, opt);
+    canonicalize(want);
+    EXPECT_EQ(got.conflict, want.conflict) << "lane " << lane;
+    if (!want.conflict) {
+        EXPECT_EQ(got.frames_run, want.frames_run) << "lane " << lane;
+        EXPECT_EQ(got.stopped_on_repeat, want.stopped_on_repeat) << "lane " << lane;
+    }
+    ASSERT_EQ(got.implied.size(), want.implied.size()) << "lane " << lane;
+    for (std::size_t i = 0; i < want.implied.size(); ++i) {
+        EXPECT_EQ(got.implied[i].frame, want.implied[i].frame) << "lane " << lane;
+        EXPECT_EQ(got.implied[i].gate, want.implied[i].gate) << "lane " << lane;
+        EXPECT_EQ(got.implied[i].value, want.implied[i].value) << "lane " << lane;
+    }
+}
+
+// Random scenarios over generator circuits; a slice of lanes is forced to
+// conflict by contradictory same-frame injections.
+TEST(BatchFrameSim, LaneParityOnRandomCircuits) {
+    for (const std::uint64_t seed : {3u, 17u, 58u}) {
+        workload::GenParams p;
+        p.name = "bp";
+        p.seed = seed;
+        p.n_inputs = 6;
+        p.n_ffs = 12;
+        p.n_gates = 140;
+        p.shadow_ff_fraction = 0.3;
+        const Netlist nl = workload::generate(p);
+        const netlist::Topology topo(nl);
+        const SeqGating gating = SeqGating::all_open(nl);
+        BatchFrameSimulator bsim(topo, gating);
+        FrameSimulator scalar(topo, gating);
+
+        util::Rng rng(seed * 1013 + 7);
+        std::vector<std::vector<Injection>> schedules(64);
+        std::vector<BatchLane> lanes(64);
+        for (int l = 0; l < 64; ++l) {
+            const std::size_t n_inj = 1 + rng.below(3);
+            for (std::size_t i = 0; i < n_inj; ++i) {
+                schedules[l].push_back({static_cast<std::uint32_t>(rng.below(4)),
+                                        static_cast<GateId>(rng.below(nl.size())),
+                                        rng.chance(0.5) ? Val3::One : Val3::Zero});
+            }
+            if (l % 8 == 5) {
+                // Guaranteed conflict: both values on one gate in one frame.
+                const GateId g = static_cast<GateId>(rng.below(nl.size()));
+                schedules[l].push_back({0, g, Val3::Zero});
+                schedules[l].push_back({0, g, Val3::One});
+            }
+            lanes[l].injections = schedules[l];
+            lanes[l].max_frames = (l % 5 == 0) ? 3 + static_cast<std::uint32_t>(rng.below(5))
+                                               : 0;
+        }
+
+        FrameSimOptions opt;
+        opt.max_frames = 16;
+        std::vector<FrameSimResult> outs(64);
+        bsim.run_lanes(lanes, opt, outs);
+
+        bool saw_conflict = false;
+        for (int l = 0; l < 64; ++l) {
+            const std::uint32_t limit =
+                lanes[l].max_frames == 0 ? opt.max_frames
+                                         : std::min(lanes[l].max_frames, opt.max_frames);
+            expect_lane_matches_scalar(scalar, outs[l], schedules[l], limit,
+                                       opt.stop_on_state_repeat, l);
+            saw_conflict |= outs[l].conflict;
+        }
+        EXPECT_TRUE(saw_conflict) << "seed " << seed;
+    }
+}
+
+// The low-level API: conflict lanes must be flagged in `fallback` and clean
+// lanes extracted via extract_lane must match the scalar runs.
+TEST(BatchFrameSim, RawBatchFlagsConflictLanes) {
+    const Netlist nl = workload::generate(workload::iscas_like("bpraw", 8, 80, 5));
+    const netlist::Topology topo(nl);
+    const SeqGating gating = SeqGating::all_open(nl);
+    BatchFrameSimulator bsim(topo, gating);
+    FrameSimulator scalar(topo, gating);
+
+    const GateId g0 = topo.schedule().back();
+    std::vector<Injection> clean{{0, g0, Val3::One}};
+    std::vector<Injection> conflicting{{0, g0, Val3::One}, {0, g0, Val3::Zero}};
+    const BatchLane lanes[2] = {{clean, 0}, {conflicting, 0}};
+
+    FrameSimOptions opt;
+    opt.max_frames = 10;
+    BatchFrameResult res;
+    bsim.run_batch(lanes, opt, res);
+    EXPECT_EQ(res.used, 0b11u);
+    EXPECT_EQ(res.fallback, 0b10u);
+
+    FrameSimResult got;
+    res.extract_lane(0, got);
+    canonicalize(got);
+    expect_lane_matches_scalar(scalar, got, clean, opt.max_frames,
+                               opt.stop_on_state_repeat, 0);
+    // A second batch on the same simulator must be unaffected by the
+    // aborted lane (scratch fully reset).
+    bsim.run_batch({lanes, 1}, opt, res);
+    EXPECT_EQ(res.fallback, 0u);
+    res.extract_lane(0, got);
+    canonicalize(got);
+    expect_lane_matches_scalar(scalar, got, clean, opt.max_frames,
+                               opt.stop_on_state_repeat, 0);
+}
+
+// Parity under tie seeding (with proof cycles), equivalence forcing, and
+// clock-class gating — the exact configuration the learning passes use.
+TEST(BatchFrameSim, LaneParityWithTiesEquivalencesAndGating) {
+    workload::GenParams p;
+    p.name = "bpcfg";
+    p.seed = 11;
+    p.n_inputs = 5;
+    p.n_ffs = 10;
+    p.n_gates = 90;
+    p.clock_domains = 2;
+    p.sr_fraction = 0.3;
+    const Netlist nl = workload::generate(p);
+    const netlist::Topology topo(nl);
+    const auto classes = netlist::clock_classes(nl);
+    ASSERT_FALSE(classes.empty());
+    const SeqGating gating = SeqGating::for_class(nl, classes[0].members);
+
+    // A synthetic tie set (some with nonzero proof cycles) and a hand-made
+    // inverse-equivalence link; parity must hold whether or not the links
+    // reflect real circuit equivalences, since both engines force them.
+    std::vector<Val3> ties(nl.size(), Val3::X);
+    std::vector<std::uint32_t> cycles(nl.size(), 0);
+    util::Rng rng(99);
+    for (int i = 0; i < 6; ++i) {
+        const GateId g = static_cast<GateId>(rng.below(nl.size()));
+        ties[g] = rng.chance(0.5) ? Val3::One : Val3::Zero;
+        cycles[g] = static_cast<std::uint32_t>(rng.below(3));
+    }
+    EquivMap equiv(nl.size());
+    const GateId e1 = 1, e2 = 2;
+    equiv[e1].push_back({e2, true});
+    equiv[e2].push_back({e1, true});
+
+    BatchFrameSimulator bsim(topo, gating);
+    FrameSimulator scalar(topo, gating);
+    bsim.set_ties(&ties, &cycles);
+    scalar.set_ties(&ties, &cycles);
+    bsim.set_equivalences(&equiv);
+    scalar.set_equivalences(&equiv);
+
+    std::vector<std::vector<Injection>> schedules(40);
+    std::vector<BatchLane> lanes(40);
+    for (int l = 0; l < 40; ++l) {
+        const std::size_t n_inj = 1 + rng.below(2);
+        for (std::size_t i = 0; i < n_inj; ++i) {
+            schedules[l].push_back({static_cast<std::uint32_t>(rng.below(3)),
+                                    static_cast<GateId>(rng.below(nl.size())),
+                                    rng.chance(0.5) ? Val3::One : Val3::Zero});
+        }
+        lanes[l].injections = schedules[l];
+    }
+    FrameSimOptions opt;
+    opt.max_frames = 12;
+    std::vector<FrameSimResult> outs(40);
+    bsim.run_lanes(lanes, opt, outs);
+    for (int l = 0; l < 40; ++l) {
+        expect_lane_matches_scalar(scalar, outs[l], schedules[l], opt.max_frames,
+                                   opt.stop_on_state_repeat, l);
     }
 }
 
