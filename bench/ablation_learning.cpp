@@ -18,14 +18,15 @@ using namespace seqlearn;
 using netlist::Netlist;
 
 void frame_depth_sweep(const char* name) {
-    const Netlist nl = workload::suite_circuit(name);
+    const api::DesignPtr design =
+        api::DesignBuilder(workload::suite_circuit(name)).build();
     std::printf("\n== Ablation: frame depth (%s) ==\n", name);
     std::printf("%8s | %10s %10s %8s %8s | %8s\n", "frames", "FF-FF", "Gate-FF", "ties",
                 "multi", "CPU(s)");
     for (const std::uint32_t frames : {1u, 2u, 5u, 10u, 20u, 50u}) {
         core::LearnConfig cfg;
         cfg.max_frames = frames;
-        const core::LearnResult r = api::Session::view(nl).learn(cfg);
+        const core::LearnResult r = api::Session(design).learn(cfg);
         std::printf("%8u | %10zu %10zu %8zu %8zu | %8.3f\n", frames,
                     r.stats.ff_ff_relations, r.stats.gate_ff_relations, r.ties.count(),
                     r.stats.multi_relations, r.stats.cpu_seconds);
@@ -33,7 +34,8 @@ void frame_depth_sweep(const char* name) {
 }
 
 void stage_sweep(const char* name) {
-    const Netlist nl = workload::suite_circuit(name);
+    const api::DesignPtr design =
+        api::DesignBuilder(workload::suite_circuit(name)).build();
     std::printf("\n== Ablation: learning stages (%s) ==\n", name);
     std::printf("%-22s | %10s %10s %8s | %8s\n", "stage", "FF-FF", "Gate-FF", "ties",
                 "CPU(s)");
@@ -49,7 +51,7 @@ void stage_sweep(const char* name) {
         cfg.max_frames = 50;
         cfg.multiple_node = s.multi;
         cfg.use_equivalences = s.equiv;
-        const core::LearnResult r = api::Session::view(nl).learn(cfg);
+        const core::LearnResult r = api::Session(design).learn(cfg);
         std::printf("%-22s | %10zu %10zu %8zu | %8.3f\n", s.label,
                     r.stats.ff_ff_relations, r.stats.gate_ff_relations, r.ties.count(),
                     r.stats.cpu_seconds);
@@ -57,13 +59,14 @@ void stage_sweep(const char* name) {
 }
 
 void repeat_stop_sweep(const char* name) {
-    const Netlist nl = workload::suite_circuit(name);
+    const api::DesignPtr design =
+        api::DesignBuilder(workload::suite_circuit(name)).build();
     std::printf("\n== Ablation: state-repeat early stop (%s) ==\n", name);
     for (const bool stop : {true, false}) {
         core::LearnConfig cfg;
         cfg.max_frames = 50;
         cfg.stop_on_state_repeat = stop;
-        const core::LearnResult r = api::Session::view(nl).learn(cfg);
+        const core::LearnResult r = api::Session(design).learn(cfg);
         std::printf("stop=%-5s -> FF-FF %zu, Gate-FF %zu, CPU %.3f s\n",
                     stop ? "on" : "off", r.stats.ff_ff_relations,
                     r.stats.gate_ff_relations, r.stats.cpu_seconds);
@@ -71,11 +74,14 @@ void repeat_stop_sweep(const char* name) {
 }
 
 void BM_LearnDepth(benchmark::State& state) {
-    const Netlist nl = workload::suite_circuit("gen1423");
+    // Compile the Design once: the timed loop measures learn() only, not
+    // fault collapsing / clock classes / the netlist copy.
+    const api::DesignPtr design =
+        api::DesignBuilder(workload::suite_circuit("gen1423")).build();
     core::LearnConfig cfg;
     cfg.max_frames = static_cast<std::uint32_t>(state.range(0));
     for (auto _ : state) {
-        const core::LearnResult r = api::Session::view(nl).learn(cfg);
+        const core::LearnResult r = api::Session(design).learn(cfg);
         benchmark::DoNotOptimize(r.stats.ff_ff_relations);
     }
 }

@@ -21,6 +21,7 @@
 // the JSON to stdout only; CI uses a small --min-seconds as a smoke check
 // that every row still runs and emits well-formed JSON).
 
+#include "api/session.hpp"
 #include "core/seq_learn.hpp"
 #include "exec/pool.hpp"
 #include "fault/collapse.hpp"
@@ -38,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -159,6 +161,46 @@ Row bench_fault_sim(const Netlist& nl, const netlist::Topology& topo, exec::Pool
     return row;
 }
 
+Row bench_multi_session_atpg(const Netlist& nl) {
+    // The serving pattern of the Design/Session split: K concurrent
+    // Sessions over ONE shared immutable Design carrying ONE frozen
+    // LearnedSnapshot, each running an independent ATPG campaign on its own
+    // thread (campaigns capped at kCap targeted faults via the progress
+    // observer so a rep stays bounded). Items = faults targeted across all
+    // sessions; on a 1-core box the threads serialize and the row measures
+    // the sharing overhead, on real hardware it fans out.
+    constexpr unsigned kSessions = 4;
+    constexpr std::size_t kCap = 32;
+    api::Session learner{Netlist(nl)};
+    const api::DesignPtr design =
+        api::DesignBuilder(Netlist(nl)).learned(learner.freeze_learned()).build();
+    Row row = measure("multi_session_atpg", kSessions * kCap, g_min_seconds, [&] {
+        std::vector<std::thread> threads;
+        threads.reserve(kSessions);
+        for (unsigned t = 0; t < kSessions; ++t) {
+            threads.emplace_back([&design] {
+                api::SessionConfig cfg;
+                cfg.threads = 1;
+                cfg.progress = [](const api::Progress& p) {
+                    return !(p.stage == api::Stage::Atpg && p.done >= kCap);
+                };
+                api::Session session(design, std::move(cfg));
+                atpg::AtpgConfig acfg;
+                acfg.mode = atpg::LearnMode::ForbiddenValue;
+                acfg.backtrack_limit = 30;
+                // Generation throughput only: the untestability provers are
+                // a separate (and much slower) per-fault cost that would
+                // drown the sharing signal this row exists to track.
+                acfg.identify_untestable = false;
+                session.atpg(acfg);
+            });
+        }
+        for (std::thread& t : threads) t.join();
+    });
+    row.threads = kSessions;
+    return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,6 +240,7 @@ int main(int argc, char** argv) {
     rows.push_back(bench_fault_sim(nl, topo, nullptr, 1, /*mt=*/false));
     rows.push_back(bench_learn(nl, topo, &pool, hw, "learn_full_pass_mt", 0));
     rows.push_back(bench_fault_sim(nl, topo, &pool, hw, /*mt=*/true));
+    rows.push_back(bench_multi_session_atpg(nl));
 
     std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -32,7 +32,7 @@ void run_table4() {
         util::Timer t1;
         core::LearnConfig cfg;
         cfg.max_frames = 50;
-        const core::LearnResult r = api::Session::view(nl).learn(cfg);
+        const core::LearnResult r = api::Session(netlist::Netlist(nl)).learn(cfg);
         const auto tie_faults = r.ties.untestable_faults(nl, universe);
         const double tie_cpu = t1.seconds();
 
@@ -59,7 +59,7 @@ BENCHMARK(BM_Fires);
 void BM_TieDerivation(benchmark::State& state) {
     const Netlist nl = workload::suite_circuit("gen3330");
     const auto universe = fault::fault_universe(nl);
-    const core::LearnResult r = api::Session::view(nl).learn();
+    const core::LearnResult r = api::Session(netlist::Netlist(nl)).learn();
     for (auto _ : state) {
         const auto faults = r.ties.untestable_faults(nl, universe);
         benchmark::DoNotOptimize(faults.size());

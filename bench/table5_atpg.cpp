@@ -71,7 +71,7 @@ void run_table5() {
         const Netlist nl = workload::suite_circuit(name);
         core::LearnConfig lcfg;
         lcfg.max_frames = 50;
-        const core::LearnResult learned = api::Session::view(nl).learn(lcfg);
+        const core::LearnResult learned = api::Session(netlist::Netlist(nl)).learn(lcfg);
         const std::size_t total = fault::collapse(nl).size();
         for (const std::uint32_t bt : {30u, 1000u}) {
             const Row none = campaign(nl, LearnMode::None, nullptr, bt);
@@ -89,7 +89,7 @@ void run_table5() {
 
 void BM_AtpgRetimed(benchmark::State& state) {
     const Netlist nl = workload::suite_circuit("rt510a");
-    const core::LearnResult learned = api::Session::view(nl).learn();
+    const core::LearnResult learned = api::Session(netlist::Netlist(nl)).learn();
     const LearnMode mode = static_cast<LearnMode>(state.range(0));
     for (auto _ : state) {
         const Row r = campaign(nl, mode, mode == LearnMode::None ? nullptr : &learned, 30);

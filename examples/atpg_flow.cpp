@@ -20,18 +20,25 @@ int main(int argc, char** argv) {
     const auto backtrack_limit =
         static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 30);
 
-    // One Session per circuit: the netlist is levelized once and the learn /
-    // generate / simulate engines all share that snapshot.
-    api::Session session(workload::suite_circuit(name));
+    // The paper flow is one-producer/many-consumers: learn once, then let
+    // every campaign consume the frozen result. Compile the circuit into an
+    // immutable Design, learn in a throwaway Session, and freeze the result
+    // into a second Design that all the mode campaigns below share — each
+    // campaign gets its own cheap Session (they could run on N threads).
+    api::Session learner(workload::suite_circuit(name));
     std::printf("%s: %zu gates, %zu FFs, %zu collapsed faults (%zu uncollapsed)\n",
-                name.c_str(), session.netlist().counts().combinational,
-                session.netlist().seq_elements().size(), session.collapsed_faults().size(),
-                session.collapsed_faults().universe_size());
+                name.c_str(), learner.netlist().counts().combinational,
+                learner.netlist().seq_elements().size(), learner.collapsed_faults().size(),
+                learner.collapsed_faults().universe_size());
 
-    const core::LearnResult& learned = session.learn();
+    const core::LearnResult& learned = learner.learn();
     std::printf("learning: %zu FF-FF + %zu Gate-FF relations, %zu ties, %.3f s\n\n",
                 learned.stats.ff_ff_relations, learned.stats.gate_ff_relations,
                 learned.ties.count(), learned.stats.cpu_seconds);
+
+    const api::DesignPtr design = api::DesignBuilder(workload::suite_circuit(name))
+                                      .learned(learner.freeze_learned())
+                                      .build();
 
     std::printf("%-18s | %8s %8s %8s %8s | %9s %10s\n", "mode", "detected", "untest",
                 "aborted", "undet", "coverage", "CPU (s)");
@@ -42,6 +49,11 @@ int main(int argc, char** argv) {
     for (const ModeRow m : {ModeRow{"no learning", atpg::LearnMode::None},
                             ModeRow{"forbidden values", atpg::LearnMode::ForbiddenValue},
                             ModeRow{"known values", atpg::LearnMode::KnownValue}}) {
+        // A fresh Session per campaign: construction is O(1) against the
+        // shared Design (no re-levelization), and LearnMode::None stays a
+        // true no-learning baseline — the snapshot is only wired into modes
+        // that ask for learned data.
+        api::Session session(design);
         atpg::AtpgConfig cfg;
         cfg.mode = m.mode;
         cfg.backtrack_limit = backtrack_limit;

@@ -1,4 +1,5 @@
-// Quickstart: parse a circuit into a Session, run the paper flow, inspect.
+// Quickstart: load a circuit into a shared Design, run the paper flow
+// through a Session, inspect.
 //
 //   $ ./quickstart [circuit.bench]
 //
@@ -6,31 +7,32 @@
 
 #include "api/session.hpp"
 #include "core/invalid_state.hpp"
-#include "netlist/bench_io.hpp"
 #include "workload/paper_circuits.hpp"
 
 #include <cstdio>
-#include <fstream>
 
 int main(int argc, char** argv) {
     using namespace seqlearn;
 
-    // 1. Load a circuit: from a .bench file, or the embedded example.
-    netlist::Netlist nl;
+    // 1. Load a circuit into an immutable Design: from a .bench file via
+    //    the streaming reader (which reports line-numbered diagnostics
+    //    instead of dying on the first problem), or the embedded example.
+    api::DesignPtr design;
     if (argc > 1) {
-        std::ifstream in(argv[1]);
-        if (!in) {
-            std::fprintf(stderr, "cannot open %s\n", argv[1]);
-            return 1;
-        }
-        nl = netlist::read_bench(in, argv[1]);
+        const api::DesignLoad load = api::load_design(argv[1]);
+        if (!load.diagnostics.empty())
+            std::fputs(load.diagnostics.to_string(argv[1]).c_str(), stderr);
+        if (!load.ok()) return 1;
+        design = load.design;
     } else {
-        nl = workload::fig2_analog();
+        design = api::DesignBuilder(workload::fig2_analog()).build();
     }
 
-    // 2. A Session owns the netlist and the one shared CSR topology every
-    //    stage engine reads; the whole flow hangs off its methods.
-    api::Session session(std::move(nl));
+    // 2. The Design owns the netlist and the one shared CSR topology every
+    //    stage engine reads; a Session adds the mutable per-run state and
+    //    the whole flow hangs off its methods. (Any number of Sessions
+    //    could share `design` concurrently.)
+    api::Session session(design);
     const auto counts = session.netlist().counts();
     std::printf("circuit %s: %zu inputs, %zu outputs, %zu FFs, %zu gates\n",
                 session.netlist().name().c_str(), counts.inputs, counts.outputs,

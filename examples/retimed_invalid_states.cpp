@@ -39,9 +39,10 @@ int main() {
             std::printf("density of encoding: %.4f (valid states / total states)\n",
                         density);
         }
-        // One Session per circuit: learning and both campaigns below share
-        // its topology and engines.
-        api::Session session(*nl);
+        // One Session per circuit (over a private Design compiled from a
+        // copy): learning and both campaigns below share its topology and
+        // engines.
+        api::Session session{netlist::Netlist(*nl)};
         const core::LearnResult& learned = session.learn();
         const core::InvalidStateChecker chk(*nl, learned.db);
         std::printf("learned: %zu FF-FF relations (invalid-state relations), "

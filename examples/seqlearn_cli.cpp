@@ -1,45 +1,53 @@
 // seqlearn_cli — drive the library from the command line on .bench files.
 //
-//   seqlearn_cli stats  <circuit.bench | suite:NAME>
+//   seqlearn_cli stats  <circuit.bench | suite:NAME> [--json]
 //   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--threads N]
-//                       [--batch-lanes N] [--save-db FILE] [--out FILE]
+//                       [--batch-lanes N] [--limit-stems N] [--save-db FILE]
+//                       [--out FILE] [--json]
 //   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
 //                       [--backtracks N] [--load-db FILE] [--save-db FILE]
-//                       [--random N] [--progress] [--threads N]
+//                       [--random N] [--progress] [--threads N] [--json]
+//   seqlearn_cli gen    <out.bench | -> [--gates N] [--ffs N] [--inputs N]
+//                       [--outputs N] [--seed N] [--name NAME]
 //
 // "suite:NAME" loads one of the built-in experiment circuits (e.g.
-// suite:rt510a); anything else is parsed as an ISCAS-89 .bench file. All
-// commands run through an api::Session, so the circuit is levelized once
-// and learned data moves through Session::save_db / load_db. (--out and
-// --learned are deprecated aliases of --save-db and --load-db.)
+// suite:rt510a); anything else is parsed as an ISCAS-89 .bench file through
+// the streaming reader. Parse warnings (duplicate definitions, pragmas for
+// unknown elements, ...) are reported on stderr instead of being silently
+// dropped; errors are all reported, then the command exits 1. All commands
+// run through an api::Session over an api::Design, so the circuit is
+// levelized once and learned data moves through Session::save_db / load_db.
+// (--out and --learned are deprecated aliases of --save-db and --load-db.)
 //
-// --threads N runs every stage on N workers (default: one per hardware
-// thread; results are bit-identical at any thread count). --threads 1
-// forces the serial paths. --batch-lanes N sets the 64-lane bit-parallel
-// stem batching of the learning pass (default 64; 0 forces the scalar
-// one-run-per-injection path; results are bit-identical at any setting).
+// --json emits one machine-readable JSON object on stdout — Session::stats()
+// plus the parse diagnostics — and silences the human-readable report.
+// --limit-stems N budgets the learning pass to the first N stems (the
+// result is flagged cancelled), which is how the CI large-circuit smoke
+// keeps a 100k-gate learn bounded. --threads N runs every stage on N
+// workers (default: one per hardware thread; results are bit-identical at
+// any thread count). --batch-lanes N sets the 64-lane bit-parallel stem
+// batching of the learning pass (default 64; 0 forces the scalar path;
+// results are bit-identical at any setting). gen writes a synthetic
+// ISCAS-like circuit via workload::circuit_gen for scaling experiments.
 
 #include "api/session.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/structure.hpp"
+#include "workload/circuit_gen.hpp"
 #include "workload/suite.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 namespace {
 
 using namespace seqlearn;
-
-netlist::Netlist load_circuit(const std::string& spec) {
-    if (spec.rfind("suite:", 0) == 0) return workload::suite_circuit(spec.substr(6));
-    std::ifstream in(spec);
-    if (!in) throw std::runtime_error("cannot open " + spec);
-    return netlist::read_bench(in, spec);
-}
 
 const char* flag_value(int argc, char** argv, const char* name) {
     for (int i = 0; i + 1 < argc; ++i) {
@@ -55,7 +63,119 @@ bool flag_present(int argc, char** argv, const char* name) {
     return false;
 }
 
-int cmd_stats(api::Session& session) {
+// --- JSON helpers (small and dependency-free, like the bench emitter) ----
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string diagnostics_json(const netlist::Diagnostics& diags) {
+    std::string out = "[";
+    bool first = true;
+    for (const netlist::Diagnostic& d : diags.records()) {
+        if (!first) out += ", ";
+        first = false;
+        out += "{\"severity\": \"";
+        out += d.severity == netlist::Severity::Error ? "error" : "warning";
+        out += "\", \"line\": " + std::to_string(d.line);
+        out += ", \"message\": \"" + json_escape(d.message) + "\"}";
+    }
+    out += "]";
+    return out;
+}
+
+/// One JSON document: stats() for everything computed so far plus the parse
+/// diagnostics — the machine-readable twin of the human reports below.
+void print_json(api::Session& session, const netlist::Diagnostics& diags) {
+    const api::SessionStats s = session.stats();
+    std::string out = "{\n";
+    out += "  \"circuit\": \"" + json_escape(session.netlist().name()) + "\",\n";
+    out += "  \"diagnostics\": " + diagnostics_json(diags) + ",\n";
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "  \"inputs\": %zu, \"outputs\": %zu, \"flip_flops\": %zu, "
+                  "\"latches\": %zu, \"gates\": %zu,\n"
+                  "  \"stems\": %zu, \"levels\": %zu, \"clock_classes\": %zu, "
+                  "\"collapsed_faults\": %zu,\n",
+                  s.circuit.inputs, s.circuit.outputs, s.circuit.flip_flops,
+                  s.circuit.latches, s.circuit.combinational, s.stems, s.levels,
+                  s.clock_classes, s.collapsed_faults);
+    out += buf;
+    out += std::string("  \"learned\": ") + (s.learned ? "true" : "false");
+    if (s.learned) {
+        std::snprintf(buf, sizeof buf,
+                      ",\n  \"learn\": {\"relations\": %zu, \"ties\": %zu, "
+                      "\"ff_ff_relations\": %zu, \"gate_ff_relations\": %zu, "
+                      "\"comb_relations\": %zu, \"equiv_classes\": %zu, "
+                      "\"multi_relations\": %zu, \"stems_processed\": %zu, "
+                      "\"cancelled\": %s, \"cpu_seconds\": %.3f}",
+                      s.relations, s.ties, s.learn.ff_ff_relations,
+                      s.learn.gate_ff_relations, s.learn.comb_relations,
+                      s.learn.equiv_classes, s.learn.multi_relations,
+                      s.learn.stems_processed, s.learn.cancelled ? "true" : "false",
+                      s.learn.cpu_seconds);
+        out += buf;
+    }
+    if (s.atpg_run) {
+        std::snprintf(buf, sizeof buf,
+                      ",\n  \"atpg\": {\"total\": %zu, \"detected\": %zu, "
+                      "\"untestable\": %zu, \"aborted\": %zu, \"undetected\": %zu, "
+                      "\"test_coverage\": %.4f, \"tests\": %zu}",
+                      s.faults.total, s.faults.detected, s.faults.untestable,
+                      s.faults.aborted, s.faults.undetected, s.test_coverage, s.tests);
+        out += buf;
+    }
+    out += "\n}\n";
+    std::fputs(out.c_str(), stdout);
+}
+
+// --- circuit loading ------------------------------------------------------
+
+struct LoadedCircuit {
+    api::DesignPtr design;  ///< null when parsing failed
+    netlist::Diagnostics diagnostics;
+    std::string source;  ///< what to prefix diagnostics with
+};
+
+LoadedCircuit load_circuit(const std::string& spec) {
+    LoadedCircuit out;
+    out.source = spec;
+    if (spec.rfind("suite:", 0) == 0) {
+        out.design = api::DesignBuilder(workload::suite_circuit(spec.substr(6))).build();
+        return out;
+    }
+    api::DesignLoad load = api::load_design(spec);
+    out.diagnostics = std::move(load.diagnostics);
+    out.design = std::move(load.design);
+    return out;
+}
+
+// --- commands -------------------------------------------------------------
+
+int cmd_stats(api::Session& session, const netlist::Diagnostics& diags, bool json) {
+    if (json) {
+        print_json(session, diags);
+        return 0;
+    }
     const api::SessionStats s = session.stats();
     std::printf("circuit:      %s\n", session.netlist().name().c_str());
     std::printf("inputs:       %zu\n", s.circuit.inputs);
@@ -73,31 +193,50 @@ int cmd_stats(api::Session& session) {
     return 0;
 }
 
-int cmd_learn(api::Session& session, int argc, char** argv) {
+int cmd_learn(api::Session& session, const netlist::Diagnostics& diags, int argc,
+              char** argv, bool json) {
     core::LearnConfig cfg;
     if (const char* f = flag_value(argc, argv, "--frames"))
         cfg.max_frames = static_cast<std::uint32_t>(std::atoi(f));
     if (const char* b = flag_value(argc, argv, "--batch-lanes"))
         cfg.batch_lanes = static_cast<std::size_t>(std::atoi(b));
+    if (const char* l = flag_value(argc, argv, "--limit-stems")) {
+        // Budgeted pass: cancel cleanly after N stems (partial results are
+        // kept and stats.cancelled is set) — bounds learn time on huge
+        // circuits without a special-cased fast path. An explicit on_stem
+        // preempts the Session-level progress wiring, so the meter is drawn
+        // here when --progress asked for one.
+        const auto limit = static_cast<std::size_t>(std::atoll(l));
+        const bool meter = flag_present(argc, argv, "--progress");
+        cfg.on_stem = [limit, meter](std::size_t done, std::size_t total) {
+            if (meter) std::fprintf(stderr, "\r%-9s %zu/%zu", "learn", done, total);
+            return done < limit;
+        };
+    }
     const core::LearnResult& r = session.learn(cfg);
-    std::printf("learned in %.3f s over %zu stems:\n", r.stats.cpu_seconds,
-                r.stats.stems_processed);
-    std::printf("  FF-FF relations:   %zu\n", r.stats.ff_ff_relations);
-    std::printf("  Gate-FF relations: %zu\n", r.stats.gate_ff_relations);
-    std::printf("  combinational:     %zu\n", r.stats.comb_relations);
-    std::printf("  tie gates:         %zu (%zu comb, %zu seq)\n", r.ties.count(),
-                r.stats.ties_combinational, r.stats.ties_sequential);
-    std::printf("  equivalence classes: %zu\n", r.stats.equiv_classes);
+    if (json) {
+        print_json(session, diags);
+    } else {
+        std::printf("learned in %.3f s over %zu stems%s:\n", r.stats.cpu_seconds,
+                    r.stats.stems_processed, r.stats.cancelled ? " (budget hit)" : "");
+        std::printf("  FF-FF relations:   %zu\n", r.stats.ff_ff_relations);
+        std::printf("  Gate-FF relations: %zu\n", r.stats.gate_ff_relations);
+        std::printf("  combinational:     %zu\n", r.stats.comb_relations);
+        std::printf("  tie gates:         %zu (%zu comb, %zu seq)\n", r.ties.count(),
+                    r.stats.ties_combinational, r.stats.ties_sequential);
+        std::printf("  equivalence classes: %zu\n", r.stats.equiv_classes);
+    }
     const char* path = flag_value(argc, argv, "--save-db");
     if (path == nullptr) path = flag_value(argc, argv, "--out");
     if (path != nullptr) {
         session.save_db(path);
-        std::printf("saved learned data to %s\n", path);
+        if (!json) std::printf("saved learned data to %s\n", path);
     }
     return 0;
 }
 
-int cmd_atpg(api::Session& session, int argc, char** argv) {
+int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
+             char** argv, bool json) {
     atpg::AtpgConfig cfg;
     cfg.backtrack_limit = 30;
     if (const char* bt = flag_value(argc, argv, "--backtracks"))
@@ -114,9 +253,11 @@ int cmd_atpg(api::Session& session, int argc, char** argv) {
         if (db_path == nullptr) db_path = flag_value(argc, argv, "--learned");
         if (const char* path = db_path) {
             const std::size_t skipped = session.load_db(path);
-            std::printf("loaded learned data (%zu relations, %zu ties, %zu skipped)\n",
-                        session.learn().db.size(), session.learn().ties.count(), skipped);
-        } else {
+            if (!json)
+                std::printf("loaded learned data (%zu relations, %zu ties, %zu skipped)\n",
+                            session.learn().db.size(), session.learn().ties.count(),
+                            skipped);
+        } else if (!json) {
             const core::LearnResult& learned = session.learn();
             std::printf("learned on the fly: %zu relations, %zu ties\n",
                         learned.db.size(), learned.ties.count());
@@ -125,6 +266,14 @@ int cmd_atpg(api::Session& session, int argc, char** argv) {
     }
 
     const api::AtpgReport& report = session.atpg(cfg);
+    if (const char* path = flag_value(argc, argv, "--save-db")) {
+        session.save_db(path);
+        if (!json) std::printf("saved learned data to %s\n", path);
+    }
+    if (json) {
+        print_json(session, diags);
+        return 0;
+    }
     const auto c = report.list.counts();
     std::printf("mode=%s backtracks=%u\n", mode_s.c_str(), cfg.backtrack_limit);
     std::printf("  detected:   %zu (of %zu)\n", c.detected, c.total);
@@ -136,10 +285,35 @@ int cmd_atpg(api::Session& session, int argc, char** argv) {
     std::printf("  sequences:  %zu (bootstrap detected %zu)\n",
                 report.outcome.tests.size(), report.outcome.detected_by_bootstrap);
     std::printf("  cpu:        %.2f s\n", report.outcome.cpu_seconds);
-    if (const char* path = flag_value(argc, argv, "--save-db")) {
-        session.save_db(path);
-        std::printf("saved learned data to %s\n", path);
+    return 0;
+}
+
+int cmd_gen(int argc, char** argv) {
+    const std::string out_path = argv[2];
+    workload::GenParams p;
+    p.name = "gen";
+    if (const char* v = flag_value(argc, argv, "--name")) p.name = v;
+    if (const char* v = flag_value(argc, argv, "--gates"))
+        p.n_gates = static_cast<std::size_t>(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--ffs"))
+        p.n_ffs = static_cast<std::size_t>(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--inputs"))
+        p.n_inputs = static_cast<std::size_t>(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--outputs"))
+        p.n_outputs = static_cast<std::size_t>(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--seed"))
+        p.seed = static_cast<std::uint64_t>(std::atoll(v));
+    const netlist::Netlist nl = workload::generate(p);
+    if (out_path == "-") {
+        netlist::write_bench(std::cout, nl);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) throw std::runtime_error("cannot write " + out_path);
+        netlist::write_bench(out, nl);
     }
+    std::fprintf(stderr, "generated %s: %zu gates (%zu comb, %zu FFs, %zu inputs)\n",
+                 nl.name().c_str(), nl.size(), nl.counts().combinational,
+                 nl.counts().flip_flops, nl.counts().inputs);
     return 0;
 }
 
@@ -148,11 +322,27 @@ int cmd_atpg(api::Session& session, int argc, char** argv) {
 int main(int argc, char** argv) {
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: %s stats|learn|atpg <circuit.bench|suite:NAME> [options]\n",
+                     "usage: %s stats|learn|atpg|gen <circuit.bench|suite:NAME|out.bench>"
+                     " [options]\n",
                      argv[0]);
         return 2;
     }
     try {
+        const std::string cmd = argv[1];
+        if (cmd == "gen") return cmd_gen(argc, argv);
+
+        const bool json = flag_present(argc, argv, "--json");
+        LoadedCircuit loaded = load_circuit(argv[2]);
+        // Report every parse diagnostic on stderr (warnings included — they
+        // used to be dropped); --json carries them in the output object too.
+        if (!loaded.diagnostics.empty())
+            std::fputs(loaded.diagnostics.to_string(loaded.source).c_str(), stderr);
+        if (!loaded.design) {
+            std::fprintf(stderr, "error: %s failed to parse (%zu errors)\n",
+                         loaded.source.c_str(), loaded.diagnostics.error_count());
+            return 1;
+        }
+
         api::SessionConfig scfg;
         if (const char* t = flag_value(argc, argv, "--threads"))
             scfg.threads = static_cast<unsigned>(std::atoi(t));
@@ -172,12 +362,13 @@ int main(int argc, char** argv) {
                 return true;  // observation only; never cancels
             };
         }
-        api::Session session(load_circuit(argv[2]), std::move(scfg));
-        const std::string cmd = argv[1];
+        api::Session session(loaded.design, std::move(scfg));
         int rc = 2;
-        if (cmd == "stats") rc = cmd_stats(session);
-        else if (cmd == "learn") rc = cmd_learn(session, argc, argv);
-        else if (cmd == "atpg") rc = cmd_atpg(session, argc, argv);
+        if (cmd == "stats") rc = cmd_stats(session, loaded.diagnostics, json);
+        else if (cmd == "learn")
+            rc = cmd_learn(session, loaded.diagnostics, argc, argv, json);
+        else if (cmd == "atpg")
+            rc = cmd_atpg(session, loaded.diagnostics, argc, argv, json);
         else std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
         if (progress) std::fprintf(stderr, "\n");
         return rc;

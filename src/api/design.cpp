@@ -1,0 +1,65 @@
+#include "api/design.hpp"
+
+#include "core/db_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace seqlearn::api {
+
+Design::Design(netlist::Netlist nl, std::shared_ptr<const core::LearnedSnapshot> learned)
+    : nl_(std::move(nl)),
+      topo_(nl_),  // levelized exactly once, here
+      classes_(netlist::clock_classes(nl_)),
+      faults_(fault::collapse(nl_)),
+      stems_(nl_.stems()),
+      learned_(std::move(learned)) {}
+
+DesignBuilder& DesignBuilder::learned(std::shared_ptr<const core::LearnedSnapshot> snap) {
+    learned_ = std::move(snap);
+    return *this;
+}
+
+DesignBuilder& DesignBuilder::learned(core::LearnResult result) {
+    learned_ = core::freeze_learned(std::move(result));
+    return *this;
+}
+
+DesignBuilder& DesignBuilder::load_db(std::istream& in) {
+    core::LoadedSnapshot loaded = core::load_snapshot(in, nl_);
+    learned_ = std::move(loaded.snapshot);
+    db_skipped_ = loaded.skipped_lines;
+    return *this;
+}
+
+DesignBuilder& DesignBuilder::load_db(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("DesignBuilder::load_db: cannot read " + path);
+    return load_db(in);
+}
+
+DesignPtr DesignBuilder::build() {
+    return DesignPtr(new Design(std::move(nl_), std::move(learned_)));
+}
+
+DesignLoad load_design(std::istream& in, std::string name) {
+    DesignLoad out;
+    netlist::BenchReadResult parsed = netlist::read_bench_diag(in, std::move(name));
+    out.diagnostics = std::move(parsed.diagnostics);
+    if (!parsed.netlist) return out;
+    out.design = DesignBuilder(std::move(*parsed.netlist)).build();
+    return out;
+}
+
+DesignLoad load_design(const std::string& bench_path) {
+    std::ifstream in(bench_path, std::ios::binary);
+    if (!in) {
+        DesignLoad out;
+        out.diagnostics.error(0, "cannot open '" + bench_path + "'");
+        return out;
+    }
+    return load_design(in, bench_path);
+}
+
+}  // namespace seqlearn::api

@@ -1,0 +1,125 @@
+#pragma once
+// The immutable, thread-safe circuit artifact every Session consumes.
+//
+// The paper's flow is one-producer/many-consumers: a circuit is compiled
+// once (parse, levelize, partition clocks, collapse faults, optionally
+// attach pre-learned knowledge), then any number of learning / ATPG /
+// fault-simulation runs consume that frozen structure. A Design is exactly
+// that artifact: everything in it is computed at build time and const
+// afterwards, so a `std::shared_ptr<const Design>` can be handed to any
+// number of threads, each constructing its own cheap api::Session over it,
+// with no locking and bit-identical results to a serial run.
+//
+//     auto load = api::load_design("big.bench");      // streaming reader
+//     if (!load.design) { /* inspect load.diagnostics */ }
+//     api::Session s(load.design);                     // microseconds
+//
+//     // or assemble explicitly:
+//     auto design = api::DesignBuilder(std::move(nl))
+//                       .learned(session.freeze_learned())  // optional
+//                       .build();
+//
+// Ownership: Design owns the Netlist, the one CSR Topology (levelized
+// once), the clock classes and the collapsed fault universe. The optional
+// LearnedSnapshot is held by shared_ptr so learned knowledge can also be
+// shared across Designs (e.g. mild netlist edits reusing a saved DB).
+
+#include "core/learned_snapshot.hpp"
+#include "fault/collapse.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/clock_class.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seqlearn::api {
+
+class Design {
+public:
+    const std::string& name() const noexcept { return nl_.name(); }
+    const netlist::Netlist& netlist() const noexcept { return nl_; }
+    const netlist::Topology& topology() const noexcept { return topo_; }
+    const std::vector<netlist::ClockClass>& clock_classes() const noexcept {
+        return classes_;
+    }
+    const fault::CollapsedFaults& collapsed_faults() const noexcept { return faults_; }
+
+    /// Pre-learned knowledge attached at build time, or nullptr.
+    const core::LearnedSnapshot* learned() const noexcept { return learned_.get(); }
+    std::shared_ptr<const core::LearnedSnapshot> learned_ptr() const noexcept {
+        return learned_;
+    }
+
+    /// Fanout stems in id order, precomputed for stats/reporting and for
+    /// consumers sizing progress totals (the learning pass derives its own
+    /// per-clock-class schedule internally).
+    const std::vector<netlist::GateId>& stems() const noexcept { return stems_; }
+
+private:
+    friend class DesignBuilder;
+    Design(netlist::Netlist nl, std::shared_ptr<const core::LearnedSnapshot> learned);
+
+    netlist::Netlist nl_;
+    netlist::Topology topo_;
+    std::vector<netlist::ClockClass> classes_;
+    fault::CollapsedFaults faults_;
+    std::vector<netlist::GateId> stems_;
+    std::shared_ptr<const core::LearnedSnapshot> learned_;
+};
+
+/// How Designs are shared: immutable, reference-counted.
+using DesignPtr = std::shared_ptr<const Design>;
+
+/// Assembles a Design from a Netlist plus optional learned knowledge.
+/// Compilation (levelization, clock classes, fault collapsing) happens once
+/// in build(); the returned Design is frozen.
+class DesignBuilder {
+public:
+    explicit DesignBuilder(netlist::Netlist nl) : nl_(std::move(nl)) {}
+
+    /// Attach a frozen learned snapshot (shared; may feed other Designs).
+    DesignBuilder& learned(std::shared_ptr<const core::LearnedSnapshot> snap);
+    /// Freeze and attach a learn() result.
+    DesignBuilder& learned(core::LearnResult result);
+
+    /// Load a saved implication DB + tie set (core::db_io text format) as
+    /// the Design's learned snapshot. Entries naming gates absent from the
+    /// netlist are skipped (count via db_skipped()). Throws
+    /// std::runtime_error on malformed input or an unreadable path.
+    DesignBuilder& load_db(std::istream& in);
+    DesignBuilder& load_db(const std::string& path);
+    /// Entries skipped by the last load_db() call.
+    std::size_t db_skipped() const noexcept { return db_skipped_; }
+
+    /// Compile and freeze. The builder is consumed (netlist moved out).
+    DesignPtr build();
+
+private:
+    netlist::Netlist nl_;
+    std::shared_ptr<const core::LearnedSnapshot> learned_;
+    std::size_t db_skipped_ = 0;
+};
+
+/// Result of loading a .bench file into a Design: the design (null when the
+/// reader recorded any error) plus every parse diagnostic.
+struct DesignLoad {
+    DesignPtr design;
+    netlist::Diagnostics diagnostics;
+
+    bool ok() const noexcept { return design != nullptr; }
+};
+
+/// Parse `in` with the streaming .bench reader and compile the result into
+/// a shared Design. On parse errors the design is null and the diagnostics
+/// say why (line-numbered); warnings are reported alongside a valid design.
+DesignLoad load_design(std::istream& in, std::string name = "circuit");
+
+/// load_design from a file path (the path becomes the circuit name). An
+/// unreadable path is reported as an error diagnostic, not an exception.
+DesignLoad load_design(const std::string& bench_path);
+
+}  // namespace seqlearn::api

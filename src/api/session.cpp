@@ -7,20 +7,19 @@
 
 namespace seqlearn::api {
 
-Session::Session(netlist::Netlist nl, SessionConfig cfg)
-    : Session(std::make_unique<netlist::Netlist>(std::move(nl)), nullptr, std::move(cfg)) {}
-
-Session Session::view(const netlist::Netlist& nl, SessionConfig cfg) {
-    return Session(nullptr, &nl, std::move(cfg));
+Session::Session(DesignPtr design, SessionConfig cfg)
+    : design_(std::move(design)),
+      cfg_(std::move(cfg)),
+      cancel_(std::make_unique<exec::CancelFlag>()) {
+    if (!design_) throw std::invalid_argument("Session: null design");
 }
 
-Session::Session(std::unique_ptr<netlist::Netlist> owned, const netlist::Netlist* borrowed,
-                 SessionConfig cfg)
-    : cfg_(std::move(cfg)),
-      owned_nl_(std::move(owned)),
-      nl_(owned_nl_ ? owned_nl_.get() : borrowed),
-      topo_(std::make_unique<const netlist::Topology>(*nl_)),
-      cancel_(std::make_unique<exec::CancelFlag>()) {}
+Session::Session(netlist::Netlist nl, SessionConfig cfg)
+    : Session(DesignBuilder(std::move(nl)).build(), std::move(cfg)) {}
+
+Session Session::view(const netlist::Netlist& nl, SessionConfig cfg) {
+    return Session(netlist::Netlist(nl), std::move(cfg));
+}
 
 unsigned Session::resolve_threads(unsigned stage_threads) const noexcept {
     if (stage_threads != 0) return stage_threads;
@@ -37,19 +36,9 @@ exec::Pool& Session::executor(unsigned workers) {
     return *pool_;
 }
 
-const std::vector<netlist::ClockClass>& Session::clock_classes() {
-    if (!classes_) classes_.emplace(netlist::clock_classes(*nl_));
-    return *classes_;
-}
-
-const fault::CollapsedFaults& Session::collapsed_faults() {
-    if (!collapsed_) collapsed_.emplace(fault::collapse(*nl_));
-    return *collapsed_;
-}
-
 fault::FaultSimulator& Session::fault_simulator() {
     if (!fsim_) {
-        fsim_.emplace(*topo_);
+        fsim_.emplace(design_->topology());
         const unsigned workers = resolve_threads(0);
         if (workers > 1) fsim_->set_executor(&executor(workers), workers);
     }
@@ -57,13 +46,13 @@ fault::FaultSimulator& Session::fault_simulator() {
 }
 
 atpg::Engine& Session::engine() {
-    if (!engine_) engine_.emplace(*topo_);
+    if (!engine_) engine_.emplace(design_->topology());
     return *engine_;
 }
 
 const core::LearnResult& Session::learn() {
-    if (!learned_) return learn(cfg_.learn);
-    return *learned_;
+    if (const core::LearnResult* active = active_learned()) return *active;
+    return learn(cfg_.learn);
 }
 
 const core::LearnResult& Session::learn(const core::LearnConfig& lcfg) {
@@ -80,8 +69,17 @@ const core::LearnResult& Session::learn(const core::LearnConfig& lcfg) {
     const unsigned workers = resolve_threads(lcfg.threads);
     cfg.threads = workers;
     if (workers > 1) cfg.executor = &executor(workers);
-    replace_learned(std::make_unique<core::LearnResult>(core::learn(*nl_, *topo_, cfg)));
+    replace_learned(std::make_unique<core::LearnResult>(
+        core::learn(design_->netlist(), design_->topology(), cfg)));
     return *learned_;
+}
+
+std::shared_ptr<const core::LearnedSnapshot> Session::freeze_learned() {
+    // When the active learned data already IS a shared snapshot (no
+    // session-local result shadowing it), hand out that handle instead of
+    // deep-copying an O(relations) database.
+    if (!learned_ && design_->learned() != nullptr) return design_->learned_ptr();
+    return core::freeze_learned(learn());
 }
 
 void Session::replace_learned(std::unique_ptr<core::LearnResult> next) {
@@ -98,10 +96,11 @@ const AtpgReport& Session::atpg() {
 }
 
 const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
-    // Modes that consume learned data get this session's result wired in
-    // (learning on demand); an explicit cfg.learned — e.g. data brought in
-    // through load_db on another session — is respected as-is. Mode None
-    // stays a true no-learning baseline.
+    // Modes that consume learned data get this session's active learned
+    // data wired in (the Design snapshot when present, learning on demand
+    // otherwise); an explicit cfg.learned — e.g. data brought in through
+    // load_db on another session — is respected as-is. Mode None stays a
+    // true no-learning baseline.
     if (acfg.mode != atpg::LearnMode::None && acfg.learned == nullptr) {
         acfg.learned = &learn();
     }
@@ -122,7 +121,7 @@ const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
     const unsigned workers = resolve_threads(acfg.threads);
     acfg.threads = workers;
     if (workers > 1) acfg.executor = &executor(workers);
-    fault::FaultList list(collapsed_faults().representatives());
+    fault::FaultList list(design_->collapsed_faults().representatives());
     atpg::AtpgOutcome outcome = run_atpg(eng, fsim, list, acfg);
     atpg_.emplace(
         AtpgReport{std::move(list), std::move(outcome), acfg.learned != nullptr});
@@ -138,7 +137,7 @@ FaultSimReport Session::fault_sim() {
 }
 
 FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests) {
-    return fault_sim(tests, learned_ != nullptr);
+    return fault_sim(tests, has_learned());
 }
 
 FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests,
@@ -146,12 +145,13 @@ FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests,
     fault::FaultSimulator& fsim = fault_simulator();
     // The tie-augmented good machine closes the 3-valued pessimism gap for
     // learning-aware campaigns (Section 4).
-    if (with_ties && learned_) {
-        fsim.set_good_ties(&learned_->ties.dense(), &learned_->ties.dense_cycles());
+    const core::LearnResult* active = active_learned();
+    if (with_ties && active) {
+        fsim.set_good_ties(&active->ties.dense(), &active->ties.dense_cycles());
     } else {
         fsim.set_good_ties(nullptr, nullptr);
     }
-    fault::FaultList list(collapsed_faults().representatives());
+    fault::FaultList list(design_->collapsed_faults().representatives());
     cancel_->reset();
     FaultSimReport report;
     for (const sim::InputSequence& t : tests) {
@@ -177,17 +177,17 @@ FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests,
 
 SessionStats Session::stats() {
     SessionStats s;
-    s.circuit = nl_->counts();
-    s.gates = nl_->size();
-    s.stems = nl_->stems().size();
-    s.levels = topo_->max_level();
+    s.circuit = netlist().counts();
+    s.gates = netlist().size();
+    s.stems = design_->stems().size();
+    s.levels = topology().max_level();
     s.clock_classes = clock_classes().size();
     s.collapsed_faults = collapsed_faults().size();
-    if (learned_) {
+    if (const core::LearnResult* active = active_learned()) {
         s.learned = true;
-        s.learn = learned_->stats;
-        s.relations = learned_->db.size();
-        s.ties = learned_->ties.count();
+        s.learn = active->stats;
+        s.relations = active->db.size();
+        s.ties = active->ties.count();
     }
     if (atpg_) {
         s.atpg_run = true;
@@ -200,7 +200,7 @@ SessionStats Session::stats() {
 
 void Session::save_db(std::ostream& out) {
     const core::LearnResult& r = learn();
-    core::save_learned(out, *nl_, r.db, r.ties);
+    core::save_learned(out, netlist(), r.db, r.ties);
 }
 
 void Session::save_db(const std::string& path) {
@@ -210,8 +210,8 @@ void Session::save_db(const std::string& path) {
 }
 
 std::size_t Session::load_db(std::istream& in) {
-    core::LoadedLearned loaded = core::load_learned(in, *nl_);
-    auto result = std::make_unique<core::LearnResult>(nl_->size());
+    core::LoadedLearned loaded = core::load_learned(in, netlist());
+    auto result = std::make_unique<core::LearnResult>(netlist().size());
     result->db = std::move(loaded.db);
     result->ties = std::move(loaded.ties);
     replace_learned(std::move(result));

@@ -1,18 +1,28 @@
 #pragma once
-// The seqlearn facade: one object for the paper's whole flow.
+// The seqlearn facade: a cheap per-request object over a shared Design.
 //
 // The pipeline is a single arc — learn an implication database, feed it to
-// ATPG, validate with fault simulation — but the stage engines historically
-// had to be wired by hand, each re-deriving circuit structure. A Session
-// owns the Netlist, the one shared CSR netlist::Topology (levels included)
-// and the clock classes, builds the stage engines lazily over that snapshot,
-// and exposes the flow as methods:
+// ATPG, validate with fault simulation. The immutable circuit structure
+// lives in an api::Design (one CSR Topology, levelized once, plus clock
+// classes, collapsed faults and optionally a frozen LearnedSnapshot); a
+// Session adds only the mutable per-run state: lazily-built stage engines,
+// a thread pool, a cancel flag and cached results. Constructing a Session
+// from a shared Design costs microseconds, so N Sessions over one Design
+// can serve N concurrent requests — each produces results bit-identical to
+// a serial run, because everything they share is const.
 //
-//     api::Session session(std::move(nl));
+//     api::DesignPtr design = api::DesignBuilder(std::move(nl)).build();
+//     api::Session session(design);
 //     session.learn();                       // implication DB + ties
 //     const api::AtpgReport& r = session.atpg();
 //     api::FaultSimReport v = session.fault_sim();   // independent check
 //     session.save_db("circuit.learned");
+//
+//     // promote the learned result into a Design other Sessions share:
+//     auto learned_design =
+//         api::DesignBuilder(netlist::Netlist(session.netlist()))
+//             .learned(session.freeze_learned())
+//             .build();
 //
 // Results are cached: learn() and atpg() run once and return the stored
 // result on later calls; the config-taking overloads force a re-run. A
@@ -20,6 +30,7 @@
 // fault-granular callbacks during ATPG, and sequence-granular callbacks
 // during fault-sim validation, and can cancel any stage by returning false.
 
+#include "api/design.hpp"
 #include "atpg/atpg_loop.hpp"
 #include "core/seq_learn.hpp"
 #include "exec/cancel.hpp"
@@ -119,37 +130,68 @@ struct SessionStats {
 
 class Session {
 public:
-    /// Take ownership of `nl`. The Topology snapshot is built immediately
-    /// (levelizing once); engines and analyses are built on first use.
+    /// Attach to a shared immutable Design — the cheap constructor (no
+    /// levelization, no analysis; engines are built lazily on first use).
+    /// Any number of Sessions may share one Design concurrently. Throws
+    /// std::invalid_argument on a null design.
+    explicit Session(DesignPtr design, SessionConfig cfg = {});
+
+    /// Convenience: take ownership of `nl` and compile a private Design
+    /// for this Session (levelizing once). Prefer building the Design
+    /// yourself when several Sessions will share the circuit.
     explicit Session(netlist::Netlist nl, SessionConfig cfg = {});
 
-    /// Borrow `nl` instead of owning it (must outlive the Session) — for
-    /// one-shot flows over a netlist the caller keeps using; prefer the
-    /// owning constructor for long-lived sessions.
+    /// Deprecated lifetime-footgun shim: the borrowed netlist had to
+    /// outlive the Session. Now copies `nl` into a private Design; kept one
+    /// release so existing callers compile. Use Session(DesignPtr) (or the
+    /// owning constructor) instead.
+    [[deprecated("construct from a shared api::Design instead")]]
     static Session view(const netlist::Netlist& nl, SessionConfig cfg = {});
 
     Session(Session&&) noexcept = default;
     Session& operator=(Session&&) noexcept = default;
 
-    // --- shared structure -------------------------------------------------
-    const netlist::Netlist& netlist() const noexcept { return *nl_; }
-    const netlist::Topology& topology() const noexcept { return *topo_; }
-    const std::vector<netlist::ClockClass>& clock_classes();
-    const fault::CollapsedFaults& collapsed_faults();
+    // --- shared structure (all forwarded from the immutable Design) -------
+    const Design& design() const noexcept { return *design_; }
+    /// The shared handle — pass it to other threads to open more Sessions.
+    const DesignPtr& design_ptr() const noexcept { return design_; }
+    const netlist::Netlist& netlist() const noexcept { return design_->netlist(); }
+    const netlist::Topology& topology() const noexcept { return design_->topology(); }
+    const std::vector<netlist::ClockClass>& clock_classes() const noexcept {
+        return design_->clock_classes();
+    }
+    const fault::CollapsedFaults& collapsed_faults() const noexcept {
+        return design_->collapsed_faults();
+    }
 
     // --- lazily-built stage engines (all over the shared Topology) --------
     fault::FaultSimulator& fault_simulator();
     atpg::Engine& engine();
 
     // --- the flow ---------------------------------------------------------
-    /// Run sequential learning once (cached) with cfg.learn.
+    /// Learned data, session-local results first: this session's learn() /
+    /// load_db() result if any, else the Design's frozen snapshot, else
+    /// run learning with cfg.learn (caching the result).
     const core::LearnResult& learn();
-    /// Re-run learning with an explicit config; replaces the cached result.
+    /// Re-run learning with an explicit config; replaces the cached result
+    /// (the Design snapshot, if any, is shadowed, never modified).
     const core::LearnResult& learn(const core::LearnConfig& lcfg);
-    bool has_learned() const noexcept { return learned_ != nullptr; }
+    /// True when learned data is available without running learn(): a
+    /// session-local result or the Design's snapshot.
+    bool has_learned() const noexcept {
+        return learned_ != nullptr || design_->learned() != nullptr;
+    }
+
+    /// Freeze the active learned data (learning first if needed) into a
+    /// shareable snapshot — the promotion path into DesignBuilder::learned.
+    /// The session keeps its own copy and stays usable. When the active
+    /// data is already the Design's snapshot, that handle is returned
+    /// directly (no copy).
+    std::shared_ptr<const core::LearnedSnapshot> freeze_learned();
 
     /// Run the ATPG campaign once (cached) with cfg.atpg. Modes that use
-    /// learned data trigger learn() automatically.
+    /// learned data trigger learn() automatically (which prefers the
+    /// Design's snapshot — the learn-once / ATPG-many flow).
     const AtpgReport& atpg();
     /// Re-run the campaign with an explicit config; replaces the cache.
     const AtpgReport& atpg(atpg::AtpgConfig acfg);
@@ -161,7 +203,7 @@ public:
     /// tie-augmented only when that campaign used learned data.
     FaultSimReport fault_sim();
     /// Fault-simulate an explicit test set. The good machine is
-    /// tie-augmented when this session holds learned data.
+    /// tie-augmented when this session has learned data (see has_learned()).
     FaultSimReport fault_sim(std::span<const sim::InputSequence> tests);
 
     SessionStats stats();
@@ -174,29 +216,30 @@ public:
     void request_cancel() noexcept { cancel_->request(); }
 
     // --- learned-data persistence (core::db_io text format) ---------------
-    /// Save the learned implication DB and ties (learning first if needed).
+    /// Save the active learned data (learning first if needed).
     void save_db(std::ostream& out);
     void save_db(const std::string& path);
     /// Load a saved DB as this session's learned data (replacing any learn()
-    /// result); returns the number of skipped entries naming unknown gates.
-    /// Throws std::runtime_error on malformed input or an unreadable path.
+    /// result and shadowing the Design snapshot); returns the number of
+    /// skipped entries naming unknown gates. Throws std::runtime_error on
+    /// malformed input or an unreadable path.
     std::size_t load_db(std::istream& in);
     std::size_t load_db(const std::string& path);
 
 private:
-    Session(std::unique_ptr<netlist::Netlist> owned, const netlist::Netlist* borrowed,
-            SessionConfig cfg);
+    /// Session-local learned result, else the Design snapshot, else null.
+    const core::LearnResult* active_learned() const noexcept {
+        if (learned_) return learned_.get();
+        if (const core::LearnedSnapshot* s = design_->learned()) return &s->result();
+        return nullptr;
+    }
     FaultSimReport fault_sim(std::span<const sim::InputSequence> tests, bool with_ties);
     void replace_learned(std::unique_ptr<core::LearnResult> next);
     unsigned resolve_threads(unsigned stage_threads) const noexcept;
     exec::Pool& executor(unsigned workers);
 
+    DesignPtr design_;
     SessionConfig cfg_;
-    std::unique_ptr<netlist::Netlist> owned_nl_;  // null for view sessions
-    const netlist::Netlist* nl_;
-    std::unique_ptr<const netlist::Topology> topo_;
-    std::optional<std::vector<netlist::ClockClass>> classes_;
-    std::optional<fault::CollapsedFaults> collapsed_;
     std::optional<fault::FaultSimulator> fsim_;
     std::optional<atpg::Engine> engine_;
     // Heap-allocated so the tie vectors the fault simulator may point at

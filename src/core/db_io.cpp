@@ -25,6 +25,18 @@ void save_learned(std::ostream& out, const Netlist& nl, const ImplicationDB& db,
     }
 }
 
+void save_learned(std::ostream& out, const Netlist& nl, const LearnedSnapshot& snap) {
+    save_learned(out, nl, snap.db(), snap.ties());
+}
+
+LoadedSnapshot load_snapshot(std::istream& in, const Netlist& nl) {
+    LoadedLearned loaded = load_learned(in, nl);
+    LearnResult result(nl.size());
+    result.db = std::move(loaded.db);
+    result.ties = std::move(loaded.ties);
+    return {freeze_learned(std::move(result)), loaded.skipped_lines};
+}
+
 LoadedLearned load_learned(std::istream& in, const Netlist& nl) {
     LoadedLearned out(nl.size());
     std::string raw;

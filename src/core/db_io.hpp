@@ -12,15 +12,21 @@
 //     tie <gate> <0|1> <cycle>
 
 #include "core/impl_db.hpp"
+#include "core/learned_snapshot.hpp"
 #include "core/tie.hpp"
 
 #include <iosfwd>
+#include <memory>
 
 namespace seqlearn::core {
 
 /// Write relations and ties for `nl`.
 void save_learned(std::ostream& out, const netlist::Netlist& nl, const ImplicationDB& db,
                   const TieSet& ties);
+
+/// Write a frozen snapshot for `nl`.
+void save_learned(std::ostream& out, const netlist::Netlist& nl,
+                  const LearnedSnapshot& snap);
 
 struct LoadedLearned {
     ImplicationDB db;
@@ -35,5 +41,15 @@ struct LoadedLearned {
 /// than failing, so a database can be reused across mild netlist edits.
 /// Throws std::runtime_error on malformed syntax.
 LoadedLearned load_learned(std::istream& in, const netlist::Netlist& nl);
+
+/// Result of loading a saved database directly into a shareable snapshot.
+struct LoadedSnapshot {
+    std::shared_ptr<const LearnedSnapshot> snapshot;
+    std::size_t skipped_lines = 0;  ///< entries naming unknown gates
+};
+
+/// load_learned straight into a frozen shareable snapshot — the path a
+/// DesignBuilder uses to attach pre-learned data many Sessions then share.
+LoadedSnapshot load_snapshot(std::istream& in, const netlist::Netlist& nl);
 
 }  // namespace seqlearn::core

@@ -3,13 +3,31 @@
 //
 // Sequential circuits contain feedback (a DFF's D input usually depends on
 // the DFF itself), so gates must be declarable before their fanins exist.
-// The builder collects declarations by name and resolves connectivity in
-// build(), emitting gates in a dependency-friendly order (sources and
-// sequential elements first, then combinational gates topologically).
+// The builder collects declarations and resolves connectivity in build(),
+// emitting gates in a dependency-friendly order (sources and sequential
+// elements first, then combinational gates topologically).
+//
+// Storage is flat: every signal name is interned once into a single char
+// arena and declarations reference names by symbol id, so building a
+// multi-100k-gate circuit costs O(total name bytes) memory with no per-decl
+// string vectors. The streaming .bench reader feeds the *_sym entry points
+// directly; the string-based entry points intern on the way in.
+//
+// Two build flavours:
+//   - build() — legacy strict contract: throws std::runtime_error on the
+//     first problem (duplicate names included);
+//   - build(Diagnostics&) — collecting: records every problem as a
+//     line-numbered Diagnostic (use at_line() to tag declarations with
+//     source lines) and returns std::nullopt when any error was recorded.
+//     Duplicate declarations are warnings there: the first wins.
 
+#include "netlist/diagnostics.hpp"
 #include "netlist/netlist.hpp"
 
+#include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace seqlearn::netlist {
@@ -25,41 +43,123 @@ namespace seqlearn::netlist {
 ///   Netlist nl = b.build();
 class NetlistBuilder {
 public:
-    explicit NetlistBuilder(std::string circuit_name = "circuit")
-        : name_(std::move(circuit_name)) {}
+    /// Interned symbol id of a signal name (dense, starting at 0).
+    using Sym = std::uint32_t;
 
+    explicit NetlistBuilder(std::string circuit_name = "circuit")
+        : name_(std::move(circuit_name)) {
+        sym_off_.push_back(0);
+    }
+
+    /// Tag subsequent declarations with a 1-based source line for
+    /// diagnostics (sticky until the next call; 0 = no line).
+    NetlistBuilder& at_line(std::uint32_t line) noexcept {
+        cur_line_ = line;
+        return *this;
+    }
+
+    // --- string-based declarations ---------------------------------------
     /// Declare a primary input.
-    NetlistBuilder& input(std::string name);
+    NetlistBuilder& input(std::string_view name);
 
     /// Declare a constant source.
-    NetlistBuilder& constant(std::string name, bool value);
+    NetlistBuilder& constant(std::string_view name, bool value);
 
     /// Declare a combinational gate with named fanins (forward refs allowed).
-    NetlistBuilder& gate(GateType type, std::string name, std::vector<std::string> fanins);
+    NetlistBuilder& gate(GateType type, std::string_view name,
+                         const std::vector<std::string>& fanins);
 
     /// Declare a flip-flop with D input `d` and optional attributes.
-    NetlistBuilder& dff(std::string name, std::string d, SeqAttrs attrs = {});
+    NetlistBuilder& dff(std::string_view name, std::string_view d, SeqAttrs attrs = {});
 
     /// Declare a latch with one data input per port.
-    NetlistBuilder& dlatch(std::string name, std::vector<std::string> ports, SeqAttrs attrs = {});
+    NetlistBuilder& dlatch(std::string_view name, const std::vector<std::string>& ports,
+                           SeqAttrs attrs = {});
 
     /// Mark a signal as primary output.
-    NetlistBuilder& output(std::string name);
+    NetlistBuilder& output(std::string_view name);
 
+    // --- interned declarations (the streaming reader's path) --------------
+    /// Intern `name`, returning its stable symbol id.
+    Sym intern(std::string_view name);
+
+    /// The interned spelling of `s`. The view points into the builder's
+    /// arena: valid only until the next intern() / declaration call (which
+    /// may grow the arena), like iterators into a growing container.
+    std::string_view spelling(Sym s) const noexcept {
+        return {chars_.data() + sym_off_[s], sym_off_[s + 1] - sym_off_[s]};
+    }
+
+    /// True when `s` has a declaration (not just an interned mention).
+    bool declared(Sym s) const noexcept { return sym_decl_[s] != kNoDecl; }
+
+    /// Declare a source (Input / Const0 / Const1) by symbol.
+    NetlistBuilder& declare_source(GateType type, Sym name);
+
+    /// Declare a combinational gate by symbol.
+    NetlistBuilder& declare_gate(GateType type, Sym name, std::span<const Sym> fanins);
+
+    /// Declare a sequential element (Dff / Dlatch) by symbol. Dlatch port
+    /// count is taken from the data arity, as with dlatch().
+    NetlistBuilder& declare_seq(GateType type, Sym name, std::span<const Sym> data,
+                                SeqAttrs attrs = {});
+
+    /// Mark a symbol as primary output.
+    NetlistBuilder& declare_output(Sym name);
+
+    // --- builds -----------------------------------------------------------
     /// Resolve all references and produce the netlist.
-    /// Throws std::runtime_error on undeclared fanins or duplicate names.
+    /// Throws std::runtime_error on the first problem (undeclared fanins,
+    /// duplicate names, arity violations, combinational cycles).
     Netlist build() const;
 
+    /// Resolve all references, recording every problem into `diags`.
+    /// Returns the netlist when no error was recorded, std::nullopt
+    /// otherwise. Duplicate declarations are downgraded to warnings (the
+    /// first declaration wins); everything else that build() throws on is
+    /// an error here.
+    std::optional<Netlist> build(Diagnostics& diags) const;
+
 private:
+    static constexpr std::uint32_t kNoDecl = static_cast<std::uint32_t>(-1);
+
     struct Decl {
         GateType type;
-        std::string name;
-        std::vector<std::string> fanins;
+        Sym name;
+        std::uint32_t fanin_begin;
+        std::uint32_t fanin_count;
         SeqAttrs attrs;
+        std::uint32_t line;
     };
+    struct OutputRef {
+        Sym sym;
+        std::uint32_t line;
+    };
+    struct DuplicateNote {
+        std::uint32_t line;
+        std::string message;
+    };
+
+    std::span<const Sym> decl_fanins(const Decl& d) const noexcept {
+        return {fanins_.data() + d.fanin_begin, d.fanin_count};
+    }
+    void add_decl(GateType type, Sym name, std::span<const Sym> fanins, SeqAttrs attrs);
+    void rehash(std::size_t buckets);
+    std::optional<Netlist> build_impl(Diagnostics& diags, bool strict) const;
+
     std::string name_;
+    std::uint32_t cur_line_ = 0;
+
+    // Name interner: all bytes in one arena, open-addressed id table.
+    std::string chars_;
+    std::vector<std::uint32_t> sym_off_;  // n_syms + 1 offsets into chars_
+    std::vector<std::uint32_t> table_;    // bucket -> sym + 1 (0 = empty)
+    std::vector<std::uint32_t> sym_decl_; // sym -> decl index or kNoDecl
+
+    std::vector<Sym> fanins_;  // flat fanin symbol lists
     std::vector<Decl> decls_;
-    std::vector<std::string> outputs_;
+    std::vector<OutputRef> outputs_;
+    std::vector<DuplicateNote> duplicates_;
 };
 
 }  // namespace seqlearn::netlist

@@ -1,0 +1,37 @@
+#include "netlist/diagnostics.hpp"
+
+namespace seqlearn::netlist {
+
+void Diagnostics::error(std::uint32_t line, std::string message) {
+    records_.push_back({Severity::Error, line, std::move(message)});
+    ++errors_;
+}
+
+void Diagnostics::warning(std::uint32_t line, std::string message) {
+    records_.push_back({Severity::Warning, line, std::move(message)});
+    ++warnings_;
+}
+
+const Diagnostic* Diagnostics::first_error() const noexcept {
+    for (const Diagnostic& d : records_) {
+        if (d.severity == Severity::Error) return &d;
+    }
+    return nullptr;
+}
+
+std::string Diagnostics::to_string(std::string_view source_name) const {
+    std::string out;
+    for (const Diagnostic& d : records_) {
+        out.append(source_name);
+        if (d.line != 0) {
+            out += ':';
+            out += std::to_string(d.line);
+        }
+        out += d.severity == Severity::Error ? ": error: " : ": warning: ";
+        out += d.message;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace seqlearn::netlist

@@ -1,0 +1,55 @@
+#pragma once
+// Structured front-end diagnostics.
+//
+// The streaming .bench reader and the netlist builder report problems as
+// line-numbered records instead of throwing on the first one, so a single
+// pass over a broken multi-100k-gate file surfaces every error and warning
+// at once (the way a compiler does). Errors mean no netlist is produced;
+// warnings mean the input was accepted with a documented interpretation
+// (e.g. a duplicate definition keeps the first one).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seqlearn::netlist {
+
+enum class Severity : std::uint8_t {
+    Warning,  ///< input accepted; interpretation noted in the message
+    Error,    ///< input rejected; no netlist is produced
+};
+
+/// One diagnostic record. `line` is 1-based; 0 means "no specific line"
+/// (e.g. a whole-file problem such as an unreadable path).
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    std::uint32_t line = 0;
+    std::string message;
+};
+
+/// An append-only collection of diagnostics with error/warning counters.
+class Diagnostics {
+public:
+    void error(std::uint32_t line, std::string message);
+    void warning(std::uint32_t line, std::string message);
+
+    const std::vector<Diagnostic>& records() const noexcept { return records_; }
+    std::size_t error_count() const noexcept { return errors_; }
+    std::size_t warning_count() const noexcept { return warnings_; }
+    bool ok() const noexcept { return errors_ == 0; }
+    bool empty() const noexcept { return records_.empty(); }
+
+    /// First error record, or nullptr when ok().
+    const Diagnostic* first_error() const noexcept;
+
+    /// "bench:12: error: expected '(...)'" — one line per record.
+    std::string to_string(std::string_view source_name = "bench") const;
+
+private:
+    std::vector<Diagnostic> records_;
+    std::size_t errors_ = 0;
+    std::size_t warnings_ = 0;
+};
+
+}  // namespace seqlearn::netlist

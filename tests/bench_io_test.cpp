@@ -1,0 +1,255 @@
+// Tests for the streaming .bench reader: diagnostics on every error path
+// (malformed lines, undefined/duplicate signals, truncated files), warning
+// semantics (first definition wins, pragmas for unknown elements ignored),
+// chunk-boundary handling, and a generated >=100k-gate circuit round-tripped
+// through the streaming pass with structural identity to the original.
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "workload/circuit_gen.hpp"
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace seqlearn::netlist {
+namespace {
+
+BenchReadResult parse(std::string_view text) {
+    std::istringstream in{std::string(text)};
+    return read_bench_diag(in, "t");
+}
+
+bool has_error_at(const Diagnostics& d, std::uint32_t line) {
+    return std::any_of(d.records().begin(), d.records().end(), [&](const Diagnostic& r) {
+        return r.severity == Severity::Error && r.line == line;
+    });
+}
+
+bool has_warning_at(const Diagnostics& d, std::uint32_t line) {
+    return std::any_of(d.records().begin(), d.records().end(), [&](const Diagnostic& r) {
+        return r.severity == Severity::Warning && r.line == line;
+    });
+}
+
+TEST(BenchDiag, CleanInputParsesWithoutDiagnostics) {
+    const BenchReadResult r = parse("INPUT(a)\ng = NOT(a)\nOUTPUT(g)\n");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.diagnostics.empty());
+    EXPECT_EQ(r.netlist->size(), 2u);
+}
+
+TEST(BenchDiag, FinalLineWithoutNewlineParses) {
+    const BenchReadResult r = parse("INPUT(a)\ng = NOT(a)\nOUTPUT(g)");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.netlist->outputs().size(), 1u);
+}
+
+TEST(BenchDiag, MalformedLinesAreLineNumberedErrors) {
+    // Every malformed line is reported — the pass does not stop at the
+    // first problem the way the old reader did.
+    const BenchReadResult r = parse(
+        "INPUT(a)\n"
+        "INPUT b\n"          // line 2: no parens
+        "g = (a)\n"          // line 3: malformed assignment (empty type)
+        "h NOT(a)\n"         // line 4: no '='
+        "k = FROB(a)\n"      // line 5: unknown gate type
+        "m = NOT(a, a)\n"    // line 6: arity
+        "d = DFF(a, a)\n");  // line 7: DFF arity
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_error_at(r.diagnostics, 2));
+    EXPECT_TRUE(has_error_at(r.diagnostics, 3));
+    EXPECT_TRUE(has_error_at(r.diagnostics, 4));
+    EXPECT_TRUE(has_error_at(r.diagnostics, 5));
+    EXPECT_TRUE(has_error_at(r.diagnostics, 6));
+    EXPECT_TRUE(has_error_at(r.diagnostics, 7));
+    EXPECT_GE(r.diagnostics.error_count(), 6u);
+}
+
+TEST(BenchDiag, UndefinedSignalsAreErrors) {
+    const BenchReadResult r = parse(
+        "INPUT(a)\n"
+        "g = AND(a, ghost)\n"   // line 2: undeclared fanin
+        "OUTPUT(phantom)\n");   // line 3: undeclared output
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_error_at(r.diagnostics, 2));
+    EXPECT_TRUE(has_error_at(r.diagnostics, 3));
+}
+
+TEST(BenchDiag, DuplicateDefinitionsWarnAndFirstWins) {
+    const BenchReadResult r = parse(
+        "INPUT(a)\n"
+        "INPUT(b)\n"
+        "g = AND(a, b)\n"
+        "g = OR(a, b)\n"  // line 4: duplicate — warning, AND wins
+        "OUTPUT(g)\n");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(has_warning_at(r.diagnostics, 4));
+    EXPECT_EQ(r.diagnostics.warning_count(), 1u);
+    EXPECT_EQ(r.netlist->type(r.netlist->find("g")), GateType::And);
+}
+
+TEST(BenchDiag, DuplicateOutputWarns) {
+    const BenchReadResult r = parse("INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(has_warning_at(r.diagnostics, 3));
+    EXPECT_EQ(r.netlist->outputs().size(), 1u);
+}
+
+TEST(BenchDiag, CombinationalCycleIsAnError) {
+    const BenchReadResult r = parse(
+        "INPUT(a)\n"
+        "x = AND(a, y)\n"
+        "y = OR(a, x)\n"
+        "OUTPUT(y)\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_GE(r.diagnostics.error_count(), 1u);
+    EXPECT_NE(r.diagnostics.first_error(), nullptr);
+}
+
+TEST(BenchDiag, PragmaForUnknownElementIsIgnoredWithWarning) {
+    const BenchReadResult r = parse(
+        "INPUT(a)\n"
+        "f = DFF(a)\n"
+        "OUTPUT(f)\n"
+        "#@ seq nosuch clock=1\n"   // line 4: unknown element
+        "#@ seq a clock=1\n"        // line 5: known but not sequential
+        "#@ frob whatever\n");      // line 6: unknown pragma
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(has_warning_at(r.diagnostics, 4));
+    EXPECT_TRUE(has_warning_at(r.diagnostics, 5));
+    EXPECT_TRUE(has_warning_at(r.diagnostics, 6));
+    EXPECT_EQ(r.netlist->seq_attrs(r.netlist->find("f")).clock_id, 0);
+}
+
+TEST(BenchDiag, MalformedPragmaValuesAreErrors) {
+    EXPECT_FALSE(parse("INPUT(a)\nf = DFF(a)\n#@ seq f clock=banana\n").ok());
+    EXPECT_FALSE(parse("INPUT(a)\nf = DFF(a)\n#@ seq f sr=sideways\n").ok());
+    EXPECT_FALSE(parse("INPUT(a)\nf = DFF(a)\n#@ seq\n").ok());
+    // A misspelled key would silently mis-clock the element: error, not a
+    // warning (and hence still fatal through the legacy throwing reader).
+    EXPECT_FALSE(parse("INPUT(a)\nf = DFF(a)\n#@ seq f clokc=2\n").ok());
+}
+
+TEST(BenchDiag, TruncatedFileMidLineStillReportsTheTail) {
+    // A file cut mid-declaration: the final partial line is parsed as far
+    // as it goes and diagnosed, never silently dropped.
+    const BenchReadResult r = parse(
+        "INPUT(a)\n"
+        "g = AND(a");  // truncated: no closing paren, no newline
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_error_at(r.diagnostics, 2));
+}
+
+TEST(BenchDiag, BuilderSucceedsDespitePreloadedDiagnostics) {
+    // build(Diagnostics&) judges success by the errors IT records, so a
+    // caller merging several passes into one report can reuse the object.
+    Diagnostics diags;
+    diags.error(1, "unrelated error from an earlier pass");
+    NetlistBuilder b;
+    b.input("a");
+    b.output("a");
+    const std::optional<Netlist> nl = b.build(diags);
+    ASSERT_TRUE(nl.has_value());
+    EXPECT_EQ(diags.error_count(), 1u);  // nothing new recorded
+}
+
+TEST(BenchDiag, LegacyReaderThrowsWithLineNumber) {
+    try {
+        read_bench_string("INPUT(a)\ng = FROB(a)\n");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("bench:2"), std::string::npos) << e.what();
+    }
+}
+
+TEST(BenchDiag, DiagnosticsToStringIsLineOriented) {
+    const BenchReadResult r = parse("INPUT a\n");
+    const std::string report = r.diagnostics.to_string("file.bench");
+    EXPECT_NE(report.find("file.bench:1: error:"), std::string::npos) << report;
+}
+
+TEST(BenchDiag, LinesSpanningChunkBoundariesParse) {
+    // Force declarations across the scanner's 64 KiB refill boundary: a
+    // long run of comment padding followed by real declarations, so the
+    // interesting lines straddle chunk edges.
+    std::string text;
+    text.reserve(70 * 1024);
+    text += "INPUT(a)\n";
+    while (text.size() < 64 * 1024 - 20) text += "# padding comment line\n";
+    text += "longname_spanning_the_chunk_boundary_0123456789 = NOT(a)\n";
+    text += "g = AND(a, longname_spanning_the_chunk_boundary_0123456789)\n";
+    text += "OUTPUT(g)\n";
+    const BenchReadResult r = parse(text);
+    ASSERT_TRUE(r.ok()) << r.diagnostics.to_string();
+    EXPECT_NE(r.netlist->find("longname_spanning_the_chunk_boundary_0123456789"),
+              kNoGate);
+}
+
+TEST(BenchDiag, ParityWithSuiteCircuitsThroughWriteRead) {
+    // Existing circuits must parse to netlists identical to the in-memory
+    // originals (gate ids, types, fanin order, outputs, attributes) — the
+    // old-reader parity contract, checked structurally here and pinned
+    // behaviourally by the learn goldens in determinism_test.
+    for (const char* name : {"s27", "fig1x", "rt510a", "gen382"}) {
+        const Netlist a = workload::suite_circuit(name);
+        std::istringstream in(write_bench_string(a));
+        const BenchReadResult r = read_bench_diag(in, a.name());
+        ASSERT_TRUE(r.ok()) << name << "\n" << r.diagnostics.to_string();
+        EXPECT_TRUE(r.diagnostics.empty()) << name;
+        const Netlist& b = *r.netlist;
+        ASSERT_EQ(a.size(), b.size()) << name;
+        for (GateId id = 0; id < a.size(); ++id) {
+            const GateId bid = b.find(a.name_of(id));
+            ASSERT_NE(bid, kNoGate) << name << " " << a.name_of(id);
+            EXPECT_EQ(a.type(id), b.type(bid));
+            ASSERT_EQ(a.fanins(id).size(), b.fanins(bid).size());
+            for (std::size_t i = 0; i < a.fanins(id).size(); ++i)
+                EXPECT_EQ(a.name_of(a.fanins(id)[i]), b.name_of(b.fanins(bid)[i]));
+        }
+        ASSERT_EQ(a.outputs().size(), b.outputs().size()) << name;
+        for (std::size_t i = 0; i < a.outputs().size(); ++i)
+            EXPECT_EQ(a.name_of(a.outputs()[i]), b.name_of(b.outputs()[i]));
+        for (const GateId s : a.seq_elements()) {
+            const SeqAttrs& sa = a.seq_attrs(s);
+            const SeqAttrs& sb = b.seq_attrs(b.find(a.name_of(s)));
+            EXPECT_EQ(sa.clock_id, sb.clock_id);
+            EXPECT_EQ(sa.phase, sb.phase);
+            EXPECT_EQ(sa.set_reset, sb.set_reset);
+            EXPECT_EQ(sa.sr_unconstrained, sb.sr_unconstrained);
+            EXPECT_EQ(sa.num_ports, sb.num_ports);
+        }
+    }
+}
+
+TEST(BenchDiag, HundredThousandGateCircuitRoundTrips) {
+    // The scaling target: a generated >=100k-gate design written to .bench
+    // and streamed back in one pass. Structural identity gate by gate.
+    workload::GenParams p = workload::iscas_like("big100k", 2000, 100000, 77);
+    const Netlist a = workload::generate(p);
+    ASSERT_GE(a.size(), 100000u);
+    std::istringstream in(write_bench_string(a));
+    const BenchReadResult r = read_bench_diag(in, "big100k");
+    ASSERT_TRUE(r.ok()) << r.diagnostics.to_string();
+    EXPECT_TRUE(r.diagnostics.empty());
+    const Netlist& b = *r.netlist;
+    ASSERT_EQ(a.size(), b.size());
+    // Gate ids must match one for one, not merely names: the reader's
+    // emission order is part of the parity contract (learn goldens and
+    // campaign digests depend on it).
+    for (GateId id = 0; id < a.size(); ++id) {
+        ASSERT_EQ(a.name_of(id), b.name_of(id)) << "gate id " << id;
+        ASSERT_EQ(a.type(id), b.type(id)) << "gate id " << id;
+        ASSERT_EQ(a.fanins(id).size(), b.fanins(id).size()) << "gate id " << id;
+        for (std::size_t i = 0; i < a.fanins(id).size(); ++i)
+            ASSERT_EQ(a.fanins(id)[i], b.fanins(id)[i]) << "gate id " << id;
+    }
+    ASSERT_EQ(a.outputs().size(), b.outputs().size());
+    for (std::size_t i = 0; i < a.outputs().size(); ++i)
+        EXPECT_EQ(a.outputs()[i], b.outputs()[i]);
+}
+
+}  // namespace
+}  // namespace seqlearn::netlist

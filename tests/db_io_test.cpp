@@ -112,5 +112,27 @@ TEST(DbIo, SessionLoadDbBadPathThrows) {
     EXPECT_THROW(session.load_db("/nonexistent/path/db.learned"), std::runtime_error);
 }
 
+TEST(DbIo, SnapshotSaveLoadRoundTrip) {
+    // db_io straight onto the shareable LearnedSnapshot: save a frozen
+    // snapshot, load it back as a snapshot, byte-identical re-save.
+    const Netlist nl = testing::random_circuit(55, 6, 5, 40);
+    const LearnedSnapshot original(testing::learn(nl));
+    ASSERT_GT(original.db().size(), 0u);
+
+    std::ostringstream first;
+    save_learned(first, nl, original);
+
+    std::istringstream in(first.str());
+    const LoadedSnapshot loaded = load_snapshot(in, nl);
+    EXPECT_EQ(loaded.skipped_lines, 0u);
+    ASSERT_NE(loaded.snapshot, nullptr);
+    EXPECT_EQ(canonical(loaded.snapshot->db()), canonical(original.db()));
+    EXPECT_EQ(loaded.snapshot->ties().count(), original.ties().count());
+
+    std::ostringstream second;
+    save_learned(second, nl, *loaded.snapshot);
+    EXPECT_EQ(first.str(), second.str());
+}
+
 }  // namespace
 }  // namespace seqlearn::core

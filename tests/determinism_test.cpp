@@ -30,7 +30,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <thread>
 #include <tuple>
+#include <vector>
 
 namespace seqlearn::core {
 namespace {
@@ -168,6 +170,117 @@ TEST(AtpgDeterminism, CampaignDigestsMatchPrePortGoldens) {
                 << g.circuit << " mode " << static_cast<int>(g.mode)
                 << " threads " << threads;
         }
+    }
+}
+
+// K concurrent Sessions over ONE shared immutable Design must each produce
+// the exact serial results: every thread compiles nothing (the Design owns
+// the only Topology), learns independently, and runs a full campaign; all
+// learn hashes and campaign digests must equal the single-session golden.
+// This is the core thread-safety contract of the Design/Session split, and
+// it runs under the ThreadSanitizer CI job.
+std::uint64_t session_campaign_digest(api::Session& session, atpg::LearnMode mode,
+                                      std::uint32_t backtrack_limit) {
+    atpg::AtpgConfig cfg;
+    cfg.mode = mode;
+    cfg.backtrack_limit = backtrack_limit;
+    const api::AtpgReport& report = session.atpg(cfg);
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ULL;
+    };
+    for (std::size_t i = 0; i < report.list.size(); ++i)
+        mix(static_cast<std::uint64_t>(report.list.status(i)));
+    for (const sim::InputSequence& t : report.outcome.tests) {
+        mix(t.size());
+        for (const sim::InputFrame& fr : t)
+            for (const logic::Val3 v : fr) mix(static_cast<std::uint64_t>(v));
+    }
+    return h;
+}
+
+TEST(AtpgDeterminism, ConcurrentSessionsOverSharedDesignMatchSerial) {
+    struct Case {
+        const char* circuit;
+        atpg::LearnMode mode;
+        std::uint32_t backtrack_limit;
+    };
+    const Case cases[] = {
+        {"s27", atpg::LearnMode::ForbiddenValue, 100},
+        {"fig1x", atpg::LearnMode::ForbiddenValue, 200},
+    };
+    for (const Case& c : cases) {
+        const api::DesignPtr design =
+            api::DesignBuilder(workload::suite_circuit(c.circuit)).build();
+        // Serial golden: one Session, one thread.
+        api::SessionConfig serial_cfg;
+        serial_cfg.threads = 1;
+        api::Session serial(design, std::move(serial_cfg));
+        const std::uint64_t learn_golden = relation_hash(serial.learn().db);
+        const std::uint64_t campaign_golden =
+            session_campaign_digest(serial, c.mode, c.backtrack_limit);
+
+        for (const unsigned k : {1u, 2u, 8u}) {
+            std::vector<std::uint64_t> learn_hashes(k, 0);
+            std::vector<std::uint64_t> campaign_digests(k, 0);
+            std::vector<std::thread> threads;
+            threads.reserve(k);
+            for (unsigned t = 0; t < k; ++t) {
+                threads.emplace_back([&, t] {
+                    api::SessionConfig cfg;
+                    cfg.threads = 1;
+                    api::Session session(design, std::move(cfg));
+                    learn_hashes[t] = relation_hash(session.learn().db);
+                    campaign_digests[t] =
+                        session_campaign_digest(session, c.mode, c.backtrack_limit);
+                });
+            }
+            for (std::thread& t : threads) t.join();
+            for (unsigned t = 0; t < k; ++t) {
+                EXPECT_EQ(learn_hashes[t], learn_golden)
+                    << c.circuit << " session " << t << " of " << k;
+                EXPECT_EQ(campaign_digests[t], campaign_golden)
+                    << c.circuit << " session " << t << " of " << k;
+            }
+        }
+    }
+}
+
+// The same concurrency contract with a shared LearnedSnapshot: the learning
+// producer's result is frozen into the Design, and K concurrent consumer
+// Sessions run campaigns straight off the snapshot (no learning at all) —
+// digests must match a serial session that learned locally.
+TEST(AtpgDeterminism, ConcurrentSessionsSharingOneLearnedSnapshot) {
+    // fig1x keeps this affordable under ThreadSanitizer (rt510a-sized
+    // campaigns push the TSan job past its budget; the serial rt510a digest
+    // is already pinned by CampaignDigestsMatchPrePortGoldens above).
+    const netlist::Netlist nl = workload::suite_circuit("fig1x");
+    api::SessionConfig pcfg;
+    pcfg.threads = 1;
+    api::Session producer(netlist::Netlist(nl), std::move(pcfg));
+    const std::uint64_t golden = session_campaign_digest(
+        producer, atpg::LearnMode::ForbiddenValue, 200);
+
+    const api::DesignPtr design = api::DesignBuilder(netlist::Netlist(nl))
+                                      .learned(producer.freeze_learned())
+                                      .build();
+    for (const unsigned k : {2u, 8u}) {
+        std::vector<std::uint64_t> digests(k, 0);
+        std::vector<std::thread> threads;
+        threads.reserve(k);
+        for (unsigned t = 0; t < k; ++t) {
+            threads.emplace_back([&, t] {
+                api::SessionConfig cfg;
+                cfg.threads = 1;
+                api::Session session(design, std::move(cfg));
+                digests[t] = session_campaign_digest(session,
+                                                     atpg::LearnMode::ForbiddenValue, 200);
+            });
+        }
+        for (std::thread& t : threads) t.join();
+        for (unsigned t = 0; t < k; ++t)
+            EXPECT_EQ(digests[t], golden) << "session " << t << " of " << k;
     }
 }
 

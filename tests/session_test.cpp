@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
 #include <thread>
 
 namespace seqlearn::api {
@@ -51,11 +53,115 @@ TEST(Session, LearnIsCachedUntilReconfigured) {
     EXPECT_LE(second.db.size(), first_relations);
 }
 
-TEST(Session, ViewSessionsBorrowTheNetlist) {
+TEST(Session, DeprecatedViewShimCopiesIntoAPrivateDesign) {
     const Netlist nl = testing::random_circuit(7, 6, 5, 30);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     Session session = Session::view(nl);
-    EXPECT_EQ(&session.netlist(), &nl);
+#pragma GCC diagnostic pop
+    // The shim no longer borrows: the Session owns a private Design built
+    // from a copy, so the caller's netlist may die first (the old footgun).
+    EXPECT_NE(&session.netlist(), &nl);
+    EXPECT_EQ(session.netlist().size(), nl.size());
     EXPECT_GT(session.learn().db.size(), 0u);
+}
+
+TEST(Design, ManySessionsShareOneCompiledDesign) {
+    const DesignPtr design = DesignBuilder(workload::suite_circuit("s27")).build();
+    Session a(design);
+    Session b(design);
+    // No per-session re-levelization: both sessions read the same frozen
+    // structure, and the handle is recoverable from either.
+    EXPECT_EQ(&a.topology(), &design->topology());
+    EXPECT_EQ(&b.topology(), &design->topology());
+    EXPECT_EQ(a.design_ptr().get(), design.get());
+    EXPECT_EQ(&a.collapsed_faults(), &b.collapsed_faults());
+    EXPECT_EQ(a.learn().db.size(), b.learn().db.size());
+}
+
+TEST(Design, NullDesignIsRejected) {
+    EXPECT_THROW(Session(DesignPtr{}), std::invalid_argument);
+}
+
+TEST(Design, FrozenSnapshotFeedsSessionsWithoutRelearning) {
+    const Netlist nl = workload::suite_circuit("s27");
+    Session producer{Netlist(nl)};
+    const std::size_t relations = producer.learn().db.size();
+    ASSERT_GT(relations, 0u);
+
+    const DesignPtr design =
+        DesignBuilder(Netlist(nl)).learned(producer.freeze_learned()).build();
+    ASSERT_NE(design->learned(), nullptr);
+    Session consumer{design};
+    // Learned data is available without running learning, and learn()
+    // returns the frozen snapshot's result (stable address inside the
+    // shared Design, not a session-local copy).
+    EXPECT_TRUE(consumer.has_learned());
+    EXPECT_EQ(&consumer.learn(), &design->learned()->result());
+    EXPECT_EQ(consumer.learn().db.size(), relations);
+    // Re-freezing shares the existing handle instead of deep-copying.
+    EXPECT_EQ(consumer.freeze_learned().get(), design->learned());
+
+    // An ATPG campaign through the snapshot matches one through a fresh
+    // session-local learn() on the same circuit.
+    atpg::AtpgConfig acfg;
+    acfg.mode = atpg::LearnMode::ForbiddenValue;
+    acfg.backtrack_limit = 100;
+    const AtpgReport& via_snapshot = consumer.atpg(acfg);
+    Session fresh{Netlist(nl)};
+    const AtpgReport& via_learn = fresh.atpg(acfg);
+    EXPECT_TRUE(via_snapshot.used_learned);
+    EXPECT_EQ(via_snapshot.list.counts().detected, via_learn.list.counts().detected);
+    EXPECT_EQ(via_snapshot.outcome.tests.size(), via_learn.outcome.tests.size());
+}
+
+TEST(Design, SessionLocalLearnShadowsTheDesignSnapshot) {
+    const Netlist nl = workload::suite_circuit("s27");
+    Session producer{Netlist(nl)};
+    const DesignPtr design =
+        DesignBuilder(Netlist(nl)).learned(producer.freeze_learned()).build();
+    Session session(design);
+    core::LearnConfig shallow;
+    shallow.max_frames = 2;
+    const core::LearnResult& local = session.learn(shallow);
+    EXPECT_NE(&local, &design->learned()->result());
+    EXPECT_EQ(&session.learn(), &local);  // local result wins from now on
+}
+
+TEST(Design, BuilderLoadDbAttachesASharedSnapshot) {
+    const Netlist nl = workload::suite_circuit("s27");
+    Session producer{Netlist(nl)};
+    std::ostringstream saved;
+    producer.save_db(saved);
+
+    std::istringstream in(saved.str());
+    DesignBuilder builder{Netlist(nl)};
+    builder.load_db(in);
+    EXPECT_EQ(builder.db_skipped(), 0u);
+    const DesignPtr design = builder.build();
+    ASSERT_NE(design->learned(), nullptr);
+    EXPECT_EQ(design->learned()->db().size(), producer.learn().db.size());
+    EXPECT_EQ(design->learned()->ties().count(), producer.learn().ties.count());
+}
+
+TEST(Design, LoadDesignStreamsBenchWithDiagnostics) {
+    const std::string text = netlist::write_bench_string(workload::suite_circuit("s27"));
+    std::istringstream good(text);
+    const DesignLoad ok = load_design(good, "s27");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(ok.diagnostics.ok());
+    EXPECT_EQ(ok.design->netlist().size(), workload::suite_circuit("s27").size());
+
+    std::istringstream bad(text + "broken line without parens\n");
+    const DesignLoad fail = load_design(bad, "s27");
+    EXPECT_FALSE(fail.ok());
+    EXPECT_GT(fail.diagnostics.error_count(), 0u);
+    EXPECT_EQ(fail.diagnostics.first_error()->line,
+              static_cast<std::uint32_t>(std::count(text.begin(), text.end(), '\n') + 1));
+
+    const DesignLoad missing = load_design(std::string("/nonexistent/path.bench"));
+    EXPECT_FALSE(missing.ok());
+    EXPECT_FALSE(missing.diagnostics.ok());
 }
 
 TEST(Session, ProgressObserverSeesEveryStage) {

@@ -21,11 +21,11 @@ using netlist::GateId;
 using netlist::GateType;
 using netlist::Netlist;
 
-/// One-shot learning for tests: run the full pipeline on a borrowed netlist
-/// through api::Session (the supported entry point now that the free-
-/// function shim is gone) and return the result by value.
+/// One-shot learning for tests: compile a private Design from a copy of
+/// `nl`, run the full pipeline through api::Session (the supported entry
+/// point) and return the result by value.
 inline core::LearnResult learn(const Netlist& nl, const core::LearnConfig& cfg = {}) {
-    return api::Session::view(nl).learn(cfg);
+    return api::Session(Netlist(nl)).learn(cfg);
 }
 
 /// Build a random sequential circuit: `n_in` inputs, `n_ff` flip-flops,
