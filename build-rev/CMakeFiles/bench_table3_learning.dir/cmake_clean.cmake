@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_learning.dir/bench/table3_learning.cpp.o"
+  "CMakeFiles/bench_table3_learning.dir/bench/table3_learning.cpp.o.d"
+  "bench_table3_learning"
+  "bench_table3_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

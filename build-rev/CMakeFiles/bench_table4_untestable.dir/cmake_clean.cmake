@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_untestable.dir/bench/table4_untestable.cpp.o"
+  "CMakeFiles/bench_table4_untestable.dir/bench/table4_untestable.cpp.o.d"
+  "bench_table4_untestable"
+  "bench_table4_untestable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_untestable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_atpg.dir/bench/table5_atpg.cpp.o"
+  "CMakeFiles/bench_table5_atpg.dir/bench/table5_atpg.cpp.o.d"
+  "bench_table5_atpg"
+  "bench_table5_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_io_test.dir/tests/db_io_test.cpp.o"
+  "CMakeFiles/db_io_test.dir/tests/db_io_test.cpp.o.d"
+  "db_io_test"
+  "db_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

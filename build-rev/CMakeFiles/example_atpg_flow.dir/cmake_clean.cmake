@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_atpg_flow.dir/examples/atpg_flow.cpp.o"
+  "CMakeFiles/example_atpg_flow.dir/examples/atpg_flow.cpp.o.d"
+  "example_atpg_flow"
+  "example_atpg_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_atpg_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

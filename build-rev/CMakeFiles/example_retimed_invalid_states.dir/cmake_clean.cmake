@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retimed_invalid_states.dir/examples/retimed_invalid_states.cpp.o"
+  "CMakeFiles/example_retimed_invalid_states.dir/examples/retimed_invalid_states.cpp.o.d"
+  "example_retimed_invalid_states"
+  "example_retimed_invalid_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retimed_invalid_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_retimed_invalid_states.
+# This may be replaced when dependencies are built.

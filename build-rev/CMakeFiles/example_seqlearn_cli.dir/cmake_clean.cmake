@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_seqlearn_cli.dir/examples/seqlearn_cli.cpp.o"
+  "CMakeFiles/example_seqlearn_cli.dir/examples/seqlearn_cli.cpp.o.d"
+  "example_seqlearn_cli"
+  "example_seqlearn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_seqlearn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tie_gate_redundancy.dir/examples/tie_gate_redundancy.cpp.o"
+  "CMakeFiles/example_tie_gate_redundancy.dir/examples/tie_gate_redundancy.cpp.o.d"
+  "example_tie_gate_redundancy"
+  "example_tie_gate_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tie_gate_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_tie_gate_redundancy.
+# This may be replaced when dependencies are built.

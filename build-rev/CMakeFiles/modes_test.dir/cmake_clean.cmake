@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modes_test.dir/tests/modes_test.cpp.o"
+  "CMakeFiles/modes_test.dir/tests/modes_test.cpp.o.d"
+  "modes_test"
+  "modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

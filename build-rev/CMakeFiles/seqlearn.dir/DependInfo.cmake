@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/design.cpp" "CMakeFiles/seqlearn.dir/src/api/design.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/api/design.cpp.o.d"
+  "/root/repo/src/api/session.cpp" "CMakeFiles/seqlearn.dir/src/api/session.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/api/session.cpp.o.d"
+  "/root/repo/src/atpg/atpg_loop.cpp" "CMakeFiles/seqlearn.dir/src/atpg/atpg_loop.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/atpg/atpg_loop.cpp.o.d"
+  "/root/repo/src/atpg/engine.cpp" "CMakeFiles/seqlearn.dir/src/atpg/engine.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/atpg/engine.cpp.o.d"
+  "/root/repo/src/atpg/ila.cpp" "CMakeFiles/seqlearn.dir/src/atpg/ila.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/atpg/ila.cpp.o.d"
+  "/root/repo/src/atpg/redundancy.cpp" "CMakeFiles/seqlearn.dir/src/atpg/redundancy.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/atpg/redundancy.cpp.o.d"
+  "/root/repo/src/core/db_io.cpp" "CMakeFiles/seqlearn.dir/src/core/db_io.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/db_io.cpp.o.d"
+  "/root/repo/src/core/equivalence.cpp" "CMakeFiles/seqlearn.dir/src/core/equivalence.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/equivalence.cpp.o.d"
+  "/root/repo/src/core/impl_db.cpp" "CMakeFiles/seqlearn.dir/src/core/impl_db.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/impl_db.cpp.o.d"
+  "/root/repo/src/core/implication.cpp" "CMakeFiles/seqlearn.dir/src/core/implication.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/implication.cpp.o.d"
+  "/root/repo/src/core/invalid_state.cpp" "CMakeFiles/seqlearn.dir/src/core/invalid_state.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/invalid_state.cpp.o.d"
+  "/root/repo/src/core/multiple_node.cpp" "CMakeFiles/seqlearn.dir/src/core/multiple_node.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/multiple_node.cpp.o.d"
+  "/root/repo/src/core/seq_learn.cpp" "CMakeFiles/seqlearn.dir/src/core/seq_learn.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/seq_learn.cpp.o.d"
+  "/root/repo/src/core/single_node.cpp" "CMakeFiles/seqlearn.dir/src/core/single_node.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/single_node.cpp.o.d"
+  "/root/repo/src/core/stem_records.cpp" "CMakeFiles/seqlearn.dir/src/core/stem_records.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/stem_records.cpp.o.d"
+  "/root/repo/src/core/tie.cpp" "CMakeFiles/seqlearn.dir/src/core/tie.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/core/tie.cpp.o.d"
+  "/root/repo/src/exec/pool.cpp" "CMakeFiles/seqlearn.dir/src/exec/pool.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/exec/pool.cpp.o.d"
+  "/root/repo/src/fault/collapse.cpp" "CMakeFiles/seqlearn.dir/src/fault/collapse.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/fault/collapse.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "CMakeFiles/seqlearn.dir/src/fault/fault.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_list.cpp" "CMakeFiles/seqlearn.dir/src/fault/fault_list.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/fault/fault_list.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "CMakeFiles/seqlearn.dir/src/fault/fault_sim.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/fault/fault_sim.cpp.o.d"
+  "/root/repo/src/logic/pattern.cpp" "CMakeFiles/seqlearn.dir/src/logic/pattern.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/logic/pattern.cpp.o.d"
+  "/root/repo/src/logic/val3.cpp" "CMakeFiles/seqlearn.dir/src/logic/val3.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/logic/val3.cpp.o.d"
+  "/root/repo/src/logic/val5.cpp" "CMakeFiles/seqlearn.dir/src/logic/val5.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/logic/val5.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "CMakeFiles/seqlearn.dir/src/netlist/bench_io.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "CMakeFiles/seqlearn.dir/src/netlist/builder.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/clock_class.cpp" "CMakeFiles/seqlearn.dir/src/netlist/clock_class.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/clock_class.cpp.o.d"
+  "/root/repo/src/netlist/diagnostics.cpp" "CMakeFiles/seqlearn.dir/src/netlist/diagnostics.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/diagnostics.cpp.o.d"
+  "/root/repo/src/netlist/gate_type.cpp" "CMakeFiles/seqlearn.dir/src/netlist/gate_type.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/gate_type.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "CMakeFiles/seqlearn.dir/src/netlist/levelize.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/levelize.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "CMakeFiles/seqlearn.dir/src/netlist/netlist.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/structure.cpp" "CMakeFiles/seqlearn.dir/src/netlist/structure.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/structure.cpp.o.d"
+  "/root/repo/src/netlist/topology.cpp" "CMakeFiles/seqlearn.dir/src/netlist/topology.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/netlist/topology.cpp.o.d"
+  "/root/repo/src/sim/batch_frame_sim.cpp" "CMakeFiles/seqlearn.dir/src/sim/batch_frame_sim.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/sim/batch_frame_sim.cpp.o.d"
+  "/root/repo/src/sim/comb_engine.cpp" "CMakeFiles/seqlearn.dir/src/sim/comb_engine.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/sim/comb_engine.cpp.o.d"
+  "/root/repo/src/sim/frame_sim.cpp" "CMakeFiles/seqlearn.dir/src/sim/frame_sim.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/sim/frame_sim.cpp.o.d"
+  "/root/repo/src/sim/parallel_sim.cpp" "CMakeFiles/seqlearn.dir/src/sim/parallel_sim.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/sim/parallel_sim.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/seqlearn.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/seqlearn.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/workload/circuit_gen.cpp" "CMakeFiles/seqlearn.dir/src/workload/circuit_gen.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/workload/circuit_gen.cpp.o.d"
+  "/root/repo/src/workload/fires.cpp" "CMakeFiles/seqlearn.dir/src/workload/fires.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/workload/fires.cpp.o.d"
+  "/root/repo/src/workload/paper_circuits.cpp" "CMakeFiles/seqlearn.dir/src/workload/paper_circuits.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/workload/paper_circuits.cpp.o.d"
+  "/root/repo/src/workload/reachability.cpp" "CMakeFiles/seqlearn.dir/src/workload/reachability.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/workload/reachability.cpp.o.d"
+  "/root/repo/src/workload/retime.cpp" "CMakeFiles/seqlearn.dir/src/workload/retime.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/workload/retime.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "CMakeFiles/seqlearn.dir/src/workload/suite.cpp.o" "gcc" "CMakeFiles/seqlearn.dir/src/workload/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
