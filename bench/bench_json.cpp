@@ -22,6 +22,7 @@
 // that every row still runs and emits well-formed JSON).
 
 #include "api/session.hpp"
+#include "core/db_io.hpp"
 #include "core/seq_learn.hpp"
 #include "exec/pool.hpp"
 #include "fault/collapse.hpp"
@@ -35,9 +36,12 @@
 #include "util/timer.hpp"
 #include "workload/suite.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,6 +58,10 @@ struct Row {
     double seconds = 0;
     std::size_t items = 0;
     unsigned threads = 1;
+    /// Extra JSON members appended verbatim after the standard ones, e.g.
+    /// "\"overhead_pct\": 1.3" — rows with row-specific metrics use this
+    /// instead of widening the stable schema for everyone.
+    std::string extra;
 };
 
 // Repeat `body(items_per_rep)` until `min_seconds` of wall time accumulates.
@@ -161,6 +169,105 @@ Row bench_fault_sim(const Netlist& nl, const netlist::Topology& topo, exec::Pool
     return row;
 }
 
+Row bench_budget_overhead(const Netlist& nl, const netlist::Topology& topo) {
+    // Cost of the governance layer on the learning hot path: full serial
+    // scalar passes with an active (but never-tripping) Budget — deadline
+    // polling at every stem boundary — interleaved with identical ungoverned
+    // passes, so drift hits both sides equally. The row reports governed
+    // throughput; overhead_pct is the governed-vs-plain wall-time delta (CI
+    // pins it under 2%; polling is one steady_clock read per stem).
+    core::LearnConfig governed;
+    governed.threads = 1;
+    governed.batch_lanes = 0;
+    governed.budget.deadline = std::chrono::hours(24);
+    governed.budget.max_items = static_cast<std::size_t>(-1) / 2;
+    core::LearnConfig plain = governed;
+    plain.budget = {};
+
+    Row row;
+    row.name = "budget_overhead";
+    double governed_s = 0;
+    double governed_min = 1e300;
+    double plain_min = 1e300;
+    unsigned pairs = 0;
+    const util::Timer total;
+    // At least 3 pairs: the overhead estimate uses best-of-N pass times,
+    // which filters scheduler noise a single smoke-length pair would not.
+    while (pairs < 3 || total.seconds() < 2 * g_min_seconds) {
+        {
+            const util::Timer t;
+            const core::LearnResult r = core::learn(nl, topo, governed);
+            const double s = t.seconds();
+            governed_s += s;
+            governed_min = std::min(governed_min, s);
+            row.items += nl.stems().size();
+            if (!r.outcome.ok()) std::fprintf(stderr, "budget_overhead: tripped?\n");
+        }
+        {
+            const util::Timer t;
+            (void)core::learn(nl, topo, plain);
+            plain_min = std::min(plain_min, t.seconds());
+        }
+        ++pairs;
+    }
+    row.seconds = governed_s;
+    row.items_per_sec = static_cast<double>(row.items) / governed_s;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"overhead_pct\": %.2f",
+                  (governed_min / plain_min - 1.0) * 100.0);
+    row.extra = buf;
+    return row;
+}
+
+Row bench_learn_resume(const Netlist& nl, const netlist::Topology& topo) {
+    // The checkpoint/resume path end to end: a budgeted pass stopped halfway
+    // through the stems, a full text-format checkpoint round trip, and a
+    // resumed pass to completion — interleaved with uninterrupted one-shot
+    // passes. overhead_pct is the price of splitting a run in two (checkpoint
+    // serialization plus the resumed pass's state rebuild).
+    core::LearnConfig base;
+    base.threads = 1;
+    base.batch_lanes = 0;
+    core::LearnConfig budgeted = base;
+    budgeted.budget.max_items = nl.stems().size() / 2;
+
+    Row row;
+    row.name = "learn_resume";
+    double split_s = 0;
+    double split_min = 1e300;
+    double one_shot_min = 1e300;
+    unsigned pairs = 0;
+    const util::Timer total;
+    while (pairs < 3 || total.seconds() < 2 * g_min_seconds) {
+        {
+            const util::Timer t;
+            const core::LearnResult partial = core::learn(nl, topo, budgeted);
+            std::stringstream ss;
+            core::save_checkpoint(ss, nl, core::make_checkpoint(nl, partial));
+            const core::LearnCheckpoint ckpt = core::load_checkpoint(ss, nl);
+            const core::LearnResult resumed = core::resume_learn(nl, topo, base, ckpt);
+            const double s = t.seconds();
+            split_s += s;
+            split_min = std::min(split_min, s);
+            row.items += nl.stems().size();
+            if (!resumed.outcome.ok()) std::fprintf(stderr, "learn_resume: not ok?\n");
+        }
+        {
+            const util::Timer t;
+            (void)core::learn(nl, topo, base);
+            one_shot_min = std::min(one_shot_min, t.seconds());
+        }
+        ++pairs;
+    }
+    row.seconds = split_s;
+    row.items_per_sec = static_cast<double>(row.items) / split_s;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"overhead_pct\": %.2f",
+                  (split_min / one_shot_min - 1.0) * 100.0);
+    row.extra = buf;
+    return row;
+}
+
 Row bench_multi_session_atpg(const Netlist& nl) {
     // The serving pattern of the Design/Session split: K concurrent
     // Sessions over ONE shared immutable Design carrying ONE frozen
@@ -241,16 +348,20 @@ int main(int argc, char** argv) {
     rows.push_back(bench_learn(nl, topo, &pool, hw, "learn_full_pass_mt", 0));
     rows.push_back(bench_fault_sim(nl, topo, &pool, hw, /*mt=*/true));
     rows.push_back(bench_multi_session_atpg(nl));
+    rows.push_back(bench_budget_overhead(nl, topo));
+    rows.push_back(bench_learn_resume(nl, topo));
 
     std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         char buf[256];
         std::snprintf(buf, sizeof buf,
                       "    {\"name\": \"%s\", \"items_per_sec\": %.1f, "
-                      "\"seconds\": %.3f, \"items\": %zu, \"threads\": %u}%s\n",
+                      "\"seconds\": %.3f, \"items\": %zu, \"threads\": %u",
                       rows[i].name.c_str(), rows[i].items_per_sec, rows[i].seconds,
-                      rows[i].items, rows[i].threads, i + 1 < rows.size() ? "," : "");
+                      rows[i].items, rows[i].threads);
         json += buf;
+        if (!rows[i].extra.empty()) json += ", " + rows[i].extra;
+        json += i + 1 < rows.size() ? "},\n" : "}\n";
     }
     json += "  ]\n}\n";
 

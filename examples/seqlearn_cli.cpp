@@ -2,11 +2,13 @@
 //
 //   seqlearn_cli stats  <circuit.bench | suite:NAME> [--json]
 //   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--threads N]
-//                       [--batch-lanes N] [--limit-stems N] [--save-db FILE]
+//                       [--batch-lanes N] [--limit-stems N] [--deadline-ms N]
+//                       [--checkpoint FILE] [--resume FILE] [--save-db FILE]
 //                       [--out FILE] [--json]
 //   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
 //                       [--backtracks N] [--load-db FILE] [--save-db FILE]
-//                       [--random N] [--progress] [--threads N] [--json]
+//                       [--random N] [--deadline-ms N] [--progress]
+//                       [--threads N] [--json]
 //   seqlearn_cli gen    <out.bench | -> [--gates N] [--ffs N] [--inputs N]
 //                       [--outputs N] [--seed N] [--name NAME]
 //
@@ -14,21 +16,34 @@
 // suite:rt510a); anything else is parsed as an ISCAS-89 .bench file through
 // the streaming reader. Parse warnings (duplicate definitions, pragmas for
 // unknown elements, ...) are reported on stderr instead of being silently
-// dropped; errors are all reported, then the command exits 1. All commands
-// run through an api::Session over an api::Design, so the circuit is
-// levelized once and learned data moves through Session::save_db / load_db.
-// (--out and --learned are deprecated aliases of --save-db and --load-db.)
+// dropped. All commands run through an api::Session over an api::Design, so
+// the circuit is levelized once and learned data moves through
+// Session::save_db / load_db. (--out and --learned are deprecated aliases
+// of --save-db and --load-db.)
+//
+// Exit codes, one per failure class (scripts branch on them):
+//   0  success (stage ran to completion)
+//   2  usage error (bad command line)
+//   3  input parse errors (all reported, line-numbered, before exiting)
+//   4  budget exhausted (deadline / item limit / memory cap; partial
+//      results were produced and saved where requested)
+//   5  stage cancelled
+//   6  internal failure (captured exception; state was not corrupted)
 //
 // --json emits one machine-readable JSON object on stdout — Session::stats()
-// plus the parse diagnostics — and silences the human-readable report.
-// --limit-stems N budgets the learning pass to the first N stems (the
-// result is flagged cancelled), which is how the CI large-circuit smoke
-// keeps a 100k-gate learn bounded. --threads N runs every stage on N
-// workers (default: one per hardware thread; results are bit-identical at
-// any thread count). --batch-lanes N sets the 64-lane bit-parallel stem
-// batching of the learning pass (default 64; 0 forces the scalar path;
-// results are bit-identical at any setting). gen writes a synthetic
-// ISCAS-like circuit via workload::circuit_gen for scaling experiments.
+// plus the parse diagnostics and per-stage "outcome" objects — and silences
+// the human-readable report; failures emit an "error" object. --limit-stems
+// N budgets the learning pass to its first N work items (deterministic
+// LimitReached outcome), which is how the CI large-circuit smoke keeps a
+// 100k-gate learn bounded; --deadline-ms N puts a wall-clock budget on each
+// stage. --checkpoint FILE saves a budget-stopped learn for a later
+// --resume FILE, which continues it to the same final result an unbudgeted
+// run produces. --threads N runs every stage on N workers (default: one per
+// hardware thread; results are bit-identical at any thread count).
+// --batch-lanes N sets the 64-lane bit-parallel stem batching of the
+// learning pass (default 64; 0 forces the scalar path; results are
+// bit-identical at any setting). gen writes a synthetic ISCAS-like circuit
+// via workload::circuit_gen for scaling experiments.
 
 #include "api/session.hpp"
 #include "netlist/bench_io.hpp"
@@ -63,6 +78,18 @@ bool flag_present(int argc, char** argv, const char* name) {
     return false;
 }
 
+// One exit code per failure class (see the header comment).
+int exit_code_for(const exec::RunOutcome& o) {
+    switch (o.status) {
+        case exec::RunStatus::Completed: return 0;
+        case exec::RunStatus::DeadlineExceeded:
+        case exec::RunStatus::LimitReached: return 4;
+        case exec::RunStatus::Cancelled: return 5;
+        case exec::RunStatus::Failed: return 6;
+    }
+    return 6;
+}
+
 // --- JSON helpers (small and dependency-free, like the bench emitter) ----
 
 std::string json_escape(std::string_view s) {
@@ -85,6 +112,16 @@ std::string json_escape(std::string_view s) {
                 }
         }
     }
+    return out;
+}
+
+std::string outcome_json(const exec::RunOutcome& o) {
+    std::string out = "{\"status\": \"";
+    out += o.name();
+    out += "\"";
+    if (!o.diagnostic.empty())
+        out += ", \"diagnostic\": \"" + json_escape(o.diagnostic) + "\"";
+    out += "}";
     return out;
 }
 
@@ -134,6 +171,9 @@ void print_json(api::Session& session, const netlist::Diagnostics& diags) {
                       s.learn.stems_processed, s.learn.cancelled ? "true" : "false",
                       s.learn.cpu_seconds);
         out += buf;
+        // Trim the closing brace and append the structured outcome.
+        out.pop_back();
+        out += ", \"outcome\": " + outcome_json(s.learn_outcome) + "}";
     }
     if (s.atpg_run) {
         std::snprintf(buf, sizeof buf,
@@ -143,6 +183,8 @@ void print_json(api::Session& session, const netlist::Diagnostics& diags) {
                       s.faults.total, s.faults.detected, s.faults.untestable,
                       s.faults.aborted, s.faults.undetected, s.test_coverage, s.tests);
         out += buf;
+        out.pop_back();
+        out += ", \"outcome\": " + outcome_json(s.atpg_outcome) + "}";
     }
     out += "\n}\n";
     std::fputs(out.c_str(), stdout);
@@ -201,24 +243,32 @@ int cmd_learn(api::Session& session, const netlist::Diagnostics& diags, int argc
     if (const char* b = flag_value(argc, argv, "--batch-lanes"))
         cfg.batch_lanes = static_cast<std::size_t>(std::atoi(b));
     if (const char* l = flag_value(argc, argv, "--limit-stems")) {
-        // Budgeted pass: cancel cleanly after N stems (partial results are
-        // kept and stats.cancelled is set) — bounds learn time on huge
-        // circuits without a special-cased fast path. An explicit on_stem
-        // preempts the Session-level progress wiring, so the meter is drawn
-        // here when --progress asked for one.
-        const auto limit = static_cast<std::size_t>(std::atoll(l));
-        const bool meter = flag_present(argc, argv, "--progress");
-        cfg.on_stem = [limit, meter](std::size_t done, std::size_t total) {
-            if (meter) std::fprintf(stderr, "\r%-9s %zu/%zu", "learn", done, total);
-            return done < limit;
-        };
+        // Budgeted pass: stop deterministically after N work items
+        // (LimitReached; partial results are kept and stats.cancelled is
+        // set) — bounds learn time on huge circuits without a special-cased
+        // fast path.
+        cfg.budget.max_items = static_cast<std::size_t>(std::atoll(l));
     }
-    const core::LearnResult& r = session.learn(cfg);
+    if (const char* d = flag_value(argc, argv, "--deadline-ms"))
+        cfg.budget.deadline = std::chrono::milliseconds(std::atoll(d));
+
+    const core::LearnResult& r = [&]() -> const core::LearnResult& {
+        if (const char* resume = flag_value(argc, argv, "--resume"))
+            return session.resume_learn(std::string(resume));
+        return session.learn(cfg);
+    }();
     if (json) {
         print_json(session, diags);
     } else {
         std::printf("learned in %.3f s over %zu stems%s:\n", r.stats.cpu_seconds,
-                    r.stats.stems_processed, r.stats.cancelled ? " (budget hit)" : "");
+                    r.stats.stems_processed,
+                    r.outcome.ok() ? ""
+                                   : (" (stopped: " + std::string(r.outcome.name()) +
+                                      (r.outcome.diagnostic.empty()
+                                           ? ""
+                                           : ", " + r.outcome.diagnostic) +
+                                      ")")
+                                         .c_str());
         std::printf("  FF-FF relations:   %zu\n", r.stats.ff_ff_relations);
         std::printf("  Gate-FF relations: %zu\n", r.stats.gate_ff_relations);
         std::printf("  combinational:     %zu\n", r.stats.comb_relations);
@@ -226,13 +276,22 @@ int cmd_learn(api::Session& session, const netlist::Diagnostics& diags, int argc
                     r.stats.ties_combinational, r.stats.ties_sequential);
         std::printf("  equivalence classes: %zu\n", r.stats.equiv_classes);
     }
+    if (const char* ckpt = flag_value(argc, argv, "--checkpoint")) {
+        if (r.cursor.valid) {
+            session.save_checkpoint(std::string(ckpt));
+            if (!json) std::printf("saved resume checkpoint to %s\n", ckpt);
+        } else if (!r.outcome.ok() && !json) {
+            std::printf("no checkpoint saved: stop point not resumable (%s)\n",
+                        r.outcome.name());
+        }
+    }
     const char* path = flag_value(argc, argv, "--save-db");
     if (path == nullptr) path = flag_value(argc, argv, "--out");
     if (path != nullptr) {
         session.save_db(path);
         if (!json) std::printf("saved learned data to %s\n", path);
     }
-    return 0;
+    return exit_code_for(r.outcome);
 }
 
 int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
@@ -243,6 +302,8 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
         cfg.backtrack_limit = static_cast<std::uint32_t>(std::atoi(bt));
     if (const char* r = flag_value(argc, argv, "--random"))
         cfg.random_sequences = static_cast<std::size_t>(std::atoi(r));
+    if (const char* d = flag_value(argc, argv, "--deadline-ms"))
+        cfg.budget.deadline = std::chrono::milliseconds(std::atoll(d));
 
     const char* mode = flag_value(argc, argv, "--mode");
     const std::string mode_s = mode ? mode : "forbidden";
@@ -272,7 +333,7 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
     }
     if (json) {
         print_json(session, diags);
-        return 0;
+        return exit_code_for(report.outcome.run);
     }
     const auto c = report.list.counts();
     std::printf("mode=%s backtracks=%u\n", mode_s.c_str(), cfg.backtrack_limit);
@@ -285,7 +346,11 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
     std::printf("  sequences:  %zu (bootstrap detected %zu)\n",
                 report.outcome.tests.size(), report.outcome.detected_by_bootstrap);
     std::printf("  cpu:        %.2f s\n", report.outcome.cpu_seconds);
-    return 0;
+    if (!report.outcome.run.ok())
+        std::printf("  stopped:    %s%s%s\n", report.outcome.run.name(),
+                    report.outcome.run.diagnostic.empty() ? "" : " — ",
+                    report.outcome.run.diagnostic.c_str());
+    return exit_code_for(report.outcome.run);
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -340,7 +405,10 @@ int main(int argc, char** argv) {
         if (!loaded.design) {
             std::fprintf(stderr, "error: %s failed to parse (%zu errors)\n",
                          loaded.source.c_str(), loaded.diagnostics.error_count());
-            return 1;
+            if (json)
+                std::printf("{\"error\": {\"class\": \"parse\", \"errors\": %zu}}\n",
+                            loaded.diagnostics.error_count());
+            return 3;
         }
 
         api::SessionConfig scfg;
@@ -374,6 +442,9 @@ int main(int argc, char** argv) {
         return rc;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        if (flag_present(argc, argv, "--json"))
+            std::printf("{\"error\": {\"class\": \"internal\", \"message\": \"%s\"}}\n",
+                        json_escape(e.what()).c_str());
+        return 6;
     }
 }

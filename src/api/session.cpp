@@ -51,11 +51,56 @@ atpg::Engine& Session::engine() {
 }
 
 const core::LearnResult& Session::learn() {
-    if (const core::LearnResult* active = active_learned()) return *active;
+    // Only a complete cached result satisfies the no-arg call: returning a
+    // partial (cancelled / budget-stopped / failed) result as if it were
+    // final would silently starve every downstream stage of relations. A
+    // caller who wants the partial data reads it through the learn(cfg)
+    // return value, save_db(), or resume_learn().
+    if (const core::LearnResult* active = active_learned()) {
+        if (active->outcome.ok()) return *active;
+    }
     return learn(cfg_.learn);
 }
 
 const core::LearnResult& Session::learn(const core::LearnConfig& lcfg) {
+    return run_learn(lcfg, nullptr);
+}
+
+const core::LearnResult& Session::resume_learn(const core::LearnCheckpoint& ckpt) {
+    return run_learn(cfg_.learn, &ckpt);
+}
+
+const core::LearnResult& Session::resume_learn(const core::LearnCheckpoint& ckpt,
+                                               const core::LearnConfig& lcfg) {
+    return run_learn(lcfg, &ckpt);
+}
+
+const core::LearnResult& Session::resume_learn(std::istream& in) {
+    const core::LearnCheckpoint ckpt = core::load_checkpoint(in, netlist());
+    return run_learn(cfg_.learn, &ckpt);
+}
+
+const core::LearnResult& Session::resume_learn(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("Session::resume_learn: cannot read " + path);
+    return resume_learn(in);
+}
+
+void Session::save_checkpoint(std::ostream& out) {
+    if (!learned_ || !learned_->cursor.valid)
+        throw std::logic_error("Session::save_checkpoint: no resumable learn result");
+    core::save_checkpoint(out, netlist(), core::make_checkpoint(netlist(), *learned_));
+}
+
+void Session::save_checkpoint(const std::string& path) {
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("Session::save_checkpoint: cannot write " + path);
+    save_checkpoint(out);
+}
+
+const core::LearnResult& Session::run_learn(const core::LearnConfig& lcfg,
+                                            const core::LearnCheckpoint* ckpt) {
     core::LearnConfig cfg = lcfg;
     if (cfg_.progress && !cfg.on_stem) {
         cfg.on_stem = [this](std::size_t done, std::size_t total) {
@@ -66,11 +111,15 @@ const core::LearnResult& Session::learn(const core::LearnConfig& lcfg) {
     }
     cancel_->reset();
     cfg.cancel = cancel_.get();
+    if (!cfg.budget.any()) cfg.budget = cfg_.budget;
+    if (cfg.failpoint == nullptr) cfg.failpoint = cfg_.failpoint;
     const unsigned workers = resolve_threads(lcfg.threads);
     cfg.threads = workers;
     if (workers > 1) cfg.executor = &executor(workers);
     replace_learned(std::make_unique<core::LearnResult>(
-        core::learn(design_->netlist(), design_->topology(), cfg)));
+        ckpt != nullptr
+            ? core::resume_learn(design_->netlist(), design_->topology(), cfg, *ckpt)
+            : core::learn(design_->netlist(), design_->topology(), cfg)));
     return *learned_;
 }
 
@@ -91,8 +140,11 @@ void Session::replace_learned(std::unique_ptr<core::LearnResult> next) {
 }
 
 const AtpgReport& Session::atpg() {
-    if (!atpg_) return atpg(cfg_.atpg);
-    return *atpg_;
+    // Same staleness rule as learn(): a campaign that ended early does not
+    // satisfy the no-arg call — re-run rather than hand back partial
+    // coverage as if it were final.
+    if (atpg_ && atpg_->outcome.run.ok()) return *atpg_;
+    return atpg(cfg_.atpg);
 }
 
 const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
@@ -113,6 +165,8 @@ const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
     }
     cancel_->reset();
     acfg.cancel = cancel_.get();
+    if (!acfg.budget.any()) acfg.budget = cfg_.budget;
+    if (acfg.failpoint == nullptr) acfg.failpoint = cfg_.failpoint;
     // Build the lazy engines BEFORE capturing the pool pointer: creating the
     // fault simulator may grow (i.e. replace) the pool for the session-wide
     // default worker count, which would dangle an earlier-captured executor.
@@ -153,21 +207,41 @@ FaultSimReport Session::fault_sim(std::span<const sim::InputSequence> tests,
     }
     fault::FaultList list(design_->collapsed_faults().representatives());
     cancel_->reset();
+    // Validation runs under the session-wide budget (it has no per-call
+    // config of its own); the simulator additionally polls the same hooks
+    // at its internal 63-fault pass boundaries.
+    exec::Budget budget(cfg_.budget);
+    exec::Budget* budget_ptr = cfg_.budget.any() ? &budget : nullptr;
+    fsim.set_governance(cancel_.get(), budget_ptr, cfg_.failpoint);
     FaultSimReport report;
-    for (const sim::InputSequence& t : tests) {
-        if (cancel_->requested()) {
-            report.cancelled = true;
-            break;
+    try {
+        for (const sim::InputSequence& t : tests) {
+            const exec::RunStatus st = exec::poll_point(cancel_.get(), budget_ptr);
+            if (st != exec::RunStatus::Completed) {
+                report.outcome.status = st;
+                if (budget_ptr != nullptr && (st == exec::RunStatus::DeadlineExceeded ||
+                                              st == exec::RunStatus::LimitReached)) {
+                    report.outcome.diagnostic = budget_ptr->detail();
+                }
+                break;
+            }
+            if (cfg_.progress &&
+                !cfg_.progress({Stage::FaultSim, report.sequences, tests.size()})) {
+                cancel_->request();
+                report.outcome.status = exec::RunStatus::Cancelled;
+                break;
+            }
+            fsim.drop_detected(t, list);
+            if (budget_ptr != nullptr) budget_ptr->note_item();
+            ++report.sequences;
         }
-        if (cfg_.progress &&
-            !cfg_.progress({Stage::FaultSim, report.sequences, tests.size()})) {
-            cancel_->request();
-            report.cancelled = true;
-            break;
-        }
-        fsim.drop_detected(t, list);
-        ++report.sequences;
+    } catch (const std::exception& e) {
+        report.outcome = exec::RunOutcome::failed(e.what());
     }
+    // The Budget above is stack-local: the simulator must not keep pointing
+    // at it past this call.
+    fsim.set_governance(nullptr, nullptr, nullptr);
+    report.cancelled = !report.outcome.ok();
     const fault::FaultList::Counts c = list.counts();
     report.total = c.total;
     report.detected = c.detected;
@@ -188,18 +262,24 @@ SessionStats Session::stats() {
         s.learn = active->stats;
         s.relations = active->db.size();
         s.ties = active->ties.count();
+        s.learn_outcome = active->outcome;
     }
     if (atpg_) {
         s.atpg_run = true;
         s.faults = atpg_->list.counts();
         s.test_coverage = atpg_->list.test_coverage();
         s.tests = atpg_->outcome.tests.size();
+        s.atpg_outcome = atpg_->outcome.run;
     }
     return s;
 }
 
 void Session::save_db(std::ostream& out) {
-    const core::LearnResult& r = learn();
+    // Use the active result even when partial — every relation and tie a
+    // stopped run committed is sound, and forcing a re-run here would throw
+    // away exactly the work the caller is trying to persist.
+    const core::LearnResult* active = active_learned();
+    const core::LearnResult& r = active != nullptr ? *active : learn();
     core::save_learned(out, netlist(), r.db, r.ties);
 }
 

@@ -33,7 +33,10 @@
 #include "api/design.hpp"
 #include "atpg/atpg_loop.hpp"
 #include "core/seq_learn.hpp"
+#include "exec/budget.hpp"
 #include "exec/cancel.hpp"
+#include "exec/failpoint.hpp"
+#include "exec/outcome.hpp"
 #include "exec/pool.hpp"
 #include "fault/collapse.hpp"
 #include "fault/fault_list.hpp"
@@ -86,6 +89,13 @@ struct SessionConfig {
     /// stage. All stages share one exec::Pool sized to the largest request;
     /// N-thread results are bit-identical to 1-thread results.
     unsigned threads = 0;
+    /// Session-wide default run budget, inherited by any stage whose own
+    /// config leaves `budget` empty. Each stage materializes its own clock
+    /// at stage entry (the deadline is per stage, not per session).
+    exec::BudgetSpec budget;
+    /// Session-wide fault-injection harness default (robustness tests only;
+    /// null in production), inherited like `budget`.
+    exec::FailurePoint* failpoint = nullptr;
 };
 
 /// Campaign result: the fault list with final statuses plus the outcome
@@ -105,8 +115,12 @@ struct FaultSimReport {
     std::size_t detected = 0;  ///< faults the test set detects
     std::size_t sequences = 0;
     double fault_coverage = 0.0;  ///< detected / total
-    /// True when the progress observer cancelled validation early (the
-    /// counts above cover only the sequences simulated before the cut).
+    /// How validation ended (cancel, budget, injected failure, or clean).
+    /// On any early stop the counts above cover only the sequences fully
+    /// simulated before the cut — a sound lower bound on coverage.
+    exec::RunOutcome outcome;
+    /// Convenience flag: true whenever validation ended early, i.e.
+    /// !outcome.ok() (kept for report printers).
     bool cancelled = false;
 };
 
@@ -126,6 +140,10 @@ struct SessionStats {
     fault::FaultList::Counts faults;  ///< zeros until atpg_run
     double test_coverage = 0.0;
     std::size_t tests = 0;
+    /// How the cached learn / ATPG runs ended (Completed when never run —
+    /// check `learned` / `atpg_run` to distinguish "clean" from "not yet").
+    exec::RunOutcome learn_outcome;
+    exec::RunOutcome atpg_outcome;
 };
 
 class Session {
@@ -171,7 +189,13 @@ public:
     // --- the flow ---------------------------------------------------------
     /// Learned data, session-local results first: this session's learn() /
     /// load_db() result if any, else the Design's frozen snapshot, else
-    /// run learning with cfg.learn (caching the result).
+    /// run learning with cfg.learn (caching the result). Only a *complete*
+    /// cached result satisfies this call: when the cached run ended early
+    /// (cancelled / budget / failed), learning re-runs from scratch — a
+    /// cancelled Session stays reusable. Use resume_learn() to continue a
+    /// budgeted run instead of restarting, and save_db() to persist a
+    /// partial result without triggering a re-run. Never throws for
+    /// run-time failures: inspect LearnResult::outcome.
     const core::LearnResult& learn();
     /// Re-run learning with an explicit config; replaces the cached result
     /// (the Design snapshot, if any, is shadowed, never modified).
@@ -189,9 +213,34 @@ public:
     /// directly (no copy).
     std::shared_ptr<const core::LearnedSnapshot> freeze_learned();
 
+    /// Resume a budget-interrupted learning run from a checkpoint, caching
+    /// the (possibly again partial) result like learn() does. The config —
+    /// cfg.learn for the first overload — must have the same result-affecting
+    /// fields as the run that produced the checkpoint (execution fields:
+    /// threads / executor / batch_lanes / budget may differ freely); throws
+    /// std::invalid_argument otherwise. A resumed run completes to the same
+    /// final db/ties the uninterrupted run would have produced.
+    const core::LearnResult& resume_learn(const core::LearnCheckpoint& ckpt);
+    const core::LearnResult& resume_learn(const core::LearnCheckpoint& ckpt,
+                                          const core::LearnConfig& lcfg);
+    /// Load a serialized checkpoint (core::db_io text format) and resume.
+    /// Throws std::runtime_error on malformed input or an unreadable path.
+    const core::LearnResult& resume_learn(std::istream& in);
+    const core::LearnResult& resume_learn(const std::string& path);
+
+    /// Serialize this session's partial learn() result for a later
+    /// resume_learn(). Throws std::logic_error when the session holds no
+    /// resumable result (no learn() run, a complete one, or a Failed one —
+    /// after an unwind the exact stop point is unknown).
+    void save_checkpoint(std::ostream& out);
+    void save_checkpoint(const std::string& path);
+
     /// Run the ATPG campaign once (cached) with cfg.atpg. Modes that use
     /// learned data trigger learn() automatically (which prefers the
-    /// Design's snapshot — the learn-once / ATPG-many flow).
+    /// Design's snapshot — the learn-once / ATPG-many flow). Like learn(),
+    /// a cached campaign that ended early does not satisfy this call — the
+    /// campaign re-runs. Never throws for run-time failures: inspect
+    /// AtpgOutcome::run.
     const AtpgReport& atpg();
     /// Re-run the campaign with an explicit config; replaces the cache.
     const AtpgReport& atpg(atpg::AtpgConfig acfg);
@@ -216,7 +265,9 @@ public:
     void request_cancel() noexcept { cancel_->request(); }
 
     // --- learned-data persistence (core::db_io text format) ---------------
-    /// Save the active learned data (learning first if needed).
+    /// Save the active learned data (learning first if needed). A partial
+    /// result from an interrupted run is saved as-is — every relation and
+    /// tie in it is sound — without triggering a re-run.
     void save_db(std::ostream& out);
     void save_db(const std::string& path);
     /// Load a saved DB as this session's learned data (replacing any learn()
@@ -234,6 +285,8 @@ private:
         return nullptr;
     }
     FaultSimReport fault_sim(std::span<const sim::InputSequence> tests, bool with_ties);
+    const core::LearnResult& run_learn(const core::LearnConfig& lcfg,
+                                       const core::LearnCheckpoint* ckpt);
     void replace_learned(std::unique_ptr<core::LearnResult> next);
     unsigned resolve_threads(unsigned stage_threads) const noexcept;
     exec::Pool& executor(unsigned workers);

@@ -101,12 +101,21 @@ void apply_verdict(TargetVerdict&& v, std::size_t fault_index, fault::FaultList&
     }
 }
 
-}  // namespace
+exec::RunOutcome outcome_from(exec::RunStatus st, const exec::Budget* budget) {
+    exec::RunOutcome o;
+    o.status = st;
+    if (budget != nullptr && budget->detail() != nullptr &&
+        (st == exec::RunStatus::DeadlineExceeded || st == exec::RunStatus::LimitReached)) {
+        o.diagnostic = budget->detail();
+    }
+    return o;
+}
 
-AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList& list,
-                     const AtpgConfig& cfg) {
-    const util::Timer timer;
-    AtpgOutcome out;
+// The campaign body; every early stop records out.run and returns. Exceptions
+// escape to run_atpg's catch (commit walks run on the calling thread with no
+// window in flight, so unwinding cannot deadlock or tear shared state).
+void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList& list,
+                  const AtpgConfig& cfg, exec::Budget* budget, AtpgOutcome& out) {
     const netlist::Topology& topo = engine.topology();
 
     if (cfg.learned != nullptr) {
@@ -147,6 +156,11 @@ AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultLi
     if (cfg.random_sequences > 0) {
         util::Rng rng(cfg.random_seed);
         for (std::size_t s = 0; s < cfg.random_sequences; ++s) {
+            const exec::RunStatus st = exec::poll_point(cfg.cancel, budget);
+            if (st != exec::RunStatus::Completed) {
+                out.run = outcome_from(st, budget);
+                return;
+            }
             sim::InputSequence seq(cfg.random_sequence_length,
                                    sim::InputFrame(topo.inputs().size(), logic::Val3::X));
             for (auto& frame : seq) {
@@ -172,20 +186,22 @@ AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultLi
         // Serial campaign: target, apply, move on.
         for (const std::size_t i : targets) {
             if (list.status(i) != FaultStatus::Undetected) continue;
-            if (cfg.cancel != nullptr && cfg.cancel->requested()) {
-                out.cancelled = true;
-                break;
+            const exec::RunStatus st = exec::poll_point(cfg.cancel, budget);
+            if (st != exec::RunStatus::Completed) {
+                out.run = outcome_from(st, budget);
+                return;
             }
             if (cfg.on_fault && !cfg.on_fault(out.targeted_faults, total_targets)) {
-                out.cancelled = true;
-                break;
+                out.run.status = exec::RunStatus::Cancelled;
+                return;
             }
+            if (cfg.failpoint != nullptr) cfg.failpoint->poll(exec::FailSite::WorkItem);
             ++out.targeted_faults;
             apply_verdict(solve_target(engine, fsim, list.fault(i), ecfg, cfg, windows), i,
                           list, fsim, out);
+            if (budget != nullptr) budget->note_item();
         }
-        out.cpu_seconds = timer.seconds();
-        return out;
+        return;
     }
 
     // Parallel campaign: speculative target solves on per-worker clones,
@@ -220,27 +236,62 @@ AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultLi
             v = TargetVerdict{};
             return;
         }
+        // Fast abort: a pending sticky stop means the next in-order commit
+        // Stops, so this solve is wasted work.
+        if ((cfg.cancel != nullptr && cfg.cancel->requested()) ||
+            (budget != nullptr && budget->deadline_exceeded())) {
+            v = TargetVerdict{};
+            return;
+        }
+        if (cfg.failpoint != nullptr) cfg.failpoint->poll(exec::FailSite::WorkItem);
         Engine& eng = worker == 0 ? engine : ctxs[worker - 1].engine;
         fault::FaultSimulator& fs = worker == 0 ? fsim : ctxs[worker - 1].fsim;
         v = solve_target(eng, fs, list.fault(i), ecfg, cfg, windows);
     };
     auto commit = [&](std::size_t item, std::size_t slot) -> exec::Commit {
         const std::size_t i = targets[item];
+        const exec::RunStatus st = exec::poll_point(cfg.cancel, budget);
+        if (st != exec::RunStatus::Completed) {
+            out.run = outcome_from(st, budget);
+            return exec::Commit::Stop;
+        }
         if (list.status(i) != FaultStatus::Undetected) return exec::Commit::Done;
-        if (cfg.cancel != nullptr && cfg.cancel->requested()) {
-            out.cancelled = true;
-            return exec::Commit::Stop;
-        }
         if (cfg.on_fault && !cfg.on_fault(out.targeted_faults, total_targets)) {
-            out.cancelled = true;
+            out.run.status = exec::RunStatus::Cancelled;
             return exec::Commit::Stop;
         }
+        if (cfg.failpoint != nullptr) cfg.failpoint->poll(exec::FailSite::SpecCommit);
         ++out.targeted_faults;
         apply_verdict(std::move(slots[slot]), i, list, fsim, out);
+        if (budget != nullptr) budget->note_item();
         return exec::Commit::Done;
     };
     exec::speculate_ordered(ex.pool, targets.size(), sopt, prepare, compute, commit, workers);
+}
 
+}  // namespace
+
+AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList& list,
+                     const AtpgConfig& cfg) {
+    const util::Timer timer;
+    AtpgOutcome out;
+
+    // The budget clock starts here, at campaign entry; the fault simulator
+    // shares the governance hooks for its pass boundaries and drops them
+    // again before returning (the Budget is stack-local).
+    exec::Budget budget(cfg.budget);
+    exec::Budget* budget_ptr = cfg.budget.any() ? &budget : nullptr;
+    fsim.set_governance(cfg.cancel, budget_ptr, cfg.failpoint);
+    try {
+        run_campaign(engine, fsim, list, cfg, budget_ptr, out);
+    } catch (const std::exception& e) {
+        // Never throw across the campaign boundary: tests and fault statuses
+        // committed before the failure are intact (speculation windows apply
+        // nothing after a throw).
+        out.run = exec::RunOutcome::failed(e.what());
+    }
+    fsim.set_governance(nullptr, nullptr, nullptr);
+    out.cancelled = !out.run.ok();
     out.cpu_seconds = timer.seconds();
     return out;
 }

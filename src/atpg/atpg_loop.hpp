@@ -11,7 +11,10 @@
 
 #include "atpg/engine.hpp"
 #include "core/seq_learn.hpp"
+#include "exec/budget.hpp"
 #include "exec/cancel.hpp"
+#include "exec/failpoint.hpp"
+#include "exec/outcome.hpp"
 #include "exec/pool.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -34,6 +37,14 @@ struct AtpgConfig {
     /// Optional cooperative stop switch, polled at target boundaries on the
     /// calling thread; request() is safe from any thread.
     exec::CancelFlag* cancel = nullptr;
+    /// Run budget (deadline / item limit / memory cap), polled at the same
+    /// target boundaries as `cancel` and at fault-sim pass boundaries. An
+    /// exhausted budget stops the campaign; generated tests and fault
+    /// statuses committed so far are kept.
+    exec::BudgetSpec budget;
+    /// Fault-injection harness for the robustness suite (null in
+    /// production); polled inside solves, commits, and fault-sim passes.
+    exec::FailurePoint* failpoint = nullptr;
     /// How learned data is used (paper Table 5's three columns).
     LearnMode mode = LearnMode::None;
     /// Learned data; must be non-null for modes other than None, and is
@@ -84,7 +95,12 @@ struct AtpgOutcome {
     std::size_t untestable_by_tie = 0;
     std::size_t untestable_by_proof = 0;
     std::size_t detected_by_bootstrap = 0;
-    /// True when cfg.on_fault requested cancellation mid-campaign.
+    /// How the campaign ended. Partial results (tests + statuses committed
+    /// before the stop) are valid; Failed means an exception was captured
+    /// with the committed state intact. Never throws past run_atpg.
+    exec::RunOutcome run;
+    /// Convenience flag: true whenever the campaign ended early, i.e.
+    /// !run.ok() (kept for report printers).
     bool cancelled = false;
 };
 

@@ -2,18 +2,47 @@
 
 #include "util/strings.hpp"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace seqlearn::core {
 
+using netlist::Diagnostics;
 using netlist::GateId;
 using netlist::Netlist;
 
-void save_learned(std::ostream& out, const Netlist& nl, const ImplicationDB& db,
-                  const TieSet& ties) {
-    out << "# seqlearn v1 " << nl.name() << "\n";
+namespace {
+
+// Strict full-token numeric parsing: the whole token must be digits (the
+// std::stoul the loaders used before silently accepted trailing garbage,
+// turning a corrupt "12x" frame into frame 12).
+template <typename T>
+bool parse_uint(std::string_view tok, T& out) {
+    const char* first = tok.data();
+    const char* last = tok.data() + tok.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last && !tok.empty();
+}
+
+bool parse_value(std::string_view tok, Val3& out) {
+    if (tok == "0") {
+        out = Val3::Zero;
+        return true;
+    }
+    if (tok == "1") {
+        out = Val3::One;
+        return true;
+    }
+    return false;
+}
+
+std::string quoted(std::string_view tok) { return "'" + std::string(tok) + "'"; }
+
+void write_relations_and_ties(std::ostream& out, const Netlist& nl,
+                              const ImplicationDB& db, const TieSet& ties) {
     for (const Relation& r : db.relations()) {
         out << "rel " << nl.name_of(r.lhs.gate) << ' '
             << (r.lhs.value == Val3::One ? 1 : 0) << ' ' << nl.name_of(r.rhs.gate) << ' '
@@ -23,6 +52,21 @@ void save_learned(std::ostream& out, const Netlist& nl, const ImplicationDB& db,
         out << "tie " << nl.name_of(g) << ' ' << (ties.value(g) == Val3::One ? 1 : 0)
             << ' ' << ties.cycle(g) << "\n";
     }
+}
+
+[[noreturn]] void throw_first_error(const char* who, const Diagnostics& diags) {
+    const netlist::Diagnostic* e = diags.first_error();
+    std::string msg = std::string(who) + ": " + e->message;
+    if (e->line != 0) msg += " at line " + std::to_string(e->line);
+    throw std::runtime_error(msg);
+}
+
+}  // namespace
+
+void save_learned(std::ostream& out, const Netlist& nl, const ImplicationDB& db,
+                  const TieSet& ties) {
+    out << "# seqlearn v1 " << nl.name() << "\n";
+    write_relations_and_ties(out, nl, db, ties);
 }
 
 void save_learned(std::ostream& out, const Netlist& nl, const LearnedSnapshot& snap) {
@@ -37,49 +81,244 @@ LoadedSnapshot load_snapshot(std::istream& in, const Netlist& nl) {
     return {freeze_learned(std::move(result)), loaded.skipped_lines};
 }
 
-LoadedLearned load_learned(std::istream& in, const Netlist& nl) {
+LoadedLearned load_learned(std::istream& in, const Netlist& nl, Diagnostics& diags) {
     LoadedLearned out(nl.size());
     std::string raw;
-    std::size_t line_no = 0;
-    auto parse_value = [&](std::string_view tok) {
-        if (tok == "0") return Val3::Zero;
-        if (tok == "1") return Val3::One;
-        throw std::runtime_error("load_learned: bad value at line " + std::to_string(line_no));
-    };
+    std::uint32_t line_no = 0;
     while (std::getline(in, raw)) {
         ++line_no;
         const std::string_view line = util::trim(raw);
         if (line.empty() || line[0] == '#') continue;
         const auto tok = util::split(line, " \t");
         if (tok[0] == "rel") {
-            if (tok.size() != 6)
-                throw std::runtime_error("load_learned: malformed rel at line " +
-                                         std::to_string(line_no));
+            if (tok.size() != 6) {
+                diags.error(line_no,
+                            "malformed rel record (want: rel <lhs> <0|1> <rhs> <0|1> <frame>)");
+                continue;
+            }
+            Val3 av{};
+            Val3 bv{};
+            std::uint32_t frame = 0;
+            if (!parse_value(tok[2], av) || !parse_value(tok[4], bv)) {
+                diags.error(line_no, "bad literal value (want 0 or 1)");
+                continue;
+            }
+            if (!parse_uint(tok[5], frame)) {
+                diags.error(line_no, "bad frame number " + quoted(tok[5]));
+                continue;
+            }
             const GateId a = nl.find(tok[1]);
             const GateId b = nl.find(tok[3]);
             if (a == netlist::kNoGate || b == netlist::kNoGate) {
+                diags.warning(line_no,
+                              "unknown gate " + quoted(a == netlist::kNoGate ? tok[1] : tok[3]) +
+                                  "; entry skipped");
                 ++out.skipped_lines;
                 continue;
             }
-            out.db.add({a, parse_value(tok[2])}, {b, parse_value(tok[4])},
-                       static_cast<std::uint32_t>(std::stoul(std::string(tok[5]))));
+            out.db.add({a, av}, {b, bv}, frame);
         } else if (tok[0] == "tie") {
-            if (tok.size() != 4)
-                throw std::runtime_error("load_learned: malformed tie at line " +
-                                         std::to_string(line_no));
+            if (tok.size() != 4) {
+                diags.error(line_no, "malformed tie record (want: tie <gate> <0|1> <cycle>)");
+                continue;
+            }
+            Val3 v{};
+            std::uint32_t cycle = 0;
+            if (!parse_value(tok[2], v)) {
+                diags.error(line_no, "bad tie value (want 0 or 1)");
+                continue;
+            }
+            if (!parse_uint(tok[3], cycle)) {
+                diags.error(line_no, "bad tie cycle " + quoted(tok[3]));
+                continue;
+            }
             const GateId g = nl.find(tok[1]);
             if (g == netlist::kNoGate) {
+                diags.warning(line_no, "unknown gate " + quoted(tok[1]) + "; entry skipped");
                 ++out.skipped_lines;
                 continue;
             }
-            out.ties.set(g, parse_value(tok[2]),
-                         static_cast<std::uint32_t>(std::stoul(std::string(tok[3]))));
+            try {
+                out.ties.set(g, v, cycle);
+            } catch (const std::logic_error&) {
+                diags.error(line_no,
+                            "contradictory tie (gate " + quoted(tok[1]) +
+                                " already tied to the opposite value)");
+            }
         } else {
-            throw std::runtime_error("load_learned: unknown record at line " +
-                                     std::to_string(line_no));
+            diags.error(line_no, "unknown record type " + quoted(tok[0]));
         }
     }
     return out;
+}
+
+LoadedLearned load_learned(std::istream& in, const Netlist& nl) {
+    Diagnostics diags;
+    LoadedLearned out = load_learned(in, nl, diags);
+    if (!diags.ok()) throw_first_error("load_learned", diags);
+    return out;
+}
+
+void save_checkpoint(std::ostream& out, const Netlist& nl, const LearnCheckpoint& ckpt) {
+    if (!ckpt.cursor.valid)
+        throw std::logic_error("save_checkpoint: checkpoint has no resume cursor");
+    out << "# seqlearn-checkpoint v1 "
+        << (ckpt.circuit.empty() ? nl.name() : ckpt.circuit) << "\n";
+    out << "cursor " << ckpt.cursor.class_index << ' '
+        << (ckpt.cursor.in_multi ? "multi" : "single") << ' ' << ckpt.cursor.unit << ' '
+        << ckpt.cursor.config_digest << "\n";
+    out << "progress " << ckpt.stems_processed << ' ' << ckpt.multi_targets << ' '
+        << ckpt.multi_relations << ' ' << ckpt.multi_ties << "\n";
+    out << "cap " << ckpt.records.cap() << "\n";
+    write_relations_and_ties(out, nl, ckpt.db, ckpt.ties);
+    // Stem records in deterministic key order; per-key record order is the
+    // insertion order, which the loader reproduces by re-adding in file
+    // order — a resumed multi pass sees byte-identical record vectors.
+    for (const Literal key : ckpt.records.targets(1)) {
+        for (const StemRecord& r : ckpt.records.records_for(key)) {
+            out << "rec " << nl.name_of(key.gate) << ' '
+                << (key.value == Val3::One ? 1 : 0) << ' ' << nl.name_of(r.stem.gate)
+                << ' ' << (r.stem.value == Val3::One ? 1 : 0) << ' ' << r.offset << "\n";
+        }
+    }
+}
+
+LearnCheckpoint load_checkpoint(std::istream& in, const Netlist& nl, Diagnostics& diags) {
+    LearnCheckpoint ckpt(nl.size());
+    bool have_header = false;
+    bool have_cursor = false;
+    bool have_cap = false;
+    std::string raw;
+    std::uint32_t line_no = 0;
+
+    // Checkpoints must round-trip exactly: a gate name the netlist does not
+    // know means the file belongs to a different circuit, which is an error
+    // here (resuming against it would silently diverge from the goldens).
+    auto find_gate = [&](std::string_view name, GateId& g) {
+        g = nl.find(name);
+        if (g == netlist::kNoGate) {
+            diags.error(line_no, "unknown gate " + quoted(name));
+            return false;
+        }
+        return true;
+    };
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::string_view line = util::trim(raw);
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            if (!have_header && util::starts_with(line, "# seqlearn-checkpoint")) {
+                const auto tok = util::split(line, " \t");
+                if (tok.size() < 3 || tok[2] != "v1") {
+                    diags.error(line_no, "unsupported checkpoint version");
+                    continue;
+                }
+                if (tok.size() >= 4) ckpt.circuit = std::string(tok[3]);
+                have_header = true;
+            }
+            continue;
+        }
+        const auto tok = util::split(line, " \t");
+        if (tok[0] == "cursor") {
+            std::uint64_t ci = 0;
+            std::uint64_t unit = 0;
+            std::uint64_t digest = 0;
+            if (tok.size() != 5 || (tok[2] != "single" && tok[2] != "multi") ||
+                !parse_uint(tok[1], ci) || !parse_uint(tok[3], unit) ||
+                !parse_uint(tok[4], digest)) {
+                diags.error(line_no,
+                            "malformed cursor record (want: cursor <class> "
+                            "<single|multi> <unit> <digest>)");
+                continue;
+            }
+            ckpt.cursor.valid = true;
+            ckpt.cursor.class_index = static_cast<std::size_t>(ci);
+            ckpt.cursor.in_multi = tok[2] == "multi";
+            ckpt.cursor.unit = static_cast<std::size_t>(unit);
+            ckpt.cursor.config_digest = digest;
+            have_cursor = true;
+        } else if (tok[0] == "progress") {
+            std::uint64_t v[4] = {};
+            if (tok.size() != 5 || !parse_uint(tok[1], v[0]) || !parse_uint(tok[2], v[1]) ||
+                !parse_uint(tok[3], v[2]) || !parse_uint(tok[4], v[3])) {
+                diags.error(line_no, "malformed progress record");
+                continue;
+            }
+            ckpt.stems_processed = static_cast<std::size_t>(v[0]);
+            ckpt.multi_targets = static_cast<std::size_t>(v[1]);
+            ckpt.multi_relations = static_cast<std::size_t>(v[2]);
+            ckpt.multi_ties = static_cast<std::size_t>(v[3]);
+        } else if (tok[0] == "cap") {
+            std::uint64_t cap = 0;
+            if (tok.size() != 2 || !parse_uint(tok[1], cap)) {
+                diags.error(line_no, "malformed cap record");
+                continue;
+            }
+            ckpt.records = StemRecords(static_cast<std::size_t>(cap));
+            have_cap = true;
+        } else if (tok[0] == "rel") {
+            Val3 av{};
+            Val3 bv{};
+            std::uint32_t frame = 0;
+            GateId a = netlist::kNoGate;
+            GateId b = netlist::kNoGate;
+            if (tok.size() != 6 || !parse_value(tok[2], av) || !parse_value(tok[4], bv) ||
+                !parse_uint(tok[5], frame)) {
+                diags.error(line_no, "malformed rel record");
+                continue;
+            }
+            if (!find_gate(tok[1], a) || !find_gate(tok[3], b)) continue;
+            ckpt.db.add({a, av}, {b, bv}, frame);
+        } else if (tok[0] == "tie") {
+            Val3 v{};
+            std::uint32_t cycle = 0;
+            GateId g = netlist::kNoGate;
+            if (tok.size() != 4 || !parse_value(tok[2], v) || !parse_uint(tok[3], cycle)) {
+                diags.error(line_no, "malformed tie record");
+                continue;
+            }
+            if (!find_gate(tok[1], g)) continue;
+            try {
+                ckpt.ties.set(g, v, cycle);
+            } catch (const std::logic_error&) {
+                diags.error(line_no, "contradictory tie for gate " + quoted(tok[1]));
+            }
+        } else if (tok[0] == "rec") {
+            Val3 nv{};
+            Val3 sv{};
+            std::uint32_t offset = 0;
+            GateId node = netlist::kNoGate;
+            GateId stem = netlist::kNoGate;
+            if (tok.size() != 6 || !parse_value(tok[2], nv) || !parse_value(tok[4], sv) ||
+                !parse_uint(tok[5], offset)) {
+                diags.error(line_no,
+                            "malformed rec record (want: rec <node> <0|1> <stem> <0|1> "
+                            "<offset>)");
+                continue;
+            }
+            if (!have_cap) {
+                diags.error(line_no, "rec record before cap record");
+                continue;
+            }
+            if (!find_gate(tok[1], node) || !find_gate(tok[3], stem)) continue;
+            ckpt.records.add({node, nv}, {stem, sv}, offset);
+        } else {
+            diags.error(line_no, "unknown record type " + quoted(tok[0]));
+        }
+    }
+    if (!have_header) diags.error(0, "missing '# seqlearn-checkpoint v1' header");
+    if (!have_cursor) diags.error(0, "missing cursor record");
+    // An erroneous checkpoint must not look resumable.
+    if (!diags.ok()) ckpt.cursor.valid = false;
+    return ckpt;
+}
+
+LearnCheckpoint load_checkpoint(std::istream& in, const Netlist& nl) {
+    Diagnostics diags;
+    LearnCheckpoint ckpt = load_checkpoint(in, nl, diags);
+    if (!diags.ok()) throw_first_error("load_checkpoint", diags);
+    return ckpt;
 }
 
 }  // namespace seqlearn::core

@@ -10,10 +10,27 @@
 //     # seqlearn v1 <circuit-name>
 //     rel <lhs-gate> <0|1> <rhs-gate> <0|1> <frame>
 //     tie <gate> <0|1> <cycle>
+//
+// A learning *checkpoint* — the partial database of a budget-interrupted
+// run plus the cursor needed to resume it — extends the same format:
+//
+//     # seqlearn-checkpoint v1 <circuit-name>
+//     cursor <class-index> <single|multi> <unit> <config-digest>
+//     progress <stems> <multi-targets> <multi-relations> <multi-ties>
+//     cap <record-cap>
+//     rel ... / tie ...                       (as above)
+//     rec <node-gate> <0|1> <stem-gate> <0|1> <offset>
+//
+// Both loaders come in two flavors: a Diagnostics-collecting one that
+// reports every problem with its line number in a single pass (the way the
+// .bench reader does) and a legacy throwing wrapper that raises
+// std::runtime_error on the first error.
 
 #include "core/impl_db.hpp"
 #include "core/learned_snapshot.hpp"
+#include "core/seq_learn.hpp"
 #include "core/tie.hpp"
+#include "netlist/diagnostics.hpp"
 
 #include <iosfwd>
 #include <memory>
@@ -36,10 +53,18 @@ struct LoadedLearned {
     explicit LoadedLearned(std::size_t num_gates) : db(num_gates), ties(num_gates) {}
 };
 
-/// Read a file produced by save_learned back against `nl`. Entries that
-/// reference gates absent from `nl` are counted in `skipped_lines` rather
-/// than failing, so a database can be reused across mild netlist edits.
-/// Throws std::runtime_error on malformed syntax.
+/// Read a file produced by save_learned back against `nl`, collecting
+/// line-numbered diagnostics instead of throwing: malformed records are
+/// errors (the line is skipped and the scan continues, so one pass surfaces
+/// every problem); entries naming gates absent from `nl` are warnings and
+/// counted in `skipped_lines` (a database stays reusable across mild
+/// netlist edits). The returned data reflects exactly the well-formed,
+/// known-gate entries — usable when diags.ok(), partial otherwise.
+LoadedLearned load_learned(std::istream& in, const netlist::Netlist& nl,
+                           netlist::Diagnostics& diags);
+
+/// Legacy wrapper: throws std::runtime_error carrying the first error's
+/// message and line number. Unknown-gate entries stay non-fatal skips.
 LoadedLearned load_learned(std::istream& in, const netlist::Netlist& nl);
 
 /// Result of loading a saved database directly into a shareable snapshot.
@@ -51,5 +76,20 @@ struct LoadedSnapshot {
 /// load_learned straight into a frozen shareable snapshot — the path a
 /// DesignBuilder uses to attach pre-learned data many Sessions then share.
 LoadedSnapshot load_snapshot(std::istream& in, const netlist::Netlist& nl);
+
+/// Serialize a resumable learning checkpoint (see make_checkpoint). Throws
+/// std::logic_error when `ckpt` carries no valid cursor.
+void save_checkpoint(std::ostream& out, const netlist::Netlist& nl,
+                     const LearnCheckpoint& ckpt);
+
+/// Read a checkpoint back against `nl`, collecting diagnostics. Checkpoints
+/// must round-trip exactly, so here unknown gate names are *errors*, not
+/// skips (resuming against a different circuit would silently diverge). On
+/// any error the returned checkpoint's cursor is invalid (not resumable).
+LearnCheckpoint load_checkpoint(std::istream& in, const netlist::Netlist& nl,
+                                netlist::Diagnostics& diags);
+
+/// Throwing wrapper: std::runtime_error on the first error.
+LearnCheckpoint load_checkpoint(std::istream& in, const netlist::Netlist& nl);
 
 }  // namespace seqlearn::core

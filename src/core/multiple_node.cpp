@@ -175,18 +175,22 @@ bool process_target(const Netlist& nl, sim::FrameSimulator& sim, const StemRecor
 MultipleNodeOutcome run_serial(const Netlist& nl, sim::FrameSimulator& sim,
                                const StemRecords& records, const MultipleNodeConfig& cfg,
                                std::span<const Literal> targets, TieSet& ties,
-                               ImplicationDB& db, exec::CancelFlag* cancel) {
+                               ImplicationDB& db, const LearnExecEnv& env) {
     MultipleNodeOutcome out;
     TargetScratch scratch;
     DirectCtx ctx{ties, db, out};
-    for (const Literal target : targets) {
-        if (cancel != nullptr && cancel->requested()) {
-            out.cancelled = true;
+    for (std::size_t idx = 0; idx < targets.size(); ++idx) {
+        const exec::RunStatus st = exec::poll_point(env.cancel, env.budget);
+        if (st != exec::RunStatus::Completed) {
+            out.stop = st;
             break;
         }
         if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets) break;
-        if (process_target(nl, sim, records, cfg, target, scratch, ctx))
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::WorkItem);
+        if (process_target(nl, sim, records, cfg, targets[idx], scratch, ctx))
             ++out.targets_processed;
+        if (env.budget != nullptr) env.budget->note_item();
+        out.next_index = idx + 1;
     }
     return out;
 }
@@ -280,22 +284,37 @@ MultipleNodeOutcome run_batched(const Netlist& nl,
     std::vector<BatchDelta> slots(exec::resolved_max_window(sopt, workers));
 
     std::uint64_t dispatch_version = 0;
+    std::size_t next_progress = 0;
 
-    // The serial observation point of a target: cancellation and the
-    // max-targets cap, polled before every target in commit order.
-    auto observe_target = [&](std::size_t) -> bool {
-        if (env.cancel != nullptr && env.cancel->requested()) {
-            out.cancelled = true;
+    // The serial observation point of a target: cancel/budget and the
+    // max-targets cap, polled before every target in commit order. The poll
+    // runs before the once-per-target dedup so sticky stop conditions Stop a
+    // retried batch whose compute fast-aborted (see single_node.cpp).
+    auto observe_target = [&](std::size_t idx) -> bool {
+        const exec::RunStatus st = exec::poll_point(env.cancel, env.budget);
+        if (st != exec::RunStatus::Completed) {
+            out.stop = st;
+            out.next_index = idx;
             return false;
         }
-        return cfg.max_targets == 0 || out.targets_processed < cfg.max_targets;
+        if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets) {
+            out.next_index = idx;
+            return false;
+        }
+        if (idx >= next_progress) {
+            if (env.budget != nullptr) env.budget->note_item();
+            next_progress = idx + 1;
+            out.next_index = next_progress;
+        }
+        return true;
     };
 
     // Re-derive targets [i, end) on the calling thread against the live tie
     // set, re-batching after every target that lands a tie. Returns false
-    // when cancelled (the cancel flag is the only cancellation source of
-    // this pass; hitting the target cap just ends the work).
+    // when stopped by cancel/budget (hitting the target cap just ends the
+    // work and stays a Completed outcome).
     auto recompute_rest = [&](std::size_t i, std::size_t end) -> bool {
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::BatchRecompute);
         DirectCtx ctx{ties, db, out};
         MultiBatchScratch& w = ws[0];
         std::array<BatchPlanEntry, kMaxBatchTargets> entries;
@@ -305,7 +324,7 @@ MultipleNodeOutcome run_batched(const Netlist& nl,
                                   [&](GateId g) { return ties.is_tied(g); }, w, entries);
             std::size_t done = count;
             for (std::size_t p = 0; p < count; ++p) {
-                if (!observe_target(i + p)) return !out.cancelled;
+                if (!observe_target(i + p)) return out.stop == exec::RunStatus::Completed;
                 const BatchPlanEntry& e = entries[p];
                 if (e.skipped) continue;
                 ++out.targets_processed;
@@ -335,6 +354,11 @@ MultipleNodeOutcome run_batched(const Netlist& nl,
         d.deltas.resize(std::max(d.deltas.size(), count));
         d.processed.assign(count, 0);
         d.computed = 0;
+        // Fast abort on a pending sticky stop (see single_node.cpp).
+        if ((env.cancel != nullptr && env.cancel->requested()) ||
+            (env.budget != nullptr && env.budget->deadline_exceeded()))
+            return;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::WorkItem);
         MultiBatchScratch& w = ws[worker];
         std::array<BatchPlanEntry, kMaxBatchTargets> entries;
         simulate_target_batch(batch_sims[worker], targets, base, count, records, cfg, nl,
@@ -365,6 +389,7 @@ MultipleNodeOutcome run_batched(const Netlist& nl,
     auto apply = [&](std::size_t, std::size_t slot, std::size_t pos) {
         const BatchDelta& d = slots[slot];
         if (!d.processed[pos]) return;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::SpecCommit);
         const TargetDelta& delta = d.deltas[pos];
         ++out.targets_processed;
         if (delta.tie) {
@@ -389,8 +414,18 @@ MultipleNodeOutcome multiple_node_learning(const Netlist& nl,
                                            const MultipleNodeConfig& cfg, TieSet& ties,
                                            ImplicationDB& db, const LearnExecEnv& env,
                                            std::span<sim::BatchFrameSimulator> batch_sims,
-                                           std::size_t batch_targets) {
-    const std::vector<Literal> targets = records.targets(cfg.min_records);
+                                           std::size_t batch_targets,
+                                           std::size_t first_target) {
+    const std::vector<Literal> all_targets = records.targets(cfg.min_records);
+    const std::size_t skip = std::min(first_target, all_targets.size());
+    const std::span<const Literal> targets{all_targets.data() + skip,
+                                           all_targets.size() - skip};
+    // Every path below reports next_index relative to `targets`; shift back
+    // to the global order before returning.
+    auto globalize = [skip](MultipleNodeOutcome out) {
+        out.next_index += skip;
+        return out;
+    };
 
     unsigned workers = env.pool != nullptr ? env.pool->size() : 1;
     if (env.max_workers != 0) workers = std::min(workers, env.max_workers);
@@ -398,12 +433,12 @@ MultipleNodeOutcome multiple_node_learning(const Netlist& nl,
 
     if (batch_targets != 0 && !batch_sims.empty() && !targets.empty()) {
         workers = std::min<unsigned>(workers, static_cast<unsigned>(batch_sims.size()));
-        return run_batched(nl, batch_sims, records, cfg, targets, batch_targets, ties, db,
-                           env, std::max(1u, workers));
+        return globalize(run_batched(nl, batch_sims, records, cfg, targets, batch_targets,
+                                     ties, db, env, std::max(1u, workers)));
     }
 
     if (workers <= 1 || targets.size() < 2) {
-        return run_serial(nl, sims[0], records, cfg, targets, ties, db, env.cancel);
+        return globalize(run_serial(nl, sims[0], records, cfg, targets, ties, db, env));
     }
 
     MultipleNodeOutcome out;
@@ -411,26 +446,43 @@ MultipleNodeOutcome multiple_node_learning(const Netlist& nl,
     std::vector<TargetScratch> ws(workers);
     std::vector<TargetDelta> slots(exec::resolved_max_window(sopt, workers));
     std::uint64_t dispatch_version = 0;
+    std::size_t next_progress = 0;
 
     auto prepare = [&](std::size_t, std::size_t) { dispatch_version = ties.version(); };
     auto compute = [&](unsigned worker, std::size_t item, std::size_t slot) {
         TargetDelta& d = slots[slot];
         d.clear();
+        // Fast abort on a pending sticky stop (see single_node.cpp).
+        if ((env.cancel != nullptr && env.cancel->requested()) ||
+            (env.budget != nullptr && env.budget->deadline_exceeded()))
+            return;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::WorkItem);
         SpecCtx ctx{ties, d};
         d.processed =
             process_target(nl, sims[worker], records, cfg, targets[item], ws[worker], ctx);
     };
     auto commit = [&](std::size_t item, std::size_t slot) -> exec::Commit {
-        (void)item;
-        if (env.cancel != nullptr && env.cancel->requested()) {
-            out.cancelled = true;
+        // Poll before the dedup: sticky stop conditions must Stop a retried
+        // item whose compute fast-aborted (see single_node.cpp).
+        const exec::RunStatus st = exec::poll_point(env.cancel, env.budget);
+        if (st != exec::RunStatus::Completed) {
+            out.stop = st;
+            out.next_index = item;
             return exec::Commit::Stop;
         }
-        if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets)
+        if (cfg.max_targets != 0 && out.targets_processed >= cfg.max_targets) {
+            out.next_index = item;
             return exec::Commit::Stop;
+        }
+        if (item >= next_progress) {
+            if (env.budget != nullptr) env.budget->note_item();
+            next_progress = item + 1;
+            out.next_index = next_progress;
+        }
         if (ties.version() != dispatch_version) return exec::Commit::Retry;
         const TargetDelta& d = slots[slot];
         if (!d.processed) return exec::Commit::Done;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::SpecCommit);
         ++out.targets_processed;
         if (d.tie) {
             ties.set(d.tie_gate, d.tie_value, d.tie_cycle);
@@ -444,7 +496,7 @@ MultipleNodeOutcome multiple_node_learning(const Netlist& nl,
     };
     exec::speculate_ordered(env.pool, targets.size(), sopt, prepare, compute, commit,
                             workers);
-    return out;
+    return globalize(out);
 }
 
 }  // namespace seqlearn::core

@@ -48,8 +48,13 @@ struct MultipleNodeOutcome {
     std::size_t ties_found = 0;
     /// Ties proven by an outright contradiction among the injections.
     std::size_t contradiction_ties = 0;
-    /// True when the cancel flag stopped the pass early.
-    bool cancelled = false;
+    /// Why the pass stopped: Completed after the full target list (or at the
+    /// max_targets cap, which is a config bound rather than a budget),
+    /// otherwise the cancel/budget status observed at a target boundary.
+    exec::RunStatus stop = exec::RunStatus::Completed;
+    /// Resume cursor: index into the deterministic target order (including
+    /// any `first_target` offset) of the first target not processed.
+    std::size_t next_index = 0;
 };
 
 /// Run multiple-node learning over every record key using the per-worker
@@ -59,13 +64,16 @@ struct MultipleNodeOutcome {
 /// `batch_sims` (same count and configuration discipline as `sims`) enables
 /// 64-lane batched simulation with `batch_targets` targets per batch
 /// (clamped to 64); empty span or 0 selects the one-run-per-target path.
-/// Results are bit-identical either way.
+/// Results are bit-identical either way. `first_target` skips that many
+/// leading targets of the deterministic order — the resume entry point for
+/// a run whose predecessor stopped mid-pass (its outcome's next_index).
 MultipleNodeOutcome multiple_node_learning(const netlist::Netlist& nl,
                                            std::span<sim::FrameSimulator> sims,
                                            const StemRecords& records,
                                            const MultipleNodeConfig& cfg, TieSet& ties,
                                            ImplicationDB& db, const LearnExecEnv& env = {},
                                            std::span<sim::BatchFrameSimulator> batch_sims = {},
-                                           std::size_t batch_targets = 0);
+                                           std::size_t batch_targets = 0,
+                                           std::size_t first_target = 0);
 
 }  // namespace seqlearn::core

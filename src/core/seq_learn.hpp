@@ -21,6 +21,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 namespace seqlearn::core {
 
@@ -40,6 +41,15 @@ struct LearnConfig {
     /// Optional cooperative stop switch, polled at work-item boundaries from
     /// the calling thread; request() is safe from any thread.
     exec::CancelFlag* cancel = nullptr;
+    /// Run budget (wall-clock deadline / item limit / memory cap), polled at
+    /// the same work-item boundaries as `cancel`. An exceeded budget stops
+    /// the pass at a stem/target boundary; the partial result is an exact
+    /// prefix of the serial schedule and carries a resume cursor.
+    exec::BudgetSpec budget;
+    /// Fault-injection harness for the robustness test suite (null in
+    /// production). Polled inside work items, speculation commits, and batch
+    /// recomputes.
+    exec::FailurePoint* failpoint = nullptr;
     /// Lanes per bit-parallel batch in the single-node pass (two lanes — the
     /// inject-0 and inject-1 runs — per stem, so 64 lanes = 32 stems per
     /// batch). 0 and 1 disable batching and simulate one scenario per
@@ -84,8 +94,24 @@ struct LearnStats {
     std::size_t multi_relations = 0;
     std::size_t multi_ties = 0;
     double cpu_seconds = 0.0;
-    /// True when cfg.on_stem requested cancellation mid-pass.
+    /// True whenever the run ended before completing the full schedule —
+    /// i.e. `LearnResult::outcome.ok()` is false (kept as a plain flag for
+    /// report printers).
     bool cancelled = false;
+};
+
+/// Where an interrupted learning run stopped, in terms of the deterministic
+/// serial schedule: clock class `class_index`, single-node or multiple-node
+/// phase, next unprocessed stem/target index. Only meaningful when `valid`
+/// (a Completed or Failed run has no cursor). `config_digest` fingerprints
+/// the result-affecting LearnConfig fields so a resume under a different
+/// configuration is rejected instead of silently diverging.
+struct LearnCursor {
+    bool valid = false;
+    std::size_t class_index = 0;
+    bool in_multi = false;
+    std::size_t unit = 0;
+    std::uint64_t config_digest = 0;
 };
 
 struct LearnResult {
@@ -93,14 +119,61 @@ struct LearnResult {
     TieSet ties;
     EquivResult equivalences;
     LearnStats stats;
+    /// How the run ended. Partial results (non-ok, valid cursor) are exact
+    /// prefixes of the serial schedule and valid ATPG input.
+    exec::RunOutcome outcome;
+    /// Resume cursor for interrupted runs (see resume_learn).
+    LearnCursor cursor;
+    /// The interrupted class's stem records, carried out so a checkpoint can
+    /// resume mid-class. Empty for completed or failed runs.
+    StemRecords records{0};
 
     LearnResult(std::size_t num_gates) : db(num_gates), ties(num_gates) {}
 };
 
+/// Everything needed to continue an interrupted run: the cursor plus the
+/// partial learned state at that point. Serializable via core::db_io
+/// (save_checkpoint / load_checkpoint). `circuit` guards against resuming
+/// on a different netlist.
+struct LearnCheckpoint {
+    LearnCursor cursor;
+    ImplicationDB db;
+    TieSet ties;
+    StemRecords records{0};
+    std::size_t stems_processed = 0;
+    std::size_t multi_targets = 0;
+    std::size_t multi_relations = 0;
+    std::size_t multi_ties = 0;
+    std::string circuit;
+
+    explicit LearnCheckpoint(std::size_t num_gates) : db(num_gates), ties(num_gates) {}
+};
+
+/// Digest of the LearnConfig fields that affect learning *results* (depth,
+/// passes, caps, equivalence tuning). Execution-only fields — threads,
+/// executor, batch_lanes, budget, callbacks — are excluded: results are
+/// bit-identical across them, so a checkpoint taken under one is resumable
+/// under another.
+std::uint64_t learn_config_digest(const LearnConfig& cfg);
+
+/// Package an interrupted result for resumption. Throws std::logic_error
+/// when `result` has no valid cursor (completed or failed runs).
+LearnCheckpoint make_checkpoint(const netlist::Netlist& nl, const LearnResult& result);
+
 /// Run the full learning pipeline on `nl` over a caller-provided CSR
 /// snapshot — the primary entry point. A Session passes its shared Topology
 /// so the circuit is levelized exactly once across learn/ATPG/fault-sim.
+/// Never throws past this boundary: exceptions (including injected faults)
+/// are captured into a Failed outcome with the committed prefix intact.
 LearnResult learn(const netlist::Netlist& nl, const netlist::Topology& topo,
                   const LearnConfig& cfg = {});
+
+/// Continue an interrupted run from `ckpt`. The combined run (original up
+/// to the cursor, then this) produces bit-identical results to a single
+/// uninterrupted learn() with the same config — at any thread count or
+/// batch width. Throws std::invalid_argument when the checkpoint does not
+/// match the netlist or the config digest.
+LearnResult resume_learn(const netlist::Netlist& nl, const netlist::Topology& topo,
+                         const LearnConfig& cfg, const LearnCheckpoint& ckpt);
 
 }  // namespace seqlearn::core

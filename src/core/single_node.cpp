@@ -274,22 +274,25 @@ using ProgressFnPtr = const std::function<bool(std::size_t, std::size_t)>*;
 SingleNodeOutcome run_serial(const Netlist& nl, sim::FrameSimulator& sim,
                              std::span<const GateId> stems, std::uint32_t max_frames,
                              TieSet& ties, ImplicationDB& db, StemRecords& records,
-                             ProgressFnPtr progress, exec::CancelFlag* cancel) {
+                             ProgressFnPtr progress, const LearnExecEnv& env) {
     SingleNodeOutcome out;
     ExtractScratch scratch;
     DirectCtx ctx{ties, db, records, out};
-    std::size_t visited = 0;
-    for (const GateId stem : stems) {
-        if (cancel != nullptr && cancel->requested()) {
-            out.cancelled = true;
+    for (std::size_t idx = 0; idx < stems.size(); ++idx) {
+        const exec::RunStatus st = exec::poll_point(env.cancel, env.budget);
+        if (st != exec::RunStatus::Completed) {
+            out.stop = st;
             break;
         }
-        if (progress != nullptr && *progress && !(*progress)(visited, stems.size())) {
-            out.cancelled = true;
+        if (progress != nullptr && *progress && !(*progress)(idx, stems.size())) {
+            out.stop = exec::RunStatus::Cancelled;
             break;
         }
-        ++visited;
-        if (process_stem(nl, sim, stem, max_frames, scratch, ctx)) ++out.stems_processed;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::WorkItem);
+        if (process_stem(nl, sim, stems[idx], max_frames, scratch, ctx))
+            ++out.stems_processed;
+        if (env.budget != nullptr) env.budget->note_item();
+        out.next_index = idx + 1;
     }
     return out;
 }
@@ -367,16 +370,29 @@ SingleNodeOutcome run_batched(const Netlist& nl,
     std::uint64_t dispatch_version = 0;
     std::size_t next_progress = 0;
 
-    // The serial observation point of stem `idx`: cancel/progress polled
-    // exactly once per stem, in order, with all earlier stems committed.
+    // The serial observation point of stem `idx`: cancel/budget/progress
+    // polled exactly once per stem, in order, with all earlier stems
+    // committed — so a budgeted stop lands at the same stem regardless of
+    // worker count or batching.
     auto observe_stem = [&](std::size_t idx) -> bool {
-        if (idx < next_progress) return true;
-        if ((env.cancel != nullptr && env.cancel->requested()) ||
-            (progress != nullptr && *progress && !(*progress)(idx, n))) {
-            out.cancelled = true;
+        // Poll before the dedup: stop conditions are sticky, so a window
+        // whose compute fast-aborted always Stops here instead of retrying
+        // forever against an empty slot.
+        const exec::RunStatus st = exec::poll_point(env.cancel, env.budget);
+        if (st != exec::RunStatus::Completed) {
+            out.stop = st;
+            out.next_index = idx;
             return false;
         }
+        if (idx < next_progress) return true;
+        if (progress != nullptr && *progress && !(*progress)(idx, n)) {
+            out.stop = exec::RunStatus::Cancelled;
+            out.next_index = idx;
+            return false;
+        }
+        if (env.budget != nullptr) env.budget->note_item();
         next_progress = idx + 1;
+        out.next_index = next_progress;
         return true;
     };
 
@@ -385,6 +401,7 @@ SingleNodeOutcome run_batched(const Netlist& nl,
     // simulations are stale under the serial schedule). Returns false when
     // cancelled.
     auto recompute_rest = [&](std::size_t i, std::size_t end) -> bool {
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::BatchRecompute);
         DirectCtx ctx{ties, db, records, out};
         BatchScratch& w = ws[0];
         std::array<int, kMaxBatchStems> lane_of{};
@@ -420,6 +437,12 @@ SingleNodeOutcome run_batched(const Netlist& nl,
         d.deltas.resize(std::max(d.deltas.size(), count));
         d.processed.assign(count, 0);
         d.computed = 0;
+        // Fast abort: once a stop is requested the commit walk is about to
+        // Stop at its next observe, so computing this batch is wasted work.
+        if ((env.cancel != nullptr && env.cancel->requested()) ||
+            (env.budget != nullptr && env.budget->deadline_exceeded()))
+            return;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::WorkItem);
         BatchScratch& w = ws[worker];
         std::array<int, kMaxBatchStems> lane_of{};
         simulate_stem_batch(batch_sims[worker], stems, base, count, max_frames, nl,
@@ -448,6 +471,7 @@ SingleNodeOutcome run_batched(const Netlist& nl,
     auto apply = [&](std::size_t, std::size_t slot, std::size_t pos) {
         const BatchDelta& d = slots[slot];
         if (!d.processed[pos]) return;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::SpecCommit);
         const StemDelta& delta = d.deltas[pos];
         ++out.stems_processed;
         for (const StemDelta::Tie& t : delta.ties) {
@@ -487,7 +511,7 @@ SingleNodeOutcome single_node_learning(const Netlist& nl,
 
     if (workers <= 1 || stems.size() < 2) {
         return run_serial(nl, sims[0], stems, max_frames, ties, db, records, progress,
-                          env.cancel);
+                          env);
     }
 
     SingleNodeOutcome out;
@@ -508,6 +532,11 @@ SingleNodeOutcome single_node_learning(const Netlist& nl,
     auto compute = [&](unsigned worker, std::size_t item, std::size_t slot) {
         StemDelta& d = slots[slot];
         d.clear();
+        // Fast abort: a requested stop means the next in-order commit Stops.
+        if ((env.cancel != nullptr && env.cancel->requested()) ||
+            (env.budget != nullptr && env.budget->deadline_exceeded()))
+            return;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::WorkItem);
         WorkerScratch& w = ws[worker];
         SpecCtx ctx{ties, w.overlay, w.overlay_touched, d};
         d.processed = process_stem(nl, sims[worker], stems[item], max_frames, w.scratch, ctx);
@@ -515,22 +544,30 @@ SingleNodeOutcome single_node_learning(const Netlist& nl,
         w.overlay_touched.clear();
     };
     auto commit = [&](std::size_t item, std::size_t slot) -> exec::Commit {
+        // Poll before the dedup (see run_batched::observe_stem): sticky stop
+        // conditions must Stop a retried item whose compute fast-aborted.
+        const exec::RunStatus st = exec::poll_point(env.cancel, env.budget);
+        if (st != exec::RunStatus::Completed) {
+            out.stop = st;
+            out.next_index = item;
+            return exec::Commit::Stop;
+        }
         if (item >= next_progress) {
             // First touch of this stem: the exact serial observation point
             // (once per stem, in order, with all earlier stems committed).
-            if (env.cancel != nullptr && env.cancel->requested()) {
-                out.cancelled = true;
-                return exec::Commit::Stop;
-            }
             if (progress != nullptr && *progress && !(*progress)(item, stems.size())) {
-                out.cancelled = true;
+                out.stop = exec::RunStatus::Cancelled;
+                out.next_index = item;
                 return exec::Commit::Stop;
             }
+            if (env.budget != nullptr) env.budget->note_item();
             next_progress = item + 1;
+            out.next_index = next_progress;
         }
         if (ties.version() != dispatch_version) return exec::Commit::Retry;
         const StemDelta& d = slots[slot];
         if (!d.processed) return exec::Commit::Done;
+        if (env.failpoint != nullptr) env.failpoint->poll(exec::FailSite::SpecCommit);
         ++out.stems_processed;
         for (const StemDelta::Tie& t : d.ties) {
             ties.set(t.gate, t.value, t.cycle);

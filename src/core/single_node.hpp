@@ -33,7 +33,10 @@
 #include "core/impl_db.hpp"
 #include "core/stem_records.hpp"
 #include "core/tie.hpp"
+#include "exec/budget.hpp"
 #include "exec/cancel.hpp"
+#include "exec/failpoint.hpp"
+#include "exec/outcome.hpp"
 #include "exec/pool.hpp"
 #include "sim/batch_frame_sim.hpp"
 #include "sim/frame_sim.hpp"
@@ -49,19 +52,27 @@ struct SingleNodeOutcome {
     std::size_t ties_found = 0;
     /// Stems proven tied because injecting one value conflicted outright.
     std::size_t stem_ties = 0;
-    /// True when the progress observer (or the cancel flag) requested
-    /// cancellation.
-    bool cancelled = false;
+    /// Why the pass stopped: Completed after the full stem list, otherwise
+    /// the cancel/budget status observed at a stem boundary. Every stem
+    /// before `next_index` is fully committed, none after is touched — the
+    /// result is an exact prefix of the serial schedule.
+    exec::RunStatus stop = exec::RunStatus::Completed;
+    /// Resume cursor: index of the first stem not processed.
+    std::size_t next_index = 0;
 };
 
 /// How a learning pass executes: serial when `pool` is null (or resolves to
-/// one worker), speculative-parallel otherwise. `cancel`, when non-null, is
-/// polled at stem boundaries — a cooperative, thread-safe stop switch in
-/// addition to the progress observer's return value.
+/// one worker), speculative-parallel otherwise. `cancel` and `budget`, when
+/// non-null, are polled at stem boundaries — cooperative, thread-safe stop
+/// switches in addition to the progress observer's return value.
+/// `failpoint`, when non-null, is the fault-injection harness polled inside
+/// work items, speculation commits, and batch recomputes.
 struct LearnExecEnv {
     exec::Pool* pool = nullptr;
     unsigned max_workers = 0;  ///< cap within the pool (0 = all slots)
     exec::CancelFlag* cancel = nullptr;
+    exec::Budget* budget = nullptr;
+    exec::FailurePoint* failpoint = nullptr;
 };
 
 /// Run single-node learning over `stems` using the per-worker simulators
@@ -76,7 +87,7 @@ struct LearnExecEnv {
 /// paper). Constants and already-tied gates never form relations.
 /// `progress`, when non-null, is invoked on the calling thread before each
 /// stem with (stems visited so far, stems.size()); returning false cancels
-/// the pass (partial results are kept and the outcome flagged cancelled).
+/// the pass (partial results are kept and the outcome's stop status set).
 ///
 /// `batch_sims` (same count and configuration discipline as `sims`) enables
 /// 64-lane batched simulation: stems are packed `batch_stems` per batch

@@ -44,6 +44,9 @@ public:
 
     std::size_t total_records() const noexcept { return total_; }
 
+    /// The per-key cap this instance was built with (0 = unlimited).
+    std::size_t cap() const noexcept { return cap_; }
+
 private:
     std::size_t cap_;
     std::size_t total_ = 0;

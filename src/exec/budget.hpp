@@ -1,0 +1,91 @@
+#pragma once
+// Run budgets: wall-clock deadline, work-item limit, optional memory cap.
+//
+// A BudgetSpec travels inside stage configs; a Budget is materialised when a
+// run starts (so the deadline clock begins at run entry, not config build)
+// and is polled at the same work-item boundaries as exec::CancelFlag.
+// Polling is cheap by design: note_item() is a relaxed counter bump and
+// check() is one steady_clock read plus two compares — the bench suite pins
+// the total at <2% of a learning pass (`budget_overhead` row).
+//
+// Deadline state is sticky and shared: once check() observes the deadline it
+// publishes the fact with release semantics so parallel workers can
+// fast-abort their window via deadline_exceeded() without re-reading the
+// clock, mirroring CancelFlag's request()/requested() pattern.
+
+#include "exec/cancel.hpp"
+#include "exec/outcome.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+
+namespace seqlearn::exec {
+
+/// Declarative budget carried by stage configs. Zero fields mean "no limit";
+/// a default BudgetSpec imposes no governance at all.
+struct BudgetSpec {
+    /// Wall-clock deadline measured from run start. 0 = unlimited.
+    std::chrono::milliseconds deadline{0};
+    /// Maximum number of work items (stems / targets / faults). 0 = unlimited.
+    std::size_t max_items = 0;
+    /// Process RSS cap in bytes, polled at a stride. 0 = unlimited.
+    std::size_t max_memory_bytes = 0;
+
+    bool any() const noexcept {
+        return deadline.count() > 0 || max_items > 0 || max_memory_bytes > 0;
+    }
+};
+
+/// Live budget for one run. Constructed at run entry; not copyable (shared
+/// by reference between the scheduler and its workers).
+class Budget {
+public:
+    explicit Budget(const BudgetSpec& spec) noexcept;
+
+    Budget(const Budget&) = delete;
+    Budget& operator=(const Budget&) = delete;
+
+    /// Count one completed work item (relaxed; called once per item by the
+    /// thread that owns the serial commit order).
+    void note_item() noexcept { items_.fetch_add(1, std::memory_order_relaxed); }
+
+    /// Poll the budget. Returns Completed while within budget, otherwise the
+    /// status of the first limit tripped. Sticky: after a non-Completed
+    /// return every later call returns the same status.
+    RunStatus check() noexcept;
+
+    /// Sticky cross-thread view of the deadline/memory trip, safe to read
+    /// from worker threads without touching the clock (acquire).
+    bool deadline_exceeded() const noexcept {
+        return tripped_.load(std::memory_order_acquire) != RunStatus::Completed;
+    }
+
+    /// Which limit tripped ("wall-clock deadline", "item limit", "memory
+    /// cap") or nullptr while within budget. For RunOutcome diagnostics.
+    const char* detail() const noexcept;
+
+    std::size_t items() const noexcept { return items_.load(std::memory_order_relaxed); }
+
+private:
+    bool over_memory_cap() noexcept;
+
+    std::chrono::steady_clock::time_point deadline_at_{};
+    std::size_t max_items_ = 0;
+    std::size_t max_memory_bytes_ = 0;
+    bool has_deadline_ = false;
+    std::atomic<RunStatus> tripped_{RunStatus::Completed};
+    std::atomic<std::size_t> items_{0};
+    unsigned memory_stride_ = 0;
+};
+
+/// Combined cancellation + budget poll used at every work-item boundary.
+/// Cancellation wins ties so an explicit user request is always reported as
+/// Cancelled. Either pointer may be null.
+inline RunStatus poll_point(const CancelFlag* cancel, Budget* budget) noexcept {
+    if (cancel && cancel->requested()) return RunStatus::Cancelled;
+    if (budget) return budget->check();
+    return RunStatus::Completed;
+}
+
+}  // namespace seqlearn::exec

@@ -1,0 +1,103 @@
+#pragma once
+// Deterministic fault-injection harness for the governance test suite.
+//
+// A FailurePoint is armed with (site, nth arrival, kind) and threaded
+// through stage configs next to CancelFlag/Budget. Instrumented code calls
+// poll(site) at the named sites; the Nth arrival at the armed site throws —
+// either an InjectedFault or std::bad_alloc — from inside the work item /
+// commit, exercising the same unwind paths a real failure would take.
+// Arrival counting is a single atomic fetch_add per poll, so exactly one
+// thread observes the armed arrival even when the site runs on a parallel
+// worker, and repeated runs with the same seed fail at the same arrival.
+//
+// Disarmed FailurePoints (and null pointers, the production default) cost
+// one relaxed atomic load per poll.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+namespace seqlearn::exec {
+
+/// Instrumented sites. Kept deliberately coarse: a site names a class of
+/// code location ("inside a work item's compute"), the arrival index picks
+/// the concrete occurrence.
+enum class FailSite : unsigned char {
+    WorkItem = 0,     ///< inside a work item (stem/target/fault-pass compute)
+    SpecCommit,       ///< inside an ordered/batched speculation commit
+    BatchRecompute,   ///< inside a batch remainder recompute
+    kCount,
+};
+
+inline const char* fail_site_name(FailSite s) noexcept {
+    switch (s) {
+        case FailSite::WorkItem: return "work_item";
+        case FailSite::SpecCommit: return "spec_commit";
+        case FailSite::BatchRecompute: return "batch_recompute";
+        default: return "unknown";
+    }
+}
+
+/// What the armed poll throws.
+enum class FailKind : unsigned char {
+    Error = 0,  ///< InjectedFault (runtime_error)
+    BadAlloc,   ///< std::bad_alloc, simulating an allocation failure
+};
+
+/// Exception thrown by an armed FailurePoint (FailKind::Error).
+struct InjectedFault : std::runtime_error {
+    explicit InjectedFault(FailSite site)
+        : std::runtime_error(std::string("injected fault at ") + fail_site_name(site)),
+          site(site) {}
+    FailSite site;
+};
+
+class FailurePoint {
+public:
+    FailurePoint() = default;
+    FailurePoint(const FailurePoint&) = delete;
+    FailurePoint& operator=(const FailurePoint&) = delete;
+
+    /// Arm: the `nth` arrival (1-based) at `site` throws `kind`. Re-arming
+    /// resets all arrival counters. Not thread-safe against concurrent
+    /// poll() — arm between runs, not during one.
+    void arm(FailSite site, std::size_t nth, FailKind kind = FailKind::Error) noexcept {
+        for (auto& c : arrivals_) c.store(0, std::memory_order_relaxed);
+        site_ = site;
+        nth_ = nth;
+        kind_ = kind;
+        armed_.store(true, std::memory_order_release);
+    }
+
+    void disarm() noexcept { armed_.store(false, std::memory_order_release); }
+
+    /// Instrumentation hook. Throws when this arrival is the armed one.
+    void poll(FailSite site) {
+        if (!armed_.load(std::memory_order_acquire)) return;
+        const std::size_t arrival =
+            1 + arrivals_[static_cast<std::size_t>(site)].fetch_add(
+                    1, std::memory_order_relaxed);
+        if (site == site_ && arrival == nth_) {
+            if (kind_ == FailKind::BadAlloc) throw std::bad_alloc();
+            throw InjectedFault(site);
+        }
+    }
+
+    /// Arrivals recorded at `site` since the last arm() (test introspection).
+    std::size_t hits(FailSite site) const noexcept {
+        return arrivals_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+    }
+
+private:
+    std::array<std::atomic<std::size_t>, static_cast<std::size_t>(FailSite::kCount)>
+        arrivals_{};
+    FailSite site_ = FailSite::WorkItem;
+    std::size_t nth_ = 0;
+    FailKind kind_ = FailKind::Error;
+    std::atomic<bool> armed_{false};
+};
+
+}  // namespace seqlearn::exec

@@ -1,0 +1,55 @@
+#pragma once
+// Structured run outcomes for governed stages (learn / atpg / fault_sim).
+//
+// Every long-running entry point reports how it ended instead of throwing
+// across the API boundary: Completed means the full work list was processed,
+// the three "graceful stop" states (DeadlineExceeded / Cancelled /
+// LimitReached) mean the run ended early at a work-item boundary and the
+// partial result is a valid prefix of the serial schedule, and Failed means
+// an exception was captured — the diagnostic carries its message and the
+// shared state is unchanged by the failed window.
+
+#include <string>
+#include <utility>
+
+namespace seqlearn::exec {
+
+enum class RunStatus : unsigned char {
+    Completed = 0,
+    DeadlineExceeded,
+    Cancelled,
+    LimitReached,
+    Failed,
+};
+
+/// Short stable name for logs / JSON ("completed", "deadline", ...).
+inline const char* run_status_name(RunStatus s) noexcept {
+    switch (s) {
+        case RunStatus::Completed: return "completed";
+        case RunStatus::DeadlineExceeded: return "deadline";
+        case RunStatus::Cancelled: return "cancelled";
+        case RunStatus::LimitReached: return "limit";
+        case RunStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+/// How a governed run ended. `diagnostic` is empty unless the run stopped
+/// for a reason worth explaining (always set for Failed, optionally set for
+/// LimitReached to say which limit tripped).
+struct RunOutcome {
+    RunStatus status = RunStatus::Completed;
+    std::string diagnostic;
+
+    /// True only for a full, uninterrupted run.
+    bool ok() const noexcept { return status == RunStatus::Completed; }
+
+    const char* name() const noexcept { return run_status_name(status); }
+
+    static RunOutcome completed() { return {}; }
+    static RunOutcome failed(std::string why) {
+        return {RunStatus::Failed, std::move(why)};
+    }
+};
+
+}  // namespace seqlearn::exec

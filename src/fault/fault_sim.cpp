@@ -224,6 +224,13 @@ std::size_t FaultSimulator::drop_detected(const sim::InputSequence& seq, FaultLi
         if (workers > 1) return drop_detected_parallel(seq, list, todo, passes, workers);
     }
     for (std::size_t pos = 0; pos < todo.size(); pos += kFaultsPerPass) {
+        // Pass-boundary governance: stopping between passes keeps the union
+        // of already-dropped faults valid (remaining ones just stay
+        // undetected, which is sound).
+        if ((cancel_ != nullptr && cancel_->requested()) ||
+            (budget_ != nullptr && budget_->check() != exec::RunStatus::Completed))
+            break;
+        if (failpoint_ != nullptr) failpoint_->poll(exec::FailSite::WorkItem);
         chunk_indices_.clear();
         chunk_.clear();
         for (std::size_t k = pos; k < std::min(pos + kFaultsPerPass, todo.size()); ++k) {
@@ -245,6 +252,9 @@ std::size_t FaultSimulator::drop_detected_parallel(const sim::InputSequence& seq
                                                    FaultList& list,
                                                    std::span<const std::size_t> todo,
                                                    std::size_t passes, unsigned workers) {
+    if ((cancel_ != nullptr && cancel_->requested()) ||
+        (budget_ != nullptr && budget_->check() != exec::RunStatus::Completed))
+        return 0;
     // Per-worker clones over the shared snapshot (worker 0 is this
     // simulator); built once and reused across calls.
     while (workers_.size() + 1 < workers) {
@@ -262,6 +272,12 @@ std::size_t FaultSimulator::drop_detected_parallel(const sim::InputSequence& seq
         detected_bits_[w].store(0, std::memory_order_relaxed);
 
     auto task = [&](unsigned worker, std::size_t pass) {
+        // Governance lives on the primary simulator; workers read its sticky
+        // flags only (no clock) and skip their pass once a stop is pending.
+        if ((cancel_ != nullptr && cancel_->requested()) ||
+            (budget_ != nullptr && budget_->deadline_exceeded()))
+            return;
+        if (failpoint_ != nullptr) failpoint_->poll(exec::FailSite::WorkItem);
         FaultSimulator& fs = worker == 0 ? *this : *workers_[worker - 1];
         const std::size_t begin = pass * kFaultsPerPass;
         const std::size_t end = std::min(begin + kFaultsPerPass, todo.size());

@@ -14,6 +14,9 @@
 // cleared entry-by-entry between passes, so a run() in steady state performs
 // no per-pass heap allocation.
 
+#include "exec/budget.hpp"
+#include "exec/cancel.hpp"
+#include "exec/failpoint.hpp"
 #include "exec/pool.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_list.hpp"
@@ -44,6 +47,18 @@ public:
     /// (0 = all). Worker clones over the shared Topology are built lazily;
     /// run() and detects() always execute on the calling thread.
     void set_executor(exec::Pool* pool, unsigned max_workers = 0);
+
+    /// Attach run-governance hooks for the current stage (all may be null;
+    /// the owner clears them when its run ends). drop_detected() polls
+    /// cancel/budget at 63-fault pass boundaries and stops early — sound,
+    /// since skipping passes only leaves detectable faults undropped — and
+    /// polls `failpoint` (FailSite::WorkItem) before each pass.
+    void set_governance(const exec::CancelFlag* cancel, exec::Budget* budget,
+                        exec::FailurePoint* failpoint) noexcept {
+        cancel_ = cancel;
+        budget_ = budget;
+        failpoint_ = failpoint;
+    }
 
     /// Augment simulation with learned tie facts: gate -> tied value (X =
     /// untied) with per-gate proof cycles (frames before the cycle are not
@@ -123,6 +138,9 @@ private:
     // (1 bit per todo position; grown on demand, reused across calls).
     exec::Pool* executor_ = nullptr;
     unsigned executor_max_workers_ = 0;
+    const exec::CancelFlag* cancel_ = nullptr;
+    exec::Budget* budget_ = nullptr;
+    exec::FailurePoint* failpoint_ = nullptr;
     std::vector<std::unique_ptr<FaultSimulator>> workers_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> detected_bits_;
     std::size_t detected_words_ = 0;

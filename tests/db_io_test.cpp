@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 namespace seqlearn::core {
@@ -132,6 +133,155 @@ TEST(DbIo, SnapshotSaveLoadRoundTrip) {
     std::ostringstream second;
     save_learned(second, nl, *loaded.snapshot);
     EXPECT_EQ(first.str(), second.str());
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-file corpus (tests/data/): a single diagnostics pass surfaces every
+// problem with its line number, skips the bad lines, and keeps the good ones.
+
+std::ifstream open_corpus(const char* name) {
+    std::ifstream in(std::string(SEQLEARN_TEST_DATA_DIR) + "/" + name);
+    EXPECT_TRUE(in.is_open()) << name;
+    return in;
+}
+
+std::vector<std::uint32_t> lines_with(const netlist::Diagnostics& diags,
+                                      netlist::Severity sev) {
+    std::vector<std::uint32_t> out;
+    for (const netlist::Diagnostic& d : diags.records())
+        if (d.severity == sev) out.push_back(d.line);
+    return out;
+}
+
+TEST(DbIoCorpus, MixedCorruptionIsFullyReportedInOnePass) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    std::ifstream in = open_corpus("corrupt_learned_mixed.txt");
+    netlist::Diagnostics diags;
+    const LoadedLearned loaded = load_learned(in, nl, diags);
+
+    // Every malformed line is an error at its exact line number; unknown-gate
+    // entries are warnings; the scan never stops early.
+    EXPECT_EQ(lines_with(diags, netlist::Severity::Error),
+              (std::vector<std::uint32_t>{3, 4, 5, 8, 9, 10}));
+    EXPECT_EQ(lines_with(diags, netlist::Severity::Warning),
+              (std::vector<std::uint32_t>{6, 11}));
+    EXPECT_EQ(loaded.skipped_lines, 2u);
+
+    // The well-formed, known-gate entries survive.
+    EXPECT_EQ(loaded.db.size(), 1u);
+    const GateId f0 = nl.find("f0");
+    ASSERT_NE(f0, netlist::kNoGate);
+    EXPECT_TRUE(loaded.ties.is_tied(f0));
+}
+
+TEST(DbIoCorpus, LegacyWrapperThrowsTheFirstErrorWithItsLine) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    std::ifstream in = open_corpus("corrupt_learned_mixed.txt");
+    try {
+        (void)load_learned(in, nl);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("bad literal value"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    }
+}
+
+TEST(DbIoCorpus, CheckpointWithoutCursorIsNotResumable) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    std::ifstream in = open_corpus("corrupt_checkpoint_no_cursor.txt");
+    netlist::Diagnostics diags;
+    const LearnCheckpoint ckpt = load_checkpoint(in, nl, diags);
+    EXPECT_FALSE(diags.ok());
+    EXPECT_EQ(diags.error_count(), 1u);
+    EXPECT_NE(diags.records()[0].message.find("missing cursor"), std::string::npos);
+    EXPECT_FALSE(ckpt.cursor.valid);
+}
+
+TEST(DbIoCorpus, CheckpointVersionMismatchIsRejected) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    std::ifstream in = open_corpus("corrupt_checkpoint_bad_version.txt");
+    netlist::Diagnostics diags;
+    const LearnCheckpoint ckpt = load_checkpoint(in, nl, diags);
+    EXPECT_FALSE(diags.ok());
+    EXPECT_FALSE(ckpt.cursor.valid);
+    bool version_reported = false;
+    for (const netlist::Diagnostic& d : diags.records())
+        version_reported =
+            version_reported || d.message.find("version") != std::string::npos;
+    EXPECT_TRUE(version_reported);
+}
+
+TEST(DbIoCorpus, CheckpointForeignGatesAreErrorsNotSkips) {
+    // For a plain learned DB unknown gates are warnings (mild netlist edits
+    // keep a database usable); for a checkpoint they mean the file belongs to
+    // a different circuit, and resuming must be refused.
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    std::ifstream in = open_corpus("corrupt_checkpoint_foreign_gates.txt");
+    netlist::Diagnostics diags;
+    const LearnCheckpoint ckpt = load_checkpoint(in, nl, diags);
+    EXPECT_EQ(lines_with(diags, netlist::Severity::Error),
+              (std::vector<std::uint32_t>{5, 7}));
+    EXPECT_EQ(diags.warning_count(), 0u);
+    EXPECT_FALSE(ckpt.cursor.valid);
+}
+
+TEST(DbIoCorpus, StrictNumericParsingRejectsTrailingGarbage) {
+    // The pre-governance loader used std::stoul, which turned "12x" into 12.
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    std::istringstream in("rel i0 1 f0 1 12x\n");
+    netlist::Diagnostics diags;
+    const LoadedLearned loaded = load_learned(in, nl, diags);
+    EXPECT_EQ(loaded.db.size(), 0u);
+    ASSERT_EQ(diags.error_count(), 1u);
+    EXPECT_NE(diags.records()[0].message.find("'12x'"), std::string::npos);
+}
+
+TEST(DbIoCorpus, CheckpointRoundTripPreservesEveryField) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    core::LearnConfig cfg;
+    cfg.threads = 1;
+    cfg.budget.max_items = 9;
+    const LearnResult partial = testing::learn(nl, cfg);
+    ASSERT_TRUE(partial.cursor.valid);
+    const LearnCheckpoint ckpt = make_checkpoint(nl, partial);
+
+    std::stringstream ss;
+    save_checkpoint(ss, nl, ckpt);
+    netlist::Diagnostics diags;
+    const LearnCheckpoint loaded = load_checkpoint(ss, nl, diags);
+    EXPECT_TRUE(diags.ok()) << diags.to_string("checkpoint");
+
+    EXPECT_EQ(loaded.circuit, nl.name());
+    EXPECT_EQ(loaded.cursor.class_index, ckpt.cursor.class_index);
+    EXPECT_EQ(loaded.cursor.in_multi, ckpt.cursor.in_multi);
+    EXPECT_EQ(loaded.cursor.unit, ckpt.cursor.unit);
+    EXPECT_EQ(loaded.cursor.config_digest, ckpt.cursor.config_digest);
+    EXPECT_EQ(loaded.stems_processed, ckpt.stems_processed);
+    EXPECT_EQ(loaded.multi_targets, ckpt.multi_targets);
+    EXPECT_EQ(loaded.multi_relations, ckpt.multi_relations);
+    EXPECT_EQ(loaded.multi_ties, ckpt.multi_ties);
+    EXPECT_EQ(canonical(loaded.db), canonical(ckpt.db));
+    EXPECT_EQ(loaded.ties.count(), ckpt.ties.count());
+    EXPECT_EQ(loaded.records.cap(), ckpt.records.cap());
+    EXPECT_EQ(loaded.records.total_records(), ckpt.records.total_records());
+    // Per-key record vectors byte-identical (order matters for the resumed
+    // multiple-node pass).
+    for (const Literal key : ckpt.records.targets(1)) {
+        const auto want = ckpt.records.records_for(key);
+        const auto got = loaded.records.records_for(key);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(got[i].stem.gate, want[i].stem.gate);
+            EXPECT_EQ(got[i].stem.value, want[i].stem.value);
+            EXPECT_EQ(got[i].offset, want[i].offset);
+        }
+    }
+
+    // A re-save of the loaded checkpoint is byte-identical.
+    std::stringstream again;
+    save_checkpoint(again, nl, loaded);
+    EXPECT_EQ(ss.str(), again.str());
 }
 
 }  // namespace

@@ -1,0 +1,492 @@
+// Run-governance robustness: fault injection, cancelled-session reuse,
+// deterministic item limits, and checkpoint/resume.
+//
+// The contract under test (ISSUE 6's graceful-degradation layer): a run
+// that stops early — cooperative cancel, exhausted budget, or an exception
+// thrown from inside a parallel work item or speculation commit — must (a)
+// surface as a structured RunOutcome instead of an escaped exception or a
+// deadlock, (b) leave the shared learned state (db / ties) a sound, intact
+// prefix, and (c) never poison later runs: a clean re-run on the same
+// engine state reproduces the untouched goldens bit for bit. Checkpointed
+// resumes must converge to the exact one-shot result at any thread count
+// and batch width. This suite runs under the ASan and TSan CI jobs.
+
+#include "api/session.hpp"
+#include "core/db_io.hpp"
+#include "core/seq_learn.hpp"
+#include "exec/budget.hpp"
+#include "exec/failpoint.hpp"
+#include "netlist/topology.hpp"
+#include "test_helpers.hpp"
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace seqlearn::core {
+namespace {
+
+using exec::FailKind;
+using exec::FailSite;
+using exec::FailurePoint;
+using exec::RunStatus;
+
+// Order-independent relation digest (same scheme as determinism_test).
+std::uint64_t relation_hash(const ImplicationDB& db) {
+    std::vector<Relation> rels = db.relations();
+    std::sort(rels.begin(), rels.end(), [](const Relation& a, const Relation& b) {
+        return std::tuple(lit_key(a.lhs), lit_key(a.rhs), a.frame) <
+               std::tuple(lit_key(b.lhs), lit_key(b.rhs), b.frame);
+    });
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ULL;
+    };
+    for (const Relation& r : rels) {
+        mix(lit_key(r.lhs));
+        mix(lit_key(r.rhs));
+        mix(r.frame);
+    }
+    return h;
+}
+
+LearnConfig exec_cfg(unsigned threads, std::size_t lanes) {
+    LearnConfig cfg;
+    cfg.threads = threads;
+    cfg.batch_lanes = lanes;
+    return cfg;
+}
+
+void expect_same_result(const LearnResult& got, const LearnResult& want,
+                        const std::string& ctx) {
+    EXPECT_EQ(relation_hash(got.db), relation_hash(want.db)) << ctx;
+    EXPECT_EQ(got.db.size(), want.db.size()) << ctx;
+    EXPECT_EQ(got.ties.dense(), want.ties.dense()) << ctx;
+    EXPECT_EQ(got.ties.dense_cycles(), want.ties.dense_cycles()) << ctx;
+    EXPECT_EQ(got.stats.multi_relations, want.stats.multi_relations) << ctx;
+    EXPECT_EQ(got.stats.multi_ties, want.stats.multi_ties) << ctx;
+    EXPECT_EQ(got.stats.stems_processed, want.stats.stems_processed) << ctx;
+}
+
+// ---------------------------------------------------------------------------
+// FailurePoint semantics.
+
+TEST(FailurePoint, FiresAtExactlyTheArmedArrival) {
+    FailurePoint fp;
+    // Disarmed: free.
+    fp.poll(FailSite::WorkItem);
+    fp.arm(FailSite::WorkItem, 3);
+    fp.poll(FailSite::WorkItem);
+    fp.poll(FailSite::SpecCommit);  // other sites count separately
+    fp.poll(FailSite::WorkItem);
+    EXPECT_THROW(fp.poll(FailSite::WorkItem), exec::InjectedFault);
+    // The armed arrival is consumed; later arrivals pass.
+    fp.poll(FailSite::WorkItem);
+    EXPECT_GE(fp.hits(FailSite::WorkItem), 3u);
+
+    fp.arm(FailSite::SpecCommit, 1, FailKind::BadAlloc);
+    EXPECT_THROW(fp.poll(FailSite::SpecCommit), std::bad_alloc);
+}
+
+TEST(FailurePoint, InjectedFaultNamesItsSite) {
+    FailurePoint fp;
+    fp.arm(FailSite::BatchRecompute, 1);
+    try {
+        fp.poll(FailSite::BatchRecompute);
+        FAIL() << "expected InjectedFault";
+    } catch (const exec::InjectedFault& e) {
+        EXPECT_EQ(e.site, FailSite::BatchRecompute);
+        EXPECT_NE(std::string(e.what()).find("batch_recompute"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection into learning: every site, serial and parallel, must
+// surface as a Failed outcome with the shared state intact.
+
+TEST(FaultInjection, WorkItemFailureYieldsFailedOutcomeAndCleanRerun) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const LearnResult golden = testing::learn(nl, exec_cfg(1, 0));
+    ASSERT_TRUE(golden.outcome.ok());
+
+    // In scalar mode the work-item site is polled per stem (arm the 3rd); in
+    // batched mode it is polled per batch, and this circuit's whole pass fits
+    // one batch, so the 1st arrival is the one that exists there.
+    for (const auto& [threads, lanes, nth] :
+         {std::tuple<unsigned, std::size_t, std::size_t>{1, 0, 3}, {4, 0, 3}, {4, 64, 1}}) {
+        FailurePoint fp;
+        fp.arm(FailSite::WorkItem, nth);
+        LearnConfig cfg = exec_cfg(threads, lanes);
+        cfg.failpoint = &fp;
+        const LearnResult r = testing::learn(nl, cfg);
+        const std::string ctx =
+            "threads=" + std::to_string(threads) + " lanes=" + std::to_string(lanes);
+        EXPECT_EQ(r.outcome.status, RunStatus::Failed) << ctx;
+        EXPECT_FALSE(r.outcome.diagnostic.empty()) << ctx;
+        EXPECT_FALSE(r.cursor.valid) << ctx;  // unwound: stop point unknown
+        EXPECT_TRUE(r.stats.cancelled) << ctx;
+        // The committed prefix is sound: every relation it holds appears in
+        // the complete run's database.
+        const auto all = golden.db.relations();
+        for (const Relation& rel : r.db.relations()) {
+            EXPECT_NE(std::find(all.begin(), all.end(), rel), all.end())
+                << ctx << ": injected-failure prefix learned a bogus relation";
+        }
+        // A clean re-run reproduces the untouched golden exactly.
+        const LearnResult clean = testing::learn(nl, exec_cfg(threads, lanes));
+        expect_same_result(clean, golden, ctx + " (clean rerun)");
+    }
+}
+
+TEST(FaultInjection, SpecCommitFailureYieldsFailedOutcome) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const LearnResult golden = testing::learn(nl, exec_cfg(1, 0));
+
+    for (const std::size_t lanes : {std::size_t{0}, std::size_t{64}}) {
+        FailurePoint fp;
+        fp.arm(FailSite::SpecCommit, 2);
+        LearnConfig cfg = exec_cfg(4, lanes);
+        cfg.failpoint = &fp;
+        const LearnResult r = testing::learn(nl, cfg);
+        const std::string ctx = "lanes=" + std::to_string(lanes);
+        EXPECT_EQ(r.outcome.status, RunStatus::Failed) << ctx;
+        EXPECT_GE(fp.hits(FailSite::SpecCommit), 2u) << ctx;
+        const LearnResult clean = testing::learn(nl, exec_cfg(4, lanes));
+        expect_same_result(clean, golden, ctx + " (clean rerun)");
+    }
+}
+
+TEST(FaultInjection, BatchRecomputeFailureYieldsFailedOutcome) {
+    // The recompute site is only reached when a speculative batch goes stale
+    // (a tie committed mid-window), so sweep tie-rich seeds and both worker
+    // counts; each firing must surface as Failed, and at least one cell of
+    // the sweep must actually fire (the site is not dead).
+    bool any_fired = false;
+    for (const std::uint64_t seed : {21ULL, 33ULL, 55ULL, 77ULL}) {
+        const netlist::Netlist nl = testing::random_circuit(seed, 6, 5, 30);
+        const LearnResult golden = testing::learn(nl, exec_cfg(1, 0));
+        for (const unsigned threads : {2u, 4u}) {
+            FailurePoint fp;
+            fp.arm(FailSite::BatchRecompute, 1);
+            LearnConfig cfg = exec_cfg(threads, 64);
+            cfg.failpoint = &fp;
+            const LearnResult r = testing::learn(nl, cfg);
+            const std::string ctx =
+                "seed=" + std::to_string(seed) + " threads=" + std::to_string(threads);
+            if (fp.hits(FailSite::BatchRecompute) > 0) {
+                any_fired = true;
+                EXPECT_EQ(r.outcome.status, RunStatus::Failed) << ctx;
+                const LearnResult clean = testing::learn(nl, exec_cfg(threads, 64));
+                expect_same_result(clean, golden, ctx + " (clean rerun)");
+            } else {
+                EXPECT_TRUE(r.outcome.ok()) << ctx;
+                expect_same_result(r, golden, ctx);
+            }
+        }
+    }
+    EXPECT_TRUE(any_fired) << "no config ever reached the batch-recompute site";
+}
+
+TEST(FaultInjection, SimulatedAllocationFailureIsCaptured) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    FailurePoint fp;
+    fp.arm(FailSite::WorkItem, 1, FailKind::BadAlloc);
+    LearnConfig cfg = exec_cfg(4, 64);
+    cfg.failpoint = &fp;
+    const LearnResult r = testing::learn(nl, cfg);
+    EXPECT_EQ(r.outcome.status, RunStatus::Failed);
+    EXPECT_NE(r.outcome.diagnostic.find("bad_alloc"), std::string::npos)
+        << r.outcome.diagnostic;
+}
+
+TEST(FaultInjection, AtpgCampaignFailureIsCapturedWithStateIntact) {
+    const netlist::Netlist nl = workload::suite_circuit("s27");
+    for (const unsigned threads : {1u, 4u}) {
+        FailurePoint fp;
+        api::SessionConfig scfg;
+        scfg.threads = threads;
+        scfg.failpoint = &fp;
+        api::Session session(netlist::Netlist(nl), std::move(scfg));
+        atpg::AtpgConfig acfg;
+        acfg.mode = atpg::LearnMode::None;
+        fp.arm(FailSite::WorkItem, 2);
+        const api::AtpgReport& broken = session.atpg(acfg);
+        EXPECT_EQ(broken.outcome.run.status, RunStatus::Failed) << "threads=" << threads;
+        EXPECT_TRUE(broken.outcome.cancelled) << "threads=" << threads;
+
+        // The session survives: the no-arg call re-runs (stale early-ended
+        // campaign) with the point disarmed and completes cleanly.
+        const api::AtpgReport& clean = session.atpg();
+        EXPECT_TRUE(clean.outcome.run.ok()) << "threads=" << threads;
+        EXPECT_GT(clean.list.counts().detected, 0u) << "threads=" << threads;
+    }
+}
+
+TEST(FaultInjection, FaultSimValidationFailureIsCaptured) {
+    FailurePoint fp;
+    api::SessionConfig scfg;
+    scfg.threads = 1;
+    scfg.failpoint = &fp;
+    api::Session session(workload::suite_circuit("s27"), std::move(scfg));
+    atpg::AtpgConfig acfg;
+    acfg.mode = atpg::LearnMode::None;
+    session.atpg(acfg);
+
+    fp.arm(FailSite::WorkItem, 1);
+    const api::FaultSimReport broken = session.fault_sim();
+    EXPECT_EQ(broken.outcome.status, RunStatus::Failed);
+    EXPECT_TRUE(broken.cancelled);
+    EXPECT_EQ(broken.sequences, 0u);
+
+    // Governance hooks were cleared after the failed run (the Budget they
+    // pointed at was stack-local): a later validation runs clean.
+    const api::FaultSimReport clean = session.fault_sim();
+    EXPECT_TRUE(clean.outcome.ok());
+    EXPECT_GT(clean.detected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancelled-session reuse (the stale-state regression test): a Session whose
+// stage was cancelled must re-run the stage on the next no-arg call instead
+// of serving the partial result forever.
+
+TEST(SessionReuse, CancelledLearnIsRerunNotServedStale) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const LearnResult golden = testing::learn(nl, exec_cfg(1, 0));
+
+    int calls = 0;
+    api::SessionConfig scfg;
+    scfg.threads = 1;
+    scfg.progress = [&calls](const api::Progress& p) {
+        // Cancel the very first learn run at its first stem; observe only
+        // afterwards.
+        return !(p.stage == api::Stage::Learn && calls++ == 0);
+    };
+    api::Session session(netlist::Netlist(nl), std::move(scfg));
+
+    const core::LearnResult& partial = session.learn();
+    EXPECT_EQ(partial.outcome.status, RunStatus::Cancelled);
+    EXPECT_TRUE(partial.stats.cancelled);
+    EXPECT_LT(partial.stats.stems_processed, golden.stats.stems_processed);
+
+    // Before the fix this returned the cancelled partial result unchanged.
+    const core::LearnResult& reran = session.learn();
+    EXPECT_TRUE(reran.outcome.ok());
+    expect_same_result(reran, golden, "rerun after cancel");
+
+    // And downstream stages consume the complete result.
+    const api::AtpgReport& report = session.atpg();
+    EXPECT_TRUE(report.outcome.run.ok());
+}
+
+TEST(SessionReuse, BudgetStoppedLearnIsRerunByNoArgCall) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    api::Session session{netlist::Netlist(nl)};
+    LearnConfig budgeted = exec_cfg(1, 0);
+    budgeted.budget.max_items = 3;
+    const core::LearnResult& partial = session.learn(budgeted);
+    EXPECT_EQ(partial.outcome.status, RunStatus::LimitReached);
+    const core::LearnResult& full = session.learn();
+    EXPECT_TRUE(full.outcome.ok());
+    EXPECT_GT(full.stats.stems_processed, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic budgets and checkpoint/resume.
+
+TEST(Budget, ItemLimitStopsAtTheSameUnitAtAnyThreadCountOrBatchWidth) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    LearnConfig serial = exec_cfg(1, 0);
+    serial.budget.max_items = 7;
+    const LearnResult want = core::learn(nl, netlist::Topology(nl), serial);
+    ASSERT_EQ(want.outcome.status, RunStatus::LimitReached);
+    ASSERT_TRUE(want.cursor.valid);
+    EXPECT_EQ(want.stats.stems_processed, 7u);
+
+    for (const unsigned threads : {2u, 8u}) {
+        for (const std::size_t lanes : {std::size_t{0}, std::size_t{64}}) {
+            LearnConfig cfg = exec_cfg(threads, lanes);
+            cfg.budget.max_items = 7;
+            const LearnResult got = core::learn(nl, netlist::Topology(nl), cfg);
+            const std::string ctx =
+                "threads=" + std::to_string(threads) + " lanes=" + std::to_string(lanes);
+            EXPECT_EQ(got.outcome.status, RunStatus::LimitReached) << ctx;
+            EXPECT_EQ(got.cursor.unit, want.cursor.unit) << ctx;
+            EXPECT_EQ(got.cursor.in_multi, want.cursor.in_multi) << ctx;
+            EXPECT_EQ(got.cursor.class_index, want.cursor.class_index) << ctx;
+            EXPECT_EQ(got.stats.stems_processed, want.stats.stems_processed) << ctx;
+            // The partial result is bit-identical to the serial prefix.
+            EXPECT_EQ(relation_hash(got.db), relation_hash(want.db)) << ctx;
+            EXPECT_EQ(got.ties.dense(), want.ties.dense()) << ctx;
+        }
+    }
+}
+
+TEST(Checkpoint, ResumeConvergesToOneShotAtEveryStopBoundary) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const netlist::Topology topo(nl);
+    const LearnConfig base = exec_cfg(1, 0);
+    const LearnResult golden = core::learn(nl, topo, base);
+    ASSERT_TRUE(golden.outcome.ok());
+
+    // Exhaustive: every stop boundary of the schedule, until a limit no
+    // longer interrupts the run. The circuit is tiny, so this is cheap.
+    bool hit_multi_phase = false;
+    for (std::size_t limit = 1; limit < 10000; ++limit) {
+        LearnConfig budgeted = base;
+        budgeted.budget.max_items = limit;
+        const LearnResult partial = core::learn(nl, topo, budgeted);
+        if (partial.outcome.ok()) break;  // limit past the full schedule
+        ASSERT_EQ(partial.outcome.status, RunStatus::LimitReached) << "limit=" << limit;
+        ASSERT_TRUE(partial.cursor.valid) << "limit=" << limit;
+        hit_multi_phase = hit_multi_phase || partial.cursor.in_multi;
+
+        const LearnCheckpoint ckpt = make_checkpoint(nl, partial);
+        const LearnResult resumed = resume_learn(nl, topo, base, ckpt);
+        EXPECT_TRUE(resumed.outcome.ok()) << "limit=" << limit;
+        expect_same_result(resumed, golden, "limit=" + std::to_string(limit));
+    }
+    // The sweep crossed the single-node -> multiple-node phase boundary
+    // (otherwise the in_multi resume path went untested).
+    EXPECT_TRUE(hit_multi_phase);
+}
+
+TEST(Checkpoint, TextRoundTripPreservesTheResumeExactly) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const netlist::Topology topo(nl);
+    const LearnConfig base = exec_cfg(1, 0);
+    const LearnResult golden = core::learn(nl, topo, base);
+
+    LearnConfig budgeted = base;
+    budgeted.budget.max_items = 9;
+    const LearnResult partial = core::learn(nl, topo, budgeted);
+    ASSERT_TRUE(partial.cursor.valid);
+    const LearnCheckpoint ckpt = make_checkpoint(nl, partial);
+
+    std::stringstream ss;
+    save_checkpoint(ss, nl, ckpt);
+    const LearnCheckpoint loaded = load_checkpoint(ss, nl);
+    EXPECT_EQ(loaded.cursor.class_index, ckpt.cursor.class_index);
+    EXPECT_EQ(loaded.cursor.in_multi, ckpt.cursor.in_multi);
+    EXPECT_EQ(loaded.cursor.unit, ckpt.cursor.unit);
+    EXPECT_EQ(loaded.cursor.config_digest, ckpt.cursor.config_digest);
+    EXPECT_EQ(loaded.stems_processed, ckpt.stems_processed);
+    EXPECT_EQ(relation_hash(loaded.db), relation_hash(ckpt.db));
+    EXPECT_EQ(loaded.ties.dense(), ckpt.ties.dense());
+    EXPECT_EQ(loaded.records.total_records(), ckpt.records.total_records());
+    EXPECT_EQ(loaded.records.cap(), ckpt.records.cap());
+
+    const LearnResult resumed = resume_learn(nl, topo, base, loaded);
+    expect_same_result(resumed, golden, "text round-trip resume");
+}
+
+TEST(Checkpoint, ResumeUnderDifferentExecutionConfigMatchesGolden) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const netlist::Topology topo(nl);
+    const LearnResult golden = core::learn(nl, topo, exec_cfg(1, 0));
+
+    LearnConfig budgeted = exec_cfg(1, 0);
+    budgeted.budget.max_items = 11;
+    const LearnResult partial = core::learn(nl, topo, budgeted);
+    ASSERT_TRUE(partial.cursor.valid);
+    const LearnCheckpoint ckpt = make_checkpoint(nl, partial);
+
+    // threads/batch_lanes/budget are execution-only: the digest admits them
+    // and the resumed result is still bit-identical.
+    for (const auto& [threads, lanes] :
+         {std::pair<unsigned, std::size_t>{8, 0}, {2, 64}, {8, 64}}) {
+        const LearnResult resumed =
+            resume_learn(nl, topo, exec_cfg(threads, lanes), ckpt);
+        expect_same_result(resumed, golden,
+                           "threads=" + std::to_string(threads) +
+                               " lanes=" + std::to_string(lanes));
+    }
+}
+
+TEST(Checkpoint, MismatchesAreRejected) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const netlist::Topology topo(nl);
+    const LearnConfig base = exec_cfg(1, 0);
+
+    // A completed run is not checkpointable.
+    const LearnResult complete = core::learn(nl, topo, base);
+    EXPECT_THROW(make_checkpoint(nl, complete), std::logic_error);
+
+    LearnConfig budgeted = base;
+    budgeted.budget.max_items = 5;
+    const LearnResult partial = core::learn(nl, topo, budgeted);
+    const LearnCheckpoint ckpt = make_checkpoint(nl, partial);
+
+    // Result-affecting config change: rejected.
+    LearnConfig deeper = base;
+    deeper.max_frames = 7;
+    EXPECT_THROW(resume_learn(nl, topo, deeper, ckpt), std::invalid_argument);
+
+    // Different circuit: rejected (by name even when sizes coincide).
+    const netlist::Netlist other = testing::random_circuit(99, 6, 5, 30);
+    EXPECT_THROW(resume_learn(other, netlist::Topology(other), base, ckpt),
+                 std::invalid_argument);
+}
+
+TEST(Checkpoint, SessionResumeApiRoundTrips) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const LearnResult golden = testing::learn(nl, exec_cfg(1, 0));
+
+    api::SessionConfig scfg;
+    scfg.threads = 1;
+    scfg.learn.batch_lanes = 0;
+    api::Session session(netlist::Netlist(nl), std::move(scfg));
+    std::stringstream none;
+    EXPECT_THROW(session.save_checkpoint(none), std::logic_error);  // nothing resumable
+
+    LearnConfig budgeted = exec_cfg(1, 0);
+    budgeted.budget.max_items = 6;
+    const core::LearnResult& partial = session.learn(budgeted);
+    ASSERT_TRUE(partial.cursor.valid);
+    std::stringstream ss;
+    session.save_checkpoint(ss);
+
+    api::SessionConfig scfg2;
+    scfg2.threads = 1;
+    scfg2.learn.batch_lanes = 0;
+    api::Session fresh(netlist::Netlist(nl), std::move(scfg2));
+    const core::LearnResult& resumed = fresh.resume_learn(ss);
+    EXPECT_TRUE(resumed.outcome.ok());
+    expect_same_result(resumed, golden, "session resume");
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation under parallel execution: a cancel raised mid-run from
+// another thread stops every exec path without deadlock and leaves state
+// reusable. (TSan coverage for the cancel/budget polling added this issue.)
+
+TEST(Cancellation, MidRunCancelFromAnotherThreadStopsAllExecPaths) {
+    const netlist::Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    for (const auto& [threads, lanes] :
+         {std::pair<unsigned, std::size_t>{4, 0}, {4, 64}}) {
+        api::SessionConfig scfg;
+        scfg.threads = threads;
+        scfg.learn.batch_lanes = lanes;
+        api::Session session{netlist::Netlist(nl), std::move(scfg)};
+        std::thread canceller([&session] { session.request_cancel(); });
+        const core::LearnResult& r = session.learn();
+        canceller.join();
+        // Either the cancel landed before/inside the run (Cancelled) or the
+        // run won the race and completed; both must leave the session sound.
+        if (!r.outcome.ok())
+            EXPECT_EQ(r.outcome.status, RunStatus::Cancelled);
+        const core::LearnResult& rerun = session.learn();
+        EXPECT_TRUE(rerun.outcome.ok());
+    }
+}
+
+}  // namespace
+}  // namespace seqlearn::core
