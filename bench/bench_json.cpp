@@ -23,6 +23,9 @@
 
 #include "api/session.hpp"
 #include "core/db_io.hpp"
+#include "netlist/bench_io.hpp"
+#include "server/json.hpp"
+#include "server/server.hpp"
 #include "core/seq_learn.hpp"
 #include "exec/pool.hpp"
 #include "fault/collapse.hpp"
@@ -36,7 +39,13 @@
 #include "util/timer.hpp"
 #include "workload/suite.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -308,6 +317,174 @@ Row bench_multi_session_atpg(const Netlist& nl) {
     return row;
 }
 
+Row bench_server_throughput() {
+    // The serving subsystem end to end: a real loopback Server, 8 client
+    // threads each on its own connection, warm cache (the circuit is loaded
+    // and learned once up front), mixed stats / learn / atpg traffic — the
+    // steady state of a long-lived daemon. Runs on fig1x so request overhead
+    // (framing, JSON, digest lookup, session setup) dominates over engine
+    // time; items = requests served; p95_ms is across every request.
+    constexpr unsigned kClients = 8;
+    server::ServerConfig scfg;
+    scfg.service.max_sessions = kClients;
+    scfg.service.threads = 1;
+    server::Server srv(scfg);
+    std::string err;
+    if (!srv.start(&err)) {
+        std::fprintf(stderr, "server_throughput: %s\n", err.c_str());
+        Row row;
+        row.name = "server_throughput";
+        return row;
+    }
+
+    const auto connect_client = [&srv]() -> int {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(srv.port());
+        if (fd >= 0 &&
+            ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    };
+    const auto rpc = [](int fd, std::string frame, std::string* out) -> bool {
+        frame += '\n';
+        std::size_t sent = 0;
+        while (sent < frame.size()) {
+            const ssize_t n =
+                ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0) return false;
+            sent += static_cast<std::size_t>(n);
+        }
+        out->clear();
+        char ch;
+        while (::recv(fd, &ch, 1, 0) == 1) {
+            if (ch == '\n') return true;
+            out->push_back(ch);
+        }
+        return false;
+    };
+
+    // Warm the cache: load + learn once; every benched request rides the
+    // attached snapshot.
+    const std::string bench =
+        netlist::write_bench_string(workload::suite_circuit("fig1x"));
+    const int warm_fd = connect_client();
+    std::string response;
+    std::string digest;
+    if (warm_fd >= 0 &&
+        rpc(warm_fd,
+            "{\"cmd\": \"load\", \"bench\": \"" + server::json_escape(bench) + "\"}",
+            &response)) {
+        if (const auto doc = server::JsonValue::parse(response, nullptr))
+            digest = doc->get_string("design");
+        rpc(warm_fd, "{\"cmd\": \"learn\", \"design\": \"" + digest + "\"}", &response);
+        ::close(warm_fd);
+    }
+
+    const std::array<std::string, 3> frames = {
+        "{\"cmd\": \"stats\", \"design\": \"" + digest + "\"}",
+        "{\"cmd\": \"learn\", \"design\": \"" + digest + "\"}",
+        "{\"cmd\": \"atpg\", \"design\": \"" + digest + "\"}",
+    };
+
+    std::vector<std::vector<double>> latencies(kClients);
+    std::vector<std::size_t> counts(kClients, 0);
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (unsigned t = 0; t < kClients; ++t) {
+            clients.emplace_back([&, t] {
+                const int fd = connect_client();
+                if (fd < 0) return;
+                std::string resp;
+                const util::Timer timer;
+                std::size_t i = t;  // stagger the mix across clients
+                while (timer.seconds() < g_min_seconds) {
+                    const util::Timer one;
+                    if (!rpc(fd, frames[i++ % frames.size()], &resp)) break;
+                    latencies[t].push_back(one.seconds() * 1000.0);
+                    ++counts[t];
+                }
+                ::close(fd);
+            });
+        }
+        for (std::thread& c : clients) c.join();
+    }
+    srv.stop();
+
+    Row row;
+    row.name = "server_throughput";
+    row.threads = kClients;
+    std::vector<double> all;
+    double span = 0;
+    for (unsigned t = 0; t < kClients; ++t) {
+        row.items += counts[t];
+        all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+        for (const double ms : latencies[t]) span += ms / 1000.0;
+    }
+    // Wall time ≈ per-client time; requests/s counts all clients together.
+    row.seconds = span / kClients;
+    row.items_per_sec = row.seconds > 0 ? static_cast<double>(row.items) / row.seconds : 0;
+    double p95 = 0;
+    if (!all.empty()) {
+        std::sort(all.begin(), all.end());
+        p95 = all[std::min(all.size() - 1,
+                           static_cast<std::size_t>(all.size() * 0.95))];
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"p95_ms\": %.3f", p95);
+    row.extra = buf;
+    return row;
+}
+
+Row bench_snapshot_load(const Netlist& nl, const netlist::Topology& topo) {
+    // Snapshot deserialization on a learned gen5378 database: the binary v2
+    // format against the text format, same data. This is the daemon's
+    // restart path (and --load-db's); speedup_vs_text is what the binary
+    // format buys. items = relations+ties decoded per load.
+    core::LearnConfig cfg;
+    cfg.threads = 1;
+    const core::LearnResult learned = core::learn(nl, topo, cfg);
+
+    std::ostringstream text_out, bin_out;
+    core::save_learned(text_out, nl, learned.db, learned.ties);
+    core::save_learned_binary(bin_out, nl, learned.db, learned.ties);
+    const std::string text = text_out.str();
+    const std::string bin = bin_out.str();
+    const std::size_t items = learned.db.size() + learned.ties.count();
+
+    double text_min = 1e300;
+    {
+        const util::Timer total;
+        while (total.seconds() < g_min_seconds / 2) {
+            std::istringstream in(text);
+            const util::Timer t;
+            (void)core::load_learned(in, nl);
+            text_min = std::min(text_min, t.seconds());
+        }
+    }
+    // Same statistic on both sides: best-of per-load. The loads are
+    // deterministic, so min is the right noise-robust estimate; comparing a
+    // text minimum against a binary average would skew the ratio.
+    double bin_min = 1e300;
+    Row row = measure("snapshot_load_binary", items, g_min_seconds / 2, [&] {
+        std::istringstream in(bin);
+        const util::Timer t;
+        (void)core::load_learned_any(in, nl);  // sniffs magic, binary path
+        bin_min = std::min(bin_min, t.seconds());
+    });
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "\"speedup_vs_text\": %.1f, \"text_bytes\": %zu, \"binary_bytes\": %zu",
+                  text_min / bin_min, text.size(), bin.size());
+    row.extra = buf;
+    return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,6 +527,8 @@ int main(int argc, char** argv) {
     rows.push_back(bench_multi_session_atpg(nl));
     rows.push_back(bench_budget_overhead(nl, topo));
     rows.push_back(bench_learn_resume(nl, topo));
+    rows.push_back(bench_server_throughput());
+    rows.push_back(bench_snapshot_load(nl, topo));
 
     std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {

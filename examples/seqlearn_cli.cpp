@@ -4,13 +4,24 @@
 //   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--threads N]
 //                       [--batch-lanes N] [--limit-stems N] [--deadline-ms N]
 //                       [--checkpoint FILE] [--resume FILE] [--save-db FILE]
-//                       [--out FILE] [--json]
+//                       [--db-format text|binary] [--out FILE] [--json]
 //   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
 //                       [--backtracks N] [--load-db FILE] [--save-db FILE]
-//                       [--random N] [--deadline-ms N] [--progress]
-//                       [--threads N] [--json]
+//                       [--db-format text|binary] [--random N] [--deadline-ms N]
+//                       [--progress] [--threads N] [--json]
 //   seqlearn_cli gen    <out.bench | -> [--gates N] [--ffs N] [--inputs N]
 //                       [--outputs N] [--seed N] [--name NAME]
+//   seqlearn_cli serve  [--port N] [--max-sessions N] [--cache-mb N]
+//                       [--threads N] [--drain-ms N] [--max-frame-mb N]
+//
+// serve runs the ATPG-as-a-service daemon: newline-framed JSON requests
+// (load / learn / atpg / fault_sim / stats / cancel / shutdown) over a
+// loopback TCP socket, fronting a content-addressed Design cache with
+// attached learned snapshots — see README "Serving". It prints one JSON
+// line {"serving": {"port": N}} on stdout once listening (scripts wait on
+// it), then serves until SIGINT/SIGTERM or a protocol shutdown request;
+// either way it drains in-flight requests under --drain-ms (they complete
+// with Cancelled outcomes, not dropped connections) and exits 0.
 //
 // "suite:NAME" loads one of the built-in experiment circuits (e.g.
 // suite:rt510a); anything else is parsed as an ISCAS-89 .bench file through
@@ -19,7 +30,10 @@
 // dropped. All commands run through an api::Session over an api::Design, so
 // the circuit is levelized once and learned data moves through
 // Session::save_db / load_db. (--out and --learned are deprecated aliases
-// of --save-db and --load-db.)
+// of --save-db and --load-db.) --db-format picks the --save-db encoding:
+// "text" (default) is the archival name-keyed format, "binary" the
+// fast-loading id-keyed one, digest-bound to this exact netlist; --load-db
+// accepts either, sniffed by magic.
 //
 // Exit codes, one per failure class (scripts branch on them):
 //   0  success (stage ran to completion)
@@ -48,9 +62,12 @@
 #include "api/session.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/structure.hpp"
+#include "server/server.hpp"
 #include "workload/circuit_gen.hpp"
 #include "workload/suite.hpp"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +76,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -186,6 +204,14 @@ void print_json(api::Session& session, const netlist::Diagnostics& diags) {
         out.pop_back();
         out += ", \"outcome\": " + outcome_json(s.atpg_outcome) + "}";
     }
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"memory\": {\"netlist_bytes\": %zu, \"topology_bytes\": %zu, "
+                  "\"faults_bytes\": %zu, \"design_learned_bytes\": %zu, "
+                  "\"learned_bytes\": %zu, \"scratch_bytes\": %zu, \"total_bytes\": %zu}",
+                  s.memory.design.netlist_bytes, s.memory.design.topology_bytes,
+                  s.memory.design.faults_bytes, s.memory.design.learned_bytes,
+                  s.memory.learned_bytes, s.memory.scratch_bytes, s.memory.total());
+    out += buf;
     out += "\n}\n";
     std::fputs(out.c_str(), stdout);
 }
@@ -232,6 +258,26 @@ int cmd_stats(api::Session& session, const netlist::Diagnostics& diags, bool jso
                 netlist::sequential_depth(session.topology(), 16));
     std::printf("faults:       %zu collapsed / %zu total\n", s.collapsed_faults,
                 session.collapsed_faults().universe_size());
+    return 0;
+}
+
+// --save-db honours --db-format {text|binary}: text (default) is the
+// archival name-keyed format, binary the fast-loading id-keyed one (bound to
+// this exact netlist by digest). Loading sniffs the format automatically.
+int save_db_flagged(api::Session& session, const char* path, int argc, char** argv,
+                    bool json) {
+    const char* fmt = flag_value(argc, argv, "--db-format");
+    const std::string fmt_s = fmt ? fmt : "text";
+    if (fmt_s == "binary") {
+        session.save_db_binary(path);
+    } else if (fmt_s == "text") {
+        session.save_db(path);
+    } else {
+        std::fprintf(stderr, "unknown --db-format '%s' (want text or binary)\n",
+                     fmt_s.c_str());
+        return 2;
+    }
+    if (!json) std::printf("saved learned data to %s (%s)\n", path, fmt_s.c_str());
     return 0;
 }
 
@@ -288,8 +334,8 @@ int cmd_learn(api::Session& session, const netlist::Diagnostics& diags, int argc
     const char* path = flag_value(argc, argv, "--save-db");
     if (path == nullptr) path = flag_value(argc, argv, "--out");
     if (path != nullptr) {
-        session.save_db(path);
-        if (!json) std::printf("saved learned data to %s\n", path);
+        const int rc = save_db_flagged(session, path, argc, argv, json);
+        if (rc != 0) return rc;
     }
     return exit_code_for(r.outcome);
 }
@@ -328,8 +374,8 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
 
     const api::AtpgReport& report = session.atpg(cfg);
     if (const char* path = flag_value(argc, argv, "--save-db")) {
-        session.save_db(path);
-        if (!json) std::printf("saved learned data to %s\n", path);
+        const int rc = save_db_flagged(session, path, argc, argv, json);
+        if (rc != 0) return rc;
     }
     if (json) {
         print_json(session, diags);
@@ -382,14 +428,74 @@ int cmd_gen(int argc, char** argv) {
     return 0;
 }
 
+// --- serve ----------------------------------------------------------------
+
+// Signal flag for graceful shutdown; sig_atomic_t is the only type a
+// handler may touch portably.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_signal = 1; }
+
+int cmd_serve(int argc, char** argv) {
+    server::ServerConfig cfg;
+    if (const char* v = flag_value(argc, argv, "--port"))
+        cfg.port = static_cast<std::uint16_t>(std::atoi(v));
+    if (const char* v = flag_value(argc, argv, "--max-sessions"))
+        cfg.service.max_sessions = static_cast<std::size_t>(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--cache-mb"))
+        cfg.service.cache.max_bytes = static_cast<std::size_t>(std::atoll(v)) << 20;
+    if (const char* v = flag_value(argc, argv, "--threads"))
+        cfg.service.threads = static_cast<unsigned>(std::atoi(v));
+    if (const char* v = flag_value(argc, argv, "--drain-ms"))
+        cfg.drain_deadline = std::chrono::milliseconds(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--max-frame-mb"))
+        cfg.max_frame_bytes = static_cast<std::size_t>(std::atoll(v)) << 20;
+
+    server::Server srv(cfg);
+    std::string error;
+    if (!srv.start(&error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 6;
+    }
+    // Machine-readable startup line on stdout (scripts poll for it to learn
+    // the ephemeral port); human log on stderr.
+    std::printf("{\"serving\": {\"port\": %u, \"max_sessions\": %zu, "
+                "\"cache_max_bytes\": %zu}}\n",
+                static_cast<unsigned>(srv.port()), cfg.service.max_sessions,
+                cfg.service.cache.max_bytes);
+    std::fflush(stdout);
+    std::fprintf(stderr, "seqlearn serving on 127.0.0.1:%u (SIGINT/SIGTERM to stop)\n",
+                 static_cast<unsigned>(srv.port()));
+
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    while (g_stop_signal == 0 && !srv.service().shutdown_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::fprintf(stderr, "seqlearn server draining (%s)\n",
+                 g_stop_signal != 0 ? "signal" : "shutdown request");
+    srv.stop();  // drain under the deadline; in-flight requests get
+                 // Cancelled outcomes and their responses are written
+    std::fprintf(stderr, "seqlearn server stopped\n");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+        try {
+            return cmd_serve(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 6;
+        }
+    }
     if (argc < 3) {
         std::fprintf(stderr,
                      "usage: %s stats|learn|atpg|gen <circuit.bench|suite:NAME|out.bench>"
-                     " [options]\n",
-                     argv[0]);
+                     " [options]\n       %s serve [--port N] [options]\n",
+                     argv[0], argv[0]);
         return 2;
     }
     try {

@@ -16,6 +16,16 @@ Design::Design(netlist::Netlist nl, std::shared_ptr<const core::LearnedSnapshot>
       stems_(nl_.stems()),
       learned_(std::move(learned)) {}
 
+Design::MemoryFootprint Design::memory_footprint() const noexcept {
+    MemoryFootprint m;
+    m.netlist_bytes = nl_.memory_bytes();
+    m.topology_bytes = topo_.memory_bytes();
+    m.faults_bytes = faults_.memory_bytes() + stems_.capacity() * sizeof(netlist::GateId) +
+                     classes_.capacity() * sizeof(netlist::ClockClass);
+    if (learned_) m.learned_bytes = learned_->memory_bytes();
+    return m;
+}
+
 DesignBuilder& DesignBuilder::learned(std::shared_ptr<const core::LearnedSnapshot> snap) {
     learned_ = std::move(snap);
     return *this;
@@ -34,7 +44,7 @@ DesignBuilder& DesignBuilder::load_db(std::istream& in) {
 }
 
 DesignBuilder& DesignBuilder::load_db(const std::string& path) {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("DesignBuilder::load_db: cannot read " + path);
     return load_db(in);
 }

@@ -59,6 +59,21 @@ public:
     /// per-clock-class schedule internally).
     const std::vector<netlist::GateId>& stems() const noexcept { return stems_; }
 
+    /// Per-component heap footprint of the frozen artifact — what a serving
+    /// cache charges against its memory cap for this Design.
+    struct MemoryFootprint {
+        std::size_t netlist_bytes = 0;
+        std::size_t topology_bytes = 0;
+        std::size_t faults_bytes = 0;
+        std::size_t learned_bytes = 0;  ///< attached snapshot, 0 when none
+
+        std::size_t total() const noexcept {
+            return netlist_bytes + topology_bytes + faults_bytes + learned_bytes;
+        }
+    };
+    MemoryFootprint memory_footprint() const noexcept;
+    std::size_t memory_bytes() const noexcept { return memory_footprint().total(); }
+
 private:
     friend class DesignBuilder;
     Design(netlist::Netlist nl, std::shared_ptr<const core::LearnedSnapshot> learned);
@@ -86,10 +101,11 @@ public:
     /// Freeze and attach a learn() result.
     DesignBuilder& learned(core::LearnResult result);
 
-    /// Load a saved implication DB + tie set (core::db_io text format) as
-    /// the Design's learned snapshot. Entries naming gates absent from the
-    /// netlist are skipped (count via db_skipped()). Throws
-    /// std::runtime_error on malformed input or an unreadable path.
+    /// Load a saved implication DB + tie set (core::db_io — text or binary,
+    /// sniffed by magic) as the Design's learned snapshot. Text entries
+    /// naming gates absent from the netlist are skipped (count via
+    /// db_skipped()); a binary file must match the netlist digest exactly.
+    /// Throws std::runtime_error on malformed input or an unreadable path.
     DesignBuilder& load_db(std::istream& in);
     DesignBuilder& load_db(const std::string& path);
     /// Entries skipped by the last load_db() call.

@@ -127,8 +127,19 @@ std::shared_ptr<const core::LearnedSnapshot> Session::freeze_learned() {
     // When the active learned data already IS a shared snapshot (no
     // session-local result shadowing it), hand out that handle instead of
     // deep-copying an O(relations) database.
-    if (!learned_ && design_->learned() != nullptr) return design_->learned_ptr();
+    if (!learned_) {
+        if (snapshot_) return snapshot_;
+        if (design_->learned() != nullptr) return design_->learned_ptr();
+    }
     return core::freeze_learned(learn());
+}
+
+void Session::use_learned(std::shared_ptr<const core::LearnedSnapshot> snap) {
+    // Drop any session-local result so the snapshot becomes the active data;
+    // replace_learned also detaches the fault simulator from the dying tie
+    // vectors.
+    replace_learned(nullptr);
+    snapshot_ = std::move(snap);
 }
 
 void Session::replace_learned(std::unique_ptr<core::LearnResult> next) {
@@ -180,6 +191,22 @@ const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
     atpg_.emplace(
         AtpgReport{std::move(list), std::move(outcome), acfg.learned != nullptr});
     return *atpg_;
+}
+
+std::uint64_t campaign_digest(const AtpgReport& report) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ULL;
+    };
+    for (std::size_t i = 0; i < report.list.size(); ++i)
+        mix(static_cast<std::uint64_t>(report.list.status(i)));
+    for (const sim::InputSequence& t : report.outcome.tests) {
+        mix(t.size());
+        for (const sim::InputFrame& fr : t)
+            for (const logic::Val3 v : fr) mix(static_cast<std::uint64_t>(v));
+    }
+    return h;
 }
 
 FaultSimReport Session::fault_sim() {
@@ -271,6 +298,21 @@ SessionStats Session::stats() {
         s.tests = atpg_->outcome.tests.size();
         s.atpg_outcome = atpg_->outcome.run;
     }
+    s.memory.design = design_->memory_footprint();
+    if (learned_) {
+        s.memory.learned_bytes = learned_->memory_bytes();
+    } else if (snapshot_) {
+        s.memory.learned_bytes = snapshot_->memory_bytes();
+    }
+    if (fsim_) s.memory.scratch_bytes += fsim_->memory_bytes();
+    if (atpg_) {
+        s.memory.scratch_bytes += atpg_->list.size() * (sizeof(fault::Fault) + 1) +
+                                  atpg_->outcome.tests.capacity() * sizeof(sim::InputSequence);
+        for (const sim::InputSequence& t : atpg_->outcome.tests) {
+            s.memory.scratch_bytes += t.capacity() * sizeof(sim::InputFrame);
+            for (const sim::InputFrame& f : t) s.memory.scratch_bytes += f.capacity();
+        }
+    }
     return s;
 }
 
@@ -289,8 +331,20 @@ void Session::save_db(const std::string& path) {
     save_db(out);
 }
 
+void Session::save_db_binary(std::ostream& out) {
+    const core::LearnResult* active = active_learned();
+    const core::LearnResult& r = active != nullptr ? *active : learn();
+    core::save_learned_binary(out, netlist(), r.db, r.ties);
+}
+
+void Session::save_db_binary(const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("Session::save_db_binary: cannot write " + path);
+    save_db_binary(out);
+}
+
 std::size_t Session::load_db(std::istream& in) {
-    core::LoadedLearned loaded = core::load_learned(in, netlist());
+    core::LoadedLearned loaded = core::load_learned_any(in, netlist());
     auto result = std::make_unique<core::LearnResult>(netlist().size());
     result->db = std::move(loaded.db);
     result->ties = std::move(loaded.ties);
@@ -299,7 +353,7 @@ std::size_t Session::load_db(std::istream& in) {
 }
 
 std::size_t Session::load_db(const std::string& path) {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("Session::load_db: cannot read " + path);
     return load_db(in);
 }

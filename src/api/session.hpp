@@ -109,6 +109,12 @@ struct AtpgReport {
     bool used_learned = false;
 };
 
+/// FNV-1a digest of a full campaign: every fault status in list order, then
+/// every generated test vector (length-prefixed). Sensitive to any change in
+/// search order, windowing, validation, or simulation — the determinism
+/// goldens and the serving protocol's `campaign_digest` field both use this.
+std::uint64_t campaign_digest(const AtpgReport& report);
+
 /// Independent validation result from fault-simulating a test set.
 struct FaultSimReport {
     std::size_t total = 0;     ///< collapsed faults simulated
@@ -144,6 +150,22 @@ struct SessionStats {
     /// check `learned` / `atpg_run` to distinguish "clean" from "not yet").
     exec::RunOutcome learn_outcome;
     exec::RunOutcome atpg_outcome;
+
+    /// Approximate heap footprint: the shared Design's components (charged
+    /// once however many Sessions share it) plus this Session's own learned
+    /// data and engine scratch — what a serving cache and its session pool
+    /// account against a memory cap.
+    struct Memory {
+        Design::MemoryFootprint design;  ///< shared, charged per Design
+        std::size_t learned_bytes = 0;   ///< session-local learned data (0 when
+                                         ///< the Design snapshot is the active one
+                                         ///< — that's in design.learned_bytes)
+        std::size_t scratch_bytes = 0;   ///< this Session's engine scratch
+        std::size_t total() const noexcept {
+            return design.total() + learned_bytes + scratch_bytes;
+        }
+    };
+    Memory memory;
 };
 
 class Session {
@@ -201,9 +223,11 @@ public:
     /// (the Design snapshot, if any, is shadowed, never modified).
     const core::LearnResult& learn(const core::LearnConfig& lcfg);
     /// True when learned data is available without running learn(): a
-    /// session-local result or the Design's snapshot.
+    /// session-local result, an injected snapshot (use_learned), or the
+    /// Design's snapshot.
     bool has_learned() const noexcept {
-        return learned_ != nullptr || design_->learned() != nullptr;
+        return learned_ != nullptr || snapshot_ != nullptr ||
+               design_->learned() != nullptr;
     }
 
     /// Freeze the active learned data (learning first if needed) into a
@@ -264,23 +288,41 @@ public:
     /// progress observer had returned false.
     void request_cancel() noexcept { cancel_->request(); }
 
-    // --- learned-data persistence (core::db_io text format) ---------------
-    /// Save the active learned data (learning first if needed). A partial
-    /// result from an interrupted run is saved as-is — every relation and
-    /// tie in it is sound — without triggering a re-run.
+    // --- learned-data persistence (core::db_io) ---------------------------
+    /// Save the active learned data (learning first if needed) in the
+    /// name-keyed text format — archival, diffable, robust across mild
+    /// netlist edits. A partial result from an interrupted run is saved
+    /// as-is — every relation and tie in it is sound — without triggering a
+    /// re-run.
     void save_db(std::ostream& out);
     void save_db(const std::string& path);
-    /// Load a saved DB as this session's learned data (replacing any learn()
-    /// result and shadowing the Design snapshot); returns the number of
-    /// skipped entries naming unknown gates. Throws std::runtime_error on
-    /// malformed input or an unreadable path.
+    /// Save in the gate-id-keyed binary v2 format instead: an order of
+    /// magnitude faster to load, but bound to this exact netlist by digest
+    /// (see core::save_learned_binary). The stream must be binary-mode.
+    void save_db_binary(std::ostream& out);
+    void save_db_binary(const std::string& path);
+    /// Load a saved DB — either format, sniffed by magic — as this session's
+    /// learned data (replacing any learn() result and shadowing the Design
+    /// snapshot); returns the number of skipped entries naming unknown gates
+    /// (always 0 for binary files, which reject mismatches wholesale).
+    /// Throws std::runtime_error on malformed input or an unreadable path.
     std::size_t load_db(std::istream& in);
     std::size_t load_db(const std::string& path);
 
+    /// Adopt a frozen snapshot as this session's active learned data without
+    /// copying it (shadowing any learn() result and the Design's own
+    /// snapshot). This is how a serving cache attaches knowledge learned by
+    /// one request to later Sessions over the same cached Design — no Design
+    /// rebuild, no O(relations) copy. Pass nullptr to drop back to the
+    /// Design snapshot / fresh-learn behaviour.
+    void use_learned(std::shared_ptr<const core::LearnedSnapshot> snap);
+
 private:
-    /// Session-local learned result, else the Design snapshot, else null.
+    /// Session-local learned result, else the injected snapshot, else the
+    /// Design snapshot, else null.
     const core::LearnResult* active_learned() const noexcept {
         if (learned_) return learned_.get();
+        if (snapshot_) return &snapshot_->result();
         if (const core::LearnedSnapshot* s = design_->learned()) return &s->result();
         return nullptr;
     }
@@ -298,6 +340,9 @@ private:
     // Heap-allocated so the tie vectors the fault simulator may point at
     // keep a stable address across Session moves.
     std::unique_ptr<core::LearnResult> learned_;
+    // Injected via use_learned(): shared learned data adopted without a copy
+    // (shadowed by learned_, shadows the Design snapshot).
+    std::shared_ptr<const core::LearnedSnapshot> snapshot_;
     std::optional<AtpgReport> atpg_;
     // The shared thread pool (lazily built, grown if a stage asks for more
     // workers) and the stage cancel flag; both heap-allocated so pointers

@@ -2,7 +2,9 @@
 
 #include "util/strings.hpp"
 
+#include <bit>
 #include <charconv>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -74,7 +76,7 @@ void save_learned(std::ostream& out, const Netlist& nl, const LearnedSnapshot& s
 }
 
 LoadedSnapshot load_snapshot(std::istream& in, const Netlist& nl) {
-    LoadedLearned loaded = load_learned(in, nl);
+    LoadedLearned loaded = load_learned_any(in, nl);
     LearnResult result(nl.size());
     result.db = std::move(loaded.db);
     result.ties = std::move(loaded.ties);
@@ -85,6 +87,10 @@ LoadedLearned load_learned(std::istream& in, const Netlist& nl, Diagnostics& dia
     LoadedLearned out(nl.size());
     std::string raw;
     std::uint32_t line_no = 0;
+    // Parsed relations are collected and bulk-inserted once at the end:
+    // add_batch() sorts each adjacency list a single time instead of doing
+    // a sorted insert per line, which matters on large snapshots.
+    std::vector<Relation> rels;
     while (std::getline(in, raw)) {
         ++line_no;
         const std::string_view line = util::trim(raw);
@@ -116,7 +122,11 @@ LoadedLearned load_learned(std::istream& in, const Netlist& nl, Diagnostics& dia
                 ++out.skipped_lines;
                 continue;
             }
-            out.db.add({a, av}, {b, bv}, frame);
+            if (a == b && av != bv) {
+                diags.error(line_no, "tie statement in rel record (a => !a); use tie");
+                continue;
+            }
+            rels.push_back({{a, av}, {b, bv}, frame});
         } else if (tok[0] == "tie") {
             if (tok.size() != 4) {
                 diags.error(line_no, "malformed tie record (want: tie <gate> <0|1> <cycle>)");
@@ -149,6 +159,7 @@ LoadedLearned load_learned(std::istream& in, const Netlist& nl, Diagnostics& dia
             diags.error(line_no, "unknown record type " + quoted(tok[0]));
         }
     }
+    out.db.add_batch(rels);
     return out;
 }
 
@@ -319,6 +330,265 @@ LearnCheckpoint load_checkpoint(std::istream& in, const Netlist& nl) {
     LearnCheckpoint ckpt = load_checkpoint(in, nl, diags);
     if (!diags.ok()) throw_first_error("load_checkpoint", diags);
     return ckpt;
+}
+
+// --- binary snapshot format (v2) -------------------------------------------
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'S', 'E', 'Q', 'L', 'N', 'D', 'B', '2'};
+constexpr std::uint32_t kBinaryVersion = 2;
+constexpr std::uint32_t kBinaryHeaderBytes = 32;
+
+// Explicit little-endian encoding, independent of host byte order: a file
+// written on one machine loads on any other.
+void put_u32(std::string& buf, std::uint32_t v) {
+    buf.push_back(static_cast<char>(v & 0xff));
+    buf.push_back(static_cast<char>((v >> 8) & 0xff));
+    buf.push_back(static_cast<char>((v >> 16) & 0xff));
+    buf.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+    put_u32(buf, static_cast<std::uint32_t>(v & 0xffffffffULL));
+    put_u32(buf, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+    return static_cast<std::uint64_t>(get_u32(p)) |
+           (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+[[noreturn]] void binary_error(const std::string& what) {
+    throw std::runtime_error("load_learned_binary: " + what);
+}
+
+void read_exact(std::istream& in, void* dst, std::size_t n, const char* what) {
+    in.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n)
+        binary_error(std::string("truncated file (") + what + ")");
+}
+
+std::uint32_t checked_lit_key(Literal l) {
+    const std::uint64_t key = lit_key(l);
+    if (key > 0xffffffffULL)
+        throw std::invalid_argument("save_learned_binary: literal key exceeds 32 bits");
+    return static_cast<std::uint32_t>(key);
+}
+
+}  // namespace
+
+std::uint64_t netlist_digest(const Netlist& nl) {
+    // The digest is recomputed on every binary snapshot load, so it has to
+    // be cheap on large circuits. Two things make it so: names are mixed a
+    // word at a time rather than per byte (length first, so "ab"+"c" and
+    // "a"+"bc" stay distinct), and gates feed four independent FNV lanes —
+    // a single lane is a serial multiply chain whose latency, not the data
+    // volume, bounds the whole computation.
+    std::uint64_t lanes[4] = {1469598103934665603ULL, 15601891126605076235ULL,
+                              5575097247067471337ULL, 10003595204564453689ULL};
+    std::uint64_t* h = lanes;
+    const auto mix = [&h](std::uint64_t x) {
+        *h ^= x;
+        *h *= 1099511628211ULL;
+    };
+    const auto mix_word = [&](const char* p, std::size_t n) {
+        std::uint64_t w = 0;
+        if (n == 8) {
+            std::memcpy(&w, p, 8);
+            if constexpr (std::endian::native == std::endian::big)
+                w = __builtin_bswap64(w);
+        } else {
+            for (std::size_t j = 0; j < n; ++j)
+                w |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[j]))
+                     << (8 * j);
+        }
+        mix(w);
+    };
+    const auto mix_bytes = [&](std::string_view s) {
+        mix(s.size());
+        std::size_t i = 0;
+        for (; i + 8 <= s.size(); i += 8) mix_word(s.data() + i, 8);
+        if (i < s.size()) mix_word(s.data() + i, s.size() - i);
+    };
+    mix(nl.size());
+    for (GateId g = 0; g < nl.size(); ++g) {
+        h = &lanes[g & 3];
+        mix_bytes(nl.name_of(g));
+        mix(static_cast<std::uint64_t>(nl.type(g)));
+        for (const GateId f : nl.fanins(g)) mix(f);
+    }
+    std::uint64_t out = lanes[0];
+    for (int i = 1; i < 4; ++i) {
+        out ^= lanes[i];
+        out *= 1099511628211ULL;
+    }
+    return out;
+}
+
+void save_learned_binary(std::ostream& out, const Netlist& nl, const ImplicationDB& db,
+                         const TieSet& ties) {
+    std::string buf;
+    buf.append(kBinaryMagic, sizeof kBinaryMagic);
+    put_u32(buf, kBinaryVersion);
+    put_u32(buf, kBinaryHeaderBytes);
+    put_u64(buf, netlist_digest(nl));
+    put_u32(buf, static_cast<std::uint32_t>(nl.size()));
+    put_u32(buf, 0);  // reserved
+
+    // The adjacency is written verbatim, both directions of every relation,
+    // each list in its in-memory (sorted) order: the loader then installs
+    // lists by straight copy instead of re-deriving contrapositives and
+    // re-sorting. See the format comment in db_io.hpp.
+    std::uint64_t list_count = 0;
+    std::uint64_t edge_count = 0;
+    const std::uint64_t num_keys = nl.size() * 2;
+    for (std::uint64_t key = 0; key < num_keys; ++key) {
+        const std::size_t n = db.edges_of(lit_from_key(key)).size();
+        if (n > 0) {
+            ++list_count;
+            edge_count += n;
+        }
+    }
+    buf.reserve(buf.size() + 16 + list_count * 8 + edge_count * 8);
+    put_u64(buf, list_count);
+    put_u64(buf, edge_count);
+    for (std::uint64_t key = 0; key < num_keys; ++key) {
+        const Literal lhs = lit_from_key(key);
+        const std::span<const ImplicationDB::Edge> edges = db.edges_of(lhs);
+        if (edges.empty()) continue;
+        put_u32(buf, checked_lit_key(lhs));
+        put_u32(buf, static_cast<std::uint32_t>(edges.size()));
+        for (const ImplicationDB::Edge& e : edges) {
+            put_u32(buf, checked_lit_key(e.to));
+            put_u32(buf, e.frame);
+        }
+    }
+    const std::vector<GateId> tied = ties.tied_gates();
+    buf.reserve(buf.size() + tied.size() * 12);
+    put_u64(buf, tied.size());
+    for (const GateId g : tied) {
+        put_u32(buf, g);
+        put_u32(buf, ties.value(g) == Val3::One ? 1u : 0u);
+        put_u32(buf, ties.cycle(g));
+    }
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+bool is_binary_db(std::istream& in) {
+    const std::istream::pos_type pos = in.tellg();
+    char magic[sizeof kBinaryMagic] = {};
+    in.read(magic, sizeof magic);
+    const bool got_all = in.gcount() == static_cast<std::streamsize>(sizeof magic);
+    in.clear();  // a short text file legitimately hits EOF here
+    in.seekg(pos);
+    return got_all && std::memcmp(magic, kBinaryMagic, sizeof magic) == 0;
+}
+
+LoadedLearned load_learned_binary(std::istream& in, const Netlist& nl) {
+    unsigned char header[kBinaryHeaderBytes];
+    read_exact(in, header, sizeof header, "header");
+    if (std::memcmp(header, kBinaryMagic, sizeof kBinaryMagic) != 0)
+        binary_error("bad magic (not a seqlearn binary DB)");
+    const std::uint32_t version = get_u32(header + 8);
+    if (version != kBinaryVersion)
+        binary_error("unsupported version " + std::to_string(version));
+    const std::uint32_t header_bytes = get_u32(header + 12);
+    if (header_bytes < kBinaryHeaderBytes)
+        binary_error("header too small");
+    if (header_bytes > kBinaryHeaderBytes) {
+        // Forward-compatible skip of any future header extension.
+        in.ignore(header_bytes - kBinaryHeaderBytes);
+        if (!in) binary_error("truncated extended header");
+    }
+    const std::uint64_t digest = get_u64(header + 16);
+    const std::uint32_t gates = get_u32(header + 24);
+    if (gates != nl.size())
+        binary_error("gate count mismatch (file " + std::to_string(gates) + ", netlist " +
+                     std::to_string(nl.size()) + ")");
+    const std::uint64_t want_digest = netlist_digest(nl);
+    if (digest != want_digest)
+        binary_error("netlist digest mismatch (file was saved from a different circuit)");
+
+    LoadedLearned out(nl.size());
+    unsigned char count_buf[16];
+    read_exact(in, count_buf, 16, "adjacency section header");
+    const std::uint64_t list_count = get_u64(count_buf);
+    const std::uint64_t edge_count = get_u64(count_buf + 8);
+    // Each section is one bulk read; decoding then runs over memory. A
+    // per-record istream::read would pay the stream's per-call overhead
+    // once per edge — that alone erased most of the binary format's
+    // speed advantage over the text parser.
+    constexpr std::uint64_t kSaneRecords = 1ULL << 32;
+    if (edge_count > kSaneRecords) binary_error("implausible edge count");
+    if (list_count > nl.size() * 2 || list_count > edge_count)
+        binary_error("implausible adjacency list count");
+    std::vector<unsigned char> recs(
+        static_cast<std::size_t>(list_count * 8 + edge_count * 8));
+    read_exact(in, recs.data(), recs.size(), "adjacency lists");
+    // Lists land pre-sorted and pre-deduped; each decodes into an
+    // exact-sized vector that set_edges() moves into place. set_edges + the
+    // final seal() re-verify every structural invariant, so a corrupt or
+    // hand-forged file is rejected, not ingested.
+    const unsigned char* p = recs.data();
+    std::uint64_t prev_key = 0;
+    std::uint64_t edges_seen = 0;
+    for (std::uint64_t i = 0; i < list_count; ++i) {
+        const std::uint64_t key = get_u32(p);
+        const std::uint64_t count = get_u32(p + 4);
+        p += 8;
+        if (i > 0 && key <= prev_key) binary_error("adjacency keys out of order");
+        prev_key = key;
+        if (key >= nl.size() * 2) binary_error("adjacency key beyond the netlist");
+        if (count == 0) binary_error("empty adjacency list stored");
+        if (count > edge_count - edges_seen) binary_error("edge count overflow");
+        edges_seen += count;
+        std::vector<ImplicationDB::Edge> list;
+        list.reserve(static_cast<std::size_t>(count));
+        // Target range and ordering are set_edges()'s job — no need to
+        // duplicate the per-edge checks here.
+        for (std::uint64_t c = 0; c < count; ++c) {
+            list.push_back({lit_from_key(get_u32(p)), get_u32(p + 4)});
+            p += 8;
+        }
+        try {
+            out.db.set_edges(lit_from_key(key), std::move(list));
+        } catch (const std::invalid_argument& e) {
+            binary_error(e.what());
+        }
+    }
+    if (edges_seen != edge_count) binary_error("edge count mismatch");
+    try {
+        out.db.seal();
+    } catch (const std::invalid_argument& e) {
+        binary_error(e.what());
+    }
+    read_exact(in, count_buf, 8, "tie count");
+    const std::uint64_t tie_count = get_u64(count_buf);
+    if (tie_count > kSaneRecords) binary_error("implausible tie count");
+    recs.resize(static_cast<std::size_t>(tie_count) * 12);
+    read_exact(in, recs.data(), recs.size(), "tie records");
+    for (std::uint64_t i = 0; i < tie_count; ++i) {
+        const unsigned char* rec = recs.data() + i * 12;
+        const std::uint32_t gate = get_u32(rec);
+        const std::uint32_t value = get_u32(rec + 4);
+        const std::uint32_t cycle = get_u32(rec + 8);
+        if (gate >= nl.size()) binary_error("tie names gate beyond the netlist");
+        if (value > 1) binary_error("tie value out of range");
+        out.ties.set(gate, value == 1 ? Val3::One : Val3::Zero, cycle);
+    }
+    return out;
+}
+
+LoadedLearned load_learned_any(std::istream& in, const Netlist& nl) {
+    if (is_binary_db(in)) return load_learned_binary(in, nl);
+    return load_learned(in, nl);
 }
 
 }  // namespace seqlearn::core

@@ -75,6 +75,7 @@ struct LoadedSnapshot {
 
 /// load_learned straight into a frozen shareable snapshot — the path a
 /// DesignBuilder uses to attach pre-learned data many Sessions then share.
+/// Accepts both the text format and the binary v2 format (sniffed by magic).
 LoadedSnapshot load_snapshot(std::istream& in, const netlist::Netlist& nl);
 
 /// Serialize a resumable learning checkpoint (see make_checkpoint). Throws
@@ -91,5 +92,66 @@ LearnCheckpoint load_checkpoint(std::istream& in, const netlist::Netlist& nl,
 
 /// Throwing wrapper: std::runtime_error on the first error.
 LearnCheckpoint load_checkpoint(std::istream& in, const netlist::Netlist& nl);
+
+// --- binary snapshot format (v2) -------------------------------------------
+//
+// The text format above is the archival one: name-keyed, diffable, robust
+// across mild netlist edits. The binary format trades that robustness for
+// load speed — it stores the ImplicationDB's adjacency lists directly, in
+// their in-memory sorted order, so loading is one exact-sized copy per list
+// plus a linear closure check: no name lookups, no sorting, no dedup. All
+// fields are little-endian, guarded by a netlist digest so a file can never
+// be applied to a different circuit:
+//
+//     offset  size  field
+//          0     8  magic "SEQLNDB2"
+//          8     4  version (2), little-endian u32
+//         12     4  header bytes (32), little-endian u32
+//         16     8  netlist_digest(nl), little-endian u64
+//         24     4  gate count, little-endian u32
+//         28     4  reserved (0)
+//         32     8  non-empty adjacency list count L, u64
+//         40     8  total edge count E (always 2x the relation count), u64
+//         48     .  L lists, in increasing lhs-key order:
+//                     (lhs lit key, edge count) u32 pair, then per edge a
+//                     (target lit key, frame) u32 pair in increasing
+//                     target-key order — exactly ImplicationDB::edges_of()
+//          +     8  tie count T, little-endian u64
+//          +  12*T  ties: (gate, value, proof cycle) u32 triples, in
+//                   TieSet::tied_gates() id order
+//
+// Storing both directions of every relation (forward + contrapositive)
+// costs ~30% more bytes than a canonical-relation list, but it is what
+// makes the loader copy-bound: the lists land pre-sorted and pre-deduped,
+// and ImplicationDB::seal() re-verifies the contraposition-closure
+// invariant instead of trusting the file. Deterministic list order makes
+// save -> load -> save byte-identical.
+
+/// FNV-1a fingerprint of a netlist's identity: gate count, then per gate its
+/// name, type, and fanin ids. Two netlists share a digest exactly when the
+/// gate-id keying of a binary snapshot means the same thing in both.
+std::uint64_t netlist_digest(const netlist::Netlist& nl);
+
+/// Write relations and ties in the binary v2 format. The stream must be
+/// opened in binary mode. Throws std::invalid_argument when a literal key
+/// does not fit the 32-bit record (gate ids beyond 2^31 — far past any
+/// supported circuit).
+void save_learned_binary(std::ostream& out, const netlist::Netlist& nl,
+                         const ImplicationDB& db, const TieSet& ties);
+
+/// True when `in` starts with the binary v2 magic. Peeks via seek: the read
+/// position is restored, so the matching loader sees the whole file. The
+/// stream must be seekable (files and string streams are).
+bool is_binary_db(std::istream& in);
+
+/// Load a binary v2 file against `nl`. Unlike the text loader there is no
+/// skip-and-continue: ids are only meaningful for the exact circuit the file
+/// was saved from, so a digest or gate-count mismatch, bad magic/version, or
+/// truncation throws std::runtime_error.
+LoadedLearned load_learned_binary(std::istream& in, const netlist::Netlist& nl);
+
+/// Sniff the format (binary magic vs text header) and dispatch to
+/// load_learned_binary or the throwing text load_learned.
+LoadedLearned load_learned_any(std::istream& in, const netlist::Netlist& nl);
 
 }  // namespace seqlearn::core

@@ -29,6 +29,13 @@ public:
     /// — ties belong in TieSet, not here.
     bool add(Literal lhs, Literal rhs, std::uint32_t frame);
 
+    /// Insert many relations at once: append every edge, then sort and
+    /// dedupe each touched adjacency list once. Semantically identical to
+    /// add() in a loop (duplicates keep the earliest frame), but bulk
+    /// ingestion — the text snapshot loader — pays one sort pass instead of
+    /// a sorted insert per edge.
+    void add_batch(std::span<const Relation> rels);
+
     /// True when `lhs => rhs` (directly stored or by contraposition).
     bool implies(Literal lhs, Literal rhs) const;
 
@@ -43,6 +50,26 @@ public:
     /// literal key. The span stays valid until the database is modified —
     /// safe under reentrant queries, unlike implied_by().
     std::span<const Edge> edges_of(Literal lhs) const;
+
+    /// Low-level restore API for the binary snapshot loader, used in pairs.
+    /// set_edges() installs the complete adjacency list for `lhs` verbatim
+    /// (one exact-sized allocation); edges must be strictly sorted by target
+    /// key, target gates must be in range and differ from lhs's. Each list
+    /// may be installed at most once. seal() then checks the whole install
+    /// sequence for closure under contraposition — every edge's mirror
+    /// present with the same frame, verified by an order-independent mirror
+    /// hash accumulated during set_edges() (a corrupt file escapes only on a
+    /// ~2^-64 collision) — and recomputes size(). Use the pair only on a
+    /// database populated exclusively through set_edges(); queries between
+    /// the two calls are safe but size() is stale until seal() runs. Both
+    /// throw std::invalid_argument on violation: a file that fails here was
+    /// not written by save_learned_binary.
+    /// The vector overload moves the list in instead of copying it — the
+    /// binary loader decodes each list into an exact-sized vector and hands
+    /// it over without a second pass over the bytes.
+    void set_edges(Literal lhs, std::span<const Edge> edges);
+    void set_edges(Literal lhs, std::vector<Edge>&& edges);
+    void seal();
 
     /// All literals directly implied by `lhs` in the same frame. Uses a
     /// shared scratch buffer: the span is invalidated by the next call.
@@ -68,6 +95,10 @@ public:
     };
     Counts counts(const netlist::Netlist& nl, std::uint32_t min_frame) const;
 
+    /// Heap bytes held by the adjacency lists — the learned-DB share of a
+    /// cached Design's memory footprint.
+    std::size_t memory_bytes() const noexcept;
+
 private:
     // Indexed by lit_key; each edge appears in the list of its lhs literal
     // (and its contrapositive in the list of !rhs), sorted by lit_key(to).
@@ -77,8 +108,22 @@ private:
     // Scratch return buffer for implied_by (rebuilt per call).
     mutable std::vector<Literal> scratch_;
     std::size_t relation_count_ = 0;
+    // Closure-hash accumulators for the set_edges()/seal() restore path.
+    std::uint64_t restore_fwd_sum_ = 0;
+    std::uint64_t restore_mirror_sum_ = 0;
+    std::size_t restore_edge_count_ = 0;
 
     const Edge* find_edge(Literal lhs, Literal rhs) const;
+    // Shared set_edges validation + hash accumulation; returns the (empty)
+    // destination list for the caller to fill.
+    std::vector<Edge>& checked_restore_list(Literal lhs, std::span<const Edge> edges);
 };
+
+/// Order-independent FNV-1a digest of a database's canonical relation set:
+/// relations sorted by (lhs key, rhs key, frame), each triple mixed in. Two
+/// databases hold exactly the same relations iff their hashes match (modulo
+/// collisions), whatever order they were learned in — the determinism
+/// goldens and the serving protocol's `relation_hash` field both use this.
+std::uint64_t relation_hash(const ImplicationDB& db);
 
 }  // namespace seqlearn::core

@@ -30,6 +30,11 @@ public:
     /// lifetime.
     const LearnResult& result() const noexcept { return result_; }
 
+    /// Heap bytes held by the frozen learned data (implication DB, dense tie
+    /// vectors, equivalence links) — the snapshot's share of a serving cache
+    /// entry's footprint.
+    std::size_t memory_bytes() const noexcept { return result_.memory_bytes(); }
+
 private:
     LearnResult result_;
 };

@@ -129,6 +129,15 @@ struct LearnResult {
     StemRecords records{0};
 
     LearnResult(std::size_t num_gates) : db(num_gates), ties(num_gates) {}
+
+    /// Approximate heap bytes of the learned data (implication DB, dense tie
+    /// vectors, equivalence links) — the result's share of a serving cache
+    /// entry or a Session's memory accounting.
+    std::size_t memory_bytes() const noexcept {
+        return db.memory_bytes() + ties.memory_bytes() +
+               equivalences.rep.capacity() * sizeof(netlist::GateId) +
+               equivalences.inverted.capacity() / 8;
+    }
 };
 
 /// Everything needed to continue an interrupted run: the cursor plus the

@@ -57,6 +57,11 @@ public:
     /// All tied gates in id order.
     std::vector<GateId> tied_gates() const;
 
+    /// Heap bytes held by the dense value/cycle vectors.
+    std::size_t memory_bytes() const noexcept {
+        return value_.capacity() * sizeof(Val3) + cycle_.capacity() * sizeof(std::uint32_t);
+    }
+
     /// Untestable stuck-at faults implied by the ties, restricted to the
     /// given fault universe: for a gate tied to v, the stem fault s-a-v and
     /// every same-polarity branch fault on its fanout pins are untestable.

@@ -43,6 +43,13 @@ public:
     /// Total faults in the uncollapsed universe.
     std::size_t universe_size() const noexcept { return universe_size_; }
 
+    /// Approximate heap bytes (representatives plus the class index).
+    std::size_t memory_bytes() const noexcept {
+        return reps_.capacity() * sizeof(Fault) +
+               class_of_.bucket_count() * sizeof(void*) +
+               class_of_.size() * (sizeof(Fault) + sizeof(std::size_t) + 2 * sizeof(void*));
+    }
+
 private:
     friend CollapsedFaults collapse(const Netlist& nl);
     std::vector<Fault> reps_;

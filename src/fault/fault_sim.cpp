@@ -305,4 +305,18 @@ std::size_t FaultSimulator::drop_detected_parallel(const sim::InputSequence& seq
     return dropped;
 }
 
+std::size_t FaultSimulator::memory_bytes() const noexcept {
+    const auto vec = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+    std::size_t bytes = vec(force_flags_) + vec(out_force1_) + vec(out_force0_) +
+                        vec(pin_force1_) + vec(pin_force0_) + vec(forced_gates_) +
+                        vec(forced_edges_) + vec(tie_lanes_) + vec(tie_index_) +
+                        vec(pats_) + vec(state_) + vec(outside_cone_) + vec(cone_touched_) +
+                        vec(cone_stack_) + vec(chunk_indices_) + vec(chunk_) +
+                        detected_words_ * sizeof(std::uint64_t);
+    for (const auto& w : workers_) {
+        if (w) bytes += sizeof(FaultSimulator) + w->memory_bytes();
+    }
+    return bytes;
+}
+
 }  // namespace seqlearn::fault

@@ -89,6 +89,11 @@ public:
 
     const netlist::Topology& topology() const noexcept { return *topo_; }
 
+    /// Approximate heap bytes of reusable scratch (force masks, tie lanes,
+    /// pattern/state vectors, chunk buffers, the detected bitmap), including
+    /// lazily built worker clones. Excludes the shared Topology.
+    std::size_t memory_bytes() const noexcept;
+
 private:
     void clear_forces();
     void mark_cone(netlist::GateId root, std::uint64_t lane_bit);

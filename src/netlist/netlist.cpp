@@ -166,4 +166,24 @@ void Netlist::validate() const {
     (void)levelize(*this);
 }
 
+std::size_t Netlist::memory_bytes() const noexcept {
+    const auto vec = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+    std::size_t bytes = gates_.capacity() * sizeof(Gate);
+    for (const Gate& g : gates_) bytes += vec(g.fanins) + vec(g.fanouts);
+    bytes += names_.capacity() * sizeof(std::string);
+    for (const std::string& n : names_) {
+        // Heap allocation only past the small-string buffer.
+        if (n.capacity() > sizeof(std::string)) bytes += n.capacity() + 1;
+    }
+    // unordered_map: buckets plus one node (key string + value + links) per
+    // entry — an estimate, but a stable one.
+    bytes += by_name_.bucket_count() * sizeof(void*);
+    for (const auto& [name, id] : by_name_) {
+        bytes += sizeof(std::string) + sizeof(GateId) + 2 * sizeof(void*);
+        if (name.capacity() > sizeof(std::string)) bytes += name.capacity() + 1;
+    }
+    return bytes + vec(inputs_) + vec(outputs_) + vec(seq_elems_) + vec(seq_index_) +
+           vec(seq_attrs_store_);
+}
+
 }  // namespace seqlearn::netlist

@@ -134,6 +134,11 @@ public:
     /// any (including combinational cycles).
     void validate() const;
 
+    /// Approximate heap bytes held by the container (gate adjacency lists,
+    /// names, the name index, interface lists) — feeds the serving cache's
+    /// memory accounting alongside Topology::memory_bytes().
+    std::size_t memory_bytes() const noexcept;
+
 private:
     std::string name_ = "circuit";
     std::vector<Gate> gates_;

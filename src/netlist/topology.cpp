@@ -61,4 +61,12 @@ Topology::Topology(const Netlist& nl) : lv_(levelize(nl)) {
     seq_elems_.assign(nl.seq_elements().begin(), nl.seq_elements().end());
 }
 
+std::size_t Topology::memory_bytes() const noexcept {
+    const auto vec = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+    return vec(fanin_off_) + vec(fanin_) + vec(fanout_off_) + vec(fanout_seq_) +
+           vec(fanout_) + vec(type_) + vec(op_) + vec(flags_) + vec(consts_) +
+           vec(inputs_) + vec(outputs_) + vec(seq_elems_) + vec(lv_.level) +
+           vec(lv_.topo_order);
+}
+
 }  // namespace seqlearn::netlist

@@ -90,6 +90,11 @@ public:
     /// Constant sources in id order (event-driven runs must seed them).
     std::span<const GateId> const_gates() const noexcept { return consts_; }
 
+    /// Heap bytes held by the CSR arrays and the levelization — the
+    /// per-circuit structural footprint the serving cache accounts against
+    /// its memory cap (bytes/gate stays flat as circuits grow).
+    std::size_t memory_bytes() const noexcept;
+
 private:
     std::vector<std::uint32_t> fanin_off_;   // size() + 1
     std::vector<GateId> fanin_;

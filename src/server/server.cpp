@@ -1,0 +1,193 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace seqlearn::server {
+
+namespace {
+
+/// Write the full line + '\n'. MSG_NOSIGNAL: a client that hung up must
+/// surface as a failed send, not a SIGPIPE.
+bool send_line(int fd, std::string_view line) {
+    std::string framed(line);
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg) : cfg_(cfg), service_(cfg.service) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        if (error) *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never off-host
+    addr.sin_port = htons(cfg_.port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(listen_fd_, 64) < 0) {
+        if (error)
+            *error = std::string("bind/listen on port ") + std::to_string(cfg_.port) +
+                     ": " + std::strerror(errno);
+        close_listener();
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return true;
+}
+
+void Server::accept_loop() {
+    // Poll with a short timeout so the stop flag and a protocol `shutdown`
+    // are noticed within ~100ms even when no client ever connects.
+    while (!stopping_.load(std::memory_order_acquire) &&
+           !service_.shutdown_requested()) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            break;
+        }
+        conn_fds_.push_back(fd);
+        conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    }
+}
+
+void Server::serve_connection(int fd) {
+    std::string frame;
+    bool discarding = false;
+    char chunk[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) break;  // EOF, error, or stop()'s shutdown()
+        bool client_gone = false;
+        for (ssize_t i = 0; i < n; ++i) {
+            const char c = chunk[i];
+            if (discarding) {
+                // Oversized frame: the error response was already written;
+                // swallow bytes until the line ends, then resume normally.
+                if (c == '\n') discarding = false;
+                continue;
+            }
+            if (c != '\n') {
+                frame.push_back(c);
+                if (frame.size() > cfg_.max_frame_bytes) {
+                    frame.clear();
+                    frame.shrink_to_fit();
+                    discarding = true;
+                    if (!send_line(fd,
+                                   "{\"ok\": false, \"code\": 3, \"error\": "
+                                   "{\"code\": 3, \"class\": \"frame\", \"message\": "
+                                   "\"frame exceeds max_frame_bytes; rest of line "
+                                   "discarded\"}}")) {
+                        client_gone = true;
+                        break;
+                    }
+                }
+                continue;
+            }
+            if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+            if (frame.empty()) continue;  // blank line: keepalive no-op
+            const std::string response = service_.handle(frame);
+            frame.clear();
+            if (!send_line(fd, response)) {
+                client_gone = true;
+                break;
+            }
+        }
+        if (client_gone) break;
+    }
+    // Deregister-then-close under the registry lock, so stop() can never
+    // shutdown() a descriptor number the kernel already reused.
+    {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                        conn_fds_.end());
+    }
+    ::close(fd);
+}
+
+void Server::close_listener() {
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void Server::stop() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (stopped_.load(std::memory_order_acquire)) return;
+    stopping_.store(true, std::memory_order_release);
+
+    // 1. Cancel in-flight runs; their responses are still written (each run
+    //    stops at a work-item boundary with a Cancelled outcome).
+    service_.begin_drain();
+
+    // 2. Stop accepting.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    close_listener();
+
+    // 3. Wait (bounded) for in-flight requests to finish writing responses.
+    const auto deadline = std::chrono::steady_clock::now() + cfg_.drain_deadline;
+    while (service_.active_requests() > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+    // 4. Unblock every connection reader and join.
+    {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread& t : conn_threads_) {
+        if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+
+    stopped_.store(true, std::memory_order_release);
+}
+
+void Server::wait() {
+    for (;;) {
+        if (stopped_.load(std::memory_order_acquire)) return;
+        if (service_.shutdown_requested() &&
+            !stopping_.load(std::memory_order_acquire)) {
+            stop();
+            return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+}  // namespace seqlearn::server

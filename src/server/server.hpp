@@ -1,0 +1,101 @@
+#pragma once
+// The TCP transport for the serving protocol: newline-framed JSON over
+// loopback sockets.
+//
+// Framing is one request object per '\n'-terminated line in, one response
+// object per line out, answered in order on each connection (concurrency
+// comes from opening K connections, which is exactly how the tests and the
+// throughput bench model K clients). A frame longer than `max_frame_bytes`
+// gets a structured `frame` error response and the rest of the oversized
+// line is discarded — the connection stays usable; it is never dropped and
+// the process never allocates the hostile frame.
+//
+// Lifecycle:
+//
+//     Server server(cfg);
+//     std::string err;
+//     if (!server.start(&err)) ...        // bound + listening; port() is live
+//     ...
+//     server.stop();                       // graceful: drain, then close
+//
+// stop() (also run from the destructor) is the graceful-shutdown path the
+// `serve` command ties to SIGINT/SIGTERM: stop accepting, cancel in-flight
+// runs via Service::begin_drain() — each in-flight request still gets its
+// response, carrying a Cancelled outcome — wait for them to finish under
+// `drain_deadline`, then shut the connections down and join every thread.
+// A `shutdown` protocol request triggers the same path: the accept loop
+// notices Service::shutdown_requested() and stop() runs from inside the
+// server; wait() unblocks in whoever is driving the process.
+//
+// The listener binds 127.0.0.1 only: the protocol has no authentication,
+// so it must not be reachable off-host.
+
+#include "server/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace seqlearn::server {
+
+struct ServerConfig {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+    std::uint16_t port = 0;
+    /// Frames longer than this get a structured error, not a buffer.
+    std::size_t max_frame_bytes = 64u << 20;
+    /// How long stop() waits for in-flight requests to drain before
+    /// closing their connections anyway.
+    std::chrono::milliseconds drain_deadline{10000};
+    ServiceConfig service;
+};
+
+class Server {
+public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind + listen + start the accept loop. Returns false (with a reason
+    /// in *error) when the port cannot be bound.
+    bool start(std::string* error);
+
+    /// The bound port — the configured one, or the ephemeral pick.
+    std::uint16_t port() const noexcept { return port_; }
+
+    /// Graceful shutdown; idempotent, safe from any thread (including a
+    /// signal-watching loop). Blocks until every connection thread joined.
+    void stop();
+
+    /// Block until stop() has run (protocol `shutdown`, or another thread).
+    void wait();
+
+    Service& service() noexcept { return service_; }
+
+private:
+    void accept_loop();
+    void serve_connection(int fd);
+    void close_listener();
+
+    ServerConfig cfg_;
+    Service service_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+
+    std::thread accept_thread_;
+    std::mutex conns_mu_;
+    std::vector<std::thread> conn_threads_;
+    std::vector<int> conn_fds_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+    std::mutex stop_mu_;  ///< serializes stop() callers
+};
+
+}  // namespace seqlearn::server

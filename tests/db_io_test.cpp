@@ -57,6 +57,84 @@ TEST(DbIo, SaveLoadRoundTripIsByteIdentical) {
     }
 }
 
+// The binary format stores both directions of every relation; a duplicate
+// learned later at an earlier frame must update both stored edges, or the
+// two directions disagree and the snapshot's closure check (rightly) balks.
+TEST(DbIo, DuplicateFrameUpdateIsSymmetric) {
+    ImplicationDB db(4);
+    ASSERT_TRUE(db.add({0, Val3::One}, {1, Val3::Zero}, 5));
+    // Same relation, re-learned through its contrapositive at an earlier frame.
+    ASSERT_FALSE(db.add({1, Val3::One}, {0, Val3::Zero}, 2));
+    EXPECT_EQ(db.frame_of({0, Val3::One}, {1, Val3::Zero}), 2u);
+    EXPECT_EQ(db.frame_of({1, Val3::One}, {0, Val3::Zero}), 2u);
+}
+
+TEST(DbIo, SetEdgesAndSealRestoreOrReject) {
+    using Edge = ImplicationDB::Edge;
+    {
+        // A closed mirror pair restores cleanly and counts one relation.
+        ImplicationDB db(4);
+        db.set_edges({0, Val3::One}, std::vector<Edge>{{{1, Val3::Zero}, 3}});
+        db.set_edges({1, Val3::One}, std::vector<Edge>{{{0, Val3::Zero}, 3}});
+        db.seal();
+        EXPECT_EQ(db.size(), 1u);
+        EXPECT_TRUE(db.implies({0, Val3::One}, {1, Val3::Zero}));
+    }
+    {
+        // A lone direction is not closed under contraposition.
+        ImplicationDB db(4);
+        db.set_edges({0, Val3::One}, std::vector<Edge>{{{1, Val3::Zero}, 3}});
+        EXPECT_THROW(db.seal(), std::invalid_argument);
+    }
+    {
+        // Mirror present but at a different frame: still not closed.
+        ImplicationDB db(4);
+        db.set_edges({0, Val3::One}, std::vector<Edge>{{{1, Val3::Zero}, 3}});
+        db.set_edges({1, Val3::One}, std::vector<Edge>{{{0, Val3::Zero}, 4}});
+        EXPECT_THROW(db.seal(), std::invalid_argument);
+    }
+    {
+        // Structural rejects: unsorted targets, self edges, double install.
+        ImplicationDB db(4);
+        EXPECT_THROW(db.set_edges({0, Val3::One},
+                                  std::vector<Edge>{{{2, Val3::Zero}, 0},
+                                                    {{1, Val3::Zero}, 0}}),
+                     std::invalid_argument);
+        EXPECT_THROW(
+            db.set_edges({1, Val3::One}, std::vector<Edge>{{{1, Val3::Zero}, 0}}),
+            std::invalid_argument);
+        db.set_edges({2, Val3::One}, std::vector<Edge>{{{3, Val3::Zero}, 0}});
+        EXPECT_THROW(
+            db.set_edges({2, Val3::One}, std::vector<Edge>{{{3, Val3::Zero}, 0}}),
+            std::invalid_argument);
+    }
+}
+
+TEST(DbIo, BinarySnapshotRejectsBitFlippedAdjacency) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const LearnResult learned = testing::learn(nl);
+    ASSERT_GT(learned.db.size(), 0u);
+    std::ostringstream out;
+    save_learned_binary(out, nl, learned.db, learned.ties);
+    const std::string good = out.str();
+    {
+        std::istringstream in(good);
+        EXPECT_NO_THROW((void)load_learned_binary(in, nl));
+    }
+    // Adjacency section: 32-byte header, list/edge counts, then the first
+    // list's (key, count) pair at 48 and its first edge at 56 — target key
+    // at 56..59, frame at 60..63. Flipping a bit in either desynchronizes
+    // the edge from its contrapositive, which the closure check must catch.
+    for (const std::size_t corrupt_at : {std::size_t{56}, std::size_t{60}}) {
+        std::string bad = good;
+        ASSERT_LT(corrupt_at, bad.size());
+        bad[corrupt_at] = static_cast<char>(bad[corrupt_at] ^ 1);
+        std::istringstream in(bad);
+        EXPECT_THROW((void)load_learned_binary(in, nl), std::runtime_error)
+            << "byte " << corrupt_at;
+    }
+}
+
 TEST(DbIo, UnknownGateEntriesAreSkippedNotFatal) {
     const Netlist nl = testing::random_circuit(21, 6, 5, 30);
     std::istringstream in(

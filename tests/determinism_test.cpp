@@ -47,26 +47,18 @@ struct Golden {
     std::uint64_t relation_hash;
 };
 
-// Order-independent digest: relations sorted canonically, FNV-1a over
-// (lhs key, rhs key, frame) triples.
-std::uint64_t relation_hash(const ImplicationDB& db) {
-    std::vector<Relation> rels = db.relations();
-    std::sort(rels.begin(), rels.end(), [](const Relation& a, const Relation& b) {
-        return std::tuple(lit_key(a.lhs), lit_key(a.rhs), a.frame) <
-               std::tuple(lit_key(b.lhs), lit_key(b.rhs), b.frame);
-    });
-    std::uint64_t h = 1469598103934665603ULL;
-    const auto mix = [&h](std::uint64_t x) {
-        h ^= x;
-        h *= 1099511628211ULL;
-    };
-    for (const Relation& r : rels) {
-        mix(lit_key(r.lhs));
-        mix(lit_key(r.rhs));
-        mix(r.frame);
-    }
-    return h;
-}
+// The order-independent relation digest now lives in the library
+// (core::relation_hash) so the serving protocol reports the very value
+// these goldens pin; the unqualified calls below resolve to it.
+//
+// Three hashes were re-recorded when ImplicationDB::add() was fixed to
+// apply the keep-earliest-frame rule to both stored directions of a
+// duplicate relation: the relation sets are unchanged (every count below
+// is), but a relation re-learned at an earlier frame used to keep the
+// stale frame on its contrapositive edge, and the canonical frame the
+// hash mixes in could be either copy depending on orientation. Binary
+// snapshots round-trip the full adjacency, so the two directions must
+// agree.
 
 void expect_golden(const netlist::Netlist& nl, const Golden& want) {
     // The matrix spans the exec subsystem's two axes: worker threads
@@ -97,12 +89,12 @@ void expect_golden(const netlist::Netlist& nl, const Golden& want) {
 
 TEST(LearnDeterminism, PaperFigure1Analog) {
     expect_golden(workload::fig1_analog(),
-                  {32, 1, 1, 6, 4, 1, 9352316135702824732ULL});
+                  {32, 1, 1, 6, 4, 1, 17514152826575598517ULL});
 }
 
 TEST(LearnDeterminism, PaperFigure2Analog) {
     expect_golden(workload::fig2_analog(),
-                  {13, 0, 0, 2, 1, 0, 11842453436998031946ULL});
+                  {13, 0, 0, 2, 1, 0, 6364108071828642612ULL});
 }
 
 TEST(LearnDeterminism, S27) {
@@ -112,7 +104,7 @@ TEST(LearnDeterminism, S27) {
 
 TEST(LearnDeterminism, RandomCircuitSeeds) {
     expect_golden(testing::random_circuit(7, 6, 5, 30),
-                  {20, 0, 0, 6, 1, 0, 9588694382730483008ULL});
+                  {20, 0, 0, 6, 1, 0, 7720611312974261774ULL});
     expect_golden(testing::random_circuit(21, 6, 5, 30),
                   {40, 2, 13, 6, 2, 13, 5824401802024623481ULL});
     expect_golden(testing::random_circuit(99, 6, 5, 30),
@@ -132,20 +124,7 @@ std::uint64_t campaign_digest(const netlist::Netlist& nl, atpg::LearnMode mode,
     cfg.mode = mode;
     cfg.backtrack_limit = backtrack_limit;
     const api::AtpgReport& report = session.atpg(cfg);
-
-    std::uint64_t h = 1469598103934665603ULL;
-    const auto mix = [&h](std::uint64_t x) {
-        h ^= x;
-        h *= 1099511628211ULL;
-    };
-    for (std::size_t i = 0; i < report.list.size(); ++i)
-        mix(static_cast<std::uint64_t>(report.list.status(i)));
-    for (const sim::InputSequence& t : report.outcome.tests) {
-        mix(t.size());
-        for (const sim::InputFrame& fr : t)
-            for (const logic::Val3 v : fr) mix(static_cast<std::uint64_t>(v));
-    }
-    return h;
+    return api::campaign_digest(report);
 }
 
 TEST(AtpgDeterminism, CampaignDigestsMatchPrePortGoldens) {
@@ -185,19 +164,7 @@ std::uint64_t session_campaign_digest(api::Session& session, atpg::LearnMode mod
     cfg.mode = mode;
     cfg.backtrack_limit = backtrack_limit;
     const api::AtpgReport& report = session.atpg(cfg);
-    std::uint64_t h = 1469598103934665603ULL;
-    const auto mix = [&h](std::uint64_t x) {
-        h ^= x;
-        h *= 1099511628211ULL;
-    };
-    for (std::size_t i = 0; i < report.list.size(); ++i)
-        mix(static_cast<std::uint64_t>(report.list.status(i)));
-    for (const sim::InputSequence& t : report.outcome.tests) {
-        mix(t.size());
-        for (const sim::InputFrame& fr : t)
-            for (const logic::Val3 v : fr) mix(static_cast<std::uint64_t>(v));
-    }
-    return h;
+    return api::campaign_digest(report);
 }
 
 TEST(AtpgDeterminism, ConcurrentSessionsOverSharedDesignMatchSerial) {

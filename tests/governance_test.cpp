@@ -22,24 +22,8 @@
 namespace seqlearn::core {
 namespace {
 
-std::uint64_t relation_hash(const ImplicationDB& db) {
-    std::vector<Relation> rels = db.relations();
-    std::sort(rels.begin(), rels.end(), [](const Relation& a, const Relation& b) {
-        return std::tuple(lit_key(a.lhs), lit_key(a.rhs), a.frame) <
-               std::tuple(lit_key(b.lhs), lit_key(b.rhs), b.frame);
-    });
-    std::uint64_t h = 1469598103934665603ULL;
-    const auto mix = [&h](std::uint64_t x) {
-        h ^= x;
-        h *= 1099511628211ULL;
-    };
-    for (const Relation& r : rels) {
-        mix(lit_key(r.lhs));
-        mix(lit_key(r.rhs));
-        mix(r.frame);
-    }
-    return h;
-}
+// relation_hash comes from the library (core/impl_db.hpp) so these
+// robustness/governance digests stay pinned to the serving protocol's.
 
 TEST(Governance, DeadlineStopsPromptlyWithUsablePartialResult) {
     const netlist::Netlist nl = workload::suite_circuit("gen5378");
