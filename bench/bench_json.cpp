@@ -22,6 +22,7 @@
 // that every row still runs and emits well-formed JSON).
 
 #include "api/session.hpp"
+#include "cnf/dispatch.hpp"
 #include "core/db_io.hpp"
 #include "netlist/bench_io.hpp"
 #include "server/json.hpp"
@@ -441,6 +442,50 @@ Row bench_server_throughput() {
     return row;
 }
 
+Row bench_sat_untestable(const Netlist& nl, const netlist::Topology& topo) {
+    // CNF backend classification throughput: prove_fault (fresh miter +
+    // solver per fault, the campaign's SAT-phase pattern) over the collapsed
+    // universe at K = 4 frames, one fault per rep, round-robin. Every rep
+    // ends in a definitive verdict — witness or untestable-within-K — and
+    // the split lands in extra so coverage shifts are visible in the diff.
+    const fault::CollapsedFaults collapsed = fault::collapse(nl);
+    const auto& reps = collapsed.representatives();
+    std::size_t i = 0, untestable = 0, witnesses = 0;
+    Row row = measure("sat_untestable", 1, g_min_seconds, [&] {
+        const cnf::CnfVerdict v = cnf::prove_fault(topo, reps[i++ % reps.size()], 4,
+                                                   nullptr, nullptr, nullptr);
+        if (v.kind == cnf::CnfVerdict::Kind::Untestable) ++untestable;
+        else if (v.kind == cnf::CnfVerdict::Kind::Test) ++witnesses;
+    });
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "\"untestable\": %zu, \"witnesses\": %zu",
+                  untestable, witnesses);
+    row.extra = buf;
+    return row;
+}
+
+Row bench_learn_sat_mode(const Netlist& nl, const netlist::Topology& topo) {
+    // learn() with the SAT probe phase on: the full frame-sim pipeline plus
+    // K-frame failed-literal mining over every stem. items = stems per pass,
+    // directly comparable to learn_full_pass — the delta is the SAT phase.
+    core::LearnConfig cfg;
+    cfg.threads = 1;
+    cfg.sat_frames = 4;
+    const std::size_t stems = nl.stems().size();
+    std::size_t sat_ties = 0, sat_relations = 0;
+    Row row = measure("learn_sat_mode", stems, g_min_seconds, [&] {
+        const core::LearnResult r = core::learn(nl, topo, cfg);
+        sat_ties = r.stats.sat_ties;
+        sat_relations = r.stats.sat_relations;
+        if (r.stats.sat_probes == 0) std::fprintf(stderr, "learn_sat_mode: no probes?\n");
+    });
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "\"sat_ties\": %zu, \"sat_relations\": %zu",
+                  sat_ties, sat_relations);
+    row.extra = buf;
+    return row;
+}
+
 Row bench_snapshot_load(const Netlist& nl, const netlist::Topology& topo) {
     // Snapshot deserialization on a learned gen5378 database: the binary v2
     // format against the text format, same data. This is the daemon's
@@ -529,6 +574,8 @@ int main(int argc, char** argv) {
     rows.push_back(bench_learn_resume(nl, topo));
     rows.push_back(bench_server_throughput());
     rows.push_back(bench_snapshot_load(nl, topo));
+    rows.push_back(bench_sat_untestable(nl, topo));
+    rows.push_back(bench_learn_sat_mode(nl, topo));
 
     std::string json = "{\n  \"circuit\": \"gen5378\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {

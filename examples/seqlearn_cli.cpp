@@ -3,9 +3,11 @@
 //   seqlearn_cli stats  <circuit.bench | suite:NAME> [--json]
 //   seqlearn_cli learn  <circuit.bench | suite:NAME> [--frames N] [--threads N]
 //                       [--batch-lanes N] [--limit-stems N] [--deadline-ms N]
-//                       [--checkpoint FILE] [--resume FILE] [--save-db FILE]
-//                       [--db-format text|binary] [--out FILE] [--json]
+//                       [--sat-frames K] [--checkpoint FILE] [--resume FILE]
+//                       [--save-db FILE] [--db-format text|binary] [--out FILE]
+//                       [--json]
 //   seqlearn_cli atpg   <circuit.bench | suite:NAME> [--mode none|forbidden|known]
+//                       [--backend framesim|sat|auto] [--sat-frames K]
 //                       [--backtracks N] [--load-db FILE] [--save-db FILE]
 //                       [--db-format text|binary] [--random N] [--deadline-ms N]
 //                       [--progress] [--threads N] [--json]
@@ -58,6 +60,15 @@
 // learning pass (default 64; 0 forces the scalar path; results are
 // bit-identical at any setting). gen writes a synthetic ISCAS-like circuit
 // via workload::circuit_gen for scaling experiments.
+//
+// --backend picks the ATPG engine per README "Backends": framesim (default,
+// the paper's flow), sat (every fault through the CNF timeframe-expansion
+// backend) or auto (deterministic per-fault routing; frame-sim aborts are
+// re-dispatched to SAT). --sat-frames K bounds the CNF unrolling (0 = the
+// deepest frame window); on learn it enables SAT learn mode, mining
+// implications at frame K-1 with failed-literal probes. With --json, a
+// SAT-enabled atpg run adds an "untestable" section listing every proved
+// fault with its proof kind and the frame bound used.
 
 #include "api/session.hpp"
 #include "netlist/bench_io.hpp"
@@ -158,9 +169,23 @@ std::string diagnostics_json(const netlist::Diagnostics& diags) {
     return out;
 }
 
+const char* proof_name(fault::UntestableProof p) {
+    switch (p) {
+        case fault::UntestableProof::None: return "none";
+        case fault::UntestableProof::TieGate: return "tie";
+        case fault::UntestableProof::Combinational: return "combinational";
+        case fault::UntestableProof::Structural: return "structural";
+        case fault::UntestableProof::BoundedCnf: return "bounded_cnf";
+    }
+    return "?";
+}
+
 /// One JSON document: stats() for everything computed so far plus the parse
 /// diagnostics — the machine-readable twin of the human reports below.
-void print_json(api::Session& session, const netlist::Diagnostics& diags) {
+/// `report` (when non-null and the campaign used the CNF backend) feeds the
+/// "untestable" provenance section: one entry per proved fault.
+void print_json(api::Session& session, const netlist::Diagnostics& diags,
+                const api::AtpgReport* report = nullptr) {
     const api::SessionStats s = session.stats();
     std::string out = "{\n";
     out += "  \"circuit\": \"" + json_escape(session.netlist().name()) + "\",\n";
@@ -182,11 +207,13 @@ void print_json(api::Session& session, const netlist::Diagnostics& diags) {
                       "\"ff_ff_relations\": %zu, \"gate_ff_relations\": %zu, "
                       "\"comb_relations\": %zu, \"equiv_classes\": %zu, "
                       "\"multi_relations\": %zu, \"stems_processed\": %zu, "
+                      "\"sat_probes\": %zu, \"sat_ties\": %zu, \"sat_relations\": %zu, "
                       "\"cancelled\": %s, \"cpu_seconds\": %.3f}",
                       s.relations, s.ties, s.learn.ff_ff_relations,
                       s.learn.gate_ff_relations, s.learn.comb_relations,
                       s.learn.equiv_classes, s.learn.multi_relations,
-                      s.learn.stems_processed, s.learn.cancelled ? "true" : "false",
+                      s.learn.stems_processed, s.learn.sat_probes, s.learn.sat_ties,
+                      s.learn.sat_relations, s.learn.cancelled ? "true" : "false",
                       s.learn.cpu_seconds);
         out += buf;
         // Trim the closing brace and append the structured outcome.
@@ -202,6 +229,27 @@ void print_json(api::Session& session, const netlist::Diagnostics& diags) {
                       s.faults.aborted, s.faults.undetected, s.test_coverage, s.tests);
         out += buf;
         out.pop_back();
+        if (report != nullptr) {
+            const atpg::AtpgOutcome& o = report->outcome;
+            std::snprintf(buf, sizeof buf,
+                          ", \"sat_targeted\": %zu, \"sat_witnesses\": %zu, "
+                          "\"untestable_by_cnf\": %zu",
+                          o.sat_targeted, o.sat_witnesses, o.untestable_by_cnf);
+            out += buf;
+            out += ", \"untestable\": [";
+            bool first = true;
+            for (const atpg::AtpgOutcome::UntestableRecord& rec : o.untestable_records) {
+                if (!first) out += ", ";
+                first = false;
+                out += "{\"fault\": \"" +
+                       json_escape(fault::to_string(session.netlist(),
+                                                    report->list.fault(rec.fault_index))) +
+                       "\", \"proof\": \"";
+                out += proof_name(rec.proof);
+                out += "\", \"frames\": " + std::to_string(rec.frames) + "}";
+            }
+            out += "]";
+        }
         out += ", \"outcome\": " + outcome_json(s.atpg_outcome) + "}";
     }
     std::snprintf(buf, sizeof buf,
@@ -297,6 +345,8 @@ int cmd_learn(api::Session& session, const netlist::Diagnostics& diags, int argc
     }
     if (const char* d = flag_value(argc, argv, "--deadline-ms"))
         cfg.budget.deadline = std::chrono::milliseconds(std::atoll(d));
+    if (const char* k = flag_value(argc, argv, "--sat-frames"))
+        cfg.sat_frames = static_cast<std::uint32_t>(std::atoi(k));
 
     const core::LearnResult& r = [&]() -> const core::LearnResult& {
         if (const char* resume = flag_value(argc, argv, "--resume"))
@@ -321,6 +371,9 @@ int cmd_learn(api::Session& session, const netlist::Diagnostics& diags, int argc
         std::printf("  tie gates:         %zu (%zu comb, %zu seq)\n", r.ties.count(),
                     r.stats.ties_combinational, r.stats.ties_sequential);
         std::printf("  equivalence classes: %zu\n", r.stats.equiv_classes);
+        if (r.stats.sat_probes > 0)
+            std::printf("  SAT learn:         %zu probes, %zu ties, %zu relations\n",
+                        r.stats.sat_probes, r.stats.sat_ties, r.stats.sat_relations);
     }
     if (const char* ckpt = flag_value(argc, argv, "--checkpoint")) {
         if (r.cursor.valid) {
@@ -350,6 +403,15 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
         cfg.random_sequences = static_cast<std::size_t>(std::atoi(r));
     if (const char* d = flag_value(argc, argv, "--deadline-ms"))
         cfg.budget.deadline = std::chrono::milliseconds(std::atoll(d));
+    if (const char* b = flag_value(argc, argv, "--backend")) {
+        if (!cnf::parse_backend(b, cfg.backend)) {
+            std::fprintf(stderr, "unknown --backend '%s' (want framesim, sat or auto)\n",
+                         b);
+            return 2;
+        }
+    }
+    if (const char* k = flag_value(argc, argv, "--sat-frames"))
+        cfg.sat_frames = static_cast<std::uint32_t>(std::atoi(k));
 
     const char* mode = flag_value(argc, argv, "--mode");
     const std::string mode_s = mode ? mode : "forbidden";
@@ -378,11 +440,13 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
         if (rc != 0) return rc;
     }
     if (json) {
-        print_json(session, diags);
+        print_json(session, diags,
+                   cfg.backend != cnf::Backend::FrameSim ? &report : nullptr);
         return exit_code_for(report.outcome.run);
     }
     const auto c = report.list.counts();
-    std::printf("mode=%s backtracks=%u\n", mode_s.c_str(), cfg.backtrack_limit);
+    std::printf("mode=%s backend=%s backtracks=%u\n", mode_s.c_str(),
+                cnf::backend_name(cfg.backend), cfg.backtrack_limit);
     std::printf("  detected:   %zu (of %zu)\n", c.detected, c.total);
     std::printf("  untestable: %zu\n", c.untestable);
     std::printf("  aborted:    %zu\n", c.aborted);
@@ -391,6 +455,10 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
                 100.0 * report.list.test_coverage());
     std::printf("  sequences:  %zu (bootstrap detected %zu)\n",
                 report.outcome.tests.size(), report.outcome.detected_by_bootstrap);
+    if (report.outcome.sat_targeted > 0)
+        std::printf("  sat:        %zu targeted, %zu witnesses, %zu untestable\n",
+                    report.outcome.sat_targeted, report.outcome.sat_witnesses,
+                    report.outcome.untestable_by_cnf);
     std::printf("  cpu:        %.2f s\n", report.outcome.cpu_seconds);
     if (!report.outcome.run.ok())
         std::printf("  stopped:    %s%s%s\n", report.outcome.run.name(),

@@ -44,9 +44,9 @@ TargetVerdict solve_target(Engine& engine, fault::FaultSimulator& fsim,
                            std::span<const std::uint32_t> windows) {
     TargetVerdict v;
     if (cfg.identify_untestable) {
-        const RedundancyVerdict verdict =
+        const RedundancyResult verdict =
             prove_redundancy(engine, f, ecfg, cfg.redundancy_effort);
-        if (verdict == RedundancyVerdict::Untestable) {
+        if (verdict.proof != fault::UntestableProof::None) {
             v.kind = TargetVerdict::Kind::Untestable;
             return v;
         }
@@ -84,6 +84,8 @@ void apply_verdict(TargetVerdict&& v, std::size_t fault_index, fault::FaultList&
         case TargetVerdict::Kind::Untestable:
             list.set_status(fault_index, FaultStatus::Untestable);
             ++out.untestable_by_proof;
+            out.untestable_records.push_back(
+                {fault_index, fault::UntestableProof::Combinational, 0});
             break;
         case TargetVerdict::Kind::Test:
             // First-detection credit: the test drops every fault it detects
@@ -148,6 +150,7 @@ void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList&
             if (cfg.learned->ties.cycle(line) > 0 && !cfg.count_c_cycle_redundant) continue;
             list.set_status(i, FaultStatus::Untestable);
             ++out.untestable_by_tie;
+            out.untestable_records.push_back({i, fault::UntestableProof::TieGate, 0});
         }
     }
 
@@ -175,8 +178,82 @@ void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList&
 
     const std::vector<std::uint32_t> windows =
         cfg.windows.empty() ? default_windows(topo) : cfg.windows;
-    const std::vector<std::size_t> targets = list.undetected();
+    // CNF frame bound: explicit, or the deepest window of the schedule.
+    const std::uint32_t sat_k = cfg.sat_frames != 0 ? cfg.sat_frames : windows.back();
+    const core::TieSet* ties = cfg.learned != nullptr ? &cfg.learned->ties : nullptr;
+
+    // Backend routing: Sat sends everything to the CNF phase; Auto asks the
+    // deterministic cost model per fault (a pure function of the topology,
+    // the ties, and the fault — identical across runs and thread counts).
+    std::vector<std::size_t> targets;
+    std::vector<std::size_t> sat_queue;
+    for (const std::size_t i : list.undetected()) {
+        bool to_sat = false;
+        if (cfg.backend == cnf::Backend::Sat) {
+            to_sat = true;
+        } else if (cfg.backend == cnf::Backend::Auto) {
+            to_sat = cnf::route_to_sat(topo, list.fault(i), sat_k, ties);
+        }
+        (to_sat ? sat_queue : targets).push_back(i);
+    }
     const std::size_t total_targets = targets.size();
+
+    // The CNF re-dispatch phase: pre-routed faults plus (Auto) every fault
+    // the frame-sim engine aborted, in fault-index order. Runs serially —
+    // each solve is internally deterministic and budget-polled, so verdicts
+    // are identical at any thread count. Witnesses are validated by the
+    // independent fault simulator before any credit, exactly like engine
+    // tests; UNSAT classifies the fault untestable within sat_k frames.
+    auto run_sat_phase = [&]() {
+        if (cfg.backend == cnf::Backend::FrameSim || !out.run.ok()) return;
+        std::vector<std::size_t> sat_targets = std::move(sat_queue);
+        if (cfg.backend == cnf::Backend::Auto) {
+            const std::vector<std::size_t> aborted = list.aborted();
+            sat_targets.insert(sat_targets.end(), aborted.begin(), aborted.end());
+            std::sort(sat_targets.begin(), sat_targets.end());
+        }
+        for (const std::size_t i : sat_targets) {
+            const FaultStatus before = list.status(i);
+            if (before != FaultStatus::Undetected && before != FaultStatus::Aborted)
+                continue;
+            const exec::RunStatus st = exec::poll_point(cfg.cancel, budget);
+            if (st != exec::RunStatus::Completed) {
+                out.run = outcome_from(st, budget);
+                return;
+            }
+            if (cfg.failpoint != nullptr) cfg.failpoint->poll(exec::FailSite::WorkItem);
+            ++out.sat_targeted;
+            cnf::CnfVerdict v =
+                cnf::prove_fault(topo, list.fault(i), sat_k, ties, cfg.cancel, budget);
+            switch (v.kind) {
+                case cnf::CnfVerdict::Kind::Untestable:
+                    list.set_status(i, v.proof == fault::UntestableProof::Structural
+                                           ? FaultStatus::Untestable
+                                           : FaultStatus::UntestableBounded);
+                    ++out.untestable_by_cnf;
+                    out.untestable_records.push_back(
+                        {i, v.proof,
+                         v.proof == fault::UntestableProof::BoundedCnf ? sat_k : 0});
+                    break;
+                case cnf::CnfVerdict::Kind::Test:
+                    if (!fsim.detects(v.test, list.fault(i))) {
+                        ++out.invalid_tests;
+                        break;
+                    }
+                    ++out.sat_witnesses;
+                    // drop_detected only scans Undetected faults, so credit
+                    // the (possibly Aborted) target explicitly first.
+                    list.set_status(i, FaultStatus::Detected);
+                    fsim.drop_detected(v.test, list);
+                    out.tests.push_back(std::move(v.test));
+                    break;
+                case cnf::CnfVerdict::Kind::Unknown:
+                    out.run = v.run;
+                    return;
+            }
+            if (budget != nullptr) budget->note_item();
+        }
+    };
 
     // Resolve the execution environment (shared executor, private pool, or
     // serial) with the rule every stage shares.
@@ -201,6 +278,7 @@ void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList&
                           list, fsim, out);
             if (budget != nullptr) budget->note_item();
         }
+        run_sat_phase();
         return;
     }
 
@@ -267,6 +345,7 @@ void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList&
         return exec::Commit::Done;
     };
     exec::speculate_ordered(ex.pool, targets.size(), sopt, prepare, compute, commit, workers);
+    run_sat_phase();
 }
 
 }  // namespace

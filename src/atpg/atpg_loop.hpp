@@ -10,6 +10,7 @@
 // paper describes).
 
 #include "atpg/engine.hpp"
+#include "cnf/dispatch.hpp"
 #include "core/seq_learn.hpp"
 #include "exec/budget.hpp"
 #include "exec/cancel.hpp"
@@ -45,6 +46,17 @@ struct AtpgConfig {
     /// Fault-injection harness for the robustness suite (null in
     /// production); polled inside solves, commits, and fault-sim passes.
     exec::FailurePoint* failpoint = nullptr;
+    /// Which engine targets faults. FrameSim is the paper's flow. Sat sends
+    /// every target to the CNF timeframe-expansion backend. Auto routes per
+    /// fault with the deterministic cost model (cnf::route_to_sat) and
+    /// additionally re-dispatches every frame-sim abort to the CNF backend,
+    /// so no fault is left merely Aborted while the budget lasts.
+    cnf::Backend backend = cnf::Backend::FrameSim;
+    /// CNF frame bound K (Sat/Auto backends): a fault with no detecting
+    /// sequence of <= K frames is classified untestable-within-K
+    /// (FaultStatus::UntestableBounded). 0 = automatic, the deepest frame
+    /// window of the campaign schedule.
+    std::uint32_t sat_frames = 0;
     /// How learned data is used (paper Table 5's three columns).
     LearnMode mode = LearnMode::None;
     /// Learned data; must be non-null for modes other than None, and is
@@ -95,6 +107,21 @@ struct AtpgOutcome {
     std::size_t untestable_by_tie = 0;
     std::size_t untestable_by_proof = 0;
     std::size_t detected_by_bootstrap = 0;
+    /// CNF backend counters (Sat/Auto): faults sent to the SAT phase,
+    /// untestability verdicts, and witness sequences it produced (each
+    /// validated by the fault simulator before credit).
+    std::size_t sat_targeted = 0;
+    std::size_t untestable_by_cnf = 0;
+    std::size_t sat_witnesses = 0;
+    /// One record per untestability proof, in fault-index order — the
+    /// provenance the CLI's `untestable` JSON section reports.
+    struct UntestableRecord {
+        std::size_t fault_index = 0;
+        fault::UntestableProof proof = fault::UntestableProof::None;
+        /// Frame bound for BoundedCnf proofs; 0 for unbounded proofs.
+        std::uint32_t frames = 0;
+    };
+    std::vector<UntestableRecord> untestable_records;
     /// How the campaign ended. Partial results (tests + statuses committed
     /// before the stop) are valid; Failed means an exception was captured
     /// with the committed state intact. Never throws past run_atpg.

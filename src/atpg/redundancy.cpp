@@ -2,20 +2,22 @@
 
 namespace seqlearn::atpg {
 
-RedundancyVerdict prove_redundancy(Engine& engine, const fault::Fault& f, EngineConfig cfg,
-                                   std::uint32_t effort_backtracks) {
+RedundancyResult prove_redundancy(Engine& engine, const fault::Fault& f, EngineConfig cfg,
+                                  std::uint32_t effort_backtracks) {
     cfg.ppi_free = true;
     cfg.observe_ppo = true;
     cfg.complete_search = true;
     cfg.backtrack_limit = effort_backtracks;
     const EngineResult r = engine.solve(f, /*frames=*/1, cfg);
+    RedundancyResult out;
     switch (r.status) {
-        case EngineResult::Status::TestFound:
-            return RedundancyVerdict::CombinationallyTestable;
-        case EngineResult::Status::Exhausted: return RedundancyVerdict::Untestable;
-        case EngineResult::Status::Aborted: return RedundancyVerdict::Unknown;
+        case EngineResult::Status::TestFound: out.combinationally_testable = true; break;
+        case EngineResult::Status::Exhausted:
+            out.proof = fault::UntestableProof::Combinational;
+            break;
+        case EngineResult::Status::Aborted: break;
     }
-    return RedundancyVerdict::Unknown;
+    return out;
 }
 
 }  // namespace seqlearn::atpg

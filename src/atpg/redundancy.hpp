@@ -7,21 +7,29 @@
 // in any frame of any sequence — it is sequentially untestable. The proof
 // is an exhaustive search, so only an Exhausted engine verdict counts;
 // hitting the effort limit proves nothing.
+//
+// Verdicts report into fault::UntestableProof — the same taxonomy the
+// tie-gate marking and the CNF timeframe-expansion backend use, so a fault
+// carries exactly one kind of untestability proof however it was obtained.
 
 #include "atpg/engine.hpp"
+#include "fault/fault_list.hpp"
 
 namespace seqlearn::atpg {
 
-enum class RedundancyVerdict : std::uint8_t {
-    Untestable,            ///< proven: no test exists
-    CombinationallyTestable,  ///< a single-frame free-state test exists
-    Unknown,               ///< effort exhausted before a proof
+struct RedundancyResult {
+    /// Combinational when proven untestable, None otherwise.
+    fault::UntestableProof proof = fault::UntestableProof::None;
+    /// With proof == None: true when a single-frame free-state test was
+    /// found (the fault is combinationally testable — sequential ATPG still
+    /// has to justify the state), false when the effort limit hit first.
+    bool combinationally_testable = false;
 };
 
 /// Run the combinational redundancy proof for `f`. `cfg` supplies the
 /// learning mode and data (ties make more proofs succeed); the window,
 /// observation, and free-state flags are overridden internally.
-RedundancyVerdict prove_redundancy(Engine& engine, const fault::Fault& f,
-                                   EngineConfig cfg, std::uint32_t effort_backtracks);
+RedundancyResult prove_redundancy(Engine& engine, const fault::Fault& f,
+                                  EngineConfig cfg, std::uint32_t effort_backtracks);
 
 }  // namespace seqlearn::atpg

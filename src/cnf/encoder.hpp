@@ -1,0 +1,148 @@
+#pragma once
+// Timeframe-expansion CNF encoders over the shared netlist::Topology.
+//
+// Two encodings, two consumers:
+//
+// BinaryUnroller — a 2-valued K-frame unrolling with a *free* initial state
+// (frame-0 sequential outputs are unconstrained variables, primary inputs
+// are free every frame). Because the free state covers arbitrary prior
+// history, anything proved at unrolled frame t holds at every frame of
+// every execution with >= t frames of history — exactly the frame-tag
+// semantics ImplicationDB relations carry. The SAT learn mode probes this
+// encoding. Learned facts are seeded on top of the gate definitions: tie
+// units at frames >= their proof cycle, equivalence links at every frame,
+// implication clauses at frames >= their tag — all sound, since each fact
+// is proven for the real machine. Multi-domain circuits get a free capture
+// enable per clock class per frame boundary (a foreign domain may or may
+// not tick — the SeqGating analogue); latches always capture under a free
+// enable. Single-domain flip-flop circuits capture exactly.
+//
+// FaultMiter — a dual-rail 3-valued good/faulty product machine for one
+// stuck-at fault. Each (signal, frame) carries two monotone rails (is-one /
+// is-zero; neither = X), encoding Kleene semantics bit-exactly w.r.t.
+// fault::FaultSimulator: all-X initial state, binary primary inputs (an X
+// input never helps under monotone 3-valued logic), good-machine ties as
+// constants at frames >= their cycle, faulty copies only inside the fault's
+// fanout cone, detection = some primary output binary in both machines with
+// differing values. Consequences: every Sat model decodes to a witness
+// sequence FaultSimulator::detects confirms, and Unsat over K frames is a
+// sound proof that no K-frame test exists under the tester model
+// ("untestable within K").
+
+#include "cnf/solver.hpp"
+#include "core/equivalence.hpp"
+#include "core/impl_db.hpp"
+#include "core/tie.hpp"
+#include "fault/fault.hpp"
+#include "netlist/topology.hpp"
+#include "sim/comb_engine.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace seqlearn::cnf {
+
+using netlist::GateId;
+
+/// Learned facts seeded into a BinaryUnroller encoding (all optional).
+struct Seeds {
+    const core::TieSet* ties = nullptr;
+    const core::ImplicationDB* db = nullptr;
+    const core::EquivResult* equivalences = nullptr;
+};
+
+/// How sequential elements capture across the unrolled frame boundaries.
+struct CaptureModel {
+    /// Per seq-element index (like Topology::seq_elements()): the enable
+    /// group the element ticks with, or kExactCapture for elements that
+    /// capture at every boundary.
+    std::vector<std::uint32_t> group_of;
+    std::uint32_t num_groups = 0;
+
+    static constexpr std::uint32_t kExactCapture = 0xFFFFFFFFu;
+
+    /// Every element captures every boundary (single-domain DFF circuits;
+    /// also the fault-simulator model).
+    static CaptureModel exact(std::size_t num_seq) {
+        CaptureModel m;
+        m.group_of.assign(num_seq, kExactCapture);
+        return m;
+    }
+};
+
+class BinaryUnroller {
+public:
+    /// Both referents must outlive the unroller; the solver must be fresh
+    /// (the unroller owns its variable numbering).
+    BinaryUnroller(const netlist::Topology& topo, Solver& solver);
+
+    /// Encode frames [0, frames). `capture` may be empty (= exact capture).
+    void encode(std::uint32_t frames, const Seeds& seeds = {},
+                const CaptureModel& capture = {});
+
+    std::uint32_t frames() const noexcept { return frames_; }
+
+    /// Literal asserting gate `g` == `value` at unrolled frame `t`.
+    Lit lit(GateId g, std::uint32_t t, bool value = true) const noexcept {
+        const Lit l = lits_[static_cast<std::size_t>(t) * topo_->size() + g];
+        return value ? l : ~l;
+    }
+
+private:
+    void encode_gate(GateId g, std::uint32_t t);
+
+    const netlist::Topology* topo_;
+    Solver* solver_;
+    std::vector<Lit> lits_;  // frame-major: t * size + g
+    std::uint32_t frames_ = 0;
+    Lit true_lit_;
+};
+
+class FaultMiter {
+public:
+    FaultMiter(const netlist::Topology& topo, Solver& solver);
+
+    /// Encode the K-frame detection miter for `f`, seeding good-machine
+    /// ties from `ties` (null = none; pass the same ties the validating
+    /// FaultSimulator uses). Returns false when the fault's cone reaches no
+    /// primary output within the window — structurally undetectable, no
+    /// solve needed.
+    bool encode(const fault::Fault& f, std::uint32_t frames, const core::TieSet* ties);
+
+    /// Decode a Sat model into the (all-binary) witness input sequence.
+    sim::InputSequence witness(const Solver& solver) const;
+
+    // Effective good-machine rails (ties applied) — for the parity tests.
+    Lit good_one(GateId g, std::uint32_t t) const noexcept {
+        return good_one_[static_cast<std::size_t>(t) * topo_->size() + g];
+    }
+    Lit good_zero(GateId g, std::uint32_t t) const noexcept {
+        return good_zero_[static_cast<std::size_t>(t) * topo_->size() + g];
+    }
+    /// The binary input variable of primary input index `i` at frame `t`.
+    Lit input_lit(std::size_t i, std::uint32_t t) const noexcept {
+        return input_lits_[static_cast<std::size_t>(t) * topo_->inputs().size() + i];
+    }
+
+private:
+    struct Rails {
+        Lit one, zero;
+    };
+    Rails good_rails(GateId g, std::uint32_t t) const noexcept {
+        const std::size_t k = static_cast<std::size_t>(t) * topo_->size() + g;
+        return {good_one_[k], good_zero_[k]};
+    }
+    Rails comb_rails(logic::GateOp op, const std::vector<Rails>& ins);
+    Rails fresh_rails();
+
+    const netlist::Topology* topo_;
+    Solver* solver_;
+    std::vector<Lit> good_one_, good_zero_;    // frame-major good rails
+    std::vector<Lit> faulty_one_, faulty_zero_;  // frame-major; == good outside cone
+    std::vector<Lit> input_lits_;              // frame-major by input index
+    std::vector<std::uint8_t> in_cone_;
+    std::uint32_t frames_ = 0;
+    Lit true_lit_;
+};
+
+}  // namespace seqlearn::cnf

@@ -1,0 +1,111 @@
+#include "cnf/sat_learn.hpp"
+
+#include "netlist/clock_class.hpp"
+
+#include <stdexcept>
+
+namespace seqlearn::cnf {
+
+using logic::Val3;
+
+CaptureModel capture_model_for(const netlist::Netlist& nl) {
+    const auto seq = nl.seq_elements();
+    const std::vector<netlist::ClockClass> classes = netlist::clock_classes(nl);
+    if (classes.size() <= 1 && (classes.empty() || !classes.front().is_latch))
+        return CaptureModel::exact(seq.size());
+
+    // Multi-domain (or latch-bearing): one free enable group per class.
+    std::vector<std::uint32_t> seq_index(nl.size(), 0);
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        seq_index[seq[i]] = static_cast<std::uint32_t>(i);
+    CaptureModel m;
+    m.group_of.assign(seq.size(), CaptureModel::kExactCapture);
+    m.num_groups = static_cast<std::uint32_t>(classes.size());
+    for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+        for (const GateId g : classes[ci].members)
+            m.group_of[seq_index[g]] = static_cast<std::uint32_t>(ci);
+    }
+    return m;
+}
+
+SatLearnResult sat_learn(const netlist::Topology& topo, std::uint32_t frames,
+                         std::span<const GateId> stems, const Seeds& seeds,
+                         const CaptureModel& capture, const exec::CancelFlag* cancel,
+                         exec::Budget* budget) {
+    if (frames == 0) throw std::invalid_argument("sat_learn: frames must be >= 1");
+    SatLearnResult out;
+    Solver solver;
+    solver.set_governance(cancel, budget);
+    BinaryUnroller unroller(topo, solver);
+    unroller.encode(frames, seeds, capture);
+    const std::uint32_t last = frames - 1;
+
+    // Reverse map: positive-literal key at the last frame -> gates carrying
+    // it (aliasing means one variable can stand for a buffer/FF chain).
+    // Buckets are built in ascending gate order, which keeps the mined
+    // relation stream deterministic.
+    std::vector<std::vector<GateId>> gates_of(2 * solver.num_vars());
+    for (GateId g = 0; g < topo.size(); ++g)
+        gates_of[unroller.lit(g, last).x].push_back(g);
+
+    auto already_tied = [&](GateId g) {
+        return seeds.ties != nullptr && seeds.ties->value(g) != Val3::X;
+    };
+
+    std::vector<Lit> assumption(1);
+    std::vector<Lit> implied;
+    std::vector<std::uint8_t> tied_now(topo.size(), 0);
+    for (const GateId g : stems) {
+        const exec::RunStatus st = exec::poll_point(cancel, budget);
+        if (st != exec::RunStatus::Completed) {
+            out.run.status = st;
+            if (budget != nullptr && budget->detail() != nullptr &&
+                st != exec::RunStatus::Cancelled) {
+                out.run.diagnostic = budget->detail();
+            }
+            return out;
+        }
+        if (already_tied(g) || tied_now[g] != 0) continue;
+        bool conflicted[2] = {false, false};
+        for (const bool v : {false, true}) {
+            assumption[0] = unroller.lit(g, last, v);
+            ++out.stats.probes;
+            if (!solver.probe(assumption, implied)) {
+                conflicted[v ? 1 : 0] = true;
+                continue;
+            }
+            const core::Literal lhs{g, v ? Val3::One : Val3::Zero};
+            for (const Lit l : implied) {
+                for (int s = 0; s < 2; ++s) {
+                    const std::uint32_t key = s == 0 ? l.x : (l.x ^ 1u);
+                    if (key >= gates_of.size()) continue;
+                    for (const GateId h : gates_of[key]) {
+                        if (h == g || already_tied(h)) continue;
+                        const core::Literal rhs{h, s == 0 ? Val3::One : Val3::Zero};
+                        out.relations.push_back({lhs, rhs, last});
+                        ++out.stats.relations;
+                    }
+                }
+            }
+        }
+        if (conflicted[0] && conflicted[1]) {
+            // Both values impossible means the clause set itself went
+            // unsatisfiable — cannot happen for a free-state encoding of a
+            // consistent circuit, so treat it as a solver fault and stop
+            // mining rather than emit bogus ties.
+            out.run = exec::RunOutcome::failed("sat_learn: inconsistent encoding");
+            return out;
+        }
+        if (conflicted[0] || conflicted[1]) {
+            // g = v is impossible from frame `last` on: tie to !v.
+            out.ties.push_back({g, conflicted[1] ? Val3::Zero : Val3::One, last});
+            tied_now[g] = 1;
+            ++out.stats.ties;
+        }
+        if (budget != nullptr) budget->note_item();
+    }
+    out.run = exec::RunOutcome::completed();
+    return out;
+}
+
+}  // namespace seqlearn::cnf

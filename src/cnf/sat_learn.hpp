@@ -1,0 +1,68 @@
+#pragma once
+// SAT learn mode: mine implications and ties beyond the frame-simulation
+// window with failed-literal probes over a BinaryUnroller encoding.
+//
+// The unrolling has a free initial state, so its last frame (K-1) stands
+// for "any frame with at least K-1 frames of history" — the exact meaning
+// of an ImplicationDB frame tag. For every candidate stem g and value v the
+// probe asserts g=v at the last frame and runs unit propagation:
+//
+//   - propagation conflicts  =>  g can never be v from frame K-1 on: a tie
+//     (g, !v, cycle K-1) — possibly deeper than frame simulation can see;
+//   - otherwise every implied same-frame literal h=w is a sound consequence
+//     (unit propagation is sound): the relation (g=v) => (h=w) at frame
+//     tag K-1.
+//
+// Everything mined is a logical consequence of the gate equations plus the
+// already-proven seeds, so merged facts can never contradict frame-sim
+// learning — the overlap agrees by construction (cnf_test cross-checks
+// this). Execution is serial and clock-free: identical results at every
+// thread count.
+
+#include "cnf/encoder.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace seqlearn::cnf {
+
+struct SatLearnStats {
+    std::size_t probes = 0;
+    std::size_t ties = 0;       ///< new ties found (not already in seeds)
+    std::size_t relations = 0;  ///< implied same-frame relations mined
+};
+
+struct SatTie {
+    GateId gate = netlist::kNoGate;
+    logic::Val3 value = logic::Val3::X;
+    std::uint32_t cycle = 0;
+};
+
+struct SatLearnResult {
+    std::vector<SatTie> ties;
+    std::vector<core::Relation> relations;
+    SatLearnStats stats;
+    /// Completed, or the governance stop that ended the pass early. A
+    /// non-ok pass still carries every fact mined before the stop.
+    exec::RunOutcome run;
+};
+
+/// Mine ties and implications at frame bound `frames` (>= 1) over the
+/// candidate `stems` (visited in the given order — pass a deterministic
+/// list). `seeds` should carry the frame-sim learned data so probes start
+/// from the strongest sound base; facts already present there are not
+/// re-reported. `capture` must be sound for the circuit's clocking (use
+/// capture_model_for()).
+SatLearnResult sat_learn(const netlist::Topology& topo, std::uint32_t frames,
+                         std::span<const GateId> stems, const Seeds& seeds,
+                         const CaptureModel& capture, const exec::CancelFlag* cancel,
+                         exec::Budget* budget);
+
+/// Sound capture model for `nl`: exact capture for single-domain pure-DFF
+/// circuits, one free enable group per clock class otherwise (a foreign
+/// domain may or may not tick between two frames of this one; latches are
+/// always transparent-capable, so they get a free enable too).
+CaptureModel capture_model_for(const netlist::Netlist& nl);
+
+}  // namespace seqlearn::cnf

@@ -1,5 +1,6 @@
 #include "core/seq_learn.hpp"
 
+#include "cnf/sat_learn.hpp"
 #include "netlist/clock_class.hpp"
 #include "util/timer.hpp"
 
@@ -177,6 +178,28 @@ LearnResult learn_impl(const Netlist& nl, const netlist::Topology& topo,
                 }
             }
         }
+
+        // SAT learn mode: probe a K-frame CNF unrolling seeded with
+        // everything the frame-simulation passes proved. Serial and
+        // deterministic; a governance stop keeps the mined prefix but
+        // invalidates the cursor (the phase has no resume schedule).
+        if (!stopped && cfg.sat_frames > 0) {
+            const cnf::Seeds seeds{&result.ties, &result.db,
+                                   cfg.use_equivalences ? &result.equivalences : nullptr};
+            const cnf::SatLearnResult sat =
+                cnf::sat_learn(topo, cfg.sat_frames, stems, seeds,
+                               cnf::capture_model_for(nl), cfg.cancel, budget_ptr);
+            for (const cnf::SatTie& t : sat.ties) result.ties.set(t.gate, t.value, t.cycle);
+            for (const core::Relation& r : sat.relations)
+                result.db.add(r.lhs, r.rhs, r.frame);
+            result.stats.sat_probes += sat.stats.probes;
+            result.stats.sat_ties += sat.stats.ties;
+            result.stats.sat_relations += sat.stats.relations;
+            if (!sat.run.ok()) {
+                result.outcome = sat.run;
+                result.cursor = {};
+            }
+        }
     } catch (const std::exception& e) {
         // Never throw across the learn() boundary: the committed prefix in
         // db/ties is intact (speculation windows apply nothing after a
@@ -204,6 +227,7 @@ std::uint64_t learn_config_digest(const LearnConfig& cfg) {
     mix(cfg.multiple_node ? 1 : 0);
     mix(cfg.use_equivalences ? 1 : 0);
     mix(cfg.respect_clock_classes ? 1 : 0);
+    mix(cfg.sat_frames);
     mix(cfg.record_cap);
     mix(cfg.multi.min_records);
     mix(cfg.multi.max_targets);

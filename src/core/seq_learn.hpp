@@ -68,6 +68,13 @@ struct LearnConfig {
     /// (required for multi-domain circuits; a no-op cost-wise for single-
     /// domain ones).
     bool respect_clock_classes = true;
+    /// SAT learn mode: after the frame-simulation passes, mine ties and
+    /// implications beyond the simulated window with failed-literal probes
+    /// over a K-frame CNF unrolling (K = sat_frames; 0 = off). Facts land
+    /// at frame tag K-1, so pick K deeper than max_frames reaches to learn
+    /// something new. Result-affecting (part of the config digest); a run
+    /// stopped inside this phase keeps its facts but is not resumable.
+    std::uint32_t sat_frames = 0;
     /// Per-(node,value) cap on stored stem records (0 = unlimited).
     std::size_t record_cap = 64;
     /// Multiple-node pass tuning.
@@ -93,6 +100,11 @@ struct LearnStats {
     std::size_t multi_targets = 0;
     std::size_t multi_relations = 0;
     std::size_t multi_ties = 0;
+    /// SAT learn mode (sat_frames > 0): failed-literal probes run, and the
+    /// new ties / implication relations they mined.
+    std::size_t sat_probes = 0;
+    std::size_t sat_ties = 0;
+    std::size_t sat_relations = 0;
     double cpu_seconds = 0.0;
     /// True whenever the run ended before completing the full schedule —
     /// i.e. `LearnResult::outcome.ok()` is false (kept as a plain flag for

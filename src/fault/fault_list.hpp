@@ -12,8 +12,23 @@ namespace seqlearn::fault {
 enum class FaultStatus : std::uint8_t {
     Undetected,  ///< not yet detected nor proven untestable
     Detected,    ///< a test sequence detects it
-    Untestable,  ///< proven untestable (tie gate / redundancy proof)
+    Untestable,  ///< proven untestable for every sequence length
     Aborted,     ///< ATPG gave up (backtrack limit)
+    /// Proven untestable within a bounded frame window (K-frame CNF
+    /// unsatisfiability). Counted as untestable by coverage metrics; the
+    /// frame bound travels in AtpgOutcome's untestable records.
+    UntestableBounded,
+};
+
+/// How a fault was proven untestable — the one taxonomy every prover
+/// (tie-gate marking, the combinational redundancy prover, the CNF
+/// timeframe-expansion backend) reports into.
+enum class UntestableProof : std::uint8_t {
+    None,           ///< no proof; the fault may be testable
+    TieGate,        ///< stuck at the tied value of its own line
+    Combinational,  ///< exhausted single-frame free-state search
+    Structural,     ///< fanout cone reaches no primary output
+    BoundedCnf,     ///< K-frame CNF unsatisfiable (untestable within K)
 };
 
 /// Status-tracked list of (usually collapsed) faults.

@@ -1,6 +1,7 @@
 #include "server/service.hpp"
 
 #include "api/session.hpp"
+#include "cnf/dispatch.hpp"
 #include "core/impl_db.hpp"
 #include "server/json.hpp"
 
@@ -328,11 +329,12 @@ std::string Service::cmd_learn(const JsonValue& req, const std::string& id) {
     }
     const bool force = req.get_bool("force", false);
     const double frames = req.get_number("frames", 0.0);
+    const double sat_frames = req.get_number("sat_frames", 0.0);
 
     // Warm path: a previous request's completed learn is attached to the
     // cache entry; with no result-affecting override, serve it directly —
     // no Session, no simulation, microseconds.
-    if (!force && frames <= 0 && r.entry.learned) {
+    if (!force && frames <= 0 && sat_frames <= 0 && r.entry.learned) {
         const core::LearnResult& res = r.entry.learned->result();
         std::string out = head(true, "learn", id, ProtoCode::Ok);
         out += ", \"design\": \"" + hex_u64(r.entry.digest) + "\"";
@@ -359,6 +361,7 @@ std::string Service::cmd_learn(const JsonValue& req, const std::string& id) {
 
     core::LearnConfig lcfg;
     if (frames > 0) lcfg.max_frames = static_cast<std::uint32_t>(frames);
+    if (sat_frames > 0) lcfg.sat_frames = static_cast<std::uint32_t>(sat_frames);
     lcfg.budget = budget_from(req, "limit_stems");
     const core::LearnResult& res = session.learn(lcfg);
     if (res.outcome.status == exec::RunStatus::Cancelled)
@@ -366,7 +369,7 @@ std::string Service::cmd_learn(const JsonValue& req, const std::string& id) {
 
     // Promote a complete default-config result to the cache entry: every
     // later learn/atpg/stats on this circuit is served warm.
-    if (res.outcome.ok() && frames <= 0)
+    if (res.outcome.ok() && frames <= 0 && sat_frames <= 0)
         cache_.attach_learned(r.entry.digest, session.freeze_learned());
 
     std::string out = head(true, "learn", id, code_for(res.outcome));
@@ -376,6 +379,11 @@ std::string Service::cmd_learn(const JsonValue& req, const std::string& id) {
     out += ", \"ties\": " + std::to_string(res.ties.count());
     out += ", \"equiv_classes\": " + std::to_string(res.stats.equiv_classes);
     out += ", \"stems_processed\": " + std::to_string(res.stats.stems_processed);
+    if (res.stats.sat_probes > 0) {
+        out += ", \"sat_probes\": " + std::to_string(res.stats.sat_probes);
+        out += ", \"sat_ties\": " + std::to_string(res.stats.sat_ties);
+        out += ", \"sat_relations\": " + std::to_string(res.stats.sat_relations);
+    }
     out += ", \"cpu_seconds\": " + fmt_double(res.stats.cpu_seconds, "%.3f");
     out += ", \"relation_hash\": \"" + hex_u64(core::relation_hash(res.db)) + "\"";
     out += ", \"outcome\": " + outcome_json(res.outcome);
@@ -405,6 +413,13 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
                               "unknown mode \"" + mode_s +
                                   "\" (want none, forbidden, or known)");
     }
+    const std::string backend_s = req.get_string("backend", "framesim");
+    if (!cnf::parse_backend(backend_s, acfg.backend)) {
+        return error_response("atpg", id, ProtoCode::Usage, "usage",
+                              "unknown backend \"" + backend_s +
+                                  "\" (want framesim, sat, or auto)");
+    }
+    acfg.sat_frames = static_cast<std::uint32_t>(req.get_number("sat_frames", 0.0));
 
     InflightGuard inflight(*this, id);
     const std::shared_ptr<std::atomic<bool>> cancel = inflight.flag();
@@ -436,6 +451,7 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
     out += ", \"design\": \"" + hex_u64(r.entry.digest) + "\"";
     out += warm ? ", \"warm\": true" : ", \"warm\": false";
     out += ", \"mode\": \"" + mode_s + "\"";
+    out += ", \"backend\": \"" + backend_s + "\"";
     out += ", \"total\": " + std::to_string(c.total);
     out += ", \"detected\": " + std::to_string(c.detected);
     out += ", \"untestable\": " + std::to_string(c.untestable);
@@ -443,6 +459,12 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
     out += ", \"undetected\": " + std::to_string(c.undetected);
     out += ", \"test_coverage\": " + fmt_double(report.list.test_coverage());
     out += ", \"tests\": " + std::to_string(report.outcome.tests.size());
+    if (report.outcome.sat_targeted > 0) {
+        out += ", \"sat_targeted\": " + std::to_string(report.outcome.sat_targeted);
+        out += ", \"sat_witnesses\": " + std::to_string(report.outcome.sat_witnesses);
+        out += ", \"untestable_by_cnf\": " +
+               std::to_string(report.outcome.untestable_by_cnf);
+    }
     out += ", \"cpu_seconds\": " + fmt_double(report.outcome.cpu_seconds, "%.3f");
     out += ", \"campaign_digest\": \"" + hex_u64(api::campaign_digest(report)) + "\"";
     out += ", \"outcome\": " + outcome_json(report.outcome.run);

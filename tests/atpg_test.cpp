@@ -171,10 +171,13 @@ TEST(Redundancy, ProvesUntestableAndTestable) {
     const netlist::Topology topo(nl);
     Engine engine(topo);
     EngineConfig cfg;
-    EXPECT_EQ(prove_redundancy(engine, Fault{nl.find("g"), kOutputPin, Val3::Zero}, cfg, 10000),
-              RedundancyVerdict::Untestable);
-    EXPECT_EQ(prove_redundancy(engine, Fault{nl.find("c"), kOutputPin, Val3::Zero}, cfg, 10000),
-              RedundancyVerdict::CombinationallyTestable);
+    EXPECT_EQ(prove_redundancy(engine, Fault{nl.find("g"), kOutputPin, Val3::Zero}, cfg, 10000)
+                  .proof,
+              fault::UntestableProof::Combinational);
+    const RedundancyResult c_verdict =
+        prove_redundancy(engine, Fault{nl.find("c"), kOutputPin, Val3::Zero}, cfg, 10000);
+    EXPECT_EQ(c_verdict.proof, fault::UntestableProof::None);
+    EXPECT_TRUE(c_verdict.combinationally_testable);
 }
 
 TEST(Redundancy, FreeStateSeparatesCombinationalFromSequential) {
@@ -191,7 +194,8 @@ TEST(Redundancy, FreeStateSeparatesCombinationalFromSequential) {
     EngineConfig cfg;
     for (const Fault f : {Fault{nl.find("f"), kOutputPin, Val3::Zero},
                           Fault{nl.find("j"), kOutputPin, Val3::One}}) {
-        EXPECT_NE(prove_redundancy(engine, f, cfg, 10000), RedundancyVerdict::Untestable)
+        EXPECT_EQ(prove_redundancy(engine, f, cfg, 10000).proof,
+                  fault::UntestableProof::None)
             << to_string(nl, f);
     }
 }

@@ -193,8 +193,8 @@ TEST(CompleteSearch, ProverAgreesWithExhaustiveOracleOnTinyCircuits) {
         fault::FaultSimulator fsim(topo);
         const auto universe = fault::fault_universe(nl);
         for (const Fault& f : universe) {
-            const RedundancyVerdict v = prove_redundancy(engine, f, {}, 1u << 20);
-            if (v != RedundancyVerdict::Untestable) continue;
+            const RedundancyResult v = prove_redundancy(engine, f, {}, 1u << 20);
+            if (v.proof != fault::UntestableProof::Combinational) continue;
             // Exhaustive cross-check over all sequences up to 4 frames.
             bool detectable = false;
             const std::size_t m = nl.inputs().size();
@@ -225,8 +225,7 @@ TEST(CompleteSearch, FindsTestsThatFrontierSearchMisses) {
     for (const Fault& f : collapsed.representatives()) {
         const EngineResult r = engine.solve(f, 1, frontier_cfg);
         if (r.status != EngineResult::Status::TestFound) continue;
-        EXPECT_EQ(prove_redundancy(engine, f, {}, 1u << 20),
-                  RedundancyVerdict::CombinationallyTestable)
+        EXPECT_TRUE(prove_redundancy(engine, f, {}, 1u << 20).combinationally_testable)
             << to_string(nl, f);
     }
 }
