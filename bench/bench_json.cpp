@@ -486,6 +486,73 @@ Row bench_learn_sat_mode(const Netlist& nl, const netlist::Topology& topo) {
     return row;
 }
 
+Row bench_server_warm_restart(const Netlist& nl, const netlist::Topology& topo) {
+    // The durable store's warm-restart path, end to end through
+    // Service::handle: each rep is a daemon restart — a fresh Service over
+    // a populated --store directory (recovery scan included) answering one
+    // stats request on the previously learned gen5378, which recompiles the
+    // stored bench bytes and re-attaches the binary snapshot. The extra
+    // members compare that against the cold alternative: re-running the
+    // learn. items = restarts served.
+    const std::string bench = netlist::write_bench_string(nl);
+    const std::uint64_t digest = server::content_digest(bench);
+
+    core::LearnConfig lcfg;
+    lcfg.threads = 1;
+    const util::Timer cold_timer;
+    const core::LearnResult learned = core::learn(nl, topo, lcfg);
+    const double cold_learn_s = cold_timer.seconds();
+
+    Row row;
+    row.name = "server_warm_restart";
+    char dir_tmpl[] = "/tmp/seqlearn_bench_store_XXXXXX";
+    const char* dir = ::mkdtemp(dir_tmpl);
+    if (dir == nullptr) {
+        std::fprintf(stderr, "server_warm_restart: mkdtemp failed\n");
+        return row;
+    }
+    {
+        server::SnapshotStoreConfig scfg;
+        scfg.dir = dir;
+        std::string err;
+        const std::shared_ptr<server::SnapshotStore> store =
+            server::SnapshotStore::open(std::move(scfg), &err);
+        std::ostringstream bin;
+        core::save_learned_binary(bin, nl, learned.db, learned.ties);
+        if (!store || !store->put(digest, bench, std::move(bin).str(), &err)) {
+            std::fprintf(stderr, "server_warm_restart: %s\n", err.c_str());
+            return row;
+        }
+    }
+
+    const std::string stats_frame =
+        "{\"cmd\": \"stats\", \"design\": \"" + server::hex_u64(digest) + "\"}";
+    row = measure("server_warm_restart", 1, g_min_seconds, [&] {
+        server::ServiceConfig cfg;
+        server::SnapshotStoreConfig scfg;
+        scfg.dir = dir;
+        std::string err;
+        cfg.store = server::SnapshotStore::open(std::move(scfg), &err);
+        server::Service svc(cfg);
+        const std::string resp = svc.handle(stats_frame);
+        if (resp.find("relation_hash") == std::string::npos)
+            std::fprintf(stderr, "server_warm_restart: learned data not served\n");
+    });
+
+    const std::string entry = std::string(dir) + "/" + server::hex_u64(digest) + ".snap";
+    ::unlink(entry.c_str());
+    ::rmdir(dir);
+
+    const double warm_s =
+        row.items > 0 ? row.seconds / static_cast<double>(row.items) : 0;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "\"cold_learn_s\": %.3f, \"speedup_vs_cold\": %.1f", cold_learn_s,
+                  warm_s > 0 ? cold_learn_s / warm_s : 0.0);
+    row.extra = buf;
+    return row;
+}
+
 Row bench_snapshot_load(const Netlist& nl, const netlist::Topology& topo) {
     // Snapshot deserialization on a learned gen5378 database: the binary v2
     // format against the text format, same data. This is the daemon's
@@ -573,6 +640,7 @@ int main(int argc, char** argv) {
     rows.push_back(bench_budget_overhead(nl, topo));
     rows.push_back(bench_learn_resume(nl, topo));
     rows.push_back(bench_server_throughput());
+    rows.push_back(bench_server_warm_restart(nl, topo));
     rows.push_back(bench_snapshot_load(nl, topo));
     rows.push_back(bench_sat_untestable(nl, topo));
     rows.push_back(bench_learn_sat_mode(nl, topo));

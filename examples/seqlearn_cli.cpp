@@ -518,6 +518,46 @@ int cmd_serve(int argc, char** argv) {
         cfg.drain_deadline = std::chrono::milliseconds(std::atoll(v));
     if (const char* v = flag_value(argc, argv, "--max-frame-mb"))
         cfg.max_frame_bytes = static_cast<std::size_t>(std::atoll(v)) << 20;
+    if (const char* v = flag_value(argc, argv, "--max-conns"))
+        cfg.max_conns = static_cast<std::size_t>(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--idle-timeout-ms"))
+        cfg.idle_timeout = std::chrono::milliseconds(std::atoll(v));
+    if (const char* v = flag_value(argc, argv, "--write-timeout-ms"))
+        cfg.write_timeout = std::chrono::milliseconds(std::atoll(v));
+
+    // Deterministic chaos: arm one failure site for the whole process
+    // (CI's crash-recovery smoke runs `--chaos fs_rename:1` and kills the
+    // daemon mid-save).
+    exec::FailurePoint chaos;
+    if (const char* v = flag_value(argc, argv, "--chaos")) {
+        if (!exec::arm_from_spec(chaos, v)) {
+            std::fprintf(stderr, "error: bad --chaos spec \"%s\" (want site:nth, "
+                                 "e.g. fs_rename:1)\n", v);
+            return 2;
+        }
+        cfg.failpoint = &chaos;
+    }
+
+    // Durable snapshot store: open (recovery scan + quarantine) before the
+    // listener, so a request arriving first thing sees the warm index.
+    if (const char* v = flag_value(argc, argv, "--store")) {
+        server::SnapshotStoreConfig store_cfg;
+        store_cfg.dir = v;
+        if (const char* mb = flag_value(argc, argv, "--store-mb"))
+            store_cfg.max_bytes = static_cast<std::size_t>(std::atoll(mb)) << 20;
+        store_cfg.failpoint = cfg.failpoint;
+        std::string store_error;
+        cfg.service.store =
+            server::SnapshotStore::open(std::move(store_cfg), &store_error);
+        if (!cfg.service.store) {
+            std::fprintf(stderr, "error: %s\n", store_error.c_str());
+            return 6;
+        }
+        const server::SnapshotStoreStats ss = cfg.service.store->stats();
+        std::fprintf(stderr,
+                     "snapshot store %s: %zu entries (%zu bytes), %zu quarantined\n",
+                     v, ss.entries, ss.bytes, ss.quarantined);
+    }
 
     server::Server srv(cfg);
     std::string error;

@@ -1,8 +1,10 @@
 #include "api/session.hpp"
 
 #include "core/db_io.hpp"
+#include "util/atomic_file.hpp"
 
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace seqlearn::api {
@@ -93,10 +95,13 @@ void Session::save_checkpoint(std::ostream& out) {
 }
 
 void Session::save_checkpoint(const std::string& path) {
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("Session::save_checkpoint: cannot write " + path);
+    // Serialize first, then replace the file atomically: a crash (or a full
+    // disk) mid-save must never truncate an existing checkpoint in place.
+    std::ostringstream out;
     save_checkpoint(out);
+    std::string error;
+    if (!util::atomic_write_file(path, out.view(), &error, cfg_.failpoint))
+        throw std::runtime_error("Session::save_checkpoint: " + error);
 }
 
 const core::LearnResult& Session::run_learn(const core::LearnConfig& lcfg,
@@ -326,9 +331,13 @@ void Session::save_db(std::ostream& out) {
 }
 
 void Session::save_db(const std::string& path) {
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("Session::save_db: cannot write " + path);
+    // Atomic temp+rename: a crash mid-save leaves the previous snapshot
+    // intact instead of a torn file.
+    std::ostringstream out;
     save_db(out);
+    std::string error;
+    if (!util::atomic_write_file(path, out.view(), &error, cfg_.failpoint))
+        throw std::runtime_error("Session::save_db: " + error);
 }
 
 void Session::save_db_binary(std::ostream& out) {
@@ -338,9 +347,11 @@ void Session::save_db_binary(std::ostream& out) {
 }
 
 void Session::save_db_binary(const std::string& path) {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw std::runtime_error("Session::save_db_binary: cannot write " + path);
+    std::ostringstream out(std::ios::binary);
     save_db_binary(out);
+    std::string error;
+    if (!util::atomic_write_file(path, out.view(), &error, cfg_.failpoint))
+        throw std::runtime_error("Session::save_db_binary: " + error);
 }
 
 std::size_t Session::load_db(std::istream& in) {

@@ -591,4 +591,61 @@ LoadedLearned load_learned_any(std::istream& in, const Netlist& nl) {
     return load_learned(in, nl);
 }
 
+std::optional<BinaryDbInfo> probe_binary_db(std::string_view bytes) {
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+    std::size_t remaining = bytes.size();
+    const auto take = [&](std::size_t n) -> const unsigned char* {
+        if (remaining < n) return nullptr;
+        const unsigned char* at = p;
+        p += n;
+        remaining -= n;
+        return at;
+    };
+
+    const unsigned char* header = take(kBinaryHeaderBytes);
+    if (header == nullptr) return std::nullopt;
+    if (std::memcmp(header, kBinaryMagic, sizeof kBinaryMagic) != 0) return std::nullopt;
+    if (get_u32(header + 8) != kBinaryVersion) return std::nullopt;
+    const std::uint32_t header_bytes = get_u32(header + 12);
+    if (header_bytes < kBinaryHeaderBytes) return std::nullopt;
+    if (take(header_bytes - kBinaryHeaderBytes) == nullptr) return std::nullopt;
+
+    BinaryDbInfo info;
+    info.netlist_digest = get_u64(header + 16);
+    info.gates = get_u32(header + 24);
+
+    // Walk every section and require the counts to tile the byte range
+    // exactly: any truncation — at a section boundary or inside one — and
+    // any appended garbage fails here, before anything trusts the blob.
+    const unsigned char* counts = take(16);
+    if (counts == nullptr) return std::nullopt;
+    const std::uint64_t list_count = get_u64(counts);
+    const std::uint64_t edge_count = get_u64(counts + 8);
+    if (edge_count % 2 != 0) return std::nullopt;  // closure stores both directions
+    std::uint64_t edges_seen = 0;
+    std::uint64_t prev_key = 0;
+    for (std::uint64_t i = 0; i < list_count; ++i) {
+        const unsigned char* list = take(8);
+        if (list == nullptr) return std::nullopt;
+        const std::uint64_t key = get_u32(list);
+        const std::uint64_t count = get_u32(list + 4);
+        if (i > 0 && key <= prev_key) return std::nullopt;
+        prev_key = key;
+        if (key >= std::uint64_t{info.gates} * 2) return std::nullopt;
+        if (count == 0 || count > edge_count - edges_seen) return std::nullopt;
+        edges_seen += count;
+        if (take(count * 8) == nullptr) return std::nullopt;
+    }
+    if (edges_seen != edge_count) return std::nullopt;
+    const unsigned char* tie_header = take(8);
+    if (tie_header == nullptr) return std::nullopt;
+    const std::uint64_t tie_count = get_u64(tie_header);
+    if (take(tie_count * 12) == nullptr) return std::nullopt;
+    if (remaining != 0) return std::nullopt;  // trailing garbage
+
+    info.relations = edge_count / 2;
+    info.ties = tie_count;
+    return info;
+}
+
 }  // namespace seqlearn::core

@@ -34,6 +34,8 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
+#include <string_view>
 
 namespace seqlearn::core {
 
@@ -153,5 +155,23 @@ LoadedLearned load_learned_binary(std::istream& in, const netlist::Netlist& nl);
 /// Sniff the format (binary magic vs text header) and dispatch to
 /// load_learned_binary or the throwing text load_learned.
 LoadedLearned load_learned_any(std::istream& in, const netlist::Netlist& nl);
+
+/// What probe_binary_db() can tell about a binary v2 blob without the
+/// netlist it was saved from.
+struct BinaryDbInfo {
+    std::uint64_t netlist_digest = 0;  ///< which circuit the blob binds to
+    std::uint32_t gates = 0;
+    std::uint64_t relations = 0;  ///< edge count / 2
+    std::uint64_t ties = 0;
+};
+
+/// Structurally validate an in-memory binary v2 blob without a netlist:
+/// magic, version, and that the header's section counts walk the byte
+/// range *exactly* — a blob truncated at (or inside) any section, or with
+/// trailing garbage, returns nullopt. This is the cheap integrity check a
+/// snapshot store's recovery scan runs per entry; the expensive
+/// digest-vs-netlist and contraposition-closure checks still run in
+/// load_learned_binary when the blob is actually attached.
+std::optional<BinaryDbInfo> probe_binary_db(std::string_view bytes);
 
 }  // namespace seqlearn::core

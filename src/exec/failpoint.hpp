@@ -1,5 +1,6 @@
 #pragma once
-// Deterministic fault-injection harness for the governance test suite.
+// Deterministic fault-injection harness for the governance and I/O chaos
+// test suites.
 //
 // A FailurePoint is armed with (site, nth arrival, kind) and threaded
 // through stage configs next to CancelFlag/Budget. Instrumented code calls
@@ -10,8 +11,15 @@
 // thread observes the armed arrival even when the site runs on a parallel
 // worker, and repeated runs with the same seed fail at the same arrival.
 //
+// I/O sites (filesystem writes, fsyncs, renames, socket sends) use the
+// non-throwing twin fire(): the instrumented call site asks "does this
+// arrival fail?" and on true simulates the OS-level failure itself — a
+// short write, an EIO from fsync, a failed rename — so the degradation
+// path under test is the real errno-handling code, not an unwind. The same
+// arming (site, nth) drives both flavors.
+//
 // Disarmed FailurePoints (and null pointers, the production default) cost
-// one relaxed atomic load per poll.
+// one relaxed atomic load per poll/fire.
 
 #include <array>
 #include <atomic>
@@ -19,6 +27,7 @@
 #include <new>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace seqlearn::exec {
 
@@ -29,6 +38,10 @@ enum class FailSite : unsigned char {
     WorkItem = 0,     ///< inside a work item (stem/target/fault-pass compute)
     SpecCommit,       ///< inside an ordered/batched speculation commit
     BatchRecompute,   ///< inside a batch remainder recompute
+    FsWrite,          ///< a filesystem write() — armed arrival = short write
+    FsFsync,          ///< an fsync()/fdatasync() — armed arrival = EIO
+    FsRename,         ///< a rename() into place — armed arrival = EIO
+    SockSend,         ///< a socket send() — armed arrival = short send
     kCount,
 };
 
@@ -37,6 +50,10 @@ inline const char* fail_site_name(FailSite s) noexcept {
         case FailSite::WorkItem: return "work_item";
         case FailSite::SpecCommit: return "spec_commit";
         case FailSite::BatchRecompute: return "batch_recompute";
+        case FailSite::FsWrite: return "fs_write";
+        case FailSite::FsFsync: return "fs_fsync";
+        case FailSite::FsRename: return "fs_rename";
+        case FailSite::SockSend: return "sock_send";
         default: return "unknown";
     }
 }
@@ -86,6 +103,17 @@ public:
         }
     }
 
+    /// Non-throwing instrumentation hook for I/O sites: true exactly when
+    /// this arrival is the armed one. The caller simulates the OS failure
+    /// (short write, EIO, failed rename) so the production errno path runs.
+    bool fire(FailSite site) noexcept {
+        if (!armed_.load(std::memory_order_acquire)) return false;
+        const std::size_t arrival =
+            1 + arrivals_[static_cast<std::size_t>(site)].fetch_add(
+                    1, std::memory_order_relaxed);
+        return site == site_ && arrival == nth_;
+    }
+
     /// Arrivals recorded at `site` since the last arm() (test introspection).
     std::size_t hits(FailSite site) const noexcept {
         return arrivals_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
@@ -99,5 +127,32 @@ private:
     FailKind kind_ = FailKind::Error;
     std::atomic<bool> armed_{false};
 };
+
+/// Arm `fp` from a "<site>:<nth>" spec ("fs_rename:1", "sock_send:3") — the
+/// deterministic-chaos knob the CLI's `serve --chaos` flag and the CI crash
+/// smoke use. Returns false (fp untouched) on an unknown site name or a
+/// non-positive arrival count.
+inline bool arm_from_spec(FailurePoint& fp, std::string_view spec) {
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string_view::npos) return false;
+    const std::string_view site_s = spec.substr(0, colon);
+    const std::string_view nth_s = spec.substr(colon + 1);
+    FailSite site = FailSite::kCount;
+    for (unsigned char i = 0; i < static_cast<unsigned char>(FailSite::kCount); ++i) {
+        if (site_s == fail_site_name(static_cast<FailSite>(i))) {
+            site = static_cast<FailSite>(i);
+            break;
+        }
+    }
+    if (site == FailSite::kCount || nth_s.empty()) return false;
+    std::size_t nth = 0;
+    for (const char c : nth_s) {
+        if (c < '0' || c > '9') return false;
+        nth = nth * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (nth == 0) return false;
+    fp.arm(site, nth);
+    return true;
+}
 
 }  // namespace seqlearn::exec

@@ -17,6 +17,7 @@ std::uint64_t content_digest(std::string_view bytes) {
 std::size_t DesignCache::entry_bytes(const Entry& e) {
     std::size_t bytes = e.design ? e.design->memory_bytes() : 0;
     if (e.learned) bytes += e.learned->memory_bytes();
+    if (e.bench) bytes += e.bench->size();
     return bytes;
 }
 
@@ -48,6 +49,7 @@ DesignCache::LoadResult DesignCache::load(std::string_view bench_bytes,
     Entry entry;
     entry.digest = digest;
     entry.design = std::move(loaded.design);
+    entry.bench = std::make_shared<const std::string>(bench_bytes);
     entry.bytes = entry_bytes(entry);
 
     std::lock_guard<std::mutex> lock(mu_);

@@ -53,6 +53,11 @@ public:
         std::uint64_t digest = 0;
         api::DesignPtr design;
         std::shared_ptr<const core::LearnedSnapshot> learned;  ///< may be null
+        /// The original bench bytes the digest was computed over — what a
+        /// durable snapshot store must persist so a restarted daemon can
+        /// recompile the identical design (a re-serialized netlist would
+        /// digest differently). Charged against the byte cap.
+        std::shared_ptr<const std::string> bench;
         std::size_t bytes = 0;  ///< what this entry charges against the cap
     };
 

@@ -12,26 +12,59 @@
 
 namespace seqlearn::server {
 
-namespace {
-
 /// Write the full line + '\n'. MSG_NOSIGNAL: a client that hung up must
-/// surface as a failed send, not a SIGPIPE.
-bool send_line(int fd, std::string_view line) {
+/// surface as a failed send, not a SIGPIPE. EINTR retries; partial sends
+/// (real, or forced by an armed SockSend failpoint) resume at the next
+/// unsent byte. With a write deadline configured, a client that stops
+/// draining its socket costs at most `write_timeout` of this thread's time
+/// before the connection is declared dead — without one, a single
+/// non-reading client could pin the serving thread forever.
+bool Server::send_line(int fd, std::string_view line) {
     std::string framed(line);
     framed += '\n';
+    const bool deadline_set = cfg_.write_timeout.count() > 0;
+    const auto deadline = std::chrono::steady_clock::now() + cfg_.write_timeout;
     std::size_t sent = 0;
     while (sent < framed.size()) {
-        const ssize_t n =
-            ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) return false;
+        if (deadline_set) {
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline) {
+                counters_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+            pollfd pfd{fd, POLLOUT, 0};
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+                    .count();
+            const int ready = ::poll(&pfd, 1, left > 0 ? static_cast<int>(left) : 1);
+            if (ready < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+            if (ready == 0) {
+                counters_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+        }
+        std::size_t len = framed.size() - sent;
+        if (cfg_.failpoint != nullptr &&
+            cfg_.failpoint->fire(exec::FailSite::SockSend) && len > 1) {
+            len = 1;  // injected short send; the loop must finish the frame
+        }
+        const ssize_t n = ::send(fd, framed.data() + sent, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (n == 0) return false;
         sent += static_cast<std::size_t>(n);
     }
     return true;
 }
 
-}  // namespace
-
-Server::Server(ServerConfig cfg) : cfg_(cfg), service_(cfg.service) {}
+Server::Server(ServerConfig cfg) : cfg_(cfg), service_(cfg.service) {
+    service_.set_transport_counters(&counters_);
+}
 
 Server::~Server() { stop(); }
 
@@ -75,10 +108,23 @@ void Server::accept_loop() {
         if (ready <= 0) continue;
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) continue;
+        counters_.accepted.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(conns_mu_);
         if (stopping_.load(std::memory_order_acquire)) {
             ::close(fd);
             break;
+        }
+        // Connection cap: answer with a structured overloaded error and
+        // close, so a client sees *why* instead of a silent RST. conn_fds_
+        // counts exactly the live connections (deregistered at close).
+        if (cfg_.max_conns > 0 && conn_fds_.size() >= cfg_.max_conns) {
+            counters_.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+            send_line(fd,
+                      "{\"ok\": false, \"code\": 7, \"error\": "
+                      "{\"code\": 7, \"class\": \"overloaded\", \"message\": "
+                      "\"connection limit reached; retry later\"}}");
+            ::close(fd);
+            continue;
         }
         conn_fds_.push_back(fd);
         conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
@@ -86,11 +132,33 @@ void Server::accept_loop() {
 }
 
 void Server::serve_connection(int fd) {
+    counters_.active.fetch_add(1, std::memory_order_relaxed);
     std::string frame;
     bool discarding = false;
     char chunk[64 * 1024];
     for (;;) {
-        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        // Idle/read deadline: wait for bytes with poll so a stalled client
+        // (silent, or trickling then stopping mid-frame — the slow-loris
+        // shape) is reaped after idle_timeout instead of holding a thread
+        // and its partial frame forever. stop()'s shutdown() makes the fd
+        // readable (EOF), so the poll also wakes for graceful shutdown.
+        if (cfg_.idle_timeout.count() > 0) {
+            pollfd pfd{fd, POLLIN, 0};
+            const int ready =
+                ::poll(&pfd, 1, static_cast<int>(cfg_.idle_timeout.count()));
+            if (ready < 0) {
+                if (errno == EINTR) continue;
+                break;
+            }
+            if (ready == 0) {
+                counters_.idle_reaped.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+        }
+        ssize_t n;
+        do {
+            n = ::recv(fd, chunk, sizeof chunk, 0);
+        } while (n < 0 && errno == EINTR);
         if (n <= 0) break;  // EOF, error, or stop()'s shutdown()
         bool client_gone = false;
         for (ssize_t i = 0; i < n; ++i) {
@@ -137,6 +205,7 @@ void Server::serve_connection(int fd) {
                         conn_fds_.end());
     }
     ::close(fd);
+    counters_.active.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Server::close_listener() {

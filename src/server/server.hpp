@@ -51,6 +51,20 @@ struct ServerConfig {
     /// How long stop() waits for in-flight requests to drain before
     /// closing their connections anyway.
     std::chrono::milliseconds drain_deadline{10000};
+    /// Idle/read deadline per connection: a connection delivering no bytes
+    /// for this long (a stalled or slow-loris client, mid-frame or between
+    /// frames) is reaped. 0 = never — the pre-hardening behavior.
+    std::chrono::milliseconds idle_timeout{0};
+    /// Write deadline per response line: a client that stops draining its
+    /// socket (so send() would block past this) loses the connection
+    /// instead of pinning the serving thread. 0 = never.
+    std::chrono::milliseconds write_timeout{0};
+    /// Concurrent-connection cap: connection N+1 gets one structured
+    /// `overloaded` (code 7) response and an immediate close. 0 = no cap.
+    std::size_t max_conns = 0;
+    /// Chaos hook (null in production): SockSend arrivals can be armed to
+    /// force a short send, exercising the partial-write resend path.
+    exec::FailurePoint* failpoint = nullptr;
     ServiceConfig service;
 };
 
@@ -78,13 +92,19 @@ public:
 
     Service& service() noexcept { return service_; }
 
+    /// Transport counters (accepted / active / rejected / reaped), also
+    /// surfaced through the protocol's `stats` response.
+    const TransportCounters& counters() const noexcept { return counters_; }
+
 private:
     void accept_loop();
     void serve_connection(int fd);
     void close_listener();
+    bool send_line(int fd, std::string_view line);
 
     ServerConfig cfg_;
     Service service_;
+    TransportCounters counters_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
 

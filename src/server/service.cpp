@@ -2,6 +2,7 @@
 
 #include "api/session.hpp"
 #include "cnf/dispatch.hpp"
+#include "core/db_io.hpp"
 #include "core/impl_db.hpp"
 #include "server/json.hpp"
 
@@ -93,12 +94,12 @@ exec::BudgetSpec budget_from(const JsonValue& req, const char* item_key) {
     return spec;
 }
 
-struct ResolvedDesign {
+}  // namespace
+
+struct Service::Resolved {
     DesignCache::Entry entry;
     std::string error;  ///< response line; empty on success
 };
-
-}  // namespace
 
 // RAII over the bounded session pool.
 class Service::SlotGuard {
@@ -289,14 +290,18 @@ std::string Service::cmd_load(const JsonValue& req, const std::string& id) {
     return out;
 }
 
-namespace {
-
-/// Resolve the request's "design" digest against the cache. The error
-/// response for an unknown digest tells the client to re-`load` — that is
-/// the eviction contract.
-ResolvedDesign resolve_design(DesignCache& cache, const JsonValue& req,
-                              std::string_view cmd, const std::string& id) {
-    ResolvedDesign out;
+/// Resolve the request's "design" digest: in-memory cache first, then the
+/// durable snapshot store. The store fallback is the warm-restart path — a
+/// restarted daemon (or one whose cache evicted the entry) recompiles the
+/// stored bench bytes and re-attaches the learned snapshot, so the client
+/// never re-learns. A stored blob that fails the deep attach-time checks
+/// (netlist digest / contraposition closure, db_io load_snapshot) is
+/// quarantined and the design resolves cold instead — corrupt data is never
+/// served. The error response for a digest known nowhere tells the client
+/// to re-`load` — that is the eviction contract.
+Service::Resolved Service::resolve(const JsonValue& req, std::string_view cmd,
+                                   const std::string& id) {
+    Resolved out;
     const std::string digest_s = req.get_string("design");
     if (digest_s.empty()) {
         out.error = error_response(cmd, id, ProtoCode::Usage, "usage",
@@ -309,7 +314,32 @@ ResolvedDesign resolve_design(DesignCache& cache, const JsonValue& req,
                                    "\"design\" is not a hex digest: " + digest_s);
         return out;
     }
-    out.entry = cache.find(*digest);
+    out.entry = cache_.find(*digest);
+    SnapshotStore* st = store();
+    const bool try_store =
+        st != nullptr && (!out.entry.design ||
+                          (!out.entry.learned && st->contains(*digest)));
+    if (try_store) {
+        if (std::optional<StoredSnapshot> stored = st->fetch(*digest)) {
+            if (!out.entry.design) {
+                // content_digest(stored->bench) == *digest (validated by the
+                // store), so this lands on exactly the requested entry.
+                cache_.load(stored->bench, "restored-" + digest_s);
+                out.entry = cache_.find(*digest);
+            }
+            if (out.entry.design && !out.entry.learned) {
+                try {
+                    std::istringstream in(stored->learned);
+                    const core::LoadedSnapshot snap =
+                        core::load_snapshot(in, out.entry.design->netlist());
+                    cache_.attach_learned(*digest, snap.snapshot);
+                    out.entry = cache_.find(*digest);
+                } catch (const std::exception&) {
+                    st->quarantine(*digest);  // deep validation failed
+                }
+            }
+        }
+    }
     if (!out.entry.design) {
         out.error = error_response(
             cmd, id, ProtoCode::Usage, "unknown_design",
@@ -319,10 +349,21 @@ ResolvedDesign resolve_design(DesignCache& cache, const JsonValue& req,
     return out;
 }
 
-}  // namespace
+void Service::store_write_through(const DesignCache::Entry& entry,
+                                  const core::LearnedSnapshot& snap) {
+    SnapshotStore* st = store();
+    if (st == nullptr || entry.bench == nullptr || entry.design == nullptr) return;
+    std::ostringstream buf;
+    core::save_learned_binary(buf, entry.design->netlist(), snap.result().db,
+                              snap.result().ties);
+    std::string error;
+    // Best effort: a failed put (disk full, injected fault) is counted in
+    // the store stats; the in-memory snapshot still serves this process.
+    st->put(entry.digest, *entry.bench, std::move(buf).str(), &error);
+}
 
 std::string Service::cmd_learn(const JsonValue& req, const std::string& id) {
-    ResolvedDesign r = resolve_design(cache_, req, "learn", id);
+    Resolved r = resolve(req, "learn", id);
     if (!r.error.empty()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return r.error;
@@ -367,10 +408,15 @@ std::string Service::cmd_learn(const JsonValue& req, const std::string& id) {
     if (res.outcome.status == exec::RunStatus::Cancelled)
         cancelled_.fetch_add(1, std::memory_order_relaxed);
 
-    // Promote a complete default-config result to the cache entry: every
-    // later learn/atpg/stats on this circuit is served warm.
-    if (res.outcome.ok() && frames <= 0 && sat_frames <= 0)
-        cache_.attach_learned(r.entry.digest, session.freeze_learned());
+    // Promote a complete default-config result to the cache entry (every
+    // later learn/atpg/stats on this circuit is served warm) and write it
+    // through to the durable store (every later *process* too).
+    if (res.outcome.ok() && frames <= 0 && sat_frames <= 0) {
+        const std::shared_ptr<const core::LearnedSnapshot> snap =
+            session.freeze_learned();
+        cache_.attach_learned(r.entry.digest, snap);
+        if (snap) store_write_through(r.entry, *snap);
+    }
 
     std::string out = head(true, "learn", id, code_for(res.outcome));
     out += ", \"design\": \"" + hex_u64(r.entry.digest) + "\"";
@@ -392,7 +438,7 @@ std::string Service::cmd_learn(const JsonValue& req, const std::string& id) {
 }
 
 std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
-    ResolvedDesign r = resolve_design(cache_, req, "atpg", id);
+    Resolved r = resolve(req, "atpg", id);
     if (!r.error.empty()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return r.error;
@@ -438,8 +484,12 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
         if (warm) session.use_learned(r.entry.learned);
         else {
             const core::LearnResult& learned = session.learn();
-            if (learned.outcome.ok())
-                cache_.attach_learned(r.entry.digest, session.freeze_learned());
+            if (learned.outcome.ok()) {
+                const std::shared_ptr<const core::LearnedSnapshot> snap =
+                    session.freeze_learned();
+                cache_.attach_learned(r.entry.digest, snap);
+                if (snap) store_write_through(r.entry, *snap);
+            }
         }
     }
 
@@ -473,7 +523,7 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
 }
 
 std::string Service::cmd_fault_sim(const JsonValue& req, const std::string& id) {
-    ResolvedDesign r = resolve_design(cache_, req, "fault_sim", id);
+    Resolved r = resolve(req, "fault_sim", id);
     if (!r.error.empty()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return r.error;
@@ -538,12 +588,39 @@ std::string Service::cmd_stats(const JsonValue& req, const std::string& id) {
     out += ", \"max_bytes\": " + std::to_string(cs.max_bytes);
     out += ", \"hits\": " + std::to_string(cs.hits);
     out += ", \"misses\": " + std::to_string(cs.misses);
-    out += ", \"evictions\": " + std::to_string(cs.evictions) + "}}";
+    out += ", \"evictions\": " + std::to_string(cs.evictions) + "}";
+    if (const SnapshotStore* st = cfg_.store.get()) {
+        const SnapshotStoreStats ss = st->stats();
+        out += ", \"store\": {\"dir\": \"" + json_escape(st->dir()) + "\"";
+        out += ", \"entries\": " + std::to_string(ss.entries);
+        out += ", \"bytes\": " + std::to_string(ss.bytes);
+        out += ", \"max_bytes\": " + std::to_string(ss.max_bytes);
+        out += ", \"quarantined\": " + std::to_string(ss.quarantined);
+        out += ", \"puts\": " + std::to_string(ss.puts);
+        out += ", \"put_failures\": " + std::to_string(ss.put_failures);
+        out += ", \"fetch_hits\": " + std::to_string(ss.fetch_hits);
+        out += ", \"fetch_misses\": " + std::to_string(ss.fetch_misses);
+        out += ", \"evictions\": " + std::to_string(ss.evictions) + "}";
+    }
+    if (transport_ != nullptr) {
+        const TransportCounters& t = *transport_;
+        out += ", \"connections\": {\"accepted\": " +
+               std::to_string(t.accepted.load(std::memory_order_relaxed));
+        out += ", \"active\": " +
+               std::to_string(t.active.load(std::memory_order_relaxed));
+        out += ", \"rejected_overloaded\": " +
+               std::to_string(t.rejected_overloaded.load(std::memory_order_relaxed));
+        out += ", \"idle_reaped\": " +
+               std::to_string(t.idle_reaped.load(std::memory_order_relaxed));
+        out += ", \"write_timeouts\": " +
+               std::to_string(t.write_timeouts.load(std::memory_order_relaxed)) + "}";
+    }
+    out += "}";
 
     // Per-design section: the warm fast path — a cache lookup, an O(1)
     // Session, and counters; no simulation, no parse.
     if (req.get("design") != nullptr) {
-        ResolvedDesign r = resolve_design(cache_, req, "stats", id);
+        Resolved r = resolve(req, "stats", id);
         if (!r.error.empty()) {
             errors_.fetch_add(1, std::memory_order_relaxed);
             return r.error;

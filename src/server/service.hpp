@@ -37,6 +37,7 @@
 // threads concurrently.
 
 #include "server/design_cache.hpp"
+#include "server/snapshot_store.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -72,6 +73,21 @@ struct ServiceConfig {
     /// Worker threads per running stage (0 = hardware_concurrency).
     /// Results are bit-identical at any setting.
     unsigned threads = 1;
+    /// Durable snapshot store (null = in-memory only). When set, the first
+    /// completed full learn of a design writes through, and a digest that
+    /// misses the in-memory cache falls back here — the warm-restart path.
+    std::shared_ptr<SnapshotStore> store;
+};
+
+/// Transport-level counters the TCP server maintains and `stats` surfaces.
+/// Lives here (not in server.hpp) so the transport-agnostic Service can
+/// print it without depending on the socket layer.
+struct TransportCounters {
+    std::atomic<std::uint64_t> accepted{0};            ///< connections accepted
+    std::atomic<std::uint64_t> active{0};              ///< currently serving
+    std::atomic<std::uint64_t> rejected_overloaded{0}; ///< over --max-conns
+    std::atomic<std::uint64_t> idle_reaped{0};         ///< idle deadline hit
+    std::atomic<std::uint64_t> write_timeouts{0};      ///< write deadline hit
 };
 
 class Service {
@@ -103,6 +119,13 @@ public:
     }
 
     DesignCache& cache() noexcept { return cache_; }
+    SnapshotStore* store() noexcept { return cfg_.store.get(); }
+
+    /// Let the transport publish its counters for `stats` (null = the
+    /// response carries no "connections" section). Set before serving.
+    void set_transport_counters(const TransportCounters* c) noexcept {
+        transport_ = c;
+    }
 
 private:
     class SlotGuard;
@@ -117,6 +140,18 @@ private:
     std::string cmd_cancel(const JsonValue& req, const std::string& id);
     std::string cmd_shutdown(const std::string& id);
 
+    /// Cache lookup with durable-store fallback (see resolve notes in the
+    /// .cpp): a digest evicted from memory but present on disk is
+    /// recompiled and its learned snapshot re-attached transparently.
+    struct Resolved;
+    Resolved resolve(const JsonValue& req, std::string_view cmd,
+                     const std::string& id);
+
+    /// Write-through: persist a freshly promoted learned snapshot to the
+    /// durable store (best effort — a failed put is counted, not fatal).
+    void store_write_through(const DesignCache::Entry& entry,
+                             const core::LearnedSnapshot& snap);
+
     /// Wait for a session slot. Returns false on timeout (-> overloaded).
     bool acquire_slot();
     void release_slot();
@@ -128,6 +163,7 @@ private:
 
     ServiceConfig cfg_;
     DesignCache cache_;
+    const TransportCounters* transport_ = nullptr;
 
     std::mutex slots_mu_;
     std::condition_variable slots_cv_;

@@ -1,0 +1,116 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace seqlearn::util {
+
+namespace {
+
+std::string parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) return ".";
+    if (slash == 0) return "/";
+    return path.substr(0, slash);
+}
+
+void set_error(std::string* error, const char* what, const std::string& path) {
+    if (error) *error = std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// EINTR-safe full write; a short write (real or injected) is reported as
+/// ENOSPC — the caller's cleanup path is identical either way.
+bool write_all(int fd, std::string_view bytes, exec::FailurePoint* fp) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        std::size_t len = bytes.size() - off;
+        const bool injected_short =
+            fp != nullptr && fp->fire(exec::FailSite::FsWrite);
+        if (injected_short) {
+            // Simulate the disk filling up: deliver at most one byte, then
+            // fail the next attempt.
+            if (len > 1) len = 1;
+        }
+        const ssize_t n = ::write(fd, bytes.data() + off, len);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (injected_short) {
+            errno = ENOSPC;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+bool fsync_parent_dir(const std::string& path) {
+    const std::string dir = parent_dir(path);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string* error, exec::FailurePoint* failpoint) {
+    // The temp file must live in the destination's directory: rename(2) is
+    // only atomic within one filesystem. The pid suffix keeps concurrent
+    // writers of the same path from clobbering each other's temp file (last
+    // rename wins, each file complete).
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        set_error(error, "cannot create", tmp);
+        return false;
+    }
+    if (!write_all(fd, bytes, failpoint)) {
+        set_error(error, "short write to", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // fsync BEFORE rename: once the new name is visible, its contents must
+    // already be durable, or a crash could leave a committed-looking entry
+    // with unwritten pages.
+    const bool fsync_failed =
+        (failpoint != nullptr && failpoint->fire(exec::FailSite::FsFsync)) ||
+        ::fsync(fd) != 0;
+    if (fsync_failed) {
+        if (error) *error = "fsync " + tmp + " failed";
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        set_error(error, "close of", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    const bool rename_failed =
+        (failpoint != nullptr && failpoint->fire(exec::FailSite::FsRename)) ||
+        ::rename(tmp.c_str(), path.c_str()) != 0;
+    if (rename_failed) {
+        if (error) *error = "rename " + tmp + " -> " + path + " failed";
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // Directory fsync makes the rename durable. A failure here is reported
+    // (the caller may retry), but the destination already holds complete
+    // new contents — worst case a crash rolls back to the complete old ones.
+    if (!fsync_parent_dir(path)) {
+        if (error) *error = "fsync of directory holding " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace seqlearn::util

@@ -1,0 +1,38 @@
+#pragma once
+// Crash-safe file replacement.
+//
+// A plain ofstream over the destination truncates it first: a crash (or a
+// full disk) mid-write leaves the previous contents destroyed and a torn
+// half-file in their place. atomic_write_file never exposes that state.
+// The bytes go to a temp file in the destination's directory, the temp file
+// is fsync'd, rename(2)'d over the destination, and the directory is
+// fsync'd so the rename itself survives a power cut. At every instant the
+// destination path holds either the complete old contents or the complete
+// new contents — the invariant the CLI's --save-db/--checkpoint writers and
+// the daemon's snapshot store both build on.
+//
+// On any failure (short write, failed fsync, failed rename — real or
+// injected through the exec::FailurePoint I/O sites) the temp file is
+// unlinked, `*error` gets a one-line reason, and the destination is
+// untouched.
+
+#include "exec/failpoint.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace seqlearn::util {
+
+/// Replace `path` with `bytes` crash-safely (see the header comment).
+/// Returns false with *error set (when non-null) on failure; the
+/// destination then still holds its previous contents, if any. `failpoint`
+/// (null in production) injects deterministic failures at the FsWrite /
+/// FsFsync / FsRename sites.
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string* error, exec::FailurePoint* failpoint = nullptr);
+
+/// fsync the directory containing `path` (after an unlink, say). Best
+/// effort: returns false when the directory cannot be opened or synced.
+bool fsync_parent_dir(const std::string& path);
+
+}  // namespace seqlearn::util

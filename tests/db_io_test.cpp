@@ -135,6 +135,52 @@ TEST(DbIo, BinarySnapshotRejectsBitFlippedAdjacency) {
     }
 }
 
+// The torn-snapshot corpus: a binary v2 blob truncated at EVERY byte
+// position (a superset of every section boundary) must produce a structured
+// std::runtime_error from the loader — never a crash, never a silent
+// partial load — and must fail probe_binary_db's structural walk. Bit flips
+// across the checked header fields (magic, version, header size, netlist
+// digest, gate count) are rejected the same way, and appended trailing
+// garbage fails the probe's exact-tiling requirement.
+TEST(DbIoCorpus, TruncationAtEveryByteIsAStructuredErrorNeverAPartialLoad) {
+    const Netlist nl = testing::random_circuit(21, 6, 5, 30);
+    const LearnResult learned = testing::learn(nl);
+    ASSERT_GT(learned.db.size(), 0u);
+    std::ostringstream out;
+    save_learned_binary(out, nl, learned.db, learned.ties);
+    const std::string good = out.str();
+
+    const std::optional<BinaryDbInfo> info = probe_binary_db(good);
+    ASSERT_TRUE(info.has_value()) << "intact blob must pass the probe";
+    EXPECT_EQ(info->gates, nl.size());
+    EXPECT_EQ(info->netlist_digest, netlist_digest(nl));
+    EXPECT_EQ(info->relations, learned.db.size());
+    EXPECT_EQ(info->ties, learned.ties.count());
+
+    for (std::size_t cut = 0; cut < good.size(); ++cut) {
+        const std::string torn = good.substr(0, cut);
+        EXPECT_FALSE(probe_binary_db(torn).has_value()) << "cut at " << cut;
+        std::istringstream in(torn);
+        EXPECT_THROW((void)load_learned_binary(in, nl), std::runtime_error)
+            << "cut at " << cut;
+    }
+
+    // Trailing garbage: the probe demands the sections tile the bytes
+    // exactly (a store must not index a blob with unexplained bytes).
+    EXPECT_FALSE(probe_binary_db(good + "x").has_value());
+
+    // Header bit flips across every *checked* field. Bytes 28..31 are the
+    // reserved word, which loaders deliberately ignore for forward
+    // compatibility — excluded here.
+    for (std::size_t at = 0; at < 28; ++at) {
+        std::string bad = good;
+        bad[at] = static_cast<char>(bad[at] ^ 0x10);
+        std::istringstream in(bad);
+        EXPECT_THROW((void)load_learned_binary(in, nl), std::runtime_error)
+            << "header byte " << at;
+    }
+}
+
 TEST(DbIo, UnknownGateEntriesAreSkippedNotFatal) {
     const Netlist nl = testing::random_circuit(21, 6, 5, 30);
     std::istringstream in(

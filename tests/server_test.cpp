@@ -32,6 +32,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -606,6 +607,259 @@ TEST(ServerWarmPath, PreviouslySeen100kGateCircuitAnswersStatsInMilliseconds) {
     EXPECT_GT(cold_ms.count(), warm_ms.count());
     srv.stop();
 #endif
+}
+
+// --- connection hardening ---------------------------------------------------
+
+/// Raw socket with no protocol smarts — the hostile-client half of the
+/// chaos harness (slow loris, torn frames, mid-response disconnects).
+class RawSocket {
+public:
+    /// `tiny_recv_buffer` shrinks SO_RCVBUF before connecting, so a server
+    /// writing to a non-reading peer blocks after a few KB instead of after
+    /// megabytes — makes write-deadline tests deterministic and fast.
+    explicit RawSocket(std::uint16_t port, bool tiny_recv_buffer = false) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        if (tiny_recv_buffer) {
+            const int few = 2048;
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &few, sizeof few);
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+                  0);
+    }
+    ~RawSocket() { close_now(); }
+    RawSocket(const RawSocket&) = delete;
+    RawSocket& operator=(const RawSocket&) = delete;
+
+    void send_bytes(std::string_view bytes) {
+        std::size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                                     MSG_NOSIGNAL);
+            if (n <= 0) return;
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+    void close_now() {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+    /// recv() once with a timeout; "" on EOF/timeout. Big enough for one
+    /// whole response line in practice (loopback delivers it in one read).
+    std::string recv_some(int timeout_ms) {
+        pollfd pfd{fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, timeout_ms) <= 0) return {};
+        char chunk[8192];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        return n > 0 ? std::string(chunk, static_cast<std::size_t>(n)) : std::string();
+    }
+    /// True when the peer closed: recv returns 0 within the timeout.
+    bool reached_eof(int timeout_ms) {
+        pollfd pfd{fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+        char chunk[256];
+        return ::recv(fd_, chunk, sizeof chunk, 0) == 0;
+    }
+
+private:
+    int fd_ = -1;
+};
+
+// A stalled mid-frame client (the slow-loris shape) is reaped at the idle
+// deadline, and a well-behaved client served concurrently gets results
+// bit-identical to an unmolested serial run.
+TEST(ServerHardening, SlowLorisIsReapedWhileGoodClientsServeIdentically) {
+    const netlist::Netlist nl = workload::suite_circuit("fig1x");
+    const std::string bench = netlist::write_bench_string(nl);
+
+    api::SessionConfig serial_cfg;
+    serial_cfg.threads = 1;
+    api::Session serial(netlist::Netlist(nl), std::move(serial_cfg));
+    const std::string learn_golden =
+        server::hex_u64(core::relation_hash(serial.learn().db));
+
+    server::ServerConfig cfg;
+    cfg.idle_timeout = std::chrono::milliseconds(200);
+    cfg.service.threads = 1;
+    server::Server srv(cfg);
+    std::string err;
+    ASSERT_TRUE(srv.start(&err)) << err;
+
+    // The slow loris: half a frame, then silence.
+    RawSocket loris(srv.port());
+    loris.send_bytes("{\"cmd\": \"lear");
+
+    // Meanwhile a good client does real work on another connection.
+    Client good(srv.port());
+    const std::string digest = good.rpc(load_frame(bench, "fig1x")).get_string("design");
+    ASSERT_FALSE(digest.empty());
+    const JsonValue learned =
+        good.rpc("{\"cmd\": \"learn\", \"design\": \"" + digest + "\"}");
+    EXPECT_TRUE(learned.get_bool("ok"));
+    EXPECT_EQ(learned.get_string("relation_hash"), learn_golden)
+        << "a stalled peer must not perturb other clients' results";
+
+    // The loris is reaped within the deadline (plus scheduling headroom).
+    EXPECT_TRUE(loris.reached_eof(5000))
+        << "stalled connection must be closed by the idle deadline";
+
+    // `good` may have been idle-reaped too while we waited (the deadline
+    // applies to every connection) — read the counters on a fresh one.
+    Client fresh(srv.port());
+    const JsonValue stats = fresh.rpc("{\"cmd\": \"stats\"}");
+    const JsonValue* server_obj = stats.get("server");
+    ASSERT_NE(server_obj, nullptr);
+    const JsonValue* conns = server_obj->get("connections");
+    ASSERT_NE(conns, nullptr) << "stats must surface transport counters";
+    EXPECT_GE(conns->get_number("idle_reaped"), 1.0);
+    EXPECT_GE(conns->get_number("accepted"), 2.0);
+    srv.stop();
+}
+
+// A client that sends a heavy request and disconnects before the response
+// leaves the server intact for everyone else.
+TEST(ServerHardening, MidResponseDisconnectLeavesServerServing) {
+    const std::string bench =
+        netlist::write_bench_string(workload::suite_circuit("fig1x"));
+    server::ServerConfig cfg;
+    cfg.service.threads = 1;
+    server::Server srv(cfg);
+    std::string err;
+    ASSERT_TRUE(srv.start(&err)) << err;
+
+    std::string digest;
+    {
+        Client setup(srv.port());
+        digest = setup.rpc(load_frame(bench, "fig1x")).get_string("design");
+        ASSERT_FALSE(digest.empty());
+    }
+    {
+        // Fire a learn and slam the connection before the response can be
+        // written. The server's send fails; nothing may crash or leak.
+        RawSocket rude(srv.port());
+        rude.send_bytes("{\"cmd\": \"learn\", \"force\": true, \"design\": \"" +
+                        digest + "\"}\n");
+        rude.close_now();
+    }
+    // A torn frame (half a JSON object, then EOF) on another connection.
+    {
+        RawSocket torn(srv.port());
+        torn.send_bytes("{\"cmd\": \"stats\", \"desi");
+        torn.close_now();
+    }
+    // The service keeps answering correctly afterwards.
+    Client good(srv.port());
+    const JsonValue learned =
+        good.rpc("{\"cmd\": \"learn\", \"design\": \"" + digest + "\"}");
+    EXPECT_TRUE(learned.get_bool("ok"));
+    EXPECT_FALSE(learned.get_string("relation_hash").empty());
+    srv.stop();
+}
+
+// Connections past --max-conns get one structured overloaded response.
+TEST(ServerHardening, ConnectionCapAnswersOverloadedAndCloses) {
+    server::ServerConfig cfg;
+    cfg.max_conns = 2;
+    server::Server srv(cfg);
+    std::string err;
+    ASSERT_TRUE(srv.start(&err)) << err;
+
+    Client a(srv.port());
+    Client b(srv.port());
+    // Make sure both connections are registered before the third arrives.
+    EXPECT_TRUE(a.rpc("{\"cmd\": \"stats\"}").get_bool("ok"));
+    EXPECT_TRUE(b.rpc("{\"cmd\": \"stats\"}").get_bool("ok"));
+
+    RawSocket c(srv.port());
+    const std::string line = c.recv_some(2000);
+    ASSERT_FALSE(line.empty()) << "capped connection must get a response, not a RST";
+    std::string perr;
+    const auto doc = JsonValue::parse(
+        line.substr(0, line.find('\n')), &perr);
+    ASSERT_TRUE(doc.has_value()) << perr << " in: " << line;
+    EXPECT_FALSE(doc->get_bool("ok"));
+    EXPECT_EQ(doc->get_number("code"), 7.0);
+    const JsonValue* eobj = doc->get("error");
+    ASSERT_NE(eobj, nullptr);
+    EXPECT_EQ(eobj->get_string("class"), "overloaded");
+    EXPECT_TRUE(c.reached_eof(2000));
+
+    // The registered connections still serve, and the rejection is counted.
+    const JsonValue stats = a.rpc("{\"cmd\": \"stats\"}");
+    ASSERT_TRUE(stats.get_bool("ok"));
+    const JsonValue* conns = stats.get("server")->get("connections");
+    ASSERT_NE(conns, nullptr);
+    EXPECT_GE(conns->get_number("rejected_overloaded"), 1.0);
+    srv.stop();
+}
+
+// An armed SockSend failpoint forces a short send mid-response; the resend
+// loop must still deliver the frame byte-identically.
+TEST(ServerHardening, InjectedShortSendStillDeliversExactResponse) {
+    const std::string bench =
+        netlist::write_bench_string(workload::suite_circuit("s27"));
+    exec::FailurePoint fp;
+    server::ServerConfig cfg;
+    cfg.failpoint = &fp;
+    server::Server srv(cfg);
+    std::string err;
+    ASSERT_TRUE(srv.start(&err)) << err;
+
+    Client c(srv.port());
+    const JsonValue clean = c.rpc(load_frame(bench, "s27"));
+    ASSERT_TRUE(clean.get_bool("ok"));
+    const std::string digest = clean.get_string("design");
+
+    // Every response from here on starts with an injected 1-byte send.
+    for (int nth = 1; nth <= 3; ++nth) {
+        fp.arm(exec::FailSite::SockSend, 1);
+        const JsonValue again = c.rpc(load_frame(bench, "s27"));
+        EXPECT_TRUE(again.get_bool("ok")) << "short send broke framing, nth " << nth;
+        EXPECT_EQ(again.get_string("design"), digest);
+        EXPECT_TRUE(again.get_bool("cached"));
+        EXPECT_GT(fp.hits(exec::FailSite::SockSend), 0u);
+    }
+    fp.disarm();
+    srv.stop();
+}
+
+// A client that reads nothing while the server owes it a response trips the
+// write deadline instead of pinning the connection thread forever.
+TEST(ServerHardening, WriteDeadlineReapsNonReadingClient) {
+    server::ServerConfig cfg;
+    cfg.write_timeout = std::chrono::milliseconds(300);
+    server::Server srv(cfg);
+    std::string err;
+    ASSERT_TRUE(srv.start(&err)) << err;
+
+    // Fill the kernel buffers: many stats requests, never reading. The
+    // greedy socket advertises a tiny receive window, so a few pending
+    // responses are enough to block the server's send().
+    RawSocket greedy(srv.port(), /*tiny_recv_buffer=*/true);
+    std::string burst;
+    for (int i = 0; i < 4000; ++i) burst += "{\"cmd\": \"stats\"}\n";
+    greedy.send_bytes(burst);
+
+    // A healthy client stays responsive throughout and eventually observes
+    // the write-timeout counter tick.
+    Client good(srv.port());
+    bool saw_timeout = false;
+    for (int i = 0; i < 100 && !saw_timeout; ++i) {
+        const JsonValue stats = good.rpc("{\"cmd\": \"stats\"}");
+        ASSERT_TRUE(stats.get_bool("ok"));
+        const JsonValue* conns = stats.get("server")->get("connections");
+        ASSERT_NE(conns, nullptr);
+        saw_timeout = conns->get_number("write_timeouts") >= 1.0;
+        if (!saw_timeout) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(saw_timeout)
+        << "a non-reading client must trip the write deadline";
+    srv.stop();
 }
 
 }  // namespace
