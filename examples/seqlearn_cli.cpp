@@ -10,6 +10,9 @@
 //                       [--backend framesim|sat|auto] [--sat-frames K]
 //                       [--backtracks N] [--load-db FILE] [--save-db FILE]
 //                       [--db-format text|binary] [--random N] [--deadline-ms N]
+//                       [--order index|level|scoap_hard_first|random]
+//                       [--order-seed N] [--guidance none|scoap]
+//                       [--rand-warmup N] [--fill x|zero|one|random]
 //                       [--progress] [--threads N] [--json]
 //   seqlearn_cli gen    <out.bench | -> [--gates N] [--ffs N] [--inputs N]
 //                       [--outputs N] [--seed N] [--name NAME]
@@ -69,6 +72,19 @@
 // implications at frame K-1 with failed-literal probes. With --json, a
 // SAT-enabled atpg run adds an "untestable" section listing every proved
 // fault with its proof kind and the frame bound used.
+//
+// Guidance knobs (README "Guidance & scenarios"): --order permutes the
+// deterministic target schedule (index = historical order, level = shallow
+// lines first, scoap_hard_first = descending SCOAP hardness, random =
+// shuffle from --order-seed); --guidance scoap turns on SCOAP-guided
+// backtrace + D-frontier selection (none is bit-identical to the goldens);
+// --rand-warmup N fault-simulates N config-seeded random sequences before
+// deterministic ATPG; --fill enables static compaction of the generated
+// patterns (merges re-verified by fault simulation) and fills leftover don't
+// cares with x, zero, one or random. Every combination stays bit-identical
+// across --threads settings. With --json the atpg section gains a
+// "patterns" object (count, total frames, compaction ratio) plus the
+// order/guidance/warmup/fill provenance.
 
 #include "api/session.hpp"
 #include "netlist/bench_io.hpp"
@@ -180,12 +196,22 @@ const char* proof_name(fault::UntestableProof p) {
     return "?";
 }
 
+/// Per-run strategy provenance for the atpg JSON section: which ordering /
+/// guidance / warmup / fill configuration produced the patterns, plus the
+/// warmup counters from the outcome.
+struct AtpgProvenance {
+    const atpg::AtpgConfig* cfg = nullptr;
+    const atpg::AtpgOutcome* outcome = nullptr;
+};
+
 /// One JSON document: stats() for everything computed so far plus the parse
 /// diagnostics — the machine-readable twin of the human reports below.
 /// `report` (when non-null and the campaign used the CNF backend) feeds the
-/// "untestable" provenance section: one entry per proved fault.
+/// "untestable" provenance section: one entry per proved fault. `prov`
+/// (when non-null) adds the strategy provenance and warmup counters.
 void print_json(api::Session& session, const netlist::Diagnostics& diags,
-                const api::AtpgReport* report = nullptr) {
+                const api::AtpgReport* report = nullptr,
+                const AtpgProvenance* prov = nullptr) {
     const api::SessionStats s = session.stats();
     std::string out = "{\n";
     out += "  \"circuit\": \"" + json_escape(session.netlist().name()) + "\",\n";
@@ -229,6 +255,38 @@ void print_json(api::Session& session, const netlist::Diagnostics& diags,
                       s.faults.aborted, s.faults.undetected, s.test_coverage, s.tests);
         out += buf;
         out.pop_back();
+        {
+            // Pattern shape: count mirrors "tests"; compaction_ratio is
+            // patterns-out / patterns-in (1.0 when compaction never ran).
+            const double ratio =
+                s.compaction_before > 0 ? static_cast<double>(s.compaction_after) /
+                                              static_cast<double>(s.compaction_before)
+                                        : 1.0;
+            std::snprintf(buf, sizeof buf,
+                          ", \"patterns\": {\"count\": %zu, \"total_frames\": %zu, "
+                          "\"compaction_before\": %zu, \"compaction_after\": %zu, "
+                          "\"compaction_ratio\": %.4f}",
+                          s.tests, s.pattern_frames, s.compaction_before,
+                          s.compaction_after, ratio);
+            out += buf;
+        }
+        if (prov != nullptr && prov->cfg != nullptr) {
+            std::snprintf(buf, sizeof buf,
+                          ", \"order\": \"%s\", \"guidance\": \"%s\", \"fill\": \"%s\", "
+                          "\"compact\": %s, \"rand_warmup\": %zu",
+                          std::string(guide::order_name(prov->cfg->order)).c_str(),
+                          std::string(guide::guidance_name(prov->cfg->guidance)).c_str(),
+                          std::string(guide::fill_name(prov->cfg->fill)).c_str(),
+                          prov->cfg->compact ? "true" : "false", prov->cfg->rand_warmup);
+            out += buf;
+        }
+        if (prov != nullptr && prov->outcome != nullptr) {
+            std::snprintf(buf, sizeof buf,
+                          ", \"warmup_detected\": %zu, \"warmup_sequences\": %zu",
+                          prov->outcome->detected_by_warmup,
+                          prov->outcome->warmup_sequences);
+            out += buf;
+        }
         if (report != nullptr) {
             const atpg::AtpgOutcome& o = report->outcome;
             std::snprintf(buf, sizeof buf,
@@ -412,6 +470,40 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
     }
     if (const char* k = flag_value(argc, argv, "--sat-frames"))
         cfg.sat_frames = static_cast<std::uint32_t>(std::atoi(k));
+    if (const char* o = flag_value(argc, argv, "--order")) {
+        const auto parsed = guide::parse_order(o);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "unknown --order '%s' (want index, level, scoap_hard_first or "
+                         "random)\n",
+                         o);
+            return 2;
+        }
+        cfg.order = *parsed;
+    }
+    if (const char* s = flag_value(argc, argv, "--order-seed"))
+        cfg.order_seed = static_cast<std::uint64_t>(std::atoll(s));
+    if (const char* g = flag_value(argc, argv, "--guidance")) {
+        const auto parsed = guide::parse_guidance(g);
+        if (!parsed) {
+            std::fprintf(stderr, "unknown --guidance '%s' (want none or scoap)\n", g);
+            return 2;
+        }
+        cfg.guidance = *parsed;
+    }
+    if (const char* w = flag_value(argc, argv, "--rand-warmup"))
+        cfg.rand_warmup = static_cast<std::size_t>(std::atoll(w));
+    if (const char* f = flag_value(argc, argv, "--fill")) {
+        // --fill turns on the static-compaction pass; the mode says how the
+        // surviving don't-care positions are filled afterwards.
+        const auto parsed = guide::parse_fill(f);
+        if (!parsed) {
+            std::fprintf(stderr, "unknown --fill '%s' (want x, zero, one or random)\n", f);
+            return 2;
+        }
+        cfg.compact = true;
+        cfg.fill = *parsed;
+    }
 
     const char* mode = flag_value(argc, argv, "--mode");
     const std::string mode_s = mode ? mode : "forbidden";
@@ -440,8 +532,9 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
         if (rc != 0) return rc;
     }
     if (json) {
+        const AtpgProvenance prov{&cfg, &report.outcome};
         print_json(session, diags,
-                   cfg.backend != cnf::Backend::FrameSim ? &report : nullptr);
+                   cfg.backend != cnf::Backend::FrameSim ? &report : nullptr, &prov);
         return exit_code_for(report.outcome.run);
     }
     const auto c = report.list.counts();
@@ -455,6 +548,23 @@ int cmd_atpg(api::Session& session, const netlist::Diagnostics& diags, int argc,
                 100.0 * report.list.test_coverage());
     std::printf("  sequences:  %zu (bootstrap detected %zu)\n",
                 report.outcome.tests.size(), report.outcome.detected_by_bootstrap);
+    std::printf("  patterns:   %zu (%zu frames)\n", report.outcome.tests.size(),
+                report.outcome.pattern_frames);
+    if (cfg.rand_warmup > 0)
+        std::printf("  warmup:     %zu sequences kept, %zu faults dropped\n",
+                    report.outcome.warmup_sequences, report.outcome.detected_by_warmup);
+    if (report.outcome.compaction_before > 0)
+        std::printf("  compaction: %zu -> %zu patterns (fill=%.*s)\n",
+                    report.outcome.compaction_before, report.outcome.compaction_after,
+                    static_cast<int>(guide::fill_name(cfg.fill).size()),
+                    guide::fill_name(cfg.fill).data());
+    if (cfg.order != guide::OrderStrategy::Index ||
+        cfg.guidance != guide::Guidance::None)
+        std::printf("  strategy:   order=%.*s guidance=%.*s\n",
+                    static_cast<int>(guide::order_name(cfg.order).size()),
+                    guide::order_name(cfg.order).data(),
+                    static_cast<int>(guide::guidance_name(cfg.guidance).size()),
+                    guide::guidance_name(cfg.guidance).data());
     if (report.outcome.sat_targeted > 0)
         std::printf("  sat:        %zu targeted, %zu witnesses, %zu untestable\n",
                     report.outcome.sat_targeted, report.outcome.sat_witnesses,

@@ -14,6 +14,7 @@ Design::Design(netlist::Netlist nl, std::shared_ptr<const core::LearnedSnapshot>
       classes_(netlist::clock_classes(nl_)),
       faults_(fault::collapse(nl_)),
       stems_(nl_.stems()),
+      testability_(topo_),
       learned_(std::move(learned)) {}
 
 Design::MemoryFootprint Design::memory_footprint() const noexcept {
@@ -22,6 +23,7 @@ Design::MemoryFootprint Design::memory_footprint() const noexcept {
     m.topology_bytes = topo_.memory_bytes();
     m.faults_bytes = faults_.memory_bytes() + stems_.capacity() * sizeof(netlist::GateId) +
                      classes_.capacity() * sizeof(netlist::ClockClass);
+    m.testability_bytes = testability_.memory_bytes();
     if (learned_) m.learned_bytes = learned_->memory_bytes();
     return m;
 }

@@ -26,6 +26,7 @@
 
 #include "core/learned_snapshot.hpp"
 #include "fault/collapse.hpp"
+#include "guide/testability.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/clock_class.hpp"
 #include "netlist/netlist.hpp"
@@ -48,6 +49,11 @@ public:
     }
     const fault::CollapsedFaults& collapsed_faults() const noexcept { return faults_; }
 
+    /// SCOAP testability analysis (sequential CC0/CC1/CO), computed once at
+    /// build time like the clock classes, shared read-only by every Session
+    /// (fault ordering, guided search, backend routing).
+    const guide::Testability& testability() const noexcept { return testability_; }
+
     /// Pre-learned knowledge attached at build time, or nullptr.
     const core::LearnedSnapshot* learned() const noexcept { return learned_.get(); }
     std::shared_ptr<const core::LearnedSnapshot> learned_ptr() const noexcept {
@@ -65,10 +71,12 @@ public:
         std::size_t netlist_bytes = 0;
         std::size_t topology_bytes = 0;
         std::size_t faults_bytes = 0;
-        std::size_t learned_bytes = 0;  ///< attached snapshot, 0 when none
+        std::size_t testability_bytes = 0;  ///< SCOAP cost arrays
+        std::size_t learned_bytes = 0;      ///< attached snapshot, 0 when none
 
         std::size_t total() const noexcept {
-            return netlist_bytes + topology_bytes + faults_bytes + learned_bytes;
+            return netlist_bytes + topology_bytes + faults_bytes + testability_bytes +
+                   learned_bytes;
         }
     };
     MemoryFootprint memory_footprint() const noexcept;
@@ -83,6 +91,7 @@ private:
     std::vector<netlist::ClockClass> classes_;
     fault::CollapsedFaults faults_;
     std::vector<netlist::GateId> stems_;
+    guide::Testability testability_;
     std::shared_ptr<const core::LearnedSnapshot> learned_;
 };
 

@@ -183,6 +183,8 @@ const AtpgReport& Session::atpg(atpg::AtpgConfig acfg) {
     acfg.cancel = cancel_.get();
     if (!acfg.budget.any()) acfg.budget = cfg_.budget;
     if (acfg.failpoint == nullptr) acfg.failpoint = cfg_.failpoint;
+    // The Design computed SCOAP once at build time; never recompute per run.
+    if (acfg.testability == nullptr) acfg.testability = &design_->testability();
     // Build the lazy engines BEFORE capturing the pool pointer: creating the
     // fault simulator may grow (i.e. replace) the pool for the session-wide
     // default worker count, which would dangle an earlier-captured executor.
@@ -301,6 +303,9 @@ SessionStats Session::stats() {
         s.faults = atpg_->list.counts();
         s.test_coverage = atpg_->list.test_coverage();
         s.tests = atpg_->outcome.tests.size();
+        s.pattern_frames = atpg_->outcome.pattern_frames;
+        s.compaction_before = atpg_->outcome.compaction_before;
+        s.compaction_after = atpg_->outcome.compaction_after;
         s.atpg_outcome = atpg_->outcome.run;
     }
     s.memory.design = design_->memory_footprint();

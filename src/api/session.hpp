@@ -146,6 +146,13 @@ struct SessionStats {
     fault::FaultList::Counts faults;  ///< zeros until atpg_run
     double test_coverage = 0.0;
     std::size_t tests = 0;
+    /// Generated-pattern shape (zeros until atpg_run): pattern count equals
+    /// `tests`; `pattern_frames` is the total frame count across all tests
+    /// (the tester-time proxy); compaction_before/after report the static
+    /// compaction pass (both 0 when it did not run).
+    std::size_t pattern_frames = 0;
+    std::size_t compaction_before = 0;
+    std::size_t compaction_after = 0;
     /// How the cached learn / ATPG runs ended (Completed when never run —
     /// check `learned` / `atpg_run` to distinguish "clean" from "not yet").
     exec::RunOutcome learn_outcome;

@@ -8,12 +8,37 @@
 #include "util/timer.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace seqlearn::atpg {
 
 using fault::FaultStatus;
 
 namespace {
+
+// Seed of the warmup (and random-fill) stream: an FNV-1a digest of every
+// result-affecting knob, so the same campaign configuration always replays
+// the same random patterns — on any machine, at any thread count — while
+// distinct configurations draw distinct streams.
+std::uint64_t config_seed(const AtpgConfig& cfg) {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(cfg.rand_warmup));
+    mix(static_cast<std::uint64_t>(cfg.rand_warmup_length));
+    mix(static_cast<std::uint64_t>(cfg.backtrack_limit));
+    mix(static_cast<std::uint64_t>(cfg.max_decisions));
+    mix(static_cast<std::uint64_t>(cfg.sat_frames));
+    mix(static_cast<std::uint64_t>(cfg.backend));
+    mix(static_cast<std::uint64_t>(cfg.mode));
+    mix(static_cast<std::uint64_t>(cfg.order));
+    mix(cfg.order_seed);
+    mix(static_cast<std::uint64_t>(cfg.guidance));
+    mix(static_cast<std::uint64_t>(cfg.fill));
+    return h;
+}
 
 std::vector<std::uint32_t> default_windows(const netlist::Topology& topo) {
     const std::size_t depth = netlist::sequential_depth(topo, 16);
@@ -137,6 +162,20 @@ void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList&
         ecfg.ties = &cfg.learned->ties;
     }
 
+    // Testability: use the Design-cached analysis when the caller provided
+    // one, otherwise compute locally iff a SCOAP consumer needs it. The
+    // object is immutable after construction, so the parallel campaign's
+    // per-worker engines share it read-only.
+    const bool needs_scoap = cfg.guidance == guide::Guidance::Scoap ||
+                             cfg.order == guide::OrderStrategy::ScoapHardFirst;
+    std::unique_ptr<guide::Testability> owned_tst;
+    const guide::Testability* tst = cfg.testability;
+    if (needs_scoap && tst == nullptr) {
+        owned_tst = std::make_unique<guide::Testability>(topo);
+        tst = owned_tst.get();
+    }
+    if (cfg.guidance == guide::Guidance::Scoap) ecfg.guide = tst;
+
     // Tie-derived untestable faults: a fault stuck at the tied value of its
     // line can never be excited. Fault equivalence makes this valid for the
     // whole class of each marked representative.
@@ -176,6 +215,22 @@ void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList&
         }
     }
 
+    // Config-seeded random warmup: same contract as the bootstrap above but
+    // the stream is a pure function of the campaign configuration, so a
+    // scenario row is reproducible without the caller picking a seed.
+    if (cfg.rand_warmup > 0) {
+        const exec::RunStatus st = exec::poll_point(cfg.cancel, budget);
+        if (st != exec::RunStatus::Completed) {
+            out.run = outcome_from(st, budget);
+            return;
+        }
+        const guide::WarmupStats ws =
+            guide::random_warmup(fsim, list, topo.inputs().size(), cfg.rand_warmup,
+                                 cfg.rand_warmup_length, config_seed(cfg), out.tests);
+        out.detected_by_warmup = ws.dropped;
+        out.warmup_sequences = ws.sequences_kept;
+    }
+
     const std::vector<std::uint32_t> windows =
         cfg.windows.empty() ? default_windows(topo) : cfg.windows;
     // CNF frame bound: explicit, or the deepest window of the schedule.
@@ -192,10 +247,15 @@ void run_campaign(Engine& engine, fault::FaultSimulator& fsim, fault::FaultList&
         if (cfg.backend == cnf::Backend::Sat) {
             to_sat = true;
         } else if (cfg.backend == cnf::Backend::Auto) {
-            to_sat = cnf::route_to_sat(topo, list.fault(i), sat_k, ties);
+            to_sat = cnf::route_to_sat(topo, list.fault(i), sat_k, ties,
+                                       cfg.guidance == guide::Guidance::Scoap ? tst
+                                                                              : nullptr);
         }
         (to_sat ? sat_queue : targets).push_back(i);
     }
+    // Fault ordering permutes the canonical schedule; the SAT queue keeps
+    // index order (its solves are serial and order-insensitive).
+    guide::order_targets(targets, cfg.order, topo, list, tst, cfg.order_seed);
     const std::size_t total_targets = targets.size();
 
     // The CNF re-dispatch phase: pre-routed faults plus (Auto) every fault
@@ -363,6 +423,16 @@ AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultLi
     fsim.set_governance(cfg.cancel, budget_ptr, cfg.failpoint);
     try {
         run_campaign(engine, fsim, list, cfg, budget_ptr, out);
+        // Static compaction runs only over a complete campaign: a stopped
+        // run keeps its raw tests so partial results stay exactly what was
+        // committed. Compaction reads the list but never writes it — final
+        // fault statuses are unaffected.
+        if (cfg.compact && out.run.ok() && !out.tests.empty()) {
+            const guide::CompactionStats cs = guide::compact_tests(
+                fsim, list.faults(), out.tests, cfg.fill, config_seed(cfg));
+            out.compaction_before = cs.before;
+            out.compaction_after = cs.after;
+        }
     } catch (const std::exception& e) {
         // Never throw across the campaign boundary: tests and fault statuses
         // committed before the failure are intact (speculation windows apply
@@ -372,6 +442,7 @@ AtpgOutcome run_atpg(Engine& engine, fault::FaultSimulator& fsim, fault::FaultLi
     fsim.set_governance(nullptr, nullptr, nullptr);
     out.cancelled = !out.run.ok();
     out.cpu_seconds = timer.seconds();
+    for (const sim::InputSequence& t : out.tests) out.pattern_frames += t.size();
     return out;
 }
 

@@ -19,6 +19,9 @@
 #include "exec/pool.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
+#include "guide/fault_order.hpp"
+#include "guide/random_tpg.hpp"
+#include "guide/testability.hpp"
 
 #include <functional>
 #include <vector>
@@ -88,6 +91,34 @@ struct AtpgConfig {
     /// Frames per bootstrap sequence.
     std::size_t random_sequence_length = 24;
     std::uint64_t random_seed = 1;
+    /// Fault-ordering strategy applied to the canonical serial target
+    /// schedule (the deterministic fault-index queue). Parallel runs commit
+    /// in schedule order, so every strategy is bit-identical at any thread
+    /// count; Index reproduces the historical order exactly.
+    guide::OrderStrategy order = guide::OrderStrategy::Index;
+    /// Seed for OrderStrategy::Random (ignored otherwise).
+    std::uint64_t order_seed = 1;
+    /// Engine search guidance. None is bit-identical to the historical
+    /// goldens; Scoap turns on testability-guided backtrace and D-frontier
+    /// selection and feeds SCOAP features to the Auto backend router.
+    guide::Guidance guidance = guide::Guidance::None;
+    /// Random-pattern warmup: this many deterministic random sequences
+    /// (xoshiro seeded from a digest of the result-affecting config) are
+    /// fault-simulated before deterministic ATPG, bulk-dropping easy faults
+    /// (0 = off). Unlike `random_sequences` (whose seed is caller-chosen),
+    /// the warmup stream is a pure function of the campaign configuration.
+    std::size_t rand_warmup = 0;
+    /// Frames per warmup sequence.
+    std::size_t rand_warmup_length = 24;
+    /// Static compaction: greedily merge X-compatible test sequences,
+    /// re-verify every merge by fault simulation, drop tests that detect
+    /// nothing first, then fill remaining X positions per `fill`.
+    bool compact = false;
+    guide::FillMode fill = guide::FillMode::X;
+    /// Precomputed testability (api::Design caches one per circuit). May be
+    /// null: the campaign computes its own when a SCOAP consumer
+    /// (guidance/ordering) needs it.
+    const guide::Testability* testability = nullptr;
     /// Per-fault progress observer: called before each deterministic target
     /// with (faults fully processed so far, targets when the loop entered).
     /// Return false to cancel the campaign; partial results are kept and the
@@ -107,6 +138,17 @@ struct AtpgOutcome {
     std::size_t untestable_by_tie = 0;
     std::size_t untestable_by_proof = 0;
     std::size_t detected_by_bootstrap = 0;
+    /// Faults dropped by the config-seeded random warmup (rand_warmup > 0)
+    /// and the warmup sequences that earned credit.
+    std::size_t detected_by_warmup = 0;
+    std::size_t warmup_sequences = 0;
+    /// Static compaction bookkeeping: pattern count before/after the pass
+    /// (both 0 when compaction was off or never ran).
+    std::size_t compaction_before = 0;
+    std::size_t compaction_after = 0;
+    /// Total test frames across `tests` (after compaction when enabled) —
+    /// the tester-time proxy the stats/bench rows report.
+    std::size_t pattern_frames = 0;
     /// CNF backend counters (Sat/Auto): faults sent to the SAT phase,
     /// untestability verdicts, and witness sequences it produced (each
     /// validated by the fault simulator before credit).

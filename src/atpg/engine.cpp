@@ -616,17 +616,35 @@ struct Engine::Search {
                 if (p == kGood && (fb & nc_bit)) preferred.push_back(a);
                 else alts.push_back(a);
             }
+            if (cfg.guide != nullptr) {
+                // SCOAP backtrace: cheapest-to-control fanin first. The
+                // forbidden-value preference partition is preserved — the
+                // sort only reorders within each tier (stable, so unguided
+                // ties keep the structural scan order).
+                auto by_cc = [&](const Alternative& x, const Alternative& y) {
+                    return cfg.guide->controllability(ila.gate_of(x.cell), ctrl) <
+                           cfg.guide->controllability(ila.gate_of(y.cell), ctrl);
+                };
+                std::stable_sort(preferred.begin(), preferred.end(), by_cc);
+                std::stable_sort(alts.begin(), alts.end(), by_cc);
+            }
             alts.insert(alts.begin(), preferred.begin(), preferred.end());
             return !alts.empty();
         }
-        // XOR-like: branch on the first unknown input's polarity.
+        // XOR-like: branch on the first unknown input's polarity (cheapest
+        // controllability first when guided).
         for (std::size_t i = 0; i < topo.fanins(g).size(); ++i) {
             if (pin_skipped(i)) continue;
             if (input_value(frame, g, i, p) != Val3::X) continue;
+            Val3 first = Val3::Zero;
+            if (cfg.guide != nullptr) {
+                const GateId drv = topo.fanins(g)[i];
+                if (cfg.guide->cc1(drv) < cfg.guide->cc0(drv)) first = Val3::One;
+            }
             alts.push_back({Alternative::Kind::Assign, pin_cell(i),
-                            static_cast<std::uint8_t>(p), Val3::Zero, 0});
+                            static_cast<std::uint8_t>(p), first, 0});
             alts.push_back({Alternative::Kind::Assign, pin_cell(i),
-                            static_cast<std::uint8_t>(p), Val3::One, 0});
+                            static_cast<std::uint8_t>(p), logic::v3_opposite(first), 0});
             return true;
         }
         return false;
@@ -780,6 +798,13 @@ struct Engine::Search {
                 if (!backtrack(result)) return result;
                 need_apply = true;
                 continue;
+            }
+            if (cfg.guide != nullptr) {
+                // SCOAP propagation: best-observable frontier gate first
+                // (stable, so unguided ties keep the structural scan order).
+                std::stable_sort(frontier.begin(), frontier.end(), [&](Cell x, Cell y) {
+                    return cfg.guide->co(ila.gate_of(x)) < cfg.guide->co(ila.gate_of(y));
+                });
             }
             Decision d;
             d.trail_mark = trail.size();

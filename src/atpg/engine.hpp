@@ -22,6 +22,7 @@
 #include "core/impl_db.hpp"
 #include "core/tie.hpp"
 #include "fault/fault.hpp"
+#include "guide/testability.hpp"
 #include "netlist/topology.hpp"
 #include "sim/comb_engine.hpp"
 
@@ -58,6 +59,13 @@ struct EngineConfig {
     /// so an Exhausted verdict is a proof of untestability. Used by the
     /// redundancy prover; too slow for routine generation.
     bool complete_search = false;
+    /// SCOAP guidance (may be null = unguided, bit-identical to the
+    /// historical search order). When set, justification tries the
+    /// cheapest-to-control fanin first and propagation tries the
+    /// best-observable D-frontier gate first. Guidance only reorders
+    /// alternatives within a decision — the search space, verdicts'
+    /// soundness, and the Exhausted/Aborted semantics are unchanged.
+    const guide::Testability* guide = nullptr;
 };
 
 struct EngineResult {

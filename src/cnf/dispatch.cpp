@@ -61,7 +61,8 @@ CnfVerdict prove_fault(const netlist::Topology& topo, const fault::Fault& f,
 }
 
 bool route_to_sat(const netlist::Topology& topo, const fault::Fault& f,
-                  std::uint32_t frames, const core::TieSet* ties) {
+                  std::uint32_t frames, const core::TieSet* ties,
+                  const guide::Testability* tst) {
     // Fault cone (forward reachability through comb and seq sinks) — the
     // same closure the miter encodes, so its size bounds the CNF size.
     std::vector<std::uint8_t> in_cone(topo.size(), 0);
@@ -96,6 +97,17 @@ bool route_to_sat(const netlist::Topology& topo, const fault::Fault& f,
     std::uint64_t cap = 40000;
     if (tie_density >= 0.10) cap *= 4;
     if (depth_span > 64) cap /= 2;
+    if (tst != nullptr) {
+        // SCOAP features (guided campaigns only). Hardness saturated at
+        // kInf marks an untestable-looking fault: the bounded-UNSAT proof
+        // is the cheapest way to resolve it, so double the cap. Merely
+        // hard-but-finite faults (deep in the cost tail) are where the
+        // guided engine spends its backtrack budget — give them half a
+        // notch more CNF headroom instead of none.
+        const std::uint32_t h = tst->hardness(f);
+        if (h >= guide::Testability::kInf) cap *= 2;
+        else if (h >= 4 * guide::Testability::kSeqStep) cap += cap / 2;
+    }
     return load <= cap;
 }
 

@@ -21,6 +21,7 @@
 #include "core/tie.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_list.hpp"
+#include "guide/testability.hpp"
 #include "netlist/topology.hpp"
 #include "sim/comb_engine.hpp"
 
@@ -63,8 +64,15 @@ CnfVerdict prove_fault(const netlist::Topology& topo, const fault::Fault& f,
                        std::uint32_t frames, const core::TieSet* ties,
                        const exec::CancelFlag* cancel, exec::Budget* budget);
 
-/// Backend::Auto per-fault routing decision (see header comment).
+/// Backend::Auto per-fault routing decision (see header comment). When a
+/// Testability analysis is supplied (SCOAP-guided campaigns), its hardness
+/// score joins the feature set: SCOAP-hard faults are where the guided
+/// frame-sim engine aborts, so they buy a larger CNF cap, and kInf-hard
+/// faults (untestable-looking) route to SAT whenever the bounded proof is
+/// tractable. Null keeps the historical structural-features-only policy —
+/// still a pure deterministic function either way.
 bool route_to_sat(const netlist::Topology& topo, const fault::Fault& f,
-                  std::uint32_t frames, const core::TieSet* ties);
+                  std::uint32_t frames, const core::TieSet* ties,
+                  const guide::Testability* tst = nullptr);
 
 }  // namespace seqlearn::cnf

@@ -1,0 +1,193 @@
+#include "guide/testability.hpp"
+
+#include <algorithm>
+
+namespace seqlearn::guide {
+
+namespace {
+
+using logic::GateOp;
+
+constexpr std::uint32_t kInf = Testability::kInf;
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) noexcept {
+    return std::min<std::uint32_t>(kInf, a + b);
+}
+
+}  // namespace
+
+Testability::Testability(const Topology& topo) : topo_(&topo) {
+    const std::size_t n = topo.size();
+    cc0_.assign(n, kInf);
+    cc1_.assign(n, kInf);
+    co_.assign(n, kInf);
+    pin_co_.assign(topo.num_fanin_edges(), kInf);
+
+    // --- sources ----------------------------------------------------------
+    for (const GateId g : topo.inputs()) cc0_[g] = cc1_[g] = 1;
+    for (const GateId g : topo.const_gates()) {
+        if (topo.op(g) == GateOp::Const0)
+            cc0_[g] = 1;
+        else
+            cc1_[g] = 1;
+    }
+
+    // --- controllability fixpoint -----------------------------------------
+    // Each sweep evaluates the combinational schedule (sources first, level
+    // order — one pass suffices within a frame) and then lets values cross
+    // the frame boundary through the sequential elements. Costs only ever
+    // decrease, so the iteration terminates; kMaxSweeps bounds pathological
+    // long state chains.
+    bool changed = true;
+    while (changed && sweeps_ < kMaxSweeps) {
+        changed = false;
+        ++sweeps_;
+        for (const GateId g : topo.schedule()) {
+            if (!topo.is_comb(g) || topo.is_const(g)) continue;
+            const auto fis = topo.fanins(g);
+            const GateOp op = topo.op(g);
+            std::uint32_t v0 = kInf;
+            std::uint32_t v1 = kInf;
+            switch (op) {
+                case GateOp::Buf:
+                case GateOp::Not:
+                    v0 = sat_add(cc0_[fis[0]], 1);
+                    v1 = sat_add(cc1_[fis[0]], 1);
+                    break;
+                case GateOp::And:
+                case GateOp::Nand: {
+                    std::uint32_t all1 = 1, any0 = kInf;
+                    for (const GateId fi : fis) {
+                        all1 = sat_add(all1, cc1_[fi]);
+                        any0 = std::min(any0, cc0_[fi]);
+                    }
+                    v1 = all1;                // every input at 1
+                    v0 = sat_add(any0, 1);    // cheapest input at 0
+                    break;
+                }
+                case GateOp::Or:
+                case GateOp::Nor: {
+                    std::uint32_t all0 = 1, any1 = kInf;
+                    for (const GateId fi : fis) {
+                        all0 = sat_add(all0, cc0_[fi]);
+                        any1 = std::min(any1, cc1_[fi]);
+                    }
+                    v0 = all0;
+                    v1 = sat_add(any1, 1);
+                    break;
+                }
+                case GateOp::Xor:
+                case GateOp::Xnor: {
+                    // Parity DP: cheapest way to reach even/odd parity over
+                    // the inputs seen so far.
+                    std::uint32_t even = 0, odd = kInf;
+                    for (const GateId fi : fis) {
+                        const std::uint32_t ne = std::min(sat_add(even, cc0_[fi]),
+                                                          sat_add(odd, cc1_[fi]));
+                        const std::uint32_t no = std::min(sat_add(even, cc1_[fi]),
+                                                          sat_add(odd, cc0_[fi]));
+                        even = ne;
+                        odd = no;
+                    }
+                    v0 = sat_add(even, 1);
+                    v1 = sat_add(odd, 1);
+                    break;
+                }
+                default:
+                    break;
+            }
+            if (logic::output_inverted(op)) std::swap(v0, v1);
+            if (v0 < cc0_[g]) { cc0_[g] = v0; changed = true; }
+            if (v1 < cc1_[g]) { cc1_[g] = v1; changed = true; }
+        }
+        for (const GateId g : topo.seq_elements()) {
+            // Dff: fanin[0] is D. Dlatch: every fanin is a data port; any
+            // port can deliver the value, so take the cheapest.
+            std::uint32_t v0 = kInf, v1 = kInf;
+            for (const GateId fi : topo.fanins(g)) {
+                v0 = std::min(v0, cc0_[fi]);
+                v1 = std::min(v1, cc1_[fi]);
+            }
+            v0 = sat_add(v0, kSeqStep);
+            v1 = sat_add(v1, kSeqStep);
+            if (v0 < cc0_[g]) { cc0_[g] = v0; changed = true; }
+            if (v1 < cc1_[g]) { cc1_[g] = v1; changed = true; }
+        }
+    }
+
+    // --- observability fixpoint -------------------------------------------
+    // CO(primary output) = 0; every other stem takes the min over the pin
+    // observabilities of its sinks. A reverse-schedule pass propagates one
+    // level band per visit; sequential feedback needs the outer loop.
+    for (const GateId g : topo.outputs()) co_[g] = 0;
+    const auto sched = topo.schedule();
+    changed = true;
+    std::size_t co_sweeps = 0;
+    while (changed && co_sweeps < kMaxSweeps) {
+        changed = false;
+        ++co_sweeps;
+        for (std::size_t s = sched.size(); s-- > 0;) {
+            const GateId g = sched[s];
+            const auto fis = topo.fanins(g);
+            if (fis.empty()) continue;
+            const std::uint32_t base = topo.fanin_offset(g);
+            if (topo.is_seq(g)) {
+                // Crossing the boundary backwards costs the same step as
+                // forwards; a change on D is seen one frame later.
+                const std::uint32_t v = sat_add(co_[g], kSeqStep);
+                for (std::size_t i = 0; i < fis.size(); ++i) {
+                    if (v < pin_co_[base + i]) { pin_co_[base + i] = v; changed = true; }
+                }
+            } else {
+                const GateOp op = topo.op(g);
+                const Val3 ctrl = controlling_value(op);
+                for (std::size_t i = 0; i < fis.size(); ++i) {
+                    // Propagating through pin i requires every other input
+                    // at its noncontrolling value (AND family: 1, OR
+                    // family: 0) — or, for parity gates, at any binary
+                    // value, so the cheaper controllability counts.
+                    std::uint32_t v = sat_add(co_[g], 1);
+                    for (std::size_t j = 0; j < fis.size(); ++j) {
+                        if (j == i) continue;
+                        const GateId fj = fis[j];
+                        std::uint32_t side;
+                        if (ctrl == Val3::Zero)
+                            side = cc1_[fj];
+                        else if (ctrl == Val3::One)
+                            side = cc0_[fj];
+                        else
+                            side = std::min(cc0_[fj], cc1_[fj]);
+                        v = sat_add(v, side);
+                    }
+                    if (v < pin_co_[base + i]) { pin_co_[base + i] = v; changed = true; }
+                }
+            }
+        }
+        // Fold pin observabilities back into the stems they load.
+        for (GateId g = 0; g < topo.size(); ++g) {
+            const auto fis = topo.fanins(g);
+            const std::uint32_t base = topo.fanin_offset(g);
+            for (std::size_t i = 0; i < fis.size(); ++i) {
+                const GateId d = fis[i];
+                if (pin_co_[base + i] < co_[d]) { co_[d] = pin_co_[base + i]; changed = true; }
+            }
+        }
+    }
+    sweeps_ += co_sweeps;
+}
+
+std::uint32_t Testability::hardness(const fault::Fault& f) const noexcept {
+    const Val3 activate = logic::v3_opposite(f.stuck);
+    if (f.pin == fault::kOutputPin)
+        return sat_add(controllability(f.gate, activate), co_[f.gate]);
+    const GateId driver = topo_->fanins(f.gate)[static_cast<std::size_t>(f.pin)];
+    return sat_add(controllability(driver, activate),
+                   pin_co(f.gate, static_cast<std::size_t>(f.pin)));
+}
+
+std::size_t Testability::memory_bytes() const noexcept {
+    return (cc0_.capacity() + cc1_.capacity() + co_.capacity() + pin_co_.capacity()) *
+           sizeof(std::uint32_t);
+}
+
+}  // namespace seqlearn::guide

@@ -1,0 +1,98 @@
+#pragma once
+// SCOAP testability analysis over the shared Topology snapshot.
+//
+// Computes the classic Goldstein controllability/observability measures,
+// extended to sequential circuits the same way the frame simulators extend
+// combinational evaluation: flip-flop controllabilities are iterated across
+// frame boundaries to a fixpoint (each crossing adds a sequential step
+// penalty), and observabilities are back-propagated per level band until
+// they stop improving. All costs are saturating unsigned integers; a line
+// that no bounded-cost assignment can control (or no output can observe)
+// stays at kInf.
+//
+// The numbers are *costs*, not probabilities: CC0(l)/CC1(l) estimate how
+// many line assignments (plus frame crossings) it takes to drive line `l`
+// to 0/1, and CO(l) how many to propagate a change on `l` to a primary
+// output. Guided ATPG uses them comparatively only — cheapest fanin first,
+// best-observable D-frontier gate first — so the absolute scale is
+// irrelevant as long as it is deterministic, which it is: the analysis is a
+// pure function of the Topology.
+//
+// One instance is computed per api::Design (eagerly, like clock classes and
+// the collapsed fault set) and shared read-only by every Session, the fault
+// orderer, the guided engine, and the backend router.
+
+#include "fault/fault.hpp"
+#include "logic/val3.hpp"
+#include "netlist/topology.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace seqlearn::guide {
+
+using logic::Val3;
+using netlist::GateId;
+using netlist::Topology;
+
+class Testability {
+public:
+    /// Saturation value: "not controllable/observable within any bounded
+    /// cost". Small enough that a saturating add can never wrap uint32.
+    static constexpr std::uint32_t kInf = 0x3fffffff;
+
+    /// Cost of crossing one frame boundary (through a flip-flop or latch).
+    /// Classic sequential SCOAP charges a fixed per-cycle penalty so a
+    /// value reachable only through state is visibly more expensive than
+    /// any single-frame assignment chain.
+    static constexpr std::uint32_t kSeqStep = 10;
+
+    /// Analyze `topo`. The Topology must outlive this object (api::Design
+    /// owns both, so the lifetime is automatic there).
+    explicit Testability(const Topology& topo);
+
+    /// Controllability-to-0 / -to-1 of gate `g`'s output line.
+    std::uint32_t cc0(GateId g) const noexcept { return cc0_[g]; }
+    std::uint32_t cc1(GateId g) const noexcept { return cc1_[g]; }
+    /// cc0 or cc1 selected by `v`. Precondition: v is binary.
+    std::uint32_t controllability(GateId g, Val3 v) const noexcept {
+        return v == Val3::Zero ? cc0_[g] : cc1_[g];
+    }
+
+    /// Observability of gate `g`'s output (stem) line: min over its fanout
+    /// pin observabilities, 0 if `g` is a primary output.
+    std::uint32_t co(GateId g) const noexcept { return co_[g]; }
+
+    /// Observability of input pin `pin` of gate `g` (flat per-edge array,
+    /// same numbering as Topology::fanin_offset).
+    std::uint32_t pin_co(GateId g, std::size_t pin) const noexcept {
+        return pin_co_[topo_->fanin_offset(g) + pin];
+    }
+
+    /// SCOAP hardness of a stuck-at fault: cost of activating it (drive its
+    /// line to the opposite of the stuck value) plus cost of observing its
+    /// line. Pin faults use the driver's controllability and the pin's
+    /// observability; stem faults use the gate's own cc/co. Saturates at
+    /// kInf for untestable-looking faults, which sorts them last under
+    /// hard-first ordering's descending-finite convention (see order_targets).
+    std::uint32_t hardness(const fault::Fault& f) const noexcept;
+
+    /// Number of controllability + observability sweeps until fixpoint
+    /// (diagnostic; bounded by kMaxSweeps).
+    std::size_t sweeps() const noexcept { return sweeps_; }
+
+    /// Heap bytes of the four cost arrays (Design memory accounting).
+    std::size_t memory_bytes() const noexcept;
+
+private:
+    static constexpr std::size_t kMaxSweeps = 64;
+
+    const Topology* topo_;
+    std::vector<std::uint32_t> cc0_;     // per gate
+    std::vector<std::uint32_t> cc1_;     // per gate
+    std::vector<std::uint32_t> co_;      // per gate (stem)
+    std::vector<std::uint32_t> pin_co_;  // per fanin edge
+    std::size_t sweeps_ = 0;
+};
+
+}  // namespace seqlearn::guide

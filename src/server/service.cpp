@@ -466,6 +466,46 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
                                   "\" (want framesim, sat, or auto)");
     }
     acfg.sat_frames = static_cast<std::uint32_t>(req.get_number("sat_frames", 0.0));
+    const std::string order_s = req.get_string("order", "index");
+    if (const auto parsed = guide::parse_order(order_s)) {
+        acfg.order = *parsed;
+    } else {
+        return error_response("atpg", id, ProtoCode::Usage, "usage",
+                              "unknown order \"" + order_s +
+                                  "\" (want index, level, scoap_hard_first, or random)");
+    }
+    acfg.order_seed = static_cast<std::uint64_t>(req.get_number("order_seed", 1.0));
+    const std::string guidance_s = req.get_string("guidance", "none");
+    if (const auto parsed = guide::parse_guidance(guidance_s)) {
+        acfg.guidance = *parsed;
+    } else {
+        return error_response("atpg", id, ProtoCode::Usage, "usage",
+                              "unknown guidance \"" + guidance_s +
+                                  "\" (want none or scoap)");
+    }
+    acfg.rand_warmup =
+        static_cast<std::size_t>(req.get_number("rand_warmup", 0.0));
+    const std::string fill_s = req.get_string("fill", "");
+    if (!fill_s.empty()) {
+        // A `fill` key turns on the static-compaction pass, like the CLI's
+        // --fill flag.
+        const auto parsed = guide::parse_fill(fill_s);
+        if (!parsed) {
+            return error_response("atpg", id, ProtoCode::Usage, "usage",
+                                  "unknown fill \"" + fill_s +
+                                      "\" (want x, zero, one, or random)");
+        }
+        acfg.compact = true;
+        acfg.fill = *parsed;
+    }
+    // Result-affecting strategy keys bypass the warm snapshot path the same
+    // way non-default `sat_frames`/`frames` do on learn: the request runs
+    // self-contained (fresh learn, no promotion), so the cache only ever
+    // holds default-configuration artifacts.
+    const bool default_strategy =
+        acfg.order == guide::OrderStrategy::Index &&
+        acfg.guidance == guide::Guidance::None && acfg.rand_warmup == 0 &&
+        !acfg.compact;
 
     InflightGuard inflight(*this, id);
     const std::shared_ptr<std::atomic<bool>> cancel = inflight.flag();
@@ -479,12 +519,12 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
     // Warm path: reuse the cache entry's learned snapshot (no re-learn).
     // Cold: the Session learns on demand; promote that result for later
     // requests when it completed.
-    const bool warm = r.entry.learned != nullptr;
+    const bool warm = r.entry.learned != nullptr && default_strategy;
     if (acfg.mode != atpg::LearnMode::None) {
         if (warm) session.use_learned(r.entry.learned);
         else {
             const core::LearnResult& learned = session.learn();
-            if (learned.outcome.ok()) {
+            if (learned.outcome.ok() && default_strategy) {
                 const std::shared_ptr<const core::LearnedSnapshot> snap =
                     session.freeze_learned();
                 cache_.attach_learned(r.entry.digest, snap);
@@ -509,6 +549,20 @@ std::string Service::cmd_atpg(const JsonValue& req, const std::string& id) {
     out += ", \"undetected\": " + std::to_string(c.undetected);
     out += ", \"test_coverage\": " + fmt_double(report.list.test_coverage());
     out += ", \"tests\": " + std::to_string(report.outcome.tests.size());
+    out += ", \"order\": \"" + order_s + "\"";
+    out += ", \"guidance\": \"" + guidance_s + "\"";
+    out += ", \"patterns\": {\"count\": " + std::to_string(report.outcome.tests.size());
+    out += ", \"total_frames\": " + std::to_string(report.outcome.pattern_frames);
+    out += ", \"compaction_before\": " +
+           std::to_string(report.outcome.compaction_before);
+    out += ", \"compaction_after\": " + std::to_string(report.outcome.compaction_after);
+    out += "}";
+    if (acfg.rand_warmup > 0) {
+        out += ", \"warmup_detected\": " +
+               std::to_string(report.outcome.detected_by_warmup);
+        out += ", \"warmup_sequences\": " +
+               std::to_string(report.outcome.warmup_sequences);
+    }
     if (report.outcome.sat_targeted > 0) {
         out += ", \"sat_targeted\": " + std::to_string(report.outcome.sat_targeted);
         out += ", \"sat_witnesses\": " + std::to_string(report.outcome.sat_witnesses);
